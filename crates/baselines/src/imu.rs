@@ -1,0 +1,75 @@
+//! IMU — Immediate Update (§4.1).
+//!
+//! Every version is applied the moment it arrives and every query is
+//! admitted; there is no control loop at all. IMU delivers 100% freshness
+//! by construction, but under heavy update volumes the update class (which
+//! outranks queries) starves the foreground work: queries pile up, miss
+//! deadlines, and get evicted by the 2PL-HP write storms — the failure mode
+//! Fig. 4 exposes at the `high` volumes.
+
+use unit_core::policy::{AdmissionDecision, Policy, UpdateAction};
+use unit_core::snapshot::SystemSnapshot;
+use unit_core::time::SimTime;
+use unit_core::types::{DataId, QuerySpec, UpdateSpec};
+
+/// The Immediate-Update baseline policy.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ImuPolicy;
+
+impl ImuPolicy {
+    /// Construct the (stateless) policy.
+    pub fn new() -> Self {
+        ImuPolicy
+    }
+}
+
+impl Policy for ImuPolicy {
+    fn name(&self) -> &str {
+        "IMU"
+    }
+
+    fn init(&mut self, _n_items: usize, _updates: &[UpdateSpec]) {}
+
+    fn on_query_arrival(&mut self, _q: &QuerySpec, _sys: &SystemSnapshot) -> AdmissionDecision {
+        AdmissionDecision::Admit
+    }
+
+    fn on_version_arrival(
+        &mut self,
+        _item: DataId,
+        _now: SimTime,
+        _sys: &SystemSnapshot,
+    ) -> UpdateAction {
+        UpdateAction::Apply
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unit_core::time::SimDuration;
+    use unit_core::types::QueryId;
+
+    #[test]
+    fn admits_everything_applies_everything() {
+        let mut p = ImuPolicy::new();
+        p.init(8, &[]);
+        assert_eq!(p.name(), "IMU");
+        let q = QuerySpec {
+            id: QueryId(0),
+            arrival: SimTime::ZERO,
+            items: vec![DataId(0)],
+            exec_time: SimDuration::from_secs(100),
+            relative_deadline: SimDuration::from_secs(1), // hopeless
+            freshness_req: 0.9,
+            pref_class: 0,
+        };
+        let sys = SystemSnapshot::empty(SimTime::ZERO);
+        assert!(p.on_query_arrival(&q, &sys).is_admit());
+        assert!(p
+            .on_version_arrival(DataId(3), SimTime::from_secs(5), &sys)
+            .is_apply());
+        assert!(p.on_tick(SimTime::from_secs(10), &sys).is_empty());
+        assert!(p.demand_refresh(&q, &|_| 10).is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! ODU — On-Demand Update (§4.1).
+//!
+//! No background update is ever applied; instead, when an admitted query is
+//! about to run, the items of its read set that violate its freshness
+//! requirement are refreshed first (the server issues on-demand update
+//! transactions, which, being update-class, execute before the query). Like
+//! IMU there is no admission control.
+//!
+//! ODU achieves 100% freshness — every query reads data refreshed just
+//! before its execution — but the refresh work is charged right in front of
+//! the deadline, so queries with tight slack miss (the DMF cost the paper's
+//! Fig. 5 exposes under high `C_fm`). Under negatively correlated updates
+//! ODU shines: most background updates would have been wasted anyway
+//! (Fig. 4(c)).
+
+use unit_core::freshness::max_tolerable_udrop;
+use unit_core::policy::{AdmissionDecision, Policy, UpdateAction};
+use unit_core::snapshot::SystemSnapshot;
+use unit_core::time::SimTime;
+use unit_core::types::{DataId, QuerySpec, UpdateSpec};
+
+/// The On-Demand-Update baseline policy.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OduPolicy {
+    refreshes_requested: u64,
+}
+
+impl OduPolicy {
+    /// Construct the policy.
+    pub fn new() -> Self {
+        OduPolicy::default()
+    }
+
+    /// Number of item refreshes this policy has requested.
+    pub fn refreshes_requested(&self) -> u64 {
+        self.refreshes_requested
+    }
+}
+
+impl Policy for OduPolicy {
+    fn name(&self) -> &str {
+        "ODU"
+    }
+
+    fn init(&mut self, _n_items: usize, _updates: &[UpdateSpec]) {}
+
+    fn on_query_arrival(&mut self, _q: &QuerySpec, _sys: &SystemSnapshot) -> AdmissionDecision {
+        AdmissionDecision::Admit
+    }
+
+    fn on_version_arrival(
+        &mut self,
+        _item: DataId,
+        _now: SimTime,
+        _sys: &SystemSnapshot,
+    ) -> UpdateAction {
+        UpdateAction::Skip
+    }
+
+    fn refresh_at_admission(&self) -> bool {
+        true
+    }
+
+    fn demand_refresh(&mut self, q: &QuerySpec, udrop: &dyn Fn(DataId) -> u64) -> Vec<DataId> {
+        let tolerable = max_tolerable_udrop(q.freshness_req);
+        let stale: Vec<DataId> = q
+            .items
+            .iter()
+            .copied()
+            .filter(|&d| udrop(d) > tolerable)
+            .collect();
+        self.refreshes_requested += stale.len() as u64;
+        stale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unit_core::time::SimDuration;
+    use unit_core::types::QueryId;
+
+    fn query(items: &[u32]) -> QuerySpec {
+        QuerySpec {
+            id: QueryId(0),
+            arrival: SimTime::ZERO,
+            items: items.iter().map(|&i| DataId(i)).collect(),
+            exec_time: SimDuration::from_secs(1),
+            relative_deadline: SimDuration::from_secs(10),
+            freshness_req: 0.9,
+            pref_class: 0,
+        }
+    }
+
+    #[test]
+    fn never_applies_background_versions() {
+        let mut p = OduPolicy::new();
+        p.init(4, &[]);
+        let sys = SystemSnapshot::empty(SimTime::ZERO);
+        assert!(!p
+            .on_version_arrival(DataId(0), SimTime::from_secs(1), &sys)
+            .is_apply());
+        assert!(p.on_query_arrival(&query(&[0]), &sys).is_admit());
+    }
+
+    #[test]
+    fn demands_refresh_only_for_stale_items() {
+        let mut p = OduPolicy::new();
+        p.init(4, &[]);
+        let q = query(&[0, 1, 2]);
+        let stale = p.demand_refresh(&q, &|d| if d.0 == 1 { 3 } else { 0 });
+        assert_eq!(stale, vec![DataId(1)]);
+        assert_eq!(p.refreshes_requested(), 1);
+        // Fully fresh read set: nothing demanded.
+        assert!(p.demand_refresh(&q, &|_| 0).is_empty());
+    }
+
+    #[test]
+    fn respects_looser_freshness_requirements() {
+        let mut p = OduPolicy::new();
+        let mut q = query(&[0]);
+        q.freshness_req = 0.5; // tolerates one pending version
+        assert!(p.demand_refresh(&q, &|_| 1).is_empty());
+        assert_eq!(p.demand_refresh(&q, &|_| 2), vec![DataId(0)]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Microbenchmarks for the core data structures: the operations the
+//! admission-control and modulation paths execute per event.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unit_core::admission::AdmissionControl;
+use unit_core::controller::{Lbc, LbcConfig};
+use unit_core::freshness::FreshnessTable;
+use unit_core::lottery::WeightedSampler;
+use unit_core::snapshot::{QueueEntryView, SystemSnapshot};
+use unit_core::tickets::TicketTable;
+use unit_core::time::{SimDuration, SimTime};
+use unit_core::types::{DataId, Outcome, QueryId, QuerySpec};
+use unit_core::usm::UsmWeights;
+
+fn lottery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lottery");
+    for n in [256usize, 1024, 16384] {
+        let weights: Vec<f64> = (0..n).map(|i| ((i * 37) % 100) as f64 + 1.0).collect();
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| WeightedSampler::from_weights(black_box(&weights)));
+        });
+        let sampler = WeightedSampler::from_weights(&weights);
+        let mut rng = StdRng::seed_from_u64(7);
+        group.bench_with_input(BenchmarkId::new("sample", n), &n, |b, _| {
+            b.iter(|| sampler.sample(&mut rng).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("set", n), &n, |b, _| {
+            let mut s = WeightedSampler::from_weights(&weights);
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 17) % n;
+                s.set(i, (i % 50) as f64 + 0.5);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn tickets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tickets");
+    let n = 1024;
+    group.bench_function("on_query_access", |b| {
+        let mut t = TicketTable::new(n, 0.9, 96.0);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 13) % n;
+            t.on_query_access(i, 0.02);
+        });
+    });
+    group.bench_function("on_update", |b| {
+        let mut t = TicketTable::with_scale(n, 0.9, 96.0, 28.0);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 13) % n;
+            t.on_update(i, 100.0);
+        });
+    });
+    group.bench_function("shifted_weights_1024", |b| {
+        let mut t = TicketTable::new(n, 0.9, 96.0);
+        for i in 0..n {
+            t.on_update(i, (i % 150) as f64);
+        }
+        b.iter(|| black_box(t.shifted_weights()));
+    });
+    group.bench_function("clamped_weights_1024", |b| {
+        let mut t = TicketTable::new(n, 0.9, 96.0);
+        for i in 0..n {
+            t.on_update(i, (i % 150) as f64);
+        }
+        b.iter(|| black_box(t.clamped_weights()));
+    });
+    group.finish();
+}
+
+fn freshness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("freshness");
+    let mut table = FreshnessTable::new(1024);
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..5_000 {
+        table.record_arrival(DataId(rng.gen_range(0..1024)), SimTime::from_secs(1));
+    }
+    let read_set: Vec<DataId> = (0..4).map(|i| DataId(i * 100)).collect();
+    group.bench_function("record_arrival", |b| {
+        b.iter(|| table.record_arrival(black_box(DataId(512)), SimTime::from_secs(2)));
+    });
+    group.bench_function("read_set_freshness_4", |b| {
+        b.iter(|| black_box(table.read_set_freshness(&read_set)));
+    });
+    group.bench_function("stale_items_4", |b| {
+        b.iter(|| black_box(table.stale_items(&read_set, 0.9)));
+    });
+    group.finish();
+}
+
+fn admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admission");
+    let weights = UsmWeights::low_high_cfm();
+    let ac = AdmissionControl::default();
+    let query = QuerySpec {
+        id: QueryId(1),
+        arrival: SimTime::from_secs(1_000),
+        items: vec![DataId(0)],
+        exec_time: SimDuration::from_secs(1),
+        relative_deadline: SimDuration::from_secs(50),
+        freshness_req: 0.9,
+        pref_class: 0,
+    };
+    for queue_len in [4usize, 32, 256] {
+        let snapshot = SystemSnapshot {
+            now: SimTime::from_secs(1_000),
+            queries: (0..queue_len)
+                .map(|i| QueueEntryView {
+                    id: QueryId(i as u64),
+                    deadline: SimTime::from_secs(1_000 + 10 * i as u64),
+                    remaining: SimDuration::from_secs(1),
+                    pref_class: 0,
+                })
+                .collect(),
+            update_backlog: SimDuration::from_secs(10),
+            recent_utilization: 0.8,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("evaluate", queue_len),
+            &queue_len,
+            |b, _| {
+                b.iter(|| black_box(ac.evaluate(&query, &snapshot, &weights)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn controller(c: &mut Criterion) {
+    c.bench_function("lbc_record_and_activate", |b| {
+        let mut lbc = Lbc::new(UsmWeights::low_high_cfm(), LbcConfig::default(), 5);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            lbc.record(match i % 4 {
+                0 => Outcome::Success,
+                1 => Outcome::Rejected,
+                2 => Outcome::DeadlineMiss,
+                _ => Outcome::DataStale,
+            });
+            if i % 32 == 0 {
+                black_box(lbc.activate(SimTime::from_secs(i), 0.9));
+            }
+        });
+    });
+}
+
+criterion_group!(benches, lottery, tickets, freshness, admission, controller);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! End-to-end simulator throughput: how fast the server replays a scaled
+//! Table 1 workload under each policy, plus workload-generation cost.
+//! These are the numbers that justify running every paper figure at full
+//! scale (3.85M simulated seconds in under a second per run).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use unit_baselines::{ImuPolicy, OduPolicy, QmfPolicy};
+use unit_bench::default_workload_plan;
+use unit_core::config::UnitConfig;
+use unit_core::unit_policy::UnitPolicy;
+use unit_core::usm::UsmWeights;
+use unit_sim::run_simulation;
+use unit_workload::{generate_queries, UpdateDistribution, UpdateVolume};
+
+fn simulation_throughput(c: &mut Criterion) {
+    let plan = default_workload_plan(32); // ~3.4k queries, ~940 updates
+    let bundle = plan.bundle(UpdateVolume::Med, UpdateDistribution::Uniform);
+    let cfg = plan.sim_config(UsmWeights::naive());
+
+    let mut group = c.benchmark_group("simulate_med_unif_scale32");
+    group.sample_size(20);
+    group.bench_function("imu", |b| {
+        b.iter(|| black_box(run_simulation(&bundle.trace, ImuPolicy::new(), cfg)));
+    });
+    group.bench_function("odu", |b| {
+        b.iter(|| black_box(run_simulation(&bundle.trace, OduPolicy::new(), cfg)));
+    });
+    group.bench_function("qmf", |b| {
+        b.iter(|| black_box(run_simulation(&bundle.trace, QmfPolicy::default(), cfg)));
+    });
+    group.bench_function("unit", |b| {
+        b.iter(|| {
+            black_box(run_simulation(
+                &bundle.trace,
+                UnitPolicy::new(UnitConfig::default()),
+                cfg,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn volume_scaling(c: &mut Criterion) {
+    // Simulator cost as the update volume grows (event count scales).
+    let plan = default_workload_plan(32);
+    let mut group = c.benchmark_group("simulate_unit_by_volume");
+    group.sample_size(20);
+    for volume in UpdateVolume::ALL {
+        let bundle = plan.bundle(volume, UpdateDistribution::Uniform);
+        let cfg = plan.sim_config(UsmWeights::naive());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(volume.short_name()),
+            &volume,
+            |b, _| {
+                b.iter(|| {
+                    black_box(run_simulation(
+                        &bundle.trace,
+                        UnitPolicy::new(UnitConfig::default()),
+                        cfg,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn workload_generation(c: &mut Criterion) {
+    let plan = default_workload_plan(8);
+    let mut group = c.benchmark_group("workload");
+    group.sample_size(20);
+    group.bench_function("generate_queries_13k", |b| {
+        b.iter(|| black_box(generate_queries(&plan.query_cfg)));
+    });
+    group.bench_function("generate_bundle_med_unif", |b| {
+        b.iter(|| black_box(plan.bundle(UpdateVolume::Med, UpdateDistribution::Uniform)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    simulation_throughput,
+    volume_scaling,
+    workload_generation
+);
+criterion_main!(benches);

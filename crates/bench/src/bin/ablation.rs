@@ -1,0 +1,218 @@
+//! Ablation study: how much each UNIT design choice contributes, and how
+//! the documented deviations from the paper's literal text behave.
+//!
+//! Runs UNIT variants over `med-unif` (the Fig. 5/6 workload) and reports
+//! the resulting USM and outcome decomposition. Backs the design decisions
+//! recorded in DESIGN.md with data.
+
+use unit_baselines::DeferrablePolicy;
+use unit_bench::cli::HarnessArgs;
+use unit_bench::render::{csv, f, fs, text_table};
+use unit_bench::row;
+use unit_bench::{default_workload_plan, PolicyKind};
+use unit_core::config::{UnitConfig, VictimWeighting};
+use unit_core::modulation::UpgradeRule;
+use unit_core::unit_policy::UnitPolicy;
+use unit_core::usm::UsmWeights;
+use unit_sim::{run_simulation, SchedulingDiscipline};
+use unit_workload::{UpdateDistribution, UpdateVolume};
+
+fn variants(base: UnitConfig) -> Vec<(&'static str, UnitConfig)> {
+    vec![
+        ("default", base.clone()),
+        (
+            "no admission control",
+            UnitConfig {
+                admission_enabled: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no modulation (degrade cap 1x)",
+            UnitConfig {
+                max_degradation_factor: 1.0,
+                ..base.clone()
+            },
+        ),
+        (
+            "shift-min victim weights (paper literal)",
+            UnitConfig {
+                victim_weighting: VictimWeighting::ShiftMin,
+                ..base.clone()
+            },
+        ),
+        (
+            "raw qe/qt access tickets (paper literal)",
+            UnitConfig {
+                access_ticket_scale: Some(1.0),
+                ..base.clone()
+            },
+        ),
+        (
+            "linear upgrade rule (Eq. 10 as printed)",
+            UnitConfig {
+                upgrade_rule: UpgradeRule::LinearIdealStep,
+                ..base.clone()
+            },
+        ),
+        (
+            "unbudgeted halving upgrades",
+            UnitConfig {
+                upgrade_step_util: 1.0, // effectively no budget
+                ..base.clone()
+            },
+        ),
+        (
+            "small degrade budget (1%)",
+            UnitConfig {
+                modulation_step_util: 0.01,
+                ..base.clone()
+            },
+        ),
+        (
+            "sharp lottery (weights^2)",
+            UnitConfig {
+                lottery_sharpness: 2.0,
+                ..base.clone()
+            },
+        ),
+        ("sluggish controller (grace 500s)", {
+            let mut c = base.clone();
+            c.lbc.grace_period = unit_core::time::SimDuration::from_secs(500);
+            c
+        }),
+    ]
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let plan = default_workload_plan(args.scale);
+    let weights = UsmWeights::naive();
+    let bundle = plan.bundle(UpdateVolume::Med, UpdateDistribution::Uniform);
+    println!(
+        "Ablation study: UNIT variants on med-unif, scale 1/{} (naive USM)\n",
+        args.scale
+    );
+
+    let header = row!["variant", "USM", "Rs", "Rr", "Rfm", "Rfs", "applied%"];
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for (name, cfg) in variants(plan.unit_config(weights)) {
+        let report = run_simulation(
+            &bundle.trace,
+            UnitPolicy::new(cfg),
+            plan.sim_config(weights),
+        );
+        let [rs, rr, rfm, rfs] = report.ratios();
+        rows.push(row![
+            name,
+            fs(report.average_usm(), 3),
+            f(rs, 3),
+            f(rr, 3),
+            f(rfm, 3),
+            f(rfs, 3),
+            format!("{:.1}", 100.0 * report.applied_ratio()),
+        ]);
+        csv_rows.push(row![
+            name,
+            f(report.average_usm(), 4),
+            f(rs, 4),
+            f(rr, 4),
+            f(rfm, 4),
+            f(rfs, 4),
+            f(report.applied_ratio(), 4),
+        ]);
+    }
+
+    // Substrate ablation: the scheduling discipline §3.1 fixes.
+    rows.push(row![
+        "--- scheduling discipline ---",
+        "",
+        "",
+        "",
+        "",
+        "",
+        ""
+    ]);
+    for (name, discipline) in [
+        ("global EDF across classes", SchedulingDiscipline::GlobalEdf),
+        ("queries always first", SchedulingDiscipline::QueryFirst),
+    ] {
+        let report = run_simulation(
+            &bundle.trace,
+            UnitPolicy::new(plan.unit_config(weights)),
+            plan.sim_config(weights).with_discipline(discipline),
+        );
+        let [rs, rr, rfm, rfs] = report.ratios();
+        rows.push(row![
+            name,
+            fs(report.average_usm(), 3),
+            f(rs, 3),
+            f(rr, 3),
+            f(rfm, 3),
+            f(rfs, 3),
+            format!("{:.1}", 100.0 * report.applied_ratio()),
+        ]);
+        csv_rows.push(row![
+            name,
+            f(report.average_usm(), 4),
+            f(rs, 4),
+            f(rr, 4),
+            f(rfm, 4),
+            f(rfs, 4),
+            f(report.applied_ratio(), 4),
+        ]);
+    }
+
+    // Related-work policy: deferrable update scheduling (Xiong et al.).
+    rows.push(row![
+        "--- related-work policies ---",
+        "",
+        "",
+        "",
+        "",
+        "",
+        ""
+    ]);
+    {
+        let report = run_simulation(
+            &bundle.trace,
+            DeferrablePolicy::default(),
+            plan.sim_config(weights),
+        );
+        let [rs, rr, rfm, rfs] = report.ratios();
+        rows.push(row![
+            "DEF: deferrable updates (RTSS'05)",
+            fs(report.average_usm(), 3),
+            f(rs, 3),
+            f(rr, 3),
+            f(rfm, 3),
+            f(rfs, 3),
+            format!("{:.1}", 100.0 * report.applied_ratio()),
+        ]);
+    }
+
+    // Reference line: the strongest baseline on this workload.
+    let qmf = unit_bench::run_policy(&plan, &bundle, PolicyKind::Qmf, weights);
+    rows.push(row![
+        "(QMF reference)",
+        fs(qmf.report.average_usm(), 3),
+        f(qmf.report.ratios()[0], 3),
+        f(qmf.report.ratios()[1], 3),
+        f(qmf.report.ratios()[2], 3),
+        f(qmf.report.ratios()[3], 3),
+        format!("{:.1}", 100.0 * qmf.report.applied_ratio()),
+    ]);
+
+    println!("{}", text_table(&header, &rows));
+
+    if let Some(path) = args.write_csv(
+        "ablation.csv",
+        &csv(
+            &row!["variant", "usm", "rs", "rr", "rfm", "rfs", "applied"],
+            &csv_rows,
+        ),
+    ) {
+        println!("CSV written to {path}");
+    }
+}

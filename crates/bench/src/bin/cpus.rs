@@ -1,0 +1,72 @@
+//! Multi-CPU scaling (substrate generalization — the paper's server has a
+//! single CPU): does UNIT's advantage persist when the server gets more
+//! cores, or does raw capacity wash the policies out?
+//!
+//! Expected shape: extra CPUs rescue IMU (its problem is pure capacity),
+//! narrow everyone's gaps at med volume, and leave the orderings intact at
+//! high volume where even several CPUs cannot absorb every update.
+
+use unit_baselines::{ImuPolicy, OduPolicy, QmfPolicy};
+use unit_bench::cli::HarnessArgs;
+use unit_bench::default_workload_plan;
+use unit_bench::render::{csv, f, text_table};
+use unit_bench::row;
+use unit_core::unit_policy::UnitPolicy;
+use unit_core::usm::UsmWeights;
+use unit_sim::run_simulation;
+use unit_workload::{UpdateDistribution, UpdateVolume};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let plan = default_workload_plan(args.scale);
+    println!(
+        "Multi-CPU scaling: success ratio by CPU count (scale 1/{})\n",
+        args.scale
+    );
+
+    let mut csv_rows = Vec::new();
+    for volume in [UpdateVolume::Med, UpdateVolume::High] {
+        let bundle = plan.bundle(volume, UpdateDistribution::Uniform);
+        let header = row!["cpus", "IMU", "ODU", "QMF", "UNIT"];
+        let mut rows = Vec::new();
+        for cpus in [1usize, 2, 4] {
+            let cfg = plan.sim_config(UsmWeights::naive()).with_cpus(cpus);
+            let s = [
+                run_simulation(&bundle.trace, ImuPolicy::new(), cfg).success_ratio(),
+                run_simulation(&bundle.trace, OduPolicy::new(), cfg).success_ratio(),
+                run_simulation(&bundle.trace, QmfPolicy::default(), cfg).success_ratio(),
+                run_simulation(
+                    &bundle.trace,
+                    UnitPolicy::new(plan.unit_config(UsmWeights::naive())),
+                    cfg,
+                )
+                .success_ratio(),
+            ];
+            rows.push(row![cpus, f(s[0], 3), f(s[1], 3), f(s[2], 3), f(s[3], 3)]);
+            csv_rows.push(row![
+                bundle.name,
+                cpus,
+                f(s[0], 4),
+                f(s[1], 4),
+                f(s[2], 4),
+                f(s[3], 4)
+            ]);
+        }
+        println!("({})\n{}", bundle.name, text_table(&header, &rows));
+    }
+    println!(
+        "Extra capacity rescues IMU (its failure is saturation, not policy), while\n\
+         the managed policies converge toward the workload's burst-and-staleness\n\
+         floor; the orderings persist wherever updates still contend with queries."
+    );
+
+    if let Some(path) = args.write_csv(
+        "cpus.csv",
+        &csv(
+            &row!["trace", "cpus", "imu", "odu", "qmf", "unit"],
+            &csv_rows,
+        ),
+    ) {
+        println!("CSV written to {path}");
+    }
+}

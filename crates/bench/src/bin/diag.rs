@@ -1,0 +1,70 @@
+//! Diagnostic deep-dive on a single (trace, policy) run: controller
+//! activity, admission behaviour, shedding levels. Not a paper figure —
+//! a debugging/калибration aid for the harness itself.
+
+use unit_bench::cli::HarnessArgs;
+use unit_bench::{default_workload_plan, PolicyKind};
+use unit_core::unit_policy::UnitPolicy;
+use unit_core::usm::UsmWeights;
+use unit_sim::Simulator;
+use unit_workload::{UpdateDistribution, UpdateVolume};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let plan = default_workload_plan(args.scale);
+    let weights = UsmWeights::naive();
+
+    for (volume, dist) in [
+        (UpdateVolume::Med, UpdateDistribution::Uniform),
+        (UpdateVolume::High, UpdateDistribution::Uniform),
+        (UpdateVolume::Med, UpdateDistribution::NegativeCorrelation),
+    ] {
+        let bundle = plan.bundle(volume, dist);
+        println!(
+            "=== {} (offered load {:.2}) ===",
+            bundle.name,
+            bundle.offered_load()
+        );
+
+        let policy = UnitPolicy::new(plan.unit_config(weights));
+        let sim = Simulator::new(&bundle.trace, policy, plan.sim_config(weights));
+        let (report, policy) = sim.run_with_policy();
+        let stats = policy.stats();
+        println!("{}", report.summary());
+        println!(
+            "  signals: LAC={} TAC={} DEG={} UPG={}  lbc_activations={}",
+            report.signals.loosen_admission,
+            report.signals.tighten_admission,
+            report.signals.degrade_updates,
+            report.signals.upgrade_updates,
+            policy.lbc_activations()
+        );
+        println!(
+            "  c_flex={:.3}  degraded_items={}  degrade_draws={}  versions applied/skipped={}/{}",
+            policy.c_flex(),
+            policy.degraded_count(),
+            stats.degrade_draws,
+            stats.versions_applied,
+            stats.versions_skipped
+        );
+        println!(
+            "  rejections: not_promising={} endangering={}  hp_aborts={} restarts={} preempt={}",
+            stats.rejected_not_promising,
+            stats.rejected_endangering,
+            report.hp_aborts,
+            report.query_restarts,
+            report.preemptions
+        );
+        println!(
+            "  mean dispatch freshness={:.3}  cpu util={:.2}\n",
+            report.mean_dispatch_freshness,
+            report.utilization()
+        );
+
+        // Comparison lines for the baselines on the same bundle.
+        let odu = unit_bench::run_policy(&plan, &bundle, PolicyKind::Odu, weights);
+        println!("{}", odu.report.summary());
+        let qmf = unit_bench::run_policy(&plan, &bundle, PolicyKind::Qmf, weights);
+        println!("{}\n", qmf.report.summary());
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 5 — USM under non-zero penalty costs (the Table 2 weightings),
+//! on the `med-unif` workload.
+//!
+//! UNIT is re-run per weighting (its controller reacts to the weights); the
+//! baselines are weight-insensitive (§4.5), so each is run once and its
+//! outcome counts re-priced under every weighting.
+//!
+//! Paper shapes: UNIT best and roughly stable across weightings; QMF is
+//! hurt most by high `C_r` (it rejects a lot); IMU and ODU are hurt most by
+//! high `C_fm` (they miss a lot of deadlines).
+
+use unit_bench::cli::HarnessArgs;
+use unit_bench::render::{csv, fs, text_table};
+use unit_bench::row;
+use unit_bench::{default_workload_plan, run_policy, PolicyKind};
+use unit_core::usm::UsmWeights;
+use unit_workload::{UpdateDistribution, UpdateVolume};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let plan = default_workload_plan(args.scale);
+    let bundle = plan.bundle(UpdateVolume::Med, UpdateDistribution::Uniform);
+    println!(
+        "Figure 5: USM under Table 2 weightings (med-unif, scale 1/{})\n",
+        args.scale
+    );
+
+    // One run per weight-insensitive baseline; re-priced per weighting.
+    let baselines: Vec<_> = [PolicyKind::Imu, PolicyKind::Odu, PolicyKind::Qmf]
+        .iter()
+        .map(|&p| run_policy(&plan, &bundle, p, UsmWeights::naive()))
+        .collect();
+
+    let mut csv_rows = Vec::new();
+    for (title, configs) in [
+        (
+            "(a) penalties < 1",
+            [
+                ("high C_r", UsmWeights::low_high_cr()),
+                ("high C_fm", UsmWeights::low_high_cfm()),
+                ("high C_fs", UsmWeights::low_high_cfs()),
+            ],
+        ),
+        (
+            "(b) penalties > 1",
+            [
+                ("high C_r", UsmWeights::high_high_cr()),
+                ("high C_fm", UsmWeights::high_high_cfm()),
+                ("high C_fs", UsmWeights::high_high_cfs()),
+            ],
+        ),
+    ] {
+        let header = row!["setup", "IMU", "ODU", "QMF", "UNIT"];
+        let mut rows = Vec::new();
+        for (setup, weights) in configs {
+            let unit = run_policy(&plan, &bundle, PolicyKind::Unit, weights);
+            let mut cells = vec![setup.to_string()];
+            for b in &baselines {
+                cells.push(fs(b.report.usm_under(&weights), 3));
+            }
+            cells.push(fs(unit.report.average_usm(), 3));
+            rows.push(cells);
+            csv_rows.push(row![
+                title,
+                setup,
+                fs(baselines[0].report.usm_under(&weights), 4),
+                fs(baselines[1].report.usm_under(&weights), 4),
+                fs(baselines[2].report.usm_under(&weights), 4),
+                fs(unit.report.average_usm(), 4),
+            ]);
+        }
+        println!("{title}\n{}", text_table(&header, &rows));
+    }
+
+    if let Some(path) = args.write_csv(
+        "fig5.csv",
+        &csv(
+            &row!["panel", "setup", "imu", "odu", "qmf", "unit"],
+            &csv_rows,
+        ),
+    ) {
+        println!("CSV written to {path}");
+    }
+}

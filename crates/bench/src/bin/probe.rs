@@ -1,0 +1,125 @@
+//! Time-resolved probe of the UNIT policy internals (calibration aid).
+
+use unit_bench::cli::HarnessArgs;
+use unit_bench::default_workload_plan;
+use unit_core::policy::{AdmissionDecision, ControlSignal, Policy, UpdateAction};
+use unit_core::snapshot::SystemSnapshot;
+use unit_core::time::{SimDuration, SimTime};
+use unit_core::types::{DataId, Outcome, QuerySpec, UpdateSpec};
+use unit_core::unit_policy::UnitPolicy;
+use unit_core::usm::UsmWeights;
+use unit_sim::Simulator;
+use unit_workload::{UpdateDistribution, UpdateVolume};
+
+struct Probe {
+    inner: UnitPolicy,
+    next_print: SimTime,
+    every: SimDuration,
+}
+
+impl Policy for Probe {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn init(&mut self, n: usize, u: &[UpdateSpec]) {
+        self.inner.init(n, u)
+    }
+    fn on_query_arrival(&mut self, q: &QuerySpec, s: &SystemSnapshot) -> AdmissionDecision {
+        self.inner.on_query_arrival(q, s)
+    }
+    fn on_version_arrival(&mut self, d: DataId, t: SimTime, s: &SystemSnapshot) -> UpdateAction {
+        self.inner.on_version_arrival(d, t, s)
+    }
+    fn on_query_dispatch(&mut self, q: &QuerySpec, f: f64) {
+        self.inner.on_query_dispatch(q, f)
+    }
+    fn on_update_commit(&mut self, d: DataId, e: SimDuration) {
+        self.inner.on_update_commit(d, e)
+    }
+    fn on_query_outcome(&mut self, q: &QuerySpec, o: Outcome) {
+        self.inner.on_query_outcome(q, o)
+    }
+    fn on_tick(&mut self, now: SimTime, s: &SystemSnapshot) -> Vec<ControlSignal> {
+        let r = self.inner.on_tick(now, s);
+        if now >= self.next_print {
+            self.next_print = now + self.every;
+            let st = self.inner.stats();
+            println!(
+                "t={:>6.0}s degraded={} applied={} skipped={} draws={} c_flex={:.3} queue={} backlog={:.0}s",
+                now.as_secs_f64(),
+                self.inner.degraded_count(),
+                st.versions_applied,
+                st.versions_skipped,
+                st.degrade_draws,
+                self.inner.c_flex(),
+                s.ready_queue_len(),
+                s.update_backlog.as_secs_f64(),
+            );
+        }
+        r
+    }
+    fn current_period(&self, d: DataId) -> Option<SimDuration> {
+        self.inner.current_period(d)
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let plan = default_workload_plan(args.scale);
+    let weights = UsmWeights::naive();
+    let bundle = plan.bundle(UpdateVolume::Med, UpdateDistribution::Uniform);
+    let mut cfg = plan.unit_config(weights);
+    if let Ok(v) = std::env::var("UNIT_CUU") {
+        cfg.c_uu = v.parse().expect("UNIT_CUU must be a float");
+    }
+    if let Ok(v) = std::env::var("UNIT_VICTIMS") {
+        cfg.degrade_victims_per_signal = v.parse().expect("UNIT_VICTIMS must be an integer");
+    }
+    if let Ok(v) = std::env::var("UNIT_SHARP") {
+        cfg.lottery_sharpness = v.parse().expect("UNIT_SHARP must be a float");
+    }
+    if std::env::var("UNIT_NOAC").is_ok() {
+        cfg.admission_enabled = false;
+    }
+    if let Ok(v) = std::env::var("UNIT_BAL") {
+        cfg.access_update_balance = v.parse().expect("UNIT_BAL must be a float");
+    }
+    if let Ok(v) = std::env::var("UNIT_UPG") {
+        cfg.upgrade_step_util = v.parse().expect("UNIT_UPG must be a float");
+    }
+    let probe = Probe {
+        inner: UnitPolicy::new(cfg),
+        next_print: SimTime::ZERO,
+        every: SimDuration::from_secs_f64(plan.query_cfg.horizon.as_secs_f64() / 16.0),
+    };
+    let sim = Simulator::new(&bundle.trace, probe, plan.sim_config(weights));
+    let (report, probe) = sim.run_with_policy();
+    println!("{}", report.summary());
+
+    // Final degradation-factor distribution.
+    let mut factors: Vec<f64> = (0..bundle.trace.n_items)
+        .map(|i| {
+            let cur = probe.inner.current_period(DataId(i as u32)).unwrap();
+            if cur == SimDuration::MAX {
+                1.0
+            } else {
+                let ideal = bundle
+                    .trace
+                    .updates
+                    .iter()
+                    .find(|u| u.item.index() == i)
+                    .map(|u| u.period)
+                    .unwrap_or(cur);
+                cur.as_secs_f64() / ideal.as_secs_f64()
+            }
+        })
+        .collect();
+    factors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "degradation factors: p10={:.2} p50={:.2} p90={:.2} max={:.2}",
+        factors[factors.len() / 10],
+        factors[factors.len() / 2],
+        factors[factors.len() * 9 / 10],
+        factors[factors.len() - 1]
+    );
+}

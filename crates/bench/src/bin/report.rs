@@ -1,0 +1,217 @@
+//! One-shot reproduction report: runs every table and figure and writes a
+//! single self-contained markdown file with the measured numbers.
+//!
+//! ```sh
+//! cargo run --release -p unit-bench --bin report -- --full
+//! # -> results/REPORT.md
+//! ```
+
+use std::fmt::Write as _;
+use unit_bench::cli::HarnessArgs;
+use unit_bench::{default_workload_plan, run_matrix, run_policy, PolicyKind};
+use unit_core::usm::UsmWeights;
+use unit_workload::{TraceStats, UpdateDistribution, UpdateVolume};
+
+fn md_table(out: &mut String, header: &[&str], rows: &[Vec<String>]) {
+    let _ = writeln!(out, "| {} |", header.join(" | "));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    let _ = writeln!(out);
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let plan = default_workload_plan(args.scale);
+    let mut md = String::new();
+
+    let _ = writeln!(md, "# UNIT reproduction report\n");
+    let _ = writeln!(
+        md,
+        "Workload scale 1/{} ({} queries over {:.0} simulated seconds). All runs\n\
+         deterministic; regenerate with `cargo run --release -p unit-bench --bin\n\
+         report -- --scale {}`.\n",
+        args.scale,
+        plan.query_cfg.n_queries,
+        plan.query_cfg.horizon.as_secs_f64(),
+        args.scale
+    );
+
+    // --- Table 1 ---------------------------------------------------------
+    let _ = writeln!(md, "## Table 1 — update traces\n");
+    let mut rows = Vec::new();
+    let mut bundles_by_dist = Vec::new();
+    for dist in [
+        UpdateDistribution::Uniform,
+        UpdateDistribution::PositiveCorrelation,
+        UpdateDistribution::NegativeCorrelation,
+    ] {
+        let bundles: Vec<_> = UpdateVolume::ALL
+            .iter()
+            .map(|&v| plan.bundle(v, dist))
+            .collect();
+        for b in &bundles {
+            rows.push(vec![
+                b.name.clone(),
+                format!("{:.1}%", 100.0 * b.update_utilization),
+                format!("{:+.3}", b.achieved_rho),
+            ]);
+        }
+        bundles_by_dist.push((dist, bundles));
+    }
+    md_table(&mut md, &["trace", "update util", "rho vs queries"], &rows);
+
+    // --- workload character -----------------------------------------------
+    let b = &bundles_by_dist[0].1[1]; // med-unif
+    let stats = TraceStats::of(&b.trace, b.horizon);
+    let _ = writeln!(md, "## Workload character (med-unif)\n");
+    let _ = writeln!(
+        md,
+        "- access skew: Gini {:.2}, top decile {:.0}% of accesses\n\
+         - burstiness: interarrival CV {:.2}\n\
+         - mean query {:.2}s against mean deadline {:.1}s\n\
+         - mean update {:.1}s — one update spans a typical deadline\n",
+        stats.access_gini,
+        100.0 * stats.top_decile_access_share,
+        stats.interarrival_cv,
+        stats.mean_exec_secs,
+        stats.mean_deadline_secs,
+        stats.mean_update_exec_secs,
+    );
+
+    // --- Figure 4 ----------------------------------------------------------
+    let _ = writeln!(md, "## Figure 4 — naive USM (success ratio)\n");
+    let mut rows = Vec::new();
+    for (_, bundles) in &bundles_by_dist {
+        let out = run_matrix(&plan, bundles, &PolicyKind::ALL, UsmWeights::naive());
+        for (bi, b) in bundles.iter().enumerate() {
+            let s: Vec<String> = (0..4)
+                .map(|pi| format!("{:.3}", out[bi * 4 + pi].report.success_ratio()))
+                .collect();
+            rows.push(vec![
+                b.name.clone(),
+                s[0].clone(),
+                s[1].clone(),
+                s[2].clone(),
+                s[3].clone(),
+            ]);
+        }
+    }
+    md_table(&mut md, &["trace", "IMU", "ODU", "QMF", "UNIT"], &rows);
+
+    // --- Figure 5 ----------------------------------------------------------
+    let _ = writeln!(
+        md,
+        "## Figure 5 — USM under Table 2 weightings (med-unif)\n"
+    );
+    let med_unif = &bundles_by_dist[0].1[1];
+    let baselines: Vec<_> = [PolicyKind::Imu, PolicyKind::Odu, PolicyKind::Qmf]
+        .iter()
+        .map(|&p| run_policy(&plan, med_unif, p, UsmWeights::naive()))
+        .collect();
+    let mut rows = Vec::new();
+    for (setup, w) in [
+        ("high C_r (<1)", UsmWeights::low_high_cr()),
+        ("high C_fm (<1)", UsmWeights::low_high_cfm()),
+        ("high C_fs (<1)", UsmWeights::low_high_cfs()),
+        ("high C_r (>1)", UsmWeights::high_high_cr()),
+        ("high C_fm (>1)", UsmWeights::high_high_cfm()),
+        ("high C_fs (>1)", UsmWeights::high_high_cfs()),
+    ] {
+        let unit = run_policy(&plan, med_unif, PolicyKind::Unit, w);
+        rows.push(vec![
+            setup.to_string(),
+            format!("{:+.3}", baselines[0].report.usm_under(&w)),
+            format!("{:+.3}", baselines[1].report.usm_under(&w)),
+            format!("{:+.3}", baselines[2].report.usm_under(&w)),
+            format!("{:+.3}", unit.report.average_usm()),
+        ]);
+    }
+    md_table(&mut md, &["setup", "IMU", "ODU", "QMF", "UNIT"], &rows);
+
+    // --- Figure 6 ----------------------------------------------------------
+    let _ = writeln!(md, "## Figure 6 — outcome decomposition (med-unif)\n");
+    let mut rows = Vec::new();
+    for (label, out) in [
+        ("IMU", &baselines[0]),
+        ("ODU", &baselines[1]),
+        ("QMF", &baselines[2]),
+    ] {
+        let [rs, rr, rfm, rfs] = out.report.ratios();
+        rows.push(vec![
+            label.to_string(),
+            format!("{rs:.3}"),
+            format!("{rr:.3}"),
+            format!("{rfm:.3}"),
+            format!("{rfs:.3}"),
+        ]);
+    }
+    for (setup, w) in [
+        ("UNIT, high C_r", UsmWeights::low_high_cr()),
+        ("UNIT, high C_fm", UsmWeights::low_high_cfm()),
+        ("UNIT, high C_fs", UsmWeights::low_high_cfs()),
+    ] {
+        let out = run_policy(&plan, med_unif, PolicyKind::Unit, w);
+        let [rs, rr, rfm, rfs] = out.report.ratios();
+        rows.push(vec![
+            setup.to_string(),
+            format!("{rs:.3}"),
+            format!("{rr:.3}"),
+            format!("{rfm:.3}"),
+            format!("{rfs:.3}"),
+        ]);
+    }
+    md_table(&mut md, &["policy", "Rs", "Rr", "Rfm", "Rfs"], &rows);
+
+    // --- Figure 3 summary ---------------------------------------------------
+    let _ = writeln!(md, "## Figure 3 — update shedding (UNIT)\n");
+    let mut rows = Vec::new();
+    for dist in [
+        UpdateDistribution::Uniform,
+        UpdateDistribution::NegativeCorrelation,
+    ] {
+        let bundle = plan.bundle(UpdateVolume::Med, dist);
+        let out = run_policy(&plan, &bundle, PolicyKind::Unit, UsmWeights::naive());
+        let r = &out.report;
+        let mut order: Vec<usize> = (0..bundle.trace.n_items).collect();
+        order.sort_by(|&a, &b| r.query_accesses[b].cmp(&r.query_accesses[a]));
+        let keep = |items: &[usize]| -> f64 {
+            let a: u64 = items.iter().map(|&i| r.updates_applied[i]).sum();
+            let v: u64 = items.iter().map(|&i| r.versions_arrived[i]).sum();
+            a as f64 / v.max(1) as f64
+        };
+        let n = order.len();
+        rows.push(vec![
+            bundle.name.clone(),
+            format!("{:.1}%", 100.0 * (1.0 - r.applied_ratio())),
+            format!("{:.0}%", 100.0 * keep(&order[..n / 10])),
+            format!("{:.0}%", 100.0 * keep(&order[n / 2..])),
+        ]);
+    }
+    md_table(
+        &mut md,
+        &[
+            "trace",
+            "dropped overall",
+            "kept (hot decile)",
+            "kept (cold half)",
+        ],
+        &rows,
+    );
+
+    match &args.out_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).ok();
+            let file = format!("{dir}/REPORT.md");
+            std::fs::write(&file, &md).expect("write report");
+            println!("report written to {file}");
+        }
+        // --no-csv: print the report instead of writing files.
+        None => print!("{md}"),
+    }
+}

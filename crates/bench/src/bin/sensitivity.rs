@@ -1,0 +1,173 @@
+//! Parameter-sensitivity study (the analysis the paper defers to its
+//! technical report \[17\]).
+//!
+//! §3.4 claims "sensitivity analysis … has shown that the exact value of
+//! C_du does not have a significant effect on the average USM" and sets
+//! `C_forget = 0.9` "following current practice". This binary sweeps the
+//! paper's constants one at a time on `med-unif` and reports the USM so the
+//! claim can be checked against this reproduction.
+
+use unit_bench::cli::HarnessArgs;
+use unit_bench::default_workload_plan;
+use unit_bench::render::{csv, f, fs, text_table};
+use unit_bench::row;
+use unit_core::config::UnitConfig;
+use unit_core::time::SimDuration;
+use unit_core::unit_policy::UnitPolicy;
+use unit_core::usm::UsmWeights;
+use unit_sim::run_simulation;
+use unit_workload::{UpdateDistribution, UpdateVolume};
+
+struct Sweep {
+    name: &'static str,
+    paper_value: &'static str,
+    configs: Vec<(String, UnitConfig)>,
+}
+
+fn sweeps(base: &UnitConfig) -> Vec<Sweep> {
+    let mut out = Vec::new();
+
+    out.push(Sweep {
+        name: "C_du (degrade step)",
+        paper_value: "0.1",
+        configs: [0.05, 0.1, 0.2, 0.4]
+            .iter()
+            .map(|&v| {
+                let mut c = base.clone();
+                c.c_du = v;
+                (format!("{v}"), c)
+            })
+            .collect(),
+    });
+
+    out.push(Sweep {
+        name: "C_forget (ticket forgetting)",
+        paper_value: "0.9",
+        configs: [0.5, 0.7, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&v| {
+                let mut c = base.clone();
+                c.c_forget = v;
+                (format!("{v}"), c)
+            })
+            .collect(),
+    });
+
+    out.push(Sweep {
+        name: "C_uu (upgrade step)",
+        paper_value: "0.5",
+        configs: [0.1, 0.25, 0.5, 1.0]
+            .iter()
+            .map(|&v| {
+                let mut c = base.clone();
+                c.c_uu = v;
+                (format!("{v}"), c)
+            })
+            .collect(),
+    });
+
+    out.push(Sweep {
+        name: "LBC grace period (s)",
+        paper_value: "unspecified",
+        configs: [25u64, 50, 100, 200, 400]
+            .iter()
+            .map(|&v| {
+                let mut c = base.clone();
+                c.lbc.grace_period = SimDuration::from_secs(v);
+                (format!("{v}"), c)
+            })
+            .collect(),
+    });
+
+    out.push(Sweep {
+        name: "C_flex step (TAC/LAC)",
+        paper_value: "0.10",
+        configs: [0.05, 0.10, 0.20, 0.40]
+            .iter()
+            .map(|&v| {
+                let mut c = base.clone();
+                c.c_flex_step = v;
+                (format!("{v}"), c)
+            })
+            .collect(),
+    });
+
+    out.push(Sweep {
+        name: "degradation cap (x ideal)",
+        paper_value: "unbounded",
+        configs: [8.0, 16.0, 64.0, 256.0]
+            .iter()
+            .map(|&v| {
+                let mut c = base.clone();
+                c.max_degradation_factor = v;
+                (format!("{v}"), c)
+            })
+            .collect(),
+    });
+
+    out
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let plan = default_workload_plan(args.scale);
+    let weights = UsmWeights::naive();
+    let bundle = plan.bundle(UpdateVolume::Med, UpdateDistribution::Uniform);
+    println!(
+        "Sensitivity study on med-unif, scale 1/{} (naive USM).\n\
+         Paper claim (§3.4): the exact C_du value does not significantly\n\
+         affect the average USM.\n",
+        args.scale
+    );
+
+    let mut csv_rows = Vec::new();
+    for sweep in sweeps(&plan.unit_config(weights)) {
+        let header = row!["value", "USM", "Rs", "Rr", "Rfm", "Rfs", "applied%"];
+        let mut rows = Vec::new();
+        let mut usms: Vec<f64> = Vec::new();
+        for (label, cfg) in sweep.configs {
+            let report = run_simulation(
+                &bundle.trace,
+                UnitPolicy::new(cfg),
+                plan.sim_config(weights),
+            );
+            let [rs, rr, rfm, rfs] = report.ratios();
+            usms.push(report.average_usm());
+            rows.push(row![
+                label.clone(),
+                fs(report.average_usm(), 3),
+                f(rs, 3),
+                f(rr, 3),
+                f(rfm, 3),
+                f(rfs, 3),
+                format!("{:.1}", 100.0 * report.applied_ratio()),
+            ]);
+            csv_rows.push(row![
+                sweep.name,
+                label,
+                f(report.average_usm(), 4),
+                f(rs, 4),
+                f(report.applied_ratio(), 4)
+            ]);
+        }
+        let spread = usms.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - usms.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "{} (paper: {})\n{}USM spread across the sweep: {:.3}\n",
+            sweep.name,
+            sweep.paper_value,
+            text_table(&header, &rows),
+            spread
+        );
+    }
+
+    if let Some(path) = args.write_csv(
+        "sensitivity.csv",
+        &csv(
+            &row!["parameter", "value", "usm", "rs", "applied"],
+            &csv_rows,
+        ),
+    ) {
+        println!("CSV written to {path}");
+    }
+}

@@ -1,0 +1,56 @@
+//! Table 2 — the USM weight configurations used by the sensitivity
+//! experiments (Fig. 5 and Fig. 6).
+
+use unit_bench::cli::HarnessArgs;
+use unit_bench::render::{csv, f, text_table};
+use unit_bench::row;
+use unit_core::usm::UsmWeights;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+
+    let configs: [(&str, &str, UsmWeights); 6] = [
+        ("penalties < 1", "high C_r", UsmWeights::low_high_cr()),
+        ("penalties < 1", "high C_fm", UsmWeights::low_high_cfm()),
+        ("penalties < 1", "high C_fs", UsmWeights::low_high_cfs()),
+        ("penalties > 1", "high C_r", UsmWeights::high_high_cr()),
+        ("penalties > 1", "high C_fm", UsmWeights::high_high_cfm()),
+        ("penalties > 1", "high C_fs", UsmWeights::high_high_cfs()),
+    ];
+
+    let header = row!["regime", "setup", "C_s", "C_r", "C_fm", "C_fs", "USM range"];
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for (regime, setup, w) in configs {
+        let (lo, hi) = w.range();
+        rows.push(row![
+            regime,
+            setup,
+            w.gain,
+            w.c_r,
+            w.c_fm,
+            w.c_fs,
+            format!("[{lo}, {hi}]"),
+        ]);
+        csv_rows.push(row![
+            regime,
+            setup,
+            f(w.gain, 1),
+            f(w.c_r, 1),
+            f(w.c_fm, 1),
+            f(w.c_fs, 1)
+        ]);
+    }
+    println!("Table 2: USM weights for the Figure 5 sensitivity experiments\n");
+    println!("{}", text_table(&header, &rows));
+
+    if let Some(path) = args.write_csv(
+        "table2.csv",
+        &csv(
+            &row!["regime", "setup", "cs", "cr", "cfm", "cfs"],
+            &csv_rows,
+        ),
+    ) {
+        println!("CSV written to {path}");
+    }
+}

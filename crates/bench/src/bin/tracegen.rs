@@ -1,0 +1,175 @@
+//! Workload generation CLI: build any Table 1 workload (or a custom-sized
+//! one), inspect its statistics, and save it as JSON for reuse.
+//!
+//! ```sh
+//! # Generate the paper's med-unif workload and save it:
+//! cargo run --release -p unit-bench --bin tracegen -- \
+//!     --volume med --dist unif --out-file workload.json
+//!
+//! # Inspect a saved workload:
+//! cargo run --release -p unit-bench --bin tracegen -- --inspect workload.json
+//! ```
+
+use std::path::Path;
+use unit_bench::default_workload_plan;
+use unit_bench::render::{bucketize, spark};
+use unit_workload::{TraceBundle, TraceStats, UpdateDistribution, UpdateVolume};
+
+struct Args {
+    scale: u64,
+    volume: UpdateVolume,
+    dist: UpdateDistribution,
+    out_file: Option<String>,
+    inspect: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tracegen [--scale N | --full] [--volume low|med|high]\n\
+         \x20               [--dist unif|pos|neg] [--out-file PATH]\n\
+         \x20               [--inspect PATH]\n\
+         \n\
+         Without --inspect, generates the selected Table 1 workload (default\n\
+         med-unif at 1/4 scale), prints its statistics, and optionally saves\n\
+         it as JSON. With --inspect, loads a saved workload and prints its\n\
+         statistics instead."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        scale: 4,
+        volume: UpdateVolume::Med,
+        dist: UpdateDistribution::Uniform,
+        out_file: None,
+        inspect: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                out.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--full" => out.scale = 1,
+            "--volume" => {
+                out.volume = match it.next().as_deref() {
+                    Some("low") => UpdateVolume::Low,
+                    Some("med") => UpdateVolume::Med,
+                    Some("high") => UpdateVolume::High,
+                    _ => usage(),
+                }
+            }
+            "--dist" => {
+                out.dist = match it.next().as_deref() {
+                    Some("unif") => UpdateDistribution::Uniform,
+                    Some("pos") => UpdateDistribution::PositiveCorrelation,
+                    Some("neg") => UpdateDistribution::NegativeCorrelation,
+                    _ => usage(),
+                }
+            }
+            "--out-file" => out.out_file = Some(it.next().unwrap_or_else(|| usage())),
+            "--inspect" => out.inspect = Some(it.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    out
+}
+
+fn describe(bundle: &TraceBundle) {
+    let t = &bundle.trace;
+    println!("workload `{}`", bundle.name);
+    println!("  items:            {}", t.n_items);
+    println!("  queries:          {}", t.queries.len());
+    println!("  update streams:   {}", t.updates.len());
+    println!("  horizon:          {:.0}s", bundle.horizon.as_secs_f64());
+    println!(
+        "  offered load:     {:.1}% query + {:.1}% update = {:.1}%",
+        100.0 * bundle.query_utilization,
+        100.0 * bundle.update_utilization,
+        100.0 * bundle.offered_load()
+    );
+    println!("  update/query rho: {:+.3}", bundle.achieved_rho);
+
+    let access = t.query_access_histogram();
+    println!("  access histogram: {}", spark(&bucketize(&access, 64)));
+    let volume = t.update_volume_histogram(bundle.horizon);
+    println!("  update histogram: {}", spark(&bucketize(&volume, 64)));
+
+    let execs: Vec<f64> = t
+        .queries
+        .iter()
+        .map(|q| q.exec_time.as_secs_f64())
+        .collect();
+    let deadlines: Vec<f64> = t
+        .queries
+        .iter()
+        .map(|q| q.relative_deadline.as_secs_f64())
+        .collect();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "  query exec:       mean {:.2}s, max {:.2}s",
+        mean(&execs),
+        execs.iter().cloned().fold(0.0, f64::max)
+    );
+    println!(
+        "  query deadline:   mean {:.1}s, max {:.1}s",
+        mean(&deadlines),
+        deadlines.iter().cloned().fold(0.0, f64::max)
+    );
+    let classes = t.queries.iter().map(|q| q.pref_class).max().unwrap_or(0) + 1;
+    println!("  preference classes: {classes}");
+
+    let stats = TraceStats::of(t, bundle.horizon);
+    println!(
+        "  access skew:      gini {:.2}, top-decile share {:.0}%",
+        stats.access_gini,
+        100.0 * stats.top_decile_access_share
+    );
+    println!(
+        "  burstiness:       interarrival CV {:.2} (1 = Poisson)",
+        stats.interarrival_cv
+    );
+    println!(
+        "  slack:            mean deadline/exec {:.1}x",
+        stats.mean_slack_factor
+    );
+}
+
+fn main() {
+    let args = parse_args();
+
+    if let Some(path) = &args.inspect {
+        match TraceBundle::load(Path::new(path)) {
+            Ok(bundle) => {
+                if let Err(e) = bundle.trace.validate() {
+                    eprintln!("warning: trace fails validation: {e}");
+                }
+                describe(&bundle);
+            }
+            Err(e) => {
+                eprintln!("cannot load {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let plan = default_workload_plan(args.scale);
+    let bundle = plan.bundle(args.volume, args.dist);
+    describe(&bundle);
+
+    if let Some(path) = &args.out_file {
+        match bundle.save(Path::new(path)) {
+            Ok(()) => println!("\nsaved to {path}"),
+            Err(e) => {
+                eprintln!("cannot save {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Minimal argument parsing shared by the harness binaries (no external
+//! dependency needed for two flags).
+
+/// Options common to all figure/table binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessArgs {
+    /// Workload divisor (1 = paper scale).
+    pub scale: u64,
+    /// Directory for CSV output (created if missing); `None` disables CSV.
+    pub out_dir: Option<String>,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            scale: 4,
+            out_dir: Some("results".to_string()),
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parse `--scale N`, `--full`, `--out DIR`, `--no-csv` from an iterator
+    /// of arguments (exclusive of the program name).
+    ///
+    /// Returns `Err` with a usage string on unknown flags or bad values.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<HarnessArgs, String> {
+        let mut out = HarnessArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = it.next().ok_or("--scale requires a value")?;
+                    let n: u64 = v.parse().map_err(|_| format!("bad --scale value: {v}"))?;
+                    if n == 0 {
+                        return Err("--scale must be >= 1".to_string());
+                    }
+                    out.scale = n;
+                }
+                "--full" => out.scale = 1,
+                "--out" => {
+                    out.out_dir = Some(it.next().ok_or("--out requires a directory")?);
+                }
+                "--no-csv" => out.out_dir = None,
+                "--help" | "-h" => return Err(Self::usage()),
+                other => return Err(format!("unknown argument: {other}\n{}", Self::usage())),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parse from the process arguments, exiting with usage on error.
+    pub fn from_env() -> HarnessArgs {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Usage text.
+    pub fn usage() -> String {
+        "usage: <bin> [--scale N | --full] [--out DIR | --no-csv]\n\
+         --scale N   divide the paper-scale workload by N (default 4)\n\
+         --full      run at paper scale (110,035 queries / 3,848,104 s)\n\
+         --out DIR   write CSV outputs into DIR (default: results/)\n\
+         --no-csv    skip CSV output"
+            .to_string()
+    }
+
+    /// Write a CSV artifact if output is enabled; returns the path written.
+    pub fn write_csv(&self, name: &str, contents: &str) -> Option<String> {
+        let dir = self.out_dir.as_ref()?;
+        if std::fs::create_dir_all(dir).is_err() {
+            eprintln!("warning: cannot create output directory {dir}");
+            return None;
+        }
+        let path = format!("{dir}/{name}");
+        match std::fs::write(&path, contents) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: cannot write {path}: {e}");
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<HarnessArgs, String> {
+        HarnessArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.scale, 4);
+        assert_eq!(a.out_dir.as_deref(), Some("results"));
+    }
+
+    #[test]
+    fn scale_and_full() {
+        assert_eq!(parse(&["--scale", "8"]).unwrap().scale, 8);
+        assert_eq!(parse(&["--full"]).unwrap().scale, 1);
+        assert!(parse(&["--scale", "0"]).is_err());
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--scale", "x"]).is_err());
+    }
+
+    #[test]
+    fn output_flags() {
+        assert_eq!(parse(&["--no-csv"]).unwrap().out_dir, None);
+        assert_eq!(
+            parse(&["--out", "/tmp/x"]).unwrap().out_dir.as_deref(),
+            Some("/tmp/x")
+        );
+    }
+
+    #[test]
+    fn unknown_flags_error_with_usage() {
+        let err = parse(&["--bogus"]).unwrap_err();
+        assert!(err.contains("unknown argument"));
+        assert!(err.contains("usage:"));
+    }
+
+    #[test]
+    fn write_csv_creates_the_directory_and_file() {
+        let dir = std::env::temp_dir().join(format!("unit-cli-test-{}", std::process::id()));
+        let args = HarnessArgs {
+            scale: 1,
+            out_dir: Some(dir.to_string_lossy().into_owned()),
+        };
+        let path = args.write_csv("probe.csv", "a,b\n1,2\n").expect("written");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_csv_is_disabled_without_an_out_dir() {
+        let args = HarnessArgs {
+            scale: 1,
+            out_dir: None,
+        };
+        assert!(args.write_csv("x.csv", "data").is_none());
+    }
+}

@@ -1,0 +1,29 @@
+//! # unit-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the UNIT paper's evaluation (§4).
+//! Each figure/table has a dedicated binary (see `src/bin/`); this library
+//! holds what they share: the scaled workload plans, the policy runner, and
+//! plain-text table/histogram rendering.
+//!
+//! | target | reproduces |
+//! |--------|------------|
+//! | `table1` | Table 1 — the nine update traces |
+//! | `table2` | Table 2 — the USM weight configurations |
+//! | `fig3`   | Fig. 3 — access/update distributions, original vs degraded |
+//! | `fig4`   | Fig. 4 — naive USM (success ratio) across 9 traces × 4 policies |
+//! | `fig5`   | Fig. 5 — USM under non-zero penalties (Table 2 weightings) |
+//! | `fig6`   | Fig. 6 — outcome-ratio decomposition |
+//!
+//! Every binary accepts `--scale N` (default 4) dividing the workload size,
+//! and `--full` for the paper-scale run (11,000 queries over 40,000 s).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cli;
+pub mod render;
+pub mod runner;
+
+pub use runner::{
+    default_workload_plan, run_matrix, run_policy, ExperimentPlan, PolicyKind, RunOutcome,
+};

@@ -1,0 +1,169 @@
+//! Plain-text rendering: aligned tables and ASCII histograms for the
+//! harness binaries (the paper's figures, as terminal output + CSV).
+
+use std::fmt::Write as _;
+
+/// Render an aligned text table. `header` and every row must have the same
+/// arity.
+pub fn text_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: &[String], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i == 0 {
+                let _ = write!(out, "{:<w$}", cell, w = widths[i]);
+            } else {
+                let _ = write!(out, "  {:>w$}", cell, w = widths[i]);
+            }
+        }
+        out.push('\n');
+    };
+    line(header, &mut out);
+    let rule: String = widths
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            if i == 0 {
+                "-".repeat(*w)
+            } else {
+                format!("  {}", "-".repeat(*w))
+            }
+        })
+        .collect();
+    out.push_str(&rule);
+    out.push('\n');
+    for row in rows {
+        line(row, &mut out);
+    }
+    out
+}
+
+/// Render rows as CSV (no quoting — harness values are numeric/simple).
+pub fn csv(header: &[String], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Downsample per-item counts into `buckets` buckets (sums within each) for
+/// terminal-width histograms.
+pub fn bucketize(values: &[u64], buckets: usize) -> Vec<u64> {
+    assert!(buckets > 0);
+    if values.is_empty() {
+        return vec![0; buckets];
+    }
+    let mut out = vec![0u64; buckets.min(values.len())];
+    let n = out.len();
+    for (i, &v) in values.iter().enumerate() {
+        let b = i * n / values.len();
+        out[b] += v;
+    }
+    out
+}
+
+/// Render a compact vertical-bar histogram (one char per bucket, 8 levels).
+pub fn spark(values: &[u64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return "▁".repeat(values.len());
+    }
+    values
+        .iter()
+        .map(|&v| {
+            let idx = ((v as f64 / max as f64) * 7.0).round() as usize;
+            LEVELS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Format a float with fixed precision, for table cells.
+pub fn f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Format a signed float (explicit `+`), for USM cells.
+pub fn fs(v: f64, digits: usize) -> String {
+    format!("{v:+.digits$}")
+}
+
+/// Build a `Vec<String>` from string-likes (table-row helper).
+#[macro_export]
+macro_rules! row {
+    ($($cell:expr),* $(,)?) => {
+        ::std::vec::Vec::from([$($cell.to_string()),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let header = row!["trace", "IMU", "UNIT"];
+        let rows = vec![row!["med-unif", "0.12", "0.85"], row!["hi", "0.0", "1.0"]];
+        let t = text_table(&header, &rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equally wide.
+        assert!(lines
+            .iter()
+            .all(|l| l.chars().count() == lines[0].chars().count()));
+        assert!(lines[0].contains("trace"));
+        assert!(lines[2].contains("med-unif"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_ragged_rows() {
+        let header = row!["a", "b"];
+        let rows = vec![row!["only-one"]];
+        let _ = text_table(&header, &rows);
+    }
+
+    #[test]
+    fn csv_joins_cells() {
+        let out = csv(&row!["a", "b"], &[row!["1", "2"]]);
+        assert_eq!(out, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn bucketize_sums_within_buckets() {
+        let v = [1, 2, 3, 4, 5, 6, 7, 8];
+        assert_eq!(bucketize(&v, 4), vec![3, 7, 11, 15]);
+        assert_eq!(bucketize(&v, 8), v.to_vec());
+        // More buckets than values degrades to one bucket per value.
+        assert_eq!(bucketize(&[5, 6], 10), vec![5, 6]);
+        assert_eq!(bucketize(&[], 3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn spark_scales_to_max() {
+        let s = spark(&[0, 5, 10]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[2], '█');
+        assert_eq!(spark(&[0, 0]), "▁▁");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.123456, 3), "0.123");
+        assert_eq!(fs(0.5, 2), "+0.50");
+        assert_eq!(fs(-0.5, 2), "-0.50");
+    }
+}

@@ -1,0 +1,225 @@
+//! Shared experiment plumbing: workload plans, policy construction, and
+//! parallel run execution.
+
+use std::thread;
+use unit_baselines::{ImuPolicy, OduPolicy, QmfPolicy};
+use unit_core::config::UnitConfig;
+use unit_core::time::SimDuration;
+use unit_core::unit_policy::UnitPolicy;
+use unit_core::usm::UsmWeights;
+use unit_sim::{run_simulation, SimConfig, SimReport};
+use unit_workload::{
+    QueryTraceConfig, TraceBundle, UpdateDistribution, UpdateTraceConfig, UpdateVolume,
+};
+
+/// The four policies of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Immediate Update.
+    Imu,
+    /// On-Demand Update.
+    Odu,
+    /// Kang et al.'s QMF.
+    Qmf,
+    /// The paper's contribution.
+    Unit,
+}
+
+impl PolicyKind {
+    /// All four, in the paper's plotting order.
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::Imu,
+        PolicyKind::Odu,
+        PolicyKind::Qmf,
+        PolicyKind::Unit,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Imu => "IMU",
+            PolicyKind::Odu => "ODU",
+            PolicyKind::Qmf => "QMF",
+            PolicyKind::Unit => "UNIT",
+        }
+    }
+
+    /// Whether the policy's *outcomes* depend on the USM weights. Only UNIT
+    /// reacts to weights; the baselines can be run once and repriced
+    /// (§4.5: "IMU, ODU and QMF are insensitive to weight variations").
+    pub fn weight_sensitive(self) -> bool {
+        matches!(self, PolicyKind::Unit)
+    }
+}
+
+/// A scaled experiment plan: workload sizing shared by all harness binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentPlan {
+    /// Query-trace configuration.
+    pub query_cfg: QueryTraceConfig,
+    /// Divisor applied to the Table 1 update totals.
+    pub scale: u64,
+    /// Control-tick period for the simulator.
+    pub tick_period: SimDuration,
+}
+
+/// The paper-scale workload plan divided by `scale` (1 = full scale:
+/// 110,035 queries over 3,848,104 s, Table 1 update totals).
+pub fn default_workload_plan(scale: u64) -> ExperimentPlan {
+    assert!(scale >= 1, "scale must be >= 1");
+    ExperimentPlan {
+        query_cfg: QueryTraceConfig::default().scaled_down(scale),
+        scale,
+        tick_period: SimDuration::from_secs(10),
+    }
+}
+
+impl ExperimentPlan {
+    /// Generate the workload bundle for one Table 1 cell.
+    pub fn bundle(&self, volume: UpdateVolume, dist: UpdateDistribution) -> TraceBundle {
+        let total = volume.total_updates() / self.scale;
+        let ucfg = UpdateTraceConfig::table1(volume, dist).with_total(total.max(1));
+        TraceBundle::generate(&self.query_cfg, &ucfg)
+    }
+
+    /// Simulator configuration for this plan.
+    pub fn sim_config(&self, weights: UsmWeights) -> SimConfig {
+        SimConfig::new(self.query_cfg.horizon)
+            .with_weights(weights)
+            .with_tick_period(self.tick_period)
+    }
+
+    /// The UNIT configuration used by the harness: paper constants with the
+    /// default 50 s grace period. The query arrival *rate* is
+    /// scale-invariant (queries and horizon shrink together), so the
+    /// controller sees comparable window populations at every scale.
+    pub fn unit_config(&self, weights: UsmWeights) -> UnitConfig {
+        UnitConfig::with_weights(weights)
+    }
+}
+
+/// One labelled run result.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The trace the run executed ("med-unif", ...).
+    pub trace_name: String,
+    /// Which policy ran.
+    pub policy: PolicyKind,
+    /// Full simulator report.
+    pub report: SimReport,
+}
+
+/// Run one policy over one bundle under the given weights.
+pub fn run_policy(
+    plan: &ExperimentPlan,
+    bundle: &TraceBundle,
+    policy: PolicyKind,
+    weights: UsmWeights,
+) -> RunOutcome {
+    let cfg = plan.sim_config(weights);
+    let report = match policy {
+        PolicyKind::Imu => run_simulation(&bundle.trace, ImuPolicy::new(), cfg),
+        PolicyKind::Odu => run_simulation(&bundle.trace, OduPolicy::new(), cfg),
+        PolicyKind::Qmf => run_simulation(&bundle.trace, QmfPolicy::default(), cfg),
+        PolicyKind::Unit => run_simulation(
+            &bundle.trace,
+            UnitPolicy::new(plan.unit_config(weights)),
+            cfg,
+        ),
+    };
+    RunOutcome {
+        trace_name: bundle.name.clone(),
+        policy,
+        report,
+    }
+}
+
+/// Run a matrix of (bundle × policy) pairs in parallel (one OS thread per
+/// run; runs are independent and deterministic).
+pub fn run_matrix(
+    plan: &ExperimentPlan,
+    bundles: &[TraceBundle],
+    policies: &[PolicyKind],
+    weights: UsmWeights,
+) -> Vec<RunOutcome> {
+    let mut results: Vec<Option<RunOutcome>> = Vec::new();
+    results.resize_with(bundles.len() * policies.len(), || None);
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (bi, bundle) in bundles.iter().enumerate() {
+            for (pi, &policy) in policies.iter().enumerate() {
+                let plan = *plan;
+                handles.push((
+                    bi * policies.len() + pi,
+                    scope.spawn(move || run_policy(&plan, bundle, policy, weights)),
+                ));
+            }
+        }
+        for (idx, h) in handles {
+            results[idx] = Some(h.join().expect("run thread panicked"));
+        }
+    });
+    results.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_plan() -> ExperimentPlan {
+        default_workload_plan(40) // 2750 queries over ~96,000 s
+    }
+
+    #[test]
+    fn plan_scales_consistently() {
+        let p = tiny_plan();
+        assert_eq!(p.query_cfg.n_queries, 2_750);
+        assert_eq!(
+            p.query_cfg.horizon.0,
+            SimDuration::from_secs(3_848_104).0 / 40
+        );
+        let b = p.bundle(UpdateVolume::Med, UpdateDistribution::Uniform);
+        assert_eq!(b.name, "med-unif");
+        // 30_000 / 40 = 750 updates x ~96s over ~96,000 s ≈ 75% utilization.
+        assert!(
+            (b.update_utilization - 0.75).abs() < 0.15,
+            "{}",
+            b.update_utilization
+        );
+    }
+
+    #[test]
+    fn all_four_policies_complete_a_run() {
+        let p = tiny_plan();
+        let b = p.bundle(UpdateVolume::Low, UpdateDistribution::Uniform);
+        for kind in PolicyKind::ALL {
+            let out = run_policy(&p, &b, kind, UsmWeights::naive());
+            assert_eq!(out.report.counts.total() as usize, b.trace.queries.len());
+            assert_eq!(out.report.policy, kind.name());
+        }
+    }
+
+    #[test]
+    fn matrix_preserves_ordering() {
+        let p = tiny_plan();
+        let bundles = vec![
+            p.bundle(UpdateVolume::Low, UpdateDistribution::Uniform),
+            p.bundle(UpdateVolume::Low, UpdateDistribution::PositiveCorrelation),
+        ];
+        let policies = [PolicyKind::Imu, PolicyKind::Unit];
+        let out = run_matrix(&p, &bundles, &policies, UsmWeights::naive());
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].trace_name, "low-unif");
+        assert_eq!(out[0].policy, PolicyKind::Imu);
+        assert_eq!(out[1].policy, PolicyKind::Unit);
+        assert_eq!(out[2].trace_name, "low-pos");
+    }
+
+    #[test]
+    fn weight_sensitivity_flags() {
+        assert!(PolicyKind::Unit.weight_sensitive());
+        assert!(!PolicyKind::Imu.weight_sensitive());
+        assert!(!PolicyKind::Odu.weight_sensitive());
+        assert!(!PolicyKind::Qmf.weight_sensitive());
+    }
+}

@@ -1,0 +1,241 @@
+//! Lottery scheduling: O(log N) proportional-share random selection.
+//!
+//! §3.4.1 chooses the update-degradation victim by lottery scheduling
+//! (Waldspurger & Weihl): each data item holds a number of tickets and the
+//! victim is drawn with probability proportional to its ticket count. The
+//! paper quotes `O(log N_d)` per draw; we realize that bound with a Fenwick
+//! (binary indexed) tree over non-negative weights — `O(log N)` point
+//! updates and `O(log N)` inverse-prefix-sum sampling.
+//!
+//! Weights are `f64` because UNIT's ticket values are continuous (Eq. 6–8).
+//! Callers must supply non-negative weights; UNIT shifts its raw tickets by
+//! `−T_min` before loading them (§3.4.1).
+
+use rand::Rng;
+
+/// A Fenwick-tree-backed weighted sampler over indices `0..len`.
+///
+/// ```
+/// use unit_core::lottery::WeightedSampler;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut sampler = WeightedSampler::from_weights(&[0.0, 3.0, 1.0]);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let draw = sampler.sample(&mut rng).unwrap();
+/// assert!(draw == 1 || draw == 2, "index 0 has no tickets");
+/// sampler.set(1, 0.0); // O(log N) point update
+/// assert_eq!(sampler.sample(&mut rng), Some(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightedSampler {
+    /// 1-indexed Fenwick array of partial sums.
+    tree: Vec<f64>,
+    /// Current weight per index (kept for `weight()` and validation).
+    weights: Vec<f64>,
+}
+
+impl WeightedSampler {
+    /// A sampler over `len` indices, all with weight zero.
+    pub fn new(len: usize) -> Self {
+        WeightedSampler {
+            tree: vec![0.0; len + 1],
+            weights: vec![0.0; len],
+        }
+    }
+
+    /// Build a sampler from a slice of non-negative weights in O(N).
+    ///
+    /// # Panics
+    /// Panics if any weight is negative or non-finite.
+    pub fn from_weights(weights: &[f64]) -> Self {
+        let mut s = WeightedSampler::new(weights.len());
+        for (i, &w) in weights.iter().enumerate() {
+            s.set(i, w);
+        }
+        s
+    }
+
+    /// Number of indices.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when the sampler covers no indices.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Current weight of `index`.
+    pub fn weight(&self, index: usize) -> f64 {
+        self.weights[index]
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> f64 {
+        self.prefix_sum(self.len())
+    }
+
+    /// Set the weight of `index` to `w` in O(log N).
+    ///
+    /// # Panics
+    /// Panics if `w` is negative or non-finite, or `index` out of range.
+    pub fn set(&mut self, index: usize, w: f64) {
+        assert!(
+            w >= 0.0 && w.is_finite(),
+            "lottery weights must be finite and non-negative, got {w}"
+        );
+        let delta = w - self.weights[index];
+        self.weights[index] = w;
+        let mut i = index + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of weights over `0..count` in O(log N).
+    fn prefix_sum(&self, count: usize) -> f64 {
+        let mut sum = 0.0;
+        let mut i = count;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Draw one index with probability proportional to its weight, or `None`
+    /// when the total weight is (numerically) zero.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<usize> {
+        let total = self.total();
+        if total <= 0.0 || !total.is_finite() {
+            return None;
+        }
+        let target = rng.gen::<f64>() * total;
+        Some(self.find(target))
+    }
+
+    /// Largest-prefix descent: find the first index whose cumulative weight
+    /// exceeds `target`. `target` must be in `[0, total)`.
+    fn find(&self, mut target: f64) -> usize {
+        let n = self.len();
+        let mut pos = 0usize;
+        // Highest power of two <= n.
+        let mut step = if n == 0 {
+            0
+        } else {
+            usize::BITS - 1 - n.leading_zeros()
+        };
+        let mut jump = 1usize << step;
+        while jump > 0 {
+            let next = pos + jump;
+            if next <= n && self.tree[next] < target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            step = step.wrapping_sub(1);
+            jump >>= 1;
+        }
+        // `pos` = count of full prefixes below target; clamp against
+        // accumulated float error landing on a zero-weight tail index.
+        let mut idx = pos.min(n - 1);
+        while idx > 0 && self.weights[idx] == 0.0 {
+            idx -= 1;
+        }
+        // If we walked into a zero-weight prefix (all-left zeros), walk right.
+        while idx < n - 1 && self.weights[idx] == 0.0 {
+            idx += 1;
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_and_zero_weight_samplers_yield_none() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = WeightedSampler::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.sample(&mut rng), None);
+        let s = WeightedSampler::new(5);
+        assert_eq!(s.total(), 0.0);
+        assert_eq!(s.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn single_positive_weight_always_wins() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = WeightedSampler::new(8);
+        s.set(5, 3.25);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng), Some(5));
+        }
+    }
+
+    #[test]
+    fn totals_track_set_operations() {
+        let mut s = WeightedSampler::from_weights(&[1.0, 2.0, 3.0]);
+        assert!((s.total() - 6.0).abs() < 1e-12);
+        s.set(1, 0.0);
+        assert!((s.total() - 4.0).abs() < 1e-12);
+        assert_eq!(s.weight(1), 0.0);
+        s.set(1, 5.0);
+        assert!((s.total() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_frequency_is_proportional_to_weight() {
+        let weights = [1.0, 0.0, 3.0, 6.0];
+        let s = WeightedSampler::from_weights(&weights);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0u32; 4];
+        let draws = 100_000;
+        for _ in 0..draws {
+            counts[s.sample(&mut rng).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight index must never be drawn");
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let observed = counts[i] as f64 / draws as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "index {i}: observed {observed:.4}, expected {expected:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_sizes_sample_every_index() {
+        // Exercise the descent logic on sizes that are not powers of two.
+        for n in [1usize, 3, 5, 7, 100, 1000, 1024, 1025] {
+            let weights: Vec<f64> = (0..n).map(|i| (i % 7 + 1) as f64).collect();
+            let s = WeightedSampler::from_weights(&weights);
+            let mut rng = StdRng::seed_from_u64(n as u64);
+            for _ in 0..200 {
+                let idx = s.sample(&mut rng).unwrap();
+                assert!(idx < n);
+                assert!(s.weight(idx) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_are_rejected() {
+        let mut s = WeightedSampler::new(3);
+        s.set(0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn nan_weights_are_rejected() {
+        let mut s = WeightedSampler::new(3);
+        s.set(0, f64::NAN);
+    }
+}

@@ -1,0 +1,213 @@
+//! The policy interface between the transaction manager and the server.
+//!
+//! Everything the paper compares — UNIT, IMU, ODU, QMF — is a
+//! [`Policy`]: a set of callbacks the server invokes on query arrivals,
+//! version arrivals, dispatches, commits, and periodic control ticks. The
+//! server owns execution (scheduling, locking, deadlines); the policy owns
+//! *decisions* (admission, which updates to apply, feedback control).
+//!
+//! The version-arrival hook unifies the paper's four update schemes:
+//!
+//! * **IMU** applies every version immediately.
+//! * **ODU** never applies versions in the background; instead
+//!   [`Policy::demand_refresh`] names the stale items to refresh right before
+//!   a query runs.
+//! * **QMF** applies versions according to its QoD (quality-of-data) level.
+//! * **UNIT** applies versions at the modulated period `pc_j ≥ pi_j`
+//!   maintained by update-frequency modulation.
+
+use crate::snapshot::SystemSnapshot;
+use crate::time::{SimDuration, SimTime};
+use crate::types::{DataId, Outcome, QuerySpec, UpdateSpec};
+use serde::{Deserialize, Serialize};
+
+/// Admission-control verdict for an arriving query (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionDecision {
+    /// Let the query into the ready queue.
+    Admit,
+    /// Turn the query away; its outcome becomes [`Outcome::Rejected`].
+    Reject,
+}
+
+impl AdmissionDecision {
+    /// True for [`AdmissionDecision::Admit`].
+    pub fn is_admit(self) -> bool {
+        matches!(self, AdmissionDecision::Admit)
+    }
+}
+
+/// What to do with a freshly arrived version of a data item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateAction {
+    /// Enqueue an update transaction that installs this (newest) version.
+    Apply,
+    /// Skip it; the item's `Udrop` grows until some later version is applied.
+    Skip,
+}
+
+impl UpdateAction {
+    /// True for [`UpdateAction::Apply`].
+    pub fn is_apply(self) -> bool {
+        matches!(self, UpdateAction::Apply)
+    }
+}
+
+/// Control signals the Load Balancing Controller can emit (§3.2, Figure 1).
+/// Policies apply these internally; the server logs them for the experiment
+/// harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ControlSignal {
+    /// LAC — admit more queries (decrease `C_flex`).
+    LoosenAdmission,
+    /// TAC — admit fewer queries (increase `C_flex`).
+    TightenAdmission,
+    /// Degrade Update — shed update load via frequency modulation.
+    DegradeUpdates,
+    /// Upgrade Update — restore degraded update frequencies.
+    UpgradeUpdates,
+}
+
+/// A transaction-management policy: admission control plus update scheduling,
+/// optionally closed-loop.
+///
+/// All hooks take `&mut self`; policies are single-owner state machines
+/// driven by one server. Hooks must be deterministic given the call sequence
+/// and the policy's own seeded RNG, so that experiment runs are reproducible.
+pub trait Policy {
+    /// Human-readable policy name for reports ("UNIT", "IMU", ...).
+    fn name(&self) -> &str;
+
+    /// Called once before the run with the database size and the update
+    /// streams, so the policy can size its per-item state.
+    fn init(&mut self, n_items: usize, updates: &[UpdateSpec]);
+
+    /// Admission decision for a newly arrived query.
+    fn on_query_arrival(&mut self, q: &QuerySpec, sys: &SystemSnapshot) -> AdmissionDecision;
+
+    /// A new version of `item` arrived from its source; decide whether the
+    /// server should apply it.
+    fn on_version_arrival(
+        &mut self,
+        item: DataId,
+        now: SimTime,
+        sys: &SystemSnapshot,
+    ) -> UpdateAction;
+
+    /// Items in `q`'s read set the server must refresh (as update
+    /// transactions) before `q` starts executing. Only on-demand policies
+    /// return a non-empty list. `udrop` exposes the current per-item backlog.
+    fn demand_refresh(&mut self, q: &QuerySpec, udrop: &dyn Fn(DataId) -> u64) -> Vec<DataId> {
+        let _ = (q, udrop);
+        Vec::new()
+    }
+
+    /// Items the server should refresh *now*, called at every control tick
+    /// (time-triggered counterpart of [`Policy::demand_refresh`]). Lets
+    /// policies schedule update applications ahead of predicted accesses —
+    /// e.g. the deferrable-update policy from the paper's related work.
+    /// `udrop` exposes the current per-item backlog. Default: none.
+    fn tick_refreshes(&mut self, now: SimTime, udrop: &dyn Fn(DataId) -> u64) -> Vec<DataId> {
+        let _ = (now, udrop);
+        Vec::new()
+    }
+
+    /// When true, [`Policy::demand_refresh`] is evaluated the moment a query
+    /// is *admitted* ("the query finds the needed data item is stale", §4.1)
+    /// rather than when it first reaches the CPU. Arrival-time refreshing is
+    /// eager: it spends CPU on refreshes even for queries that later miss
+    /// their deadlines in the queue.
+    fn refresh_at_admission(&self) -> bool {
+        false
+    }
+
+    /// The server dispatched `q` (acquired its read locks); `freshness` is
+    /// the strict-minimum freshness of the read set at that instant. Called
+    /// again after a lock-conflict restart.
+    fn on_query_dispatch(&mut self, q: &QuerySpec, freshness: f64) {
+        let _ = (q, freshness);
+    }
+
+    /// An update transaction for `item` committed.
+    fn on_update_commit(&mut self, item: DataId, exec_time: SimDuration) {
+        let _ = (item, exec_time);
+    }
+
+    /// Final outcome of a query (including rejections).
+    fn on_query_outcome(&mut self, q: &QuerySpec, outcome: Outcome) {
+        let _ = (q, outcome);
+    }
+
+    /// Periodic control tick. Returns the signals acted upon (for logging);
+    /// open-loop policies return an empty vector.
+    fn on_tick(&mut self, now: SimTime, sys: &SystemSnapshot) -> Vec<ControlSignal> {
+        let _ = (now, sys);
+        Vec::new()
+    }
+
+    /// The server's current modulated period for `item`'s updates, if the
+    /// policy modulates periods (used by Fig. 3 instrumentation). `None`
+    /// means "the ideal period".
+    fn current_period(&self, item: DataId) -> Option<SimDuration> {
+        let _ = item;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal open-loop policy exercising the default hook bodies.
+    struct AdmitAll;
+
+    impl Policy for AdmitAll {
+        fn name(&self) -> &str {
+            "admit-all"
+        }
+        fn init(&mut self, _n_items: usize, _updates: &[UpdateSpec]) {}
+        fn on_query_arrival(&mut self, _q: &QuerySpec, _sys: &SystemSnapshot) -> AdmissionDecision {
+            AdmissionDecision::Admit
+        }
+        fn on_version_arrival(
+            &mut self,
+            _item: DataId,
+            _now: SimTime,
+            _sys: &SystemSnapshot,
+        ) -> UpdateAction {
+            UpdateAction::Apply
+        }
+    }
+
+    #[test]
+    fn decision_and_action_predicates() {
+        assert!(AdmissionDecision::Admit.is_admit());
+        assert!(!AdmissionDecision::Reject.is_admit());
+        assert!(UpdateAction::Apply.is_apply());
+        assert!(!UpdateAction::Skip.is_apply());
+    }
+
+    #[test]
+    fn default_hooks_are_neutral() {
+        use crate::types::QueryId;
+        let mut p = AdmitAll;
+        p.init(4, &[]);
+        let q = QuerySpec {
+            id: QueryId(1),
+            arrival: SimTime::ZERO,
+            items: vec![DataId(0)],
+            exec_time: SimDuration::from_secs(1),
+            relative_deadline: SimDuration::from_secs(10),
+            freshness_req: 0.9,
+            pref_class: 0,
+        };
+        assert!(p.demand_refresh(&q, &|_| 5).is_empty());
+        assert!(p
+            .on_tick(SimTime::ZERO, &SystemSnapshot::empty(SimTime::ZERO))
+            .is_empty());
+        assert_eq!(p.current_period(DataId(0)), None);
+        p.on_query_dispatch(&q, 1.0);
+        p.on_update_commit(DataId(0), SimDuration::from_secs(1));
+        p.on_query_outcome(&q, Outcome::Success);
+    }
+}

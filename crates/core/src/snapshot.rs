@@ -1,0 +1,139 @@
+//! A policy's view of the server at decision time.
+//!
+//! Admission control (§3.3) needs to reason about the ready queue: how much
+//! work is ahead of a candidate query (for the Earliest-possible Start Time
+//! check) and which admitted queries an extra admission would endanger (for
+//! the system-USM check). The simulator assembles a [`SystemSnapshot`] on
+//! each policy invocation; its size is `O(N_rq)`, matching the complexity the
+//! paper states for the admission algorithm.
+
+use crate::time::{SimDuration, SimTime};
+use crate::types::QueryId;
+use serde::{Deserialize, Serialize};
+
+/// One admitted-but-unfinished query as seen by a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueEntryView {
+    /// The query's identifier.
+    pub id: QueryId,
+    /// Absolute deadline.
+    pub deadline: SimTime,
+    /// Remaining service demand (full `qe` if not yet started; the unserved
+    /// remainder if preempted mid-run).
+    pub remaining: SimDuration,
+    /// The submitting user's preference class (multi-preference extension).
+    pub pref_class: u32,
+}
+
+/// Snapshot of server state passed to policy hooks.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SystemSnapshot {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Admitted, uncommitted user queries (ready, running, or blocked),
+    /// in no particular order.
+    pub queries: Vec<QueueEntryView>,
+    /// Total remaining service of all queued/running update transactions.
+    /// Updates outrank every query, so this entire backlog precedes any
+    /// query-class work.
+    pub update_backlog: SimDuration,
+    /// CPU utilization over the recent measurement window, in `[0, 1]`.
+    pub recent_utilization: f64,
+}
+
+impl SystemSnapshot {
+    /// An empty snapshot at time `now` (useful in tests and warm-up).
+    pub fn empty(now: SimTime) -> Self {
+        SystemSnapshot {
+            now,
+            queries: Vec::new(),
+            update_backlog: SimDuration::ZERO,
+            recent_utilization: 0.0,
+        }
+    }
+
+    /// Work that would execute before a query-class transaction with absolute
+    /// deadline `deadline`: the whole update backlog plus every admitted
+    /// query with an earlier deadline (EDF within the query class). Ties are
+    /// broken in favor of the incumbent (already-admitted work runs first).
+    pub fn work_ahead_of(&self, deadline: SimTime) -> SimDuration {
+        let mut ahead = self.update_backlog;
+        for q in &self.queries {
+            if q.deadline <= deadline {
+                ahead += q.remaining;
+            }
+        }
+        ahead
+    }
+
+    /// Total remaining query-class work.
+    pub fn query_backlog(&self) -> SimDuration {
+        self.queries
+            .iter()
+            .fold(SimDuration::ZERO, |acc, q| acc + q.remaining)
+    }
+
+    /// Number of admitted, unfinished queries (`N_rq`).
+    pub fn ready_queue_len(&self) -> usize {
+        self.queries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u64, deadline_s: u64, remaining_s: u64) -> QueueEntryView {
+        QueueEntryView {
+            id: QueryId(id),
+            deadline: SimTime::from_secs(deadline_s),
+            remaining: SimDuration::from_secs(remaining_s),
+            pref_class: 0,
+        }
+    }
+
+    #[test]
+    fn work_ahead_counts_updates_and_earlier_deadlines() {
+        let snap = SystemSnapshot {
+            now: SimTime::from_secs(0),
+            queries: vec![entry(1, 10, 2), entry(2, 20, 3), entry(3, 30, 4)],
+            update_backlog: SimDuration::from_secs(5),
+            recent_utilization: 0.5,
+        };
+        // Deadline 25: updates (5) + queries with deadline <= 25 (2 + 3).
+        assert_eq!(
+            snap.work_ahead_of(SimTime::from_secs(25)),
+            SimDuration::from_secs(10)
+        );
+        // Deadline 5: only the update backlog precedes it.
+        assert_eq!(
+            snap.work_ahead_of(SimTime::from_secs(5)),
+            SimDuration::from_secs(5)
+        );
+        // Tie at an incumbent's deadline counts the incumbent.
+        assert_eq!(
+            snap.work_ahead_of(SimTime::from_secs(10)),
+            SimDuration::from_secs(7)
+        );
+    }
+
+    #[test]
+    fn backlog_and_len() {
+        let snap = SystemSnapshot {
+            now: SimTime::ZERO,
+            queries: vec![entry(1, 10, 2), entry(2, 20, 3)],
+            update_backlog: SimDuration::from_secs(1),
+            recent_utilization: 0.0,
+        };
+        assert_eq!(snap.query_backlog(), SimDuration::from_secs(5));
+        assert_eq!(snap.ready_queue_len(), 2);
+    }
+
+    #[test]
+    fn empty_snapshot_is_idle() {
+        let snap = SystemSnapshot::empty(SimTime::from_secs(7));
+        assert_eq!(snap.now, SimTime::from_secs(7));
+        assert_eq!(snap.work_ahead_of(SimTime::MAX), SimDuration::ZERO);
+        assert_eq!(snap.ready_queue_len(), 0);
+    }
+}

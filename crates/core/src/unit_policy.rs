@@ -1,0 +1,558 @@
+//! The UNIT policy: the paper's contribution, assembled (§3, Figure 1).
+//!
+//! `UnitPolicy` wires the four mechanisms of the framework behind the
+//! [`Policy`] interface:
+//!
+//! * the **USM window** and **Load Balancing Controller** ([`Lbc`]) watch
+//!   query outcomes and emit control signals,
+//! * **Query Admission Control** ([`AdmissionControl`]) gates arrivals with
+//!   the deadline and system-USM checks, its tightness steered by TAC/LAC,
+//! * **Update Frequency Modulation** ([`UpdateModulation`]) decides which
+//!   arriving versions are applied, its periods steered by Degrade/Upgrade,
+//! * the **ticket table + lottery** ([`TicketTable`], [`WeightedSampler`])
+//!   choose degradation victims proportionally to how unprofitable an item's
+//!   updates currently are.
+//!
+//! Control activations happen on the periodic `on_tick` hook: the LBC's
+//! grace-period and USM-drop triggers are evaluated there, so a fine tick
+//! (1 simulated second by default in the simulator) realizes the paper's
+//! "periodically or when the USM drops" rule at tick granularity.
+
+use crate::admission::{AdmissionControl, AdmissionVerdict};
+use crate::config::UnitConfig;
+use crate::controller::Lbc;
+use crate::lottery::WeightedSampler;
+use crate::modulation::UpdateModulation;
+use crate::policy::{AdmissionDecision, ControlSignal, Policy, UpdateAction};
+use crate::snapshot::SystemSnapshot;
+use crate::tickets::TicketTable;
+use crate::time::{SimDuration, SimTime};
+use crate::types::{DataId, Outcome, QuerySpec, UpdateSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Counters exposed for instrumentation and the experiment harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitPolicyStats {
+    /// Queries rejected by the deadline (promising-transaction) check.
+    pub rejected_not_promising: u64,
+    /// Queries rejected by the system-USM (endangerment) check.
+    pub rejected_endangering: u64,
+    /// Versions skipped by update-frequency modulation.
+    pub versions_skipped: u64,
+    /// Versions applied.
+    pub versions_applied: u64,
+    /// Total degrade lottery draws performed.
+    pub degrade_draws: u64,
+    /// Total `UpgradeUpdates` signals handled.
+    pub upgrade_signals: u64,
+}
+
+/// The UNIT transaction-management policy (§3).
+pub struct UnitPolicy {
+    cfg: UnitConfig,
+    ac: AdmissionControl,
+    tickets: TicketTable,
+    modulation: UpdateModulation,
+    lbc: Lbc,
+    rng: StdRng,
+    stats: UnitPolicyStats,
+    /// Running sum/count of observed `qe/qt` for auto-normalizing Eq. 6's
+    /// access decrement (see `UnitConfig::access_ticket_scale`).
+    cpu_share_sum: f64,
+    cpu_share_count: u64,
+    /// Ideal per-item update utilization shares `ue_j / pi_j` (budgeting).
+    util_share: Vec<f64>,
+}
+
+impl UnitPolicy {
+    /// Build a policy from a validated configuration.
+    ///
+    /// # Panics
+    /// Panics if `cfg.validate()` fails.
+    pub fn new(cfg: UnitConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid UnitConfig: {e}");
+        }
+        UnitPolicy {
+            ac: AdmissionControl::new(
+                cfg.initial_c_flex,
+                cfg.c_flex_step,
+                cfg.min_c_flex,
+                cfg.max_c_flex,
+            ),
+            tickets: TicketTable::new(0, cfg.c_forget, 1.0),
+            modulation: UpdateModulation::new(Vec::new(), cfg.c_du, cfg.c_uu),
+            lbc: Lbc::with_preferences(cfg.preferences(), cfg.lbc, cfg.seed ^ 0x1bc),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            stats: UnitPolicyStats::default(),
+            cpu_share_sum: 0.0,
+            cpu_share_count: 0,
+            util_share: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Eq. 6 decrement for one access with CPU share `qe/qt`, after the
+    /// configured scaling.
+    fn access_decrement(&self, cpu_share: f64) -> f64 {
+        match self.cfg.access_ticket_scale {
+            Some(scale) => cpu_share * scale,
+            None => {
+                let base = 0.5 / self.cfg.access_update_balance;
+                if self.cpu_share_count == 0 {
+                    return base;
+                }
+                let avg = self.cpu_share_sum / self.cpu_share_count as f64;
+                if avg <= 0.0 {
+                    base
+                } else {
+                    base * cpu_share / avg
+                }
+            }
+        }
+    }
+
+    /// Convenience constructor: defaults with the given weights.
+    pub fn with_weights(weights: crate::usm::UsmWeights) -> Self {
+        UnitPolicy::new(UnitConfig::with_weights(weights))
+    }
+
+    /// The configuration this policy was built with.
+    pub fn config(&self) -> &UnitConfig {
+        &self.cfg
+    }
+
+    /// Current admission lag ratio `C_flex`.
+    pub fn c_flex(&self) -> f64 {
+        self.ac.c_flex()
+    }
+
+    /// Number of items whose update period is currently degraded.
+    pub fn degraded_count(&self) -> usize {
+        self.modulation.degraded_count()
+    }
+
+    /// Instrumentation counters.
+    pub fn stats(&self) -> UnitPolicyStats {
+        self.stats
+    }
+
+    /// Number of LBC activations so far.
+    pub fn lbc_activations(&self) -> u64 {
+        self.lbc.activations()
+    }
+
+    /// Raw ticket value of an item (diagnostics).
+    pub fn ticket(&self, item: DataId) -> f64 {
+        self.tickets.raw(item.index())
+    }
+
+    fn apply_signal(&mut self, signal: ControlSignal) {
+        match signal {
+            ControlSignal::LoosenAdmission => self.ac.loosen(),
+            ControlSignal::TightenAdmission => self.ac.tighten(),
+            ControlSignal::DegradeUpdates => self.degrade_batch(),
+            ControlSignal::UpgradeUpdates => {
+                self.upgrade_batch();
+                self.stats.upgrade_signals += 1;
+            }
+        }
+    }
+
+    /// One `UpgradeUpdates` signal: walk degraded items back toward their
+    /// ideal periods in order of *query value* (lowest ticket first — the
+    /// mirror image of degrade-by-highest-ticket), until the signal has
+    /// restored `upgrade_step_util` of expected CPU. Staleness harm lives
+    /// on the query-valuable items, so they are the ones a Data-Stale-
+    /// dominated window should refresh; never-queried items keep their
+    /// accumulated shedding.
+    fn upgrade_batch(&mut self) {
+        let budget = self.cfg.upgrade_step_util;
+        let mut degraded: Vec<usize> = (0..self.util_share.len())
+            .filter(|&i| self.modulation.is_degraded(DataId(i as u32)))
+            .collect();
+        // Ascending ticket = most query-valuable first. Ties by index keep
+        // the order deterministic.
+        degraded.sort_by(|&a, &b| {
+            self.tickets
+                .raw(a)
+                .partial_cmp(&self.tickets.raw(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut restored = 0.0;
+        for i in degraded {
+            if restored >= budget {
+                break;
+            }
+            let d = DataId(i as u32);
+            let before = self.modulation.survival_fraction(d);
+            if self.modulation.upgrade_one(d) {
+                let after = self.modulation.survival_fraction(d);
+                restored += self.util_share[i] * (after - before);
+            }
+        }
+    }
+
+    /// One `DegradeUpdates` signal: draw lottery victims (with replacement —
+    /// repeats compound the 10% stretch) and stretch each one's period,
+    /// until the signal has shed `modulation_step_util` of expected CPU or
+    /// the draw cap is hit.
+    fn degrade_batch(&mut self) {
+        let mut weights = match self.cfg.victim_weighting {
+            crate::config::VictimWeighting::ShiftMin => self.tickets.shifted_weights(),
+            crate::config::VictimWeighting::ClampZero => self.tickets.clamped_weights(),
+        };
+        if self.cfg.lottery_sharpness != 1.0 {
+            for w in &mut weights {
+                *w = w.powf(self.cfg.lottery_sharpness);
+            }
+        }
+        let sampler = WeightedSampler::from_weights(&weights);
+        let mut shed = 0.0;
+        for _ in 0..self.cfg.degrade_victims_per_signal {
+            if shed >= self.cfg.modulation_step_util {
+                break;
+            }
+            match sampler.sample(&mut self.rng) {
+                Some(victim) => {
+                    let d = DataId(victim as u32);
+                    let before = self.modulation.survival_fraction(d);
+                    self.modulation.degrade(d);
+                    let after = self.modulation.survival_fraction(d);
+                    shed += self.util_share[victim] * (before - after);
+                    self.stats.degrade_draws += 1;
+                }
+                None => break, // all tickets equal: nothing stands out yet
+            }
+        }
+    }
+}
+
+impl Policy for UnitPolicy {
+    fn name(&self) -> &str {
+        "UNIT"
+    }
+
+    fn init(&mut self, n_items: usize, updates: &[UpdateSpec]) {
+        let (ue_avg, ue_std) = if updates.is_empty() {
+            (1.0, 1.0)
+        } else {
+            let n = updates.len() as f64;
+            let avg = updates
+                .iter()
+                .map(|u| u.exec_time.as_secs_f64())
+                .sum::<f64>()
+                / n;
+            let var = updates
+                .iter()
+                .map(|u| {
+                    let d = u.exec_time.as_secs_f64() - avg;
+                    d * d
+                })
+                .sum::<f64>()
+                / n;
+            (avg, var.sqrt().max(1e-9))
+        };
+        // Normalize Eq. 7's sigmoid by the dispersion of update execution
+        // times so it stays informative at any time scale.
+        self.tickets = TicketTable::with_scale(n_items, self.cfg.c_forget, ue_avg, ue_std);
+        // Warm start: seed every item that has an update stream with one
+        // average update's worth of ticket, so early Degrade signals can
+        // already discriminate before the first per-item commit is observed
+        // (update periods can exceed the controller's whole warm-up window).
+        for u in updates {
+            self.tickets.seed(u.item.index(), 0.5);
+        }
+
+        // Ideal period per item: the fastest stream updating it (streams are
+        // normally one-per-item); items without a stream get MAX and are
+        // transparent to modulation.
+        let mut ideal = vec![SimDuration::MAX; n_items];
+        for u in updates {
+            let slot = &mut ideal[u.item.index()];
+            if u.period < *slot {
+                *slot = u.period;
+            }
+        }
+        self.util_share = ideal
+            .iter()
+            .enumerate()
+            .map(|(i, &pi)| {
+                if pi == SimDuration::MAX || pi.is_zero() {
+                    0.0
+                } else {
+                    // Total exec over the item's streams per ideal period.
+                    updates
+                        .iter()
+                        .filter(|u| u.item.index() == i)
+                        .map(|u| u.exec_time.as_secs_f64() / u.period.as_secs_f64())
+                        .sum()
+                }
+            })
+            .collect();
+        self.modulation = UpdateModulation::with_rule(
+            ideal,
+            self.cfg.c_du,
+            self.cfg.c_uu,
+            self.cfg.max_degradation_factor,
+            self.cfg.upgrade_rule,
+        );
+    }
+
+    fn on_query_arrival(&mut self, q: &QuerySpec, sys: &SystemSnapshot) -> AdmissionDecision {
+        if !self.cfg.admission_enabled {
+            return AdmissionDecision::Admit;
+        }
+        let arr_weights = self.cfg.weights_for(q.pref_class);
+        let cfg = &self.cfg;
+        let verdict = self
+            .ac
+            .evaluate_with(q, sys, &arr_weights, &|class| cfg.weights_for(class));
+        match verdict {
+            AdmissionVerdict::NotPromising { .. } => self.stats.rejected_not_promising += 1,
+            AdmissionVerdict::EndangersSystem { .. } => self.stats.rejected_endangering += 1,
+            AdmissionVerdict::Admitted => {}
+        }
+        verdict.decision()
+    }
+
+    fn on_version_arrival(
+        &mut self,
+        item: DataId,
+        now: SimTime,
+        _sys: &SystemSnapshot,
+    ) -> UpdateAction {
+        if self.modulation.should_apply(item, now) {
+            self.stats.versions_applied += 1;
+            UpdateAction::Apply
+        } else {
+            self.stats.versions_skipped += 1;
+            UpdateAction::Skip
+        }
+    }
+
+    fn on_query_dispatch(&mut self, q: &QuerySpec, _freshness: f64) {
+        // Query effect on tickets (Eq. 6): each accessed item's ticket drops
+        // by the query's CPU-utilization share (normalized so the average
+        // access balances the average update — see UnitConfig).
+        let share = q.exec_time.ratio(q.relative_deadline);
+        self.cpu_share_sum += share;
+        self.cpu_share_count += 1;
+        let decrement = self.access_decrement(share);
+        for &d in &q.items {
+            self.tickets.on_query_access(d.index(), decrement);
+        }
+    }
+
+    fn on_update_commit(&mut self, item: DataId, exec_time: SimDuration) {
+        // Update effect on tickets (Eq. 7): executed updates raise the
+        // item's victim odds, weighted by how expensive they are.
+        self.tickets
+            .on_update(item.index(), exec_time.as_secs_f64());
+    }
+
+    fn on_query_outcome(&mut self, q: &QuerySpec, outcome: Outcome) {
+        self.lbc.record_for_class(outcome, q.pref_class);
+    }
+
+    fn on_tick(&mut self, now: SimTime, sys: &SystemSnapshot) -> Vec<ControlSignal> {
+        let mut signals = self.lbc.maybe_activate(now, sys.recent_utilization);
+        // Rejection-dominated windows normally just loosen admission, but
+        // when C_flex already sits at its floor the LAC is a no-op: the
+        // rejections are structural — queries are being turned away because
+        // update work is queued ahead of their deadlines — so shed update
+        // load as well. (Companion to the LBC's saturated-rejection case;
+        // documented in DESIGN.md.)
+        if signals.contains(&ControlSignal::LoosenAdmission)
+            && !signals.contains(&ControlSignal::DegradeUpdates)
+            && self.ac.at_floor()
+        {
+            signals.push(ControlSignal::DegradeUpdates);
+        }
+        for &s in &signals {
+            self.apply_signal(s);
+        }
+        signals
+    }
+
+    fn current_period(&self, item: DataId) -> Option<SimDuration> {
+        Some(self.modulation.current_period(item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{QueryId, UpdateStreamId};
+    use crate::usm::UsmWeights;
+
+    fn update_spec(id: u32, item: u32, period_s: u64, exec_s: u64) -> UpdateSpec {
+        UpdateSpec {
+            id: UpdateStreamId(id),
+            item: DataId(item),
+            period: SimDuration::from_secs(period_s),
+            exec_time: SimDuration::from_secs(exec_s),
+            first_arrival: SimTime::ZERO,
+        }
+    }
+
+    fn query_spec(id: u64, items: &[u32], exec_s: u64, deadline_s: u64) -> QuerySpec {
+        QuerySpec {
+            id: QueryId(id),
+            arrival: SimTime::ZERO,
+            items: items.iter().map(|&i| DataId(i)).collect(),
+            exec_time: SimDuration::from_secs(exec_s),
+            relative_deadline: SimDuration::from_secs(deadline_s),
+            freshness_req: 0.9,
+            pref_class: 0,
+        }
+    }
+
+    fn initialized_policy() -> UnitPolicy {
+        let mut p = UnitPolicy::new(UnitConfig::default().with_seed(42));
+        p.init(
+            4,
+            &[
+                update_spec(0, 0, 10, 1),
+                update_spec(1, 1, 20, 1),
+                update_spec(2, 2, 30, 3),
+            ],
+        );
+        p
+    }
+
+    #[test]
+    fn feasible_queries_are_admitted_on_an_idle_server() {
+        let mut p = initialized_policy();
+        let sys = SystemSnapshot::empty(SimTime::ZERO);
+        let d = p.on_query_arrival(&query_spec(1, &[0], 2, 30), &sys);
+        assert_eq!(d, AdmissionDecision::Admit);
+        assert_eq!(p.stats().rejected_not_promising, 0);
+    }
+
+    #[test]
+    fn hopeless_queries_are_rejected() {
+        let mut p = initialized_policy();
+        let sys = SystemSnapshot::empty(SimTime::ZERO);
+        let d = p.on_query_arrival(&query_spec(1, &[0], 30, 2), &sys);
+        assert_eq!(d, AdmissionDecision::Reject);
+        assert_eq!(p.stats().rejected_not_promising, 1);
+    }
+
+    #[test]
+    fn undegraded_versions_are_applied_at_source_rate() {
+        let mut p = initialized_policy();
+        let sys = SystemSnapshot::empty(SimTime::ZERO);
+        for k in 0..5u64 {
+            let a = p.on_version_arrival(DataId(0), SimTime::from_secs(k * 10), &sys);
+            assert_eq!(a, UpdateAction::Apply, "version {k} must be applied");
+        }
+        assert_eq!(p.stats().versions_applied, 5);
+        assert_eq!(p.stats().versions_skipped, 0);
+    }
+
+    #[test]
+    fn degrade_signals_cause_version_skipping() {
+        let mut p = initialized_policy();
+        let sys = SystemSnapshot::empty(SimTime::ZERO);
+
+        // Make item 2 the obvious victim: many expensive updates, no queries.
+        for _ in 0..50 {
+            p.on_update_commit(DataId(2), SimDuration::from_secs(3));
+        }
+        // And make items 0, 1 query-valuable.
+        for _ in 0..50 {
+            p.on_query_dispatch(&query_spec(1, &[0, 1], 2, 10), 1.0);
+        }
+
+        // Drive degrade signals directly.
+        for _ in 0..10 {
+            p.apply_signal(ControlSignal::DegradeUpdates);
+        }
+        assert!(p.degraded_count() >= 1);
+        assert!(
+            p.current_period(DataId(2)).unwrap() > SimDuration::from_secs(30),
+            "victim item 2 should be degraded, period = {:?}",
+            p.current_period(DataId(2))
+        );
+        // Its versions are now subsampled.
+        let mut applied = 0;
+        for k in 0..100u64 {
+            if p.on_version_arrival(DataId(2), SimTime::from_secs(k * 30), &sys)
+                .is_apply()
+            {
+                applied += 1;
+            }
+        }
+        assert!(applied < 100, "degraded stream must shed some versions");
+        // Upgrades walk the period back to ideal.
+        for _ in 0..200 {
+            p.apply_signal(ControlSignal::UpgradeUpdates);
+        }
+        assert_eq!(
+            p.current_period(DataId(2)),
+            Some(SimDuration::from_secs(30))
+        );
+        assert_eq!(p.degraded_count(), 0);
+    }
+
+    #[test]
+    fn admission_signals_move_c_flex() {
+        let mut p = initialized_policy();
+        let before = p.c_flex();
+        p.apply_signal(ControlSignal::TightenAdmission);
+        assert!(p.c_flex() > before);
+        p.apply_signal(ControlSignal::LoosenAdmission);
+        p.apply_signal(ControlSignal::LoosenAdmission);
+        assert!(p.c_flex() < before);
+    }
+
+    #[test]
+    fn tick_after_grace_period_activates_lbc() {
+        let mut p = initialized_policy();
+        let sys = SystemSnapshot::empty(SimTime::ZERO);
+        // Feed a DSF-dominated window.
+        for _ in 0..30 {
+            p.on_query_outcome(&query_spec(1, &[0], 1, 10), Outcome::DataStale);
+        }
+        for _ in 0..70 {
+            p.on_query_outcome(&query_spec(1, &[0], 1, 10), Outcome::Success);
+        }
+        // Before the grace period: no activation.
+        assert!(p.on_tick(SimTime::from_secs(1), &sys).is_empty());
+        // After: DSF dominates -> UpgradeUpdates.
+        let signals = p.on_tick(SimTime::from_secs(60), &sys);
+        assert_eq!(signals, vec![ControlSignal::UpgradeUpdates]);
+        assert_eq!(p.lbc_activations(), 1);
+    }
+
+    #[test]
+    fn policy_name_and_periods_are_exposed() {
+        let p = initialized_policy();
+        assert_eq!(p.name(), "UNIT");
+        assert_eq!(
+            p.current_period(DataId(0)),
+            Some(SimDuration::from_secs(10))
+        );
+        // Item 3 has no stream.
+        assert_eq!(p.current_period(DataId(3)), Some(SimDuration::MAX));
+    }
+
+    #[test]
+    fn with_weights_builder_sets_preferences() {
+        let p = UnitPolicy::with_weights(UsmWeights::high_high_cfm());
+        assert_eq!(p.config().weights, UsmWeights::high_high_cfm());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid UnitConfig")]
+    fn invalid_config_panics_at_construction() {
+        let cfg = UnitConfig {
+            c_forget: 2.0,
+            ..UnitConfig::default()
+        };
+        let _ = UnitPolicy::new(cfg);
+    }
+}

@@ -1,0 +1,161 @@
+//! Tests for the multi-preference extension: per-class pricing in the USM
+//! window, the controller, and the admission system-USM check.
+
+use unit_core::admission::{AdmissionControl, AdmissionVerdict};
+use unit_core::controller::{Lbc, LbcConfig};
+use unit_core::policy::ControlSignal;
+use unit_core::snapshot::{QueueEntryView, SystemSnapshot};
+use unit_core::time::{SimDuration, SimTime};
+use unit_core::types::{DataId, Outcome, QueryId, QuerySpec};
+use unit_core::usm::{PreferenceSet, UsmWeights, UsmWindow};
+
+fn traders() -> UsmWeights {
+    UsmWeights::penalties(0.2, 0.2, 0.8) // staleness hurts
+}
+
+fn analysts() -> UsmWeights {
+    UsmWeights::penalties(0.2, 0.8, 0.2) // misses hurt
+}
+
+#[test]
+fn preference_set_lookup_and_fallback() {
+    let prefs = PreferenceSet::with_classes(UsmWeights::naive(), vec![traders(), analysts()]);
+    assert_eq!(prefs.get(0), traders());
+    assert_eq!(prefs.get(1), analysts());
+    // Unknown classes fall back to the default.
+    assert_eq!(prefs.get(7), UsmWeights::naive());
+    assert_eq!(prefs.n_classes(), 2);
+    assert!(!prefs.is_naive());
+    assert!(PreferenceSet::uniform(UsmWeights::naive()).is_naive());
+    // The drop threshold uses the widest range across classes.
+    let wide = PreferenceSet::with_classes(UsmWeights::naive(), vec![UsmWeights::high_high_cfm()]);
+    assert_eq!(wide.max_range_span(), 9.0);
+}
+
+#[test]
+fn window_prices_each_recording_with_its_own_weights() {
+    let mut w = UsmWindow::new();
+    w.record_with(Outcome::Success, &traders()); // +1
+    w.record_with(Outcome::DataStale, &traders()); // -0.8
+    w.record_with(Outcome::DataStale, &analysts()); // -0.2
+    w.record_with(Outcome::DeadlineMiss, &analysts()); // -0.8
+                                                       // USM = (1 - 0.8 - 0.2 - 0.8)/4 = -0.2
+    assert!((w.average_usm() - (-0.2)).abs() < 1e-12);
+    let [r, fm, fs] = w.cost_components();
+    assert_eq!(r, 0.0);
+    assert!((fm - 0.2).abs() < 1e-12); // 0.8 / 4
+    assert!((fs - 0.25).abs() < 1e-12); // (0.8 + 0.2) / 4
+                                        // Counts are class-blind.
+    assert_eq!(w.counts().data_stale, 2);
+}
+
+#[test]
+fn controller_chases_the_aggregate_class_priced_cost() {
+    // Same outcome mix, two class assignments: when the DSFs belong to
+    // traders (C_fs = 0.8) the dominant cost is staleness; when they belong
+    // to analysts (C_fs = 0.2) the DMF cost dominates instead.
+    let prefs = PreferenceSet::with_classes(UsmWeights::naive(), vec![traders(), analysts()]);
+
+    let mut lbc = Lbc::with_preferences(prefs.clone(), LbcConfig::default(), 1);
+    for _ in 0..10 {
+        lbc.record_for_class(Outcome::DataStale, 0); // traders: 0.8 each
+    }
+    for _ in 0..8 {
+        lbc.record_for_class(Outcome::DeadlineMiss, 1); // analysts: 0.8 each
+    }
+    for _ in 0..82 {
+        lbc.record_for_class(Outcome::Success, 0);
+    }
+    // Fs = 8.0/100 > Fm = 6.4/100 -> upgrade updates.
+    assert_eq!(
+        lbc.activate(SimTime::from_secs(60), 0.5),
+        vec![ControlSignal::UpgradeUpdates]
+    );
+
+    let mut lbc = Lbc::with_preferences(prefs, LbcConfig::default(), 1);
+    for _ in 0..10 {
+        lbc.record_for_class(Outcome::DataStale, 1); // analysts: 0.2 each
+    }
+    for _ in 0..8 {
+        lbc.record_for_class(Outcome::DeadlineMiss, 1); // analysts: 0.8 each
+    }
+    for _ in 0..82 {
+        lbc.record_for_class(Outcome::Success, 0);
+    }
+    // Fm = 6.4/100 > Fs = 2.0/100 -> degrade + tighten.
+    assert_eq!(
+        lbc.activate(SimTime::from_secs(60), 0.5),
+        vec![
+            ControlSignal::DegradeUpdates,
+            ControlSignal::TightenAdmission
+        ]
+    );
+}
+
+#[test]
+fn admission_prices_endangered_incumbents_with_their_own_class() {
+    let ac = AdmissionControl::default();
+    let weights_of = |class: u32| -> UsmWeights {
+        match class {
+            0 => traders(),  // C_fm = 0.2
+            _ => analysts(), // C_fm = 0.8
+        }
+    };
+    // Newcomer: cheap rejection (trader, C_r = 0.2), earlier deadline.
+    let q = QuerySpec {
+        id: QueryId(9),
+        arrival: SimTime::ZERO,
+        items: vec![DataId(0)],
+        exec_time: SimDuration::from_secs(5),
+        relative_deadline: SimDuration::from_secs(6),
+        freshness_req: 0.9,
+        pref_class: 0,
+    };
+
+    // Incumbent with 1s slack; endangered either way.
+    let incumbent = |class: u32| SystemSnapshot {
+        now: SimTime::ZERO,
+        queries: vec![QueueEntryView {
+            id: QueryId(1),
+            deadline: SimTime::from_secs(12),
+            remaining: SimDuration::from_secs(8),
+            pref_class: class,
+        }],
+        update_backlog: SimDuration::ZERO,
+        recent_utilization: 0.5,
+    };
+
+    // Endangering an analyst (C_fm 0.8 > C_r 0.2): reject.
+    let verdict = ac.evaluate_with(&q, &incumbent(1), &traders(), &weights_of);
+    assert!(matches!(verdict, AdmissionVerdict::EndangersSystem { .. }));
+
+    // Endangering a fellow trader (C_fm 0.2 = C_r 0.2, not greater): admit.
+    let verdict = ac.evaluate_with(&q, &incumbent(0), &traders(), &weights_of);
+    assert_eq!(verdict, AdmissionVerdict::Admitted);
+}
+
+#[test]
+fn single_class_paths_are_unchanged() {
+    // The uniform PreferenceSet and the plain record()/evaluate() APIs must
+    // behave exactly like the pre-extension code.
+    let w = UsmWeights::low_high_cfm();
+    let mut a = Lbc::new(w, LbcConfig::default(), 3);
+    let mut b = Lbc::with_preferences(PreferenceSet::uniform(w), LbcConfig::default(), 3);
+    for o in [
+        Outcome::Success,
+        Outcome::DeadlineMiss,
+        Outcome::DeadlineMiss,
+        Outcome::Rejected,
+    ]
+    .iter()
+    .cycle()
+    .take(40)
+    {
+        a.record_for_class(*o, 0);
+        b.record(*o);
+    }
+    assert_eq!(
+        a.activate(SimTime::from_secs(60), 0.5),
+        b.activate(SimTime::from_secs(60), 0.5)
+    );
+}

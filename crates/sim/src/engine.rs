@@ -1,0 +1,941 @@
+//! The discrete-event web-database server (§3.1, Figure 1 — data flow).
+//!
+//! A single-CPU server processes two transaction classes under a
+//! **dual-priority** discipline: update transactions outrank user queries,
+//! and EDF orders each class internally. The CPU is preemptive (a newly
+//! arrived higher-priority transaction takes over; the preempted one keeps
+//! its locks and its progress). Concurrency control is **2PL-HP**: a
+//! higher-priority transaction that hits a lock conflict evicts
+//! lower-priority holders, which restart from scratch. Queries have **firm
+//! deadlines** — at expiry an uncommitted query is aborted and counted as a
+//! Deadline-Missed Failure.
+//!
+//! The engine is policy-agnostic: every decision (admission, which versions
+//! to apply, on-demand refreshes, feedback control) is delegated to a
+//! [`Policy`]. Freshness bookkeeping follows §2.2: version arrivals from the
+//! sources raise per-item `Udrop`; applying an update clears it; a query's
+//! freshness is the strict minimum over its read set, captured **when its
+//! read locks are granted** (the versions it actually reads — any update
+//! applied later would evict it through 2PL-HP and force a re-read).
+//!
+//! Determinism: given `(trace, policy, config)` a run is bit-reproducible —
+//! event ties pop in insertion order and the engine itself uses no
+//! randomness (policies carry their own seeded RNGs).
+
+use crate::events::{Event, EventQueue};
+use crate::locks::{LockManager, ReadAcquire, WriteAcquire};
+use crate::stats::{SignalCounts, SimReport, TimelineSample};
+use crate::txn::{Txn, TxnId, TxnKind, TxnState};
+use std::collections::BTreeSet;
+use unit_core::freshness::FreshnessTable;
+use unit_core::freshness_model::FreshnessModel;
+use unit_core::policy::Policy;
+use unit_core::snapshot::{QueueEntryView, SystemSnapshot};
+use unit_core::time::{SimDuration, SimTime};
+use unit_core::types::{DataId, Outcome, QueryId, Trace, TxnClass};
+use unit_core::usm::{OutcomeCounts, UsmWeights};
+
+/// How the single CPU orders ready transactions.
+///
+/// The paper fixes the dual-priority discipline (§3.1); the alternatives
+/// exist to *measure* that choice (see the ablation binary): global EDF
+/// lets urgent queries pre-empt update work, and query-first shows what
+/// happens when the foreground always wins (freshness starves).
+///
+/// Caveat: on-demand refresh policies (ODU, DEF) assume their refresh
+/// transactions outrank the waiting query — which only the dual-priority
+/// (and, by deadline, usually the global-EDF) discipline guarantees. Under
+/// `QueryFirst` a spawned refresh sits *behind* its requester, so pair the
+/// ablation disciplines with policies that do not rely on demand refreshes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulingDiscipline {
+    /// Updates strictly outrank queries; EDF within each class (the paper).
+    #[default]
+    DualPriorityEdf,
+    /// One EDF order across both classes (updates keyed by their
+    /// temporal-validity deadline, queries by their firm deadline).
+    GlobalEdf,
+    /// Queries strictly outrank updates; EDF within each class.
+    QueryFirst,
+}
+
+impl SchedulingDiscipline {
+    /// Class rank under this discipline (lower runs first).
+    fn rank(self, class: TxnClass) -> u8 {
+        match (self, class) {
+            (SchedulingDiscipline::DualPriorityEdf, TxnClass::Update) => 0,
+            (SchedulingDiscipline::DualPriorityEdf, TxnClass::Query) => 1,
+            (SchedulingDiscipline::GlobalEdf, _) => 0,
+            (SchedulingDiscipline::QueryFirst, TxnClass::Query) => 0,
+            (SchedulingDiscipline::QueryFirst, TxnClass::Update) => 1,
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Weights used to classify nothing (outcomes are weight-independent)
+    /// but to report USM and to drive weight-aware policies' `on_tick`.
+    pub weights: UsmWeights,
+    /// Workload horizon: sources and control ticks stop here; in-flight
+    /// work drains afterwards.
+    pub horizon: SimDuration,
+    /// Control-tick period (drives `Policy::on_tick`).
+    pub tick_period: SimDuration,
+    /// Record a [`TimelineSample`] at every control tick.
+    pub record_timeline: bool,
+    /// Freshness semantics used to judge query read sets (§2.2's three
+    /// metric families; the paper uses the lag-based default).
+    pub freshness_model: FreshnessModel,
+    /// CPU scheduling discipline (the paper's dual-priority EDF by default).
+    pub discipline: SchedulingDiscipline,
+    /// Number of CPUs (the paper's server has 1). With `k` CPUs the `k`
+    /// highest-priority ready transactions run concurrently; 2PL-HP then
+    /// resolves genuinely simultaneous lock conflicts.
+    pub n_cpus: usize,
+}
+
+impl SimConfig {
+    /// A config with the given horizon and 1-second control ticks.
+    pub fn new(horizon: SimDuration) -> Self {
+        SimConfig {
+            weights: UsmWeights::naive(),
+            horizon,
+            tick_period: SimDuration::from_secs(1),
+            record_timeline: false,
+            freshness_model: FreshnessModel::default(),
+            discipline: SchedulingDiscipline::default(),
+            n_cpus: 1,
+        }
+    }
+
+    /// Set the reporting/policy weights.
+    pub fn with_weights(mut self, weights: UsmWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Enable timeline recording.
+    pub fn with_timeline(mut self) -> Self {
+        self.record_timeline = true;
+        self
+    }
+
+    /// Override the control-tick period.
+    pub fn with_tick_period(mut self, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "tick period must be positive");
+        self.tick_period = period;
+        self
+    }
+
+    /// Override the scheduling discipline (for ablations).
+    pub fn with_discipline(mut self, discipline: SchedulingDiscipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Set the number of CPUs (≥ 1).
+    ///
+    /// # Panics
+    /// Panics if `n_cpus` is zero.
+    pub fn with_cpus(mut self, n_cpus: usize) -> Self {
+        assert!(n_cpus >= 1, "need at least one CPU");
+        self.n_cpus = n_cpus;
+        self
+    }
+
+    /// Override the freshness semantics.
+    ///
+    /// # Panics
+    /// Panics on degenerate model parameters.
+    pub fn with_freshness_model(mut self, model: FreshnessModel) -> Self {
+        if let Err(e) = model.validate() {
+            panic!("invalid freshness model: {e}");
+        }
+        self.freshness_model = model;
+        self
+    }
+}
+
+/// Run `policy` over `trace` and return the report. Convenience wrapper
+/// around [`Simulator`].
+pub fn run_simulation<P: Policy>(trace: &Trace, policy: P, cfg: SimConfig) -> SimReport {
+    Simulator::new(trace, policy, cfg).run()
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RunningTxn {
+    id: TxnId,
+    started: SimTime,
+    generation: u64,
+}
+
+type PriorityKey = (u8, SimTime, TxnId);
+
+enum DispatchResult {
+    /// Candidate is now running.
+    Running,
+    /// Candidate blocked on a lock; it left the ready queue.
+    Blocked,
+    /// On-demand refresh updates were spawned; candidate went back to ready.
+    SpawnedRefresh,
+}
+
+/// The discrete-event server. Most users want [`run_simulation`].
+pub struct Simulator<'a, P: Policy> {
+    trace: &'a Trace,
+    policy: P,
+    cfg: SimConfig,
+
+    clock: SimTime,
+    events: EventQueue,
+    txns: Vec<Txn>,
+    ready: BTreeSet<PriorityKey>,
+    blocked: Vec<TxnId>,
+    running: Vec<RunningTxn>,
+    next_generation: u64,
+    locks: LockManager,
+    freshness: FreshnessTable,
+    /// Per-item execution time of the item's update stream (for on-demand
+    /// refreshes); `None` when the item has no stream.
+    item_update_exec: Vec<Option<SimDuration>>,
+    /// Items with a queued-but-uncommitted on-demand refresh.
+    pending_ondemand: Vec<bool>,
+    /// Sum of `remaining` over every unfinished update transaction, kept
+    /// incrementally so snapshots are O(admitted queries) even when the
+    /// update backlog holds tens of thousands of transactions.
+    outstanding_update_work: SimDuration,
+
+    // --- accounting -----------------------------------------------------
+    counts: OutcomeCounts,
+    class_counts: Vec<OutcomeCounts>,
+    cpu_busy: SimDuration,
+    window_busy: SimDuration,
+    window_start: SimTime,
+    preemptions: u64,
+    query_restarts: u64,
+    demand_refreshes: u64,
+    signals: SignalCounts,
+    dispatch_freshness_sum: f64,
+    dispatch_freshness_n: u64,
+    timeline: Vec<TimelineSample>,
+}
+
+impl<'a, P: Policy> Simulator<'a, P> {
+    /// Build a simulator; validates the trace.
+    ///
+    /// # Panics
+    /// Panics if the trace is malformed (use [`Trace::validate`] to check
+    /// beforehand).
+    pub fn new(trace: &'a Trace, policy: P, cfg: SimConfig) -> Self {
+        if let Err(e) = trace.validate() {
+            panic!("invalid trace: {e}");
+        }
+        let n = trace.n_items;
+        let mut item_update_exec = vec![None; n];
+        for u in &trace.updates {
+            let slot = &mut item_update_exec[u.item.index()];
+            if slot.is_none() {
+                *slot = Some(u.exec_time);
+            }
+        }
+        Simulator {
+            trace,
+            policy,
+            cfg,
+            clock: SimTime::ZERO,
+            events: EventQueue::new(),
+            txns: Vec::new(),
+            ready: BTreeSet::new(),
+            blocked: Vec::new(),
+            running: Vec::new(),
+            next_generation: 0,
+            locks: LockManager::new(n),
+            freshness: FreshnessTable::new(n),
+            item_update_exec,
+            pending_ondemand: vec![false; n],
+            outstanding_update_work: SimDuration::ZERO,
+            counts: OutcomeCounts::default(),
+            class_counts: Vec::new(),
+            cpu_busy: SimDuration::ZERO,
+            window_busy: SimDuration::ZERO,
+            window_start: SimTime::ZERO,
+            preemptions: 0,
+            query_restarts: 0,
+            demand_refreshes: 0,
+            signals: SignalCounts::default(),
+            dispatch_freshness_sum: 0.0,
+            dispatch_freshness_n: 0,
+            timeline: Vec::new(),
+        }
+    }
+
+    /// Execute the whole run: process every trace arrival, drain in-flight
+    /// work, and assemble the report.
+    pub fn run(self) -> SimReport {
+        self.run_with_policy().0
+    }
+
+    /// Like [`Simulator::run`], but also hand back the policy so callers can
+    /// inspect its final internal state (controller counters, periods, ...).
+    pub fn run_with_policy(mut self) -> (SimReport, P) {
+        self.policy.init(self.trace.n_items, &self.trace.updates);
+
+        for (i, q) in self.trace.queries.iter().enumerate() {
+            self.events
+                .push(q.arrival, Event::QueryArrival { spec_idx: i });
+        }
+        for (j, u) in self.trace.updates.iter().enumerate() {
+            if u.first_arrival.0 <= self.cfg.horizon.0 {
+                self.events
+                    .push(u.first_arrival, Event::VersionArrival { stream_idx: j });
+            }
+        }
+        self.events
+            .push(SimTime::ZERO + self.cfg.tick_period, Event::ControlTick);
+
+        while let Some((t, ev)) = self.events.pop() {
+            debug_assert!(t >= self.clock, "time went backwards");
+            self.clock = t;
+            match ev {
+                Event::QueryArrival { spec_idx } => self.on_query_arrival(spec_idx),
+                Event::VersionArrival { stream_idx } => self.on_version_arrival(stream_idx),
+                Event::Completion { txn, generation } => self.on_completion(txn, generation),
+                Event::QueryDeadline { txn } => self.on_query_deadline(txn),
+                Event::ControlTick => self.on_control_tick(),
+            }
+        }
+
+        debug_assert!(self.ready.is_empty(), "ready transactions left behind");
+        debug_assert!(self.running.is_empty(), "running transactions left behind");
+        debug_assert_eq!(
+            self.counts.total() as usize,
+            self.trace.queries.len(),
+            "every submitted query must have exactly one outcome"
+        );
+
+        let report = self.report();
+        (report, self.policy)
+    }
+
+    fn report(&self) -> SimReport {
+        let query_accesses = self.trace.query_access_histogram();
+        SimReport {
+            policy: self.policy.name().to_string(),
+            weights: self.cfg.weights,
+            counts: self.counts,
+            class_counts: self.class_counts.clone(),
+            query_accesses,
+            versions_arrived: self.freshness.arrived_histogram().to_vec(),
+            updates_applied: self.freshness.applied_histogram().to_vec(),
+            hp_aborts: self.locks.hp_aborts(),
+            query_restarts: self.query_restarts,
+            preemptions: self.preemptions,
+            demand_refreshes: self.demand_refreshes,
+            cpu_busy: self.cpu_busy,
+            end_time: self.clock,
+            horizon: self.cfg.horizon,
+            n_cpus: self.cfg.n_cpus,
+            signals: self.signals,
+            mean_dispatch_freshness: if self.dispatch_freshness_n == 0 {
+                1.0
+            } else {
+                self.dispatch_freshness_sum / self.dispatch_freshness_n as f64
+            },
+            timeline: self.timeline.clone(),
+        }
+    }
+
+    /// Ready-queue ordering key for a transaction under the configured
+    /// scheduling discipline.
+    fn pkey_of(&self, txn: &Txn) -> PriorityKey {
+        (
+            self.cfg.discipline.rank(txn.class),
+            txn.edf_deadline,
+            txn.id,
+        )
+    }
+
+    /// Ready-queue ordering key by transaction id.
+    fn pkey(&self, id: TxnId) -> PriorityKey {
+        self.pkey_of(&self.txns[id.index()])
+    }
+
+    // --- event handlers --------------------------------------------------
+
+    fn on_query_arrival(&mut self, spec_idx: usize) {
+        let snapshot = self.snapshot();
+        let spec = &self.trace.queries[spec_idx];
+        let decision = self.policy.on_query_arrival(spec, &snapshot);
+        if !decision.is_admit() {
+            self.record_outcome(spec_idx, Outcome::Rejected);
+            return;
+        }
+        let id = TxnId(self.txns.len() as u64);
+        let txn = Txn {
+            id,
+            class: TxnClass::Query,
+            edf_deadline: spec.deadline(),
+            exec_time: spec.exec_time,
+            remaining: spec.exec_time,
+            state: TxnState::Ready,
+            holds_locks: false,
+            blocked_on: None,
+            kind: TxnKind::Query {
+                spec_idx,
+                freshness_at_dispatch: None,
+                restarts: 0,
+            },
+        };
+        self.events
+            .push(txn.edf_deadline, Event::QueryDeadline { txn: id });
+        self.ready.insert(self.pkey_of(&txn));
+        self.txns.push(txn);
+        if self.policy.refresh_at_admission() {
+            // Eager on-demand policies (ODU) check staleness the moment the
+            // query enters the system.
+            self.spawn_demand_refreshes(spec_idx);
+        }
+        self.reschedule();
+    }
+
+    /// Ask the policy which of `spec`'s items need an on-demand refresh and
+    /// spawn update transactions for them. Returns true if any were spawned.
+    fn spawn_demand_refreshes(&mut self, spec_idx: usize) -> bool {
+        let trace = self.trace;
+        let spec = &trace.queries[spec_idx];
+        let freshness = &self.freshness;
+        let wanted = self
+            .policy
+            .demand_refresh(spec, &|d: DataId| freshness.udrop(d));
+        let mut spawned = false;
+        for d in wanted {
+            if self.pending_ondemand[d.index()] {
+                continue; // a refresh for this item is already queued
+            }
+            let Some(exec) = self.item_update_exec[d.index()] else {
+                continue; // no stream -> cannot be stale
+            };
+            self.pending_ondemand[d.index()] = true;
+            self.demand_refreshes += 1;
+            // EDF deadline "now": on-demand refreshes precede periodic
+            // updates that arrived earlier with later validity deadlines.
+            self.spawn_update(d, exec, self.clock, true);
+            spawned = true;
+        }
+        spawned
+    }
+
+    fn on_version_arrival(&mut self, stream_idx: usize) {
+        let u = &self.trace.updates[stream_idx];
+        let item = u.item;
+        let period = u.period;
+        let exec = u.exec_time;
+        self.freshness.record_arrival(item, self.clock);
+
+        let snapshot = self.snapshot();
+        let action = self.policy.on_version_arrival(item, self.clock, &snapshot);
+        if action.is_apply() {
+            self.spawn_update(item, exec, self.clock + period, false);
+            self.reschedule();
+        }
+
+        let next = self.clock + period;
+        if next.0 <= self.cfg.horizon.0 {
+            self.events.push(next, Event::VersionArrival { stream_idx });
+        }
+    }
+
+    fn on_completion(&mut self, id: TxnId, generation: u64) {
+        // Stale completions (the transaction was preempted or aborted after
+        // this event was scheduled) are ignored.
+        let Some(pos) = self
+            .running
+            .iter()
+            .position(|r| r.id == id && r.generation == generation)
+        else {
+            return;
+        };
+        let run = self.running.swap_remove(pos);
+        let elapsed = self.clock.saturating_since(run.started);
+        self.charge_cpu(elapsed);
+
+        let (outcome_to_record, committed_update): (Option<(usize, Outcome)>, Option<DataId>) = {
+            let txn = &mut self.txns[id.index()];
+            debug_assert_eq!(txn.state, TxnState::Running);
+            debug_assert!(elapsed == txn.remaining, "completion fired early or late");
+            txn.remaining = SimDuration::ZERO;
+            txn.state = TxnState::Finished;
+            txn.holds_locks = false;
+            match txn.kind {
+                TxnKind::Query {
+                    spec_idx,
+                    freshness_at_dispatch,
+                    ..
+                } => {
+                    let spec = &self.trace.queries[spec_idx];
+                    debug_assert!(self.clock <= spec.deadline(), "firm deadline violated");
+                    // Freshness verdict: the data the query actually *read*,
+                    // i.e. the strict-minimum freshness captured when its
+                    // read locks were granted (§2.2). Read-time evaluation is
+                    // what makes the paper's ODU baseline achieve 100%
+                    // freshness: any version *applied* during execution would
+                    // have evicted the query via 2PL-HP, so the captured
+                    // value is exact for the versions read.
+                    let f = freshness_at_dispatch.unwrap_or(1.0);
+                    let outcome = if f >= spec.freshness_req {
+                        Outcome::Success
+                    } else {
+                        Outcome::DataStale
+                    };
+                    (Some((spec_idx, outcome)), None)
+                }
+                TxnKind::Update { item, on_demand } => {
+                    if on_demand {
+                        self.pending_ondemand[item.index()] = false;
+                    }
+                    self.outstanding_update_work =
+                        self.outstanding_update_work.saturating_sub(elapsed);
+                    (None, Some(item))
+                }
+            }
+        };
+
+        let freed = self.locks.release_all(id);
+        self.unblock_waiters(&freed);
+
+        if let Some(item) = committed_update {
+            self.freshness.record_applied(item, self.clock);
+            let exec = self.txns[id.index()].exec_time;
+            self.policy.on_update_commit(item, exec);
+        }
+        if let Some((spec_idx, outcome)) = outcome_to_record {
+            self.record_outcome(spec_idx, outcome);
+        }
+        self.reschedule();
+    }
+
+    fn on_query_deadline(&mut self, id: TxnId) {
+        if self.txns[id.index()].state == TxnState::Finished {
+            return; // committed (or already aborted) before expiry
+        }
+        // Firm deadline: abort wherever the query currently is.
+        if let Some(pos) = self.running.iter().position(|r| r.id == id) {
+            let run = self.running.swap_remove(pos);
+            let elapsed = self.clock.saturating_since(run.started);
+            self.charge_cpu(elapsed);
+            let txn = &mut self.txns[id.index()];
+            txn.remaining = txn.remaining.saturating_sub(elapsed);
+        }
+        let key = self.pkey(id);
+        self.ready.remove(&key);
+        self.blocked.retain(|&b| b != id);
+
+        let spec_idx = {
+            let txn = &mut self.txns[id.index()];
+            txn.state = TxnState::Finished;
+            txn.holds_locks = false;
+            match txn.kind {
+                TxnKind::Query { spec_idx, .. } => spec_idx,
+                TxnKind::Update { .. } => unreachable!("updates have no deadline events"),
+            }
+        };
+        let freed = self.locks.release_all(id);
+        self.unblock_waiters(&freed);
+        self.record_outcome(spec_idx, Outcome::DeadlineMiss);
+        self.reschedule();
+    }
+
+    fn on_control_tick(&mut self) {
+        let snapshot = self.snapshot();
+        let signals = self.policy.on_tick(self.clock, &snapshot);
+        for &s in &signals {
+            self.signals.record(s);
+        }
+        // Time-triggered refreshes (deferrable-update style policies).
+        let wanted = {
+            let freshness = &self.freshness;
+            self.policy
+                .tick_refreshes(self.clock, &|d: DataId| freshness.udrop(d))
+        };
+        let mut spawned = false;
+        for d in wanted {
+            if self.pending_ondemand[d.index()] {
+                continue;
+            }
+            let Some(exec) = self.item_update_exec[d.index()] else {
+                continue;
+            };
+            self.pending_ondemand[d.index()] = true;
+            self.demand_refreshes += 1;
+            self.spawn_update(d, exec, self.clock, true);
+            spawned = true;
+        }
+        if spawned {
+            self.reschedule();
+        }
+        if self.cfg.record_timeline {
+            self.timeline.push(TimelineSample {
+                time: self.clock,
+                usm: self.counts.average_usm(&self.cfg.weights),
+                ready_queries: snapshot.ready_queue_len(),
+                update_backlog_secs: snapshot.update_backlog.as_secs_f64(),
+                utilization: snapshot.recent_utilization,
+            });
+        }
+        // New utilization window.
+        self.window_busy = SimDuration::ZERO;
+        self.window_start = self.clock;
+
+        let next = self.clock + self.cfg.tick_period;
+        if next.0 <= self.cfg.horizon.0 {
+            self.events.push(next, Event::ControlTick);
+        }
+    }
+
+    // --- scheduling ------------------------------------------------------
+
+    /// Re-evaluate CPU ownership: fill idle CPUs with the highest-priority
+    /// ready transactions, preempting lower-priority incumbents when every
+    /// CPU is busy. Loops until no dispatchable candidate outranks the
+    /// worst incumbent.
+    fn reschedule(&mut self) {
+        loop {
+            let Some(&key) = self.ready.iter().next() else {
+                return;
+            };
+            if self.running.len() >= self.cfg.n_cpus {
+                // All CPUs busy: preempt the lowest-priority incumbent if
+                // the best ready candidate outranks it.
+                let (pos, worst_key) = self
+                    .running
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| (i, self.pkey(r.id)))
+                    .max_by_key(|&(_, k)| k)
+                    .expect("running is non-empty");
+                if worst_key <= key {
+                    return; // incumbents keep their CPUs
+                }
+                self.preempt_running(pos);
+            }
+            self.ready.remove(&key);
+            let cand = key.2;
+            match self.try_dispatch(cand) {
+                DispatchResult::Running
+                | DispatchResult::Blocked
+                | DispatchResult::SpawnedRefresh => continue,
+            }
+        }
+    }
+
+    fn preempt_running(&mut self, pos: usize) {
+        let run = self.running.swap_remove(pos);
+        let elapsed = self.clock.saturating_since(run.started);
+        self.charge_cpu(elapsed);
+        let txn = &mut self.txns[run.id.index()];
+        debug_assert_eq!(txn.state, TxnState::Running);
+        txn.remaining = txn.remaining.saturating_sub(elapsed);
+        if !txn.is_query() {
+            self.outstanding_update_work = self.outstanding_update_work.saturating_sub(elapsed);
+        }
+        txn.state = TxnState::Ready;
+        let key = self.pkey(run.id);
+        self.ready.insert(key);
+        self.preemptions += 1;
+    }
+
+    fn try_dispatch(&mut self, id: TxnId) -> DispatchResult {
+        debug_assert!(self.running.len() < self.cfg.n_cpus);
+        match self.txns[id.index()].kind {
+            TxnKind::Query { spec_idx, .. } => self.try_dispatch_query(id, spec_idx),
+            TxnKind::Update { item, .. } => self.try_dispatch_update(id, item),
+        }
+    }
+
+    fn try_dispatch_query(&mut self, id: TxnId, spec_idx: usize) -> DispatchResult {
+        // Copy the `&'a Trace` reference out of `self` so `spec` does not
+        // keep `self` borrowed across the mutating calls below.
+        let trace = self.trace;
+        let spec = &trace.queries[spec_idx];
+
+        // On-demand refreshes (ODU): before the query touches data, the
+        // policy may demand update transactions for its stale items. Those
+        // are update-class, so they will run first.
+        if !self.txns[id.index()].holds_locks {
+            let spawned = self.spawn_demand_refreshes(spec_idx);
+            if spawned {
+                // The query goes back to the ready queue; the caller's loop
+                // re-evaluates who runs next.
+                self.txns[id.index()].state = TxnState::Ready;
+                let key = self.pkey(id);
+                self.ready.insert(key);
+                return DispatchResult::SpawnedRefresh;
+            }
+        }
+
+        if !self.txns[id.index()].holds_locks {
+            match self.locks.acquire_read(id, &spec.items) {
+                ReadAcquire::Granted => {
+                    let f = self.cfg.freshness_model.read_set_freshness(
+                        &self.freshness,
+                        &spec.items,
+                        self.clock,
+                    );
+                    self.dispatch_freshness_sum += f;
+                    self.dispatch_freshness_n += 1;
+                    {
+                        let txn = &mut self.txns[id.index()];
+                        txn.holds_locks = true;
+                        if let TxnKind::Query {
+                            freshness_at_dispatch,
+                            ..
+                        } = &mut txn.kind
+                        {
+                            *freshness_at_dispatch = Some(f);
+                        }
+                    }
+                    self.policy.on_query_dispatch(spec, f);
+                }
+                ReadAcquire::BlockedOn(d) => {
+                    let txn = &mut self.txns[id.index()];
+                    txn.state = TxnState::Blocked;
+                    txn.blocked_on = Some(d);
+                    self.blocked.push(id);
+                    return DispatchResult::Blocked;
+                }
+            }
+        }
+        self.start_running(id);
+        DispatchResult::Running
+    }
+
+    fn try_dispatch_update(&mut self, id: TxnId, item: DataId) -> DispatchResult {
+        if !self.txns[id.index()].holds_locks {
+            let my_key = self.pkey(id);
+            let txns = &self.txns;
+            let discipline = self.cfg.discipline;
+            let result = self.locks.acquire_write(id, item, |holder: TxnId| {
+                let h = &txns[holder.index()];
+                my_key < (discipline.rank(h.class), h.edf_deadline, h.id)
+            });
+            match result {
+                WriteAcquire::Granted { aborted } => {
+                    self.txns[id.index()].holds_locks = true;
+                    for victim in aborted {
+                        self.restart_victim(victim);
+                    }
+                }
+                WriteAcquire::BlockedOn(d) => {
+                    let txn = &mut self.txns[id.index()];
+                    txn.state = TxnState::Blocked;
+                    txn.blocked_on = Some(d);
+                    self.blocked.push(id);
+                    return DispatchResult::Blocked;
+                }
+            }
+        }
+        self.start_running(id);
+        DispatchResult::Running
+    }
+
+    /// A lock holder evicted by 2PL-HP: full restart (§3.1). Its locks were
+    /// already released by the lock manager. With multiple CPUs the victim
+    /// may be running concurrently — stop it first.
+    fn restart_victim(&mut self, victim: TxnId) {
+        if let Some(pos) = self.running.iter().position(|r| r.id == victim) {
+            let run = self.running.swap_remove(pos);
+            let elapsed = self.clock.saturating_since(run.started);
+            self.charge_cpu(elapsed);
+            let txn = &mut self.txns[victim.index()];
+            txn.remaining = txn.remaining.saturating_sub(elapsed);
+            if !txn.is_query() {
+                self.outstanding_update_work = self.outstanding_update_work.saturating_sub(elapsed);
+            }
+            txn.state = TxnState::Ready;
+            // Not reinserted into ready here: restart() below re-queues it.
+        }
+        let key = self.pkey(victim);
+        self.ready.remove(&key);
+        let txn = &mut self.txns[victim.index()];
+        debug_assert_ne!(txn.state, TxnState::Finished, "finished txns hold no locks");
+        let was_query = txn.is_query();
+        let lost_progress = txn.exec_time.saturating_sub(txn.remaining);
+        txn.restart();
+        let key = self.pkey(victim);
+        self.ready.insert(key);
+        if was_query {
+            self.query_restarts += 1;
+        } else {
+            // An update victim restarts with its full demand again.
+            self.outstanding_update_work += lost_progress;
+        }
+    }
+
+    fn start_running(&mut self, id: TxnId) {
+        let txn = &mut self.txns[id.index()];
+        txn.state = TxnState::Running;
+        txn.blocked_on = None;
+        let remaining = txn.remaining;
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        self.running.push(RunningTxn {
+            id,
+            started: self.clock,
+            generation,
+        });
+        self.events.push(
+            self.clock + remaining,
+            Event::Completion {
+                txn: id,
+                generation,
+            },
+        );
+    }
+
+    fn spawn_update(
+        &mut self,
+        item: DataId,
+        exec: SimDuration,
+        edf_deadline: SimTime,
+        on_demand: bool,
+    ) {
+        let id = TxnId(self.txns.len() as u64);
+        let txn = Txn {
+            id,
+            class: TxnClass::Update,
+            edf_deadline,
+            exec_time: exec,
+            remaining: exec,
+            state: TxnState::Ready,
+            holds_locks: false,
+            blocked_on: None,
+            kind: TxnKind::Update { item, on_demand },
+        };
+        self.outstanding_update_work += exec;
+        self.ready.insert(self.pkey_of(&txn));
+        self.txns.push(txn);
+    }
+
+    fn unblock_waiters(&mut self, freed: &[DataId]) {
+        if freed.is_empty() || self.blocked.is_empty() {
+            return;
+        }
+        let mut unblocked = Vec::new();
+        self.blocked.retain(|&b| {
+            let txn = &self.txns[b.index()];
+            match txn.blocked_on {
+                Some(d) if freed.contains(&d) => {
+                    unblocked.push(b);
+                    false
+                }
+                _ => true,
+            }
+        });
+        for id in unblocked {
+            {
+                let txn = &mut self.txns[id.index()];
+                txn.state = TxnState::Ready;
+                txn.blocked_on = None;
+            }
+            let key = self.pkey(id);
+            self.ready.insert(key);
+        }
+    }
+
+    // --- bookkeeping -----------------------------------------------------
+
+    fn charge_cpu(&mut self, elapsed: SimDuration) {
+        self.cpu_busy += elapsed;
+        self.window_busy += elapsed;
+    }
+
+    fn record_outcome(&mut self, spec_idx: usize, outcome: Outcome) {
+        self.counts.record(outcome);
+        let spec = &self.trace.queries[spec_idx];
+        let class = spec.pref_class as usize;
+        if self.class_counts.len() <= class {
+            self.class_counts
+                .resize(class + 1, OutcomeCounts::default());
+        }
+        self.class_counts[class].record(outcome);
+        self.policy.on_query_outcome(spec, outcome);
+    }
+
+    /// Assemble the policy-facing view of the server (`O(N_rq)`).
+    fn snapshot(&self) -> SystemSnapshot {
+        let mut queries = Vec::new();
+
+        let running_elapsed = |id: TxnId| -> SimDuration {
+            self.running
+                .iter()
+                .find(|r| r.id == id)
+                .map(|r| self.clock.saturating_since(r.started))
+                .unwrap_or(SimDuration::ZERO)
+        };
+        // Update backlog comes from the incremental counter (the ready set
+        // can hold tens of thousands of update transactions under the high
+        // volumes); only the in-progress slice of a running update needs
+        // adjusting. Queries are enumerated — the admitted set is small.
+        let mut update_backlog = self.outstanding_update_work;
+        let mut add = |txn: &Txn| {
+            if let TxnKind::Query { spec_idx, .. } = txn.kind {
+                queries.push(QueueEntryView {
+                    id: QueryId(self.trace.queries[spec_idx].id.0),
+                    deadline: txn.edf_deadline,
+                    remaining: txn.remaining.saturating_sub(running_elapsed(txn.id)),
+                    pref_class: self.trace.queries[spec_idx].pref_class,
+                });
+            }
+        };
+
+        // Under the dual-priority discipline, query-class keys sort after
+        // all update-class keys, so a range scan touches only queries; the
+        // ablation disciplines interleave classes and need a full scan.
+        if self.cfg.discipline == SchedulingDiscipline::DualPriorityEdf {
+            let first_query_key = (1u8, SimTime::ZERO, TxnId(0));
+            for &(_, _, id) in self.ready.range(first_query_key..) {
+                add(&self.txns[id.index()]);
+            }
+        } else {
+            for &(_, _, id) in &self.ready {
+                let txn = &self.txns[id.index()];
+                if txn.is_query() {
+                    add(txn);
+                }
+            }
+        }
+        for &id in &self.blocked {
+            add(&self.txns[id.index()]);
+        }
+        for r in &self.running {
+            let txn = &self.txns[r.id.index()];
+            add(txn);
+            if !txn.is_query() {
+                update_backlog =
+                    update_backlog.saturating_sub(self.clock.saturating_since(r.started));
+            }
+        }
+
+        let window = self.clock.saturating_since(self.window_start);
+        let mut busy = self.window_busy;
+        for r in &self.running {
+            // Include the in-progress slice of each current runner.
+            let started = r.started.max(self.window_start);
+            busy += self.clock.saturating_since(started);
+        }
+        let recent_utilization = if window.is_zero() {
+            0.0
+        } else {
+            (busy.as_secs_f64() / (window.as_secs_f64() * self.cfg.n_cpus as f64)).min(1.0)
+        };
+
+        SystemSnapshot {
+            now: self.clock,
+            queries,
+            update_backlog,
+            recent_utilization,
+        }
+    }
+}

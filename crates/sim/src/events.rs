@@ -1,0 +1,149 @@
+//! The discrete-event queue.
+//!
+//! A binary min-heap over `(time, sequence)` keys. The sequence number makes
+//! same-instant events pop in insertion order, which keeps every run
+//! bit-reproducible — a property the whole evaluation leans on.
+
+use crate::txn::TxnId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use unit_core::time::SimTime;
+
+/// Everything that can happen in the simulated server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A user query from the trace reaches the server.
+    QueryArrival {
+        /// Index into `Trace::queries`.
+        spec_idx: usize,
+    },
+    /// A source emits a new version of its item.
+    VersionArrival {
+        /// Index into `Trace::updates`.
+        stream_idx: usize,
+    },
+    /// The running transaction finishes its remaining service. Valid only if
+    /// `generation` matches the transaction's current dispatch generation
+    /// (preemption invalidates stale completions).
+    Completion {
+        /// The transaction expected to be running.
+        txn: TxnId,
+        /// Dispatch generation this completion was scheduled under.
+        generation: u64,
+    },
+    /// A query's firm deadline expires; if uncommitted it is aborted (DMF).
+    QueryDeadline {
+        /// The admitted query transaction.
+        txn: TxnId,
+    },
+    /// Periodic control tick: drives `Policy::on_tick` (and therefore UNIT's
+    /// Load Balancing Controller).
+    ControlTick,
+}
+
+/// Min-heap event queue with deterministic same-time ordering.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(SimTime, u64, EventBox)>>,
+    next_seq: u64,
+}
+
+/// Wrapper ordered by insertion sequence only through the tuple position;
+/// the event payload itself never participates in ordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct EventBox(Event);
+
+impl PartialOrd for EventBox {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventBox {
+    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
+        // Keys (time, seq) are unique per entry, so payload comparison is
+        // never consulted; still required by the heap's bounds.
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((time, seq, EventBox(event))));
+    }
+
+    /// Pop the earliest event (ties in insertion order).
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|Reverse((t, _, b))| (t, b.0))
+    }
+
+    /// Time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5), Event::ControlTick);
+        q.push(SimTime::from_secs(1), Event::QueryArrival { spec_idx: 0 });
+        q.push(
+            SimTime::from_secs(3),
+            Event::VersionArrival { stream_idx: 2 },
+        );
+        let (t1, e1) = q.pop().unwrap();
+        assert_eq!(t1, SimTime::from_secs(1));
+        assert_eq!(e1, Event::QueryArrival { spec_idx: 0 });
+        let (t2, _) = q.pop().unwrap();
+        assert_eq!(t2, SimTime::from_secs(3));
+        let (t3, _) = q.pop().unwrap();
+        assert_eq!(t3, SimTime::from_secs(5));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn same_time_events_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(2);
+        for i in 0..10 {
+            q.push(t, Event::QueryArrival { spec_idx: i });
+        }
+        for i in 0..10 {
+            let (_, e) = q.pop().unwrap();
+            assert_eq!(e, Event::QueryArrival { spec_idx: i });
+        }
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(4), Event::ControlTick);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

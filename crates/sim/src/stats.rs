@@ -1,0 +1,266 @@
+//! Run statistics: everything the paper's figures are computed from.
+
+use serde::{Deserialize, Serialize};
+use unit_core::policy::ControlSignal;
+use unit_core::time::{SimDuration, SimTime};
+use unit_core::usm::{OutcomeCounts, UsmWeights};
+
+/// One periodic sample of system state (taken at control ticks when
+/// timeline recording is enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimelineSample {
+    /// Sample instant.
+    pub time: SimTime,
+    /// Cumulative average USM up to this instant.
+    pub usm: f64,
+    /// Admitted, unfinished queries at this instant.
+    pub ready_queries: usize,
+    /// Remaining update-class work at this instant, seconds.
+    pub update_backlog_secs: f64,
+    /// CPU utilization over the tick interval just ended.
+    pub utilization: f64,
+}
+
+/// Counters for the four control signals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignalCounts {
+    /// `LoosenAdmission` signals seen.
+    pub loosen_admission: u64,
+    /// `TightenAdmission` signals seen.
+    pub tighten_admission: u64,
+    /// `DegradeUpdates` signals seen.
+    pub degrade_updates: u64,
+    /// `UpgradeUpdates` signals seen.
+    pub upgrade_updates: u64,
+}
+
+impl SignalCounts {
+    /// Record one signal.
+    pub fn record(&mut self, s: ControlSignal) {
+        match s {
+            ControlSignal::LoosenAdmission => self.loosen_admission += 1,
+            ControlSignal::TightenAdmission => self.tighten_admission += 1,
+            ControlSignal::DegradeUpdates => self.degrade_updates += 1,
+            ControlSignal::UpgradeUpdates => self.upgrade_updates += 1,
+        }
+    }
+
+    /// Total signals recorded.
+    pub fn total(&self) -> u64 {
+        self.loosen_admission + self.tighten_admission + self.degrade_updates + self.upgrade_updates
+    }
+}
+
+/// Complete result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Name of the policy that produced this run.
+    pub policy: String,
+    /// Preference weights the run was evaluated under.
+    pub weights: UsmWeights,
+    /// Final outcome counts over all submitted queries.
+    pub counts: OutcomeCounts,
+    /// Outcome counts per user-preference class (index = `pref_class`;
+    /// empty when every query uses class 0). Multi-preference extension.
+    pub class_counts: Vec<OutcomeCounts>,
+    /// Per-item query access counts (Fig. 3(a)).
+    pub query_accesses: Vec<u64>,
+    /// Per-item versions emitted by the sources (Fig. 3(b,c) grey area).
+    pub versions_arrived: Vec<u64>,
+    /// Per-item update transactions applied (Fig. 3(b,c) black line).
+    pub updates_applied: Vec<u64>,
+    /// 2PL-HP evictions (queries/updates restarted by a higher-priority
+    /// write).
+    pub hp_aborts: u64,
+    /// Query restarts following HP aborts.
+    pub query_restarts: u64,
+    /// CPU preemptions.
+    pub preemptions: u64,
+    /// On-demand refresh updates spawned (ODU).
+    pub demand_refreshes: u64,
+    /// Total busy CPU time.
+    pub cpu_busy: SimDuration,
+    /// Instant the last event was processed.
+    pub end_time: SimTime,
+    /// Configured workload horizon.
+    pub horizon: SimDuration,
+    /// Number of CPUs the server ran with.
+    pub n_cpus: usize,
+    /// Control signals emitted by the policy's ticks.
+    pub signals: SignalCounts,
+    /// Mean read-set freshness observed at query dispatch (diagnostics).
+    pub mean_dispatch_freshness: f64,
+    /// Optional timeline (enabled via `SimConfig::record_timeline`).
+    pub timeline: Vec<TimelineSample>,
+}
+
+impl SimReport {
+    /// Average USM under the run's weights (Eq. 5).
+    pub fn average_usm(&self) -> f64 {
+        self.counts.average_usm(&self.weights)
+    }
+
+    /// Average USM re-priced under different weights.
+    ///
+    /// Useful for the weight-insensitive baselines (IMU/ODU/QMF behave
+    /// identically under every weighting, so one run can be re-priced);
+    /// UNIT must be re-*run* since its controller reacts to the weights.
+    pub fn usm_under(&self, weights: &UsmWeights) -> f64 {
+        self.counts.average_usm(weights)
+    }
+
+    /// Success ratio (naive USM).
+    pub fn success_ratio(&self) -> f64 {
+        self.counts.success_ratio()
+    }
+
+    /// Outcome counts for one preference class (zeros for unseen classes).
+    pub fn class_counts(&self, class: u32) -> OutcomeCounts {
+        self.class_counts
+            .get(class as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Average USM where each class is priced with its own weights
+    /// (multi-preference extension): total priced satisfaction over all
+    /// submitted queries. Classes beyond `class_weights` use `default`.
+    pub fn average_usm_multiclass(
+        &self,
+        default: &UsmWeights,
+        class_weights: &[UsmWeights],
+    ) -> f64 {
+        let total = self.counts.total();
+        if total == 0 {
+            return 0.0;
+        }
+        if self.class_counts.is_empty() {
+            return self.counts.average_usm(default);
+        }
+        let sum: f64 = self
+            .class_counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.total_usm(class_weights.get(i).unwrap_or(default)))
+            .sum();
+        sum / total as f64
+    }
+
+    /// The four outcome ratios `(R_s, R_r, R_fm, R_fs)` (Fig. 6).
+    pub fn ratios(&self) -> [f64; 4] {
+        self.counts.ratios()
+    }
+
+    /// CPU utilization over the horizon (aggregated across CPUs).
+    pub fn utilization(&self) -> f64 {
+        if self.horizon.is_zero() {
+            0.0
+        } else {
+            self.cpu_busy.as_secs_f64() / (self.horizon.as_secs_f64() * self.n_cpus.max(1) as f64)
+        }
+    }
+
+    /// Fraction of emitted versions that were applied (update shedding view).
+    pub fn applied_ratio(&self) -> f64 {
+        let arrived: u64 = self.versions_arrived.iter().sum();
+        if arrived == 0 {
+            return 1.0;
+        }
+        let applied: u64 = self.updates_applied.iter().sum();
+        applied as f64 / arrived as f64
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let [rs, rr, rfm, rfs] = self.ratios();
+        format!(
+            "{:<6} USM={:+.4}  Rs={:.3} Rr={:.3} Rfm={:.3} Rfs={:.3}  applied={:.1}%  util={:.0}%",
+            self.policy,
+            self.average_usm(),
+            rs,
+            rr,
+            rfm,
+            rfs,
+            100.0 * self.applied_ratio(),
+            100.0 * self.utilization()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unit_core::types::Outcome;
+
+    fn report() -> SimReport {
+        let mut counts = OutcomeCounts::default();
+        for _ in 0..6 {
+            counts.record(Outcome::Success);
+        }
+        for _ in 0..2 {
+            counts.record(Outcome::Rejected);
+        }
+        counts.record(Outcome::DeadlineMiss);
+        counts.record(Outcome::DataStale);
+        SimReport {
+            policy: "TEST".into(),
+            weights: UsmWeights::naive(),
+            counts,
+            class_counts: Vec::new(),
+            query_accesses: vec![3, 0],
+            versions_arrived: vec![10, 10],
+            updates_applied: vec![5, 0],
+            hp_aborts: 1,
+            query_restarts: 1,
+            preemptions: 2,
+            demand_refreshes: 0,
+            cpu_busy: SimDuration::from_secs(50),
+            end_time: SimTime::from_secs(110),
+            horizon: SimDuration::from_secs(100),
+            n_cpus: 1,
+            signals: SignalCounts::default(),
+            mean_dispatch_freshness: 0.95,
+            timeline: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report();
+        assert!((r.average_usm() - 0.6).abs() < 1e-12);
+        assert!((r.success_ratio() - 0.6).abs() < 1e-12);
+        assert!((r.utilization() - 0.5).abs() < 1e-12);
+        assert!((r.applied_ratio() - 0.25).abs() < 1e-12);
+        let sum: f64 = r.ratios().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repricing_under_other_weights() {
+        let r = report();
+        let w = UsmWeights::penalties(1.0, 1.0, 1.0);
+        // (6 - 2 - 1 - 1) / 10 = 0.2
+        assert!((r.usm_under(&w) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signal_counts_accumulate() {
+        let mut s = SignalCounts::default();
+        s.record(ControlSignal::LoosenAdmission);
+        s.record(ControlSignal::DegradeUpdates);
+        s.record(ControlSignal::DegradeUpdates);
+        s.record(ControlSignal::TightenAdmission);
+        s.record(ControlSignal::UpgradeUpdates);
+        assert_eq!(s.loosen_admission, 1);
+        assert_eq!(s.degrade_updates, 2);
+        assert_eq!(s.total(), 5);
+    }
+
+    #[test]
+    fn summary_contains_key_fields() {
+        let s = report().summary();
+        assert!(s.contains("TEST"));
+        assert!(s.contains("USM="));
+        assert!(s.contains("Rs=0.600"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Small deterministic sampling primitives used by the generators.
+//!
+//! `rand` (without `rand_distr`) only ships uniform sampling, so the few
+//! distributions the workload needs — normal (Box–Muller), log-normal,
+//! exponential, Zipf weights, geometric — are implemented here and unit
+//! tested against their analytic moments.
+
+use rand::Rng;
+
+/// One standard-normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A log-normal sample parameterized by the *target mean* of the
+/// distribution and the underlying normal's sigma:
+/// `mu = ln(mean) − sigma²/2`, so `E[X] = mean` exactly.
+pub fn log_normal_with_mean<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    debug_assert!(mean > 0.0 && sigma >= 0.0);
+    let mu = mean.ln() - sigma * sigma / 2.0;
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// An exponential sample with the given rate (mean `1/rate`).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Unnormalized Zipf weights `1/rank^s` for ranks `1..=n`.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect()
+}
+
+/// A geometric "number of extra items" sample: counts failures until the
+/// first success with continue-probability `p`, capped at `max`.
+pub fn capped_geometric<R: Rng + ?Sized>(rng: &mut R, p: f64, max: usize) -> usize {
+    let mut k = 0;
+    while k < max && rng.gen::<f64>() < p {
+        k += 1;
+    }
+    k
+}
+
+/// Pearson correlation coefficient between two equal-length slices.
+/// Returns 0 when either side has zero variance.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson requires equal lengths");
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_hits_target_mean() {
+        let mut r = rng();
+        let n = 200_000;
+        let mean = 2.0;
+        let sum: f64 = (0..n)
+            .map(|_| log_normal_with_mean(&mut r, mean, 0.5))
+            .sum();
+        let observed = sum / n as f64;
+        assert!((observed - mean).abs() < 0.05, "observed mean {observed}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(log_normal_with_mean(&mut r, 1.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut r = rng();
+        let n = 200_000;
+        let rate = 0.25;
+        let sum: f64 = (0..n).map(|_| exponential(&mut r, rate)).sum();
+        let observed = sum / n as f64;
+        assert!((observed - 4.0).abs() < 0.05, "observed mean {observed}");
+    }
+
+    #[test]
+    fn zipf_weights_decay_by_rank() {
+        let w = zipf_weights(4, 1.0);
+        assert_eq!(w[0], 1.0);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+        assert!(w.windows(2).all(|p| p[0] > p[1]));
+        // s = 0 degenerates to uniform.
+        assert!(zipf_weights(5, 0.0)
+            .iter()
+            .all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn capped_geometric_respects_cap_and_mean() {
+        let mut r = rng();
+        let n = 100_000;
+        let max = 3;
+        let samples: Vec<usize> = (0..n).map(|_| capped_geometric(&mut r, 0.4, max)).collect();
+        assert!(samples.iter().all(|&k| k <= max));
+        // Uncapped mean would be p/(1-p) = 2/3; the cap trims it slightly.
+        let mean = samples.iter().sum::<usize>() as f64 / n as f64;
+        assert!(mean > 0.5 && mean < 0.68, "mean {mean}");
+    }
+
+    #[test]
+    fn pearson_on_known_vectors() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&a, &down) + 1.0).abs() < 1e-12);
+        let flat = [5.0; 4];
+        assert_eq!(pearson(&a, &flat), 0.0);
+    }
+}

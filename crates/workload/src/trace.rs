@@ -1,0 +1,161 @@
+//! Trace assembly and (de)serialization.
+//!
+//! [`TraceBundle`] pairs a generated query trace with one update trace and
+//! the resulting [`Trace`] the simulator consumes, carrying the achieved
+//! statistics (utilizations, correlation) so experiments can report what
+//! they actually ran on. Bundles serialize to JSON for inspection and reuse.
+
+use crate::cello::{generate_queries, QueryTrace, QueryTraceConfig};
+use crate::updates::{generate_updates, UpdateTrace, UpdateTraceConfig};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+use unit_core::time::SimDuration;
+use unit_core::types::Trace;
+
+/// A fully generated workload: queries + updates + derived statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceBundle {
+    /// Table 1-style trace name, e.g. "med-unif".
+    pub name: String,
+    /// The simulator-facing trace.
+    pub trace: Trace,
+    /// Workload horizon.
+    pub horizon: SimDuration,
+    /// Normalized per-item query weights used as the reference distribution.
+    pub query_weights: Vec<f64>,
+    /// Achieved update/query correlation.
+    pub achieved_rho: f64,
+    /// Offered query-class utilization.
+    pub query_utilization: f64,
+    /// Offered update-class utilization.
+    pub update_utilization: f64,
+}
+
+impl TraceBundle {
+    /// Combine pre-generated query and update traces.
+    pub fn assemble(queries: QueryTrace, updates: UpdateTrace) -> TraceBundle {
+        let horizon = queries.config.horizon;
+        let trace = Trace {
+            n_items: queries.config.n_items,
+            queries: queries.queries,
+            updates: updates.updates,
+        };
+        let query_utilization = trace.offered_query_utilization(horizon);
+        let update_utilization = trace.offered_update_utilization(horizon);
+        TraceBundle {
+            name: updates.config.trace_name(),
+            trace,
+            horizon,
+            query_weights: queries.item_weights,
+            achieved_rho: updates.achieved_rho,
+            query_utilization,
+            update_utilization,
+        }
+    }
+
+    /// Generate a bundle from the two configurations.
+    pub fn generate(qcfg: &QueryTraceConfig, ucfg: &UpdateTraceConfig) -> TraceBundle {
+        let queries = generate_queries(qcfg);
+        let updates = generate_updates(ucfg, &queries.item_weights, qcfg.horizon);
+        TraceBundle::assemble(queries, updates)
+    }
+
+    /// Combined offered utilization (query + update classes).
+    pub fn offered_load(&self) -> f64 {
+        self.query_utilization + self.update_utilization
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> serde_json::Result<TraceBundle> {
+        serde_json::from_str(s)
+    }
+
+    /// Write the bundle to a file as JSON.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = self
+            .to_json()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+
+    /// Load a bundle from a JSON file.
+    pub fn load(path: &Path) -> io::Result<TraceBundle> {
+        let s = std::fs::read_to_string(path)?;
+        TraceBundle::from_json(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlate::UpdateDistribution;
+    use crate::updates::UpdateVolume;
+
+    fn small_bundle() -> TraceBundle {
+        let qcfg = QueryTraceConfig {
+            n_items: 64,
+            n_queries: 300,
+            horizon: SimDuration::from_secs(20_000),
+            seed: 11,
+            ..QueryTraceConfig::default()
+        };
+        // 156 updates x ~96s over 20,000s ≈ 75% utilization.
+        let ucfg = UpdateTraceConfig::table1(UpdateVolume::Med, UpdateDistribution::Uniform)
+            .with_total(156);
+        TraceBundle::generate(&qcfg, &ucfg)
+    }
+
+    #[test]
+    fn bundle_is_valid_and_named() {
+        let b = small_bundle();
+        assert_eq!(b.name, "med-unif");
+        b.trace.validate().expect("bundle trace must validate");
+        assert_eq!(b.trace.n_items, 64);
+        assert_eq!(b.trace.queries.len(), 300);
+    }
+
+    #[test]
+    fn utilizations_are_recorded() {
+        let b = small_bundle();
+        // 300 queries x ~1s over 20,000s ≈ 1.5%; 156 updates x ~96s ≈ 75%.
+        assert!(
+            (b.query_utilization - 0.015).abs() < 0.005,
+            "{}",
+            b.query_utilization
+        );
+        assert!(
+            (b.update_utilization - 0.75).abs() < 0.12,
+            "{}",
+            b.update_utilization
+        );
+        assert!((b.offered_load() - (b.query_utilization + b.update_utilization)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_trace() {
+        let b = small_bundle();
+        let json = b.to_json().unwrap();
+        let back = TraceBundle::from_json(&json).unwrap();
+        assert_eq!(b.trace, back.trace);
+        assert_eq!(b.name, back.name);
+        assert_eq!(b.achieved_rho, back.achieved_rho);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let b = small_bundle();
+        let dir = std::env::temp_dir().join("unit-workload-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bundle.json");
+        b.save(&path).unwrap();
+        let back = TraceBundle::load(&path).unwrap();
+        assert_eq!(b.trace, back.trace);
+        std::fs::remove_file(&path).ok();
+    }
+}

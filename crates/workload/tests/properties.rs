@@ -1,0 +1,139 @@
+//! Property-based tests for the workload generators: every generated trace
+//! must validate, hit its configured sizes, and stay deterministic.
+
+use proptest::prelude::*;
+use unit_core::time::SimDuration;
+use unit_workload::correlate::{apportion_counts, correlated_weights, UpdateDistribution};
+use unit_workload::dist::pearson;
+use unit_workload::{
+    generate_queries, generate_updates, QueryTraceConfig, TraceBundle, UpdateTraceConfig,
+    UpdateVolume,
+};
+
+fn query_cfg_strategy() -> impl Strategy<Value = QueryTraceConfig> {
+    (
+        8usize..128,      // n_items
+        50usize..500,     // n_queries
+        2_000u64..40_000, // horizon seconds
+        0.5f64..2.0,      // zipf exponent
+        any::<u64>(),     // seed
+    )
+        .prop_map(
+            |(n_items, n_queries, horizon, zipf, seed)| QueryTraceConfig {
+                n_items,
+                n_queries,
+                horizon: SimDuration::from_secs(horizon),
+                zipf_exponent: zipf,
+                burst_count: 3,
+                seed,
+                ..QueryTraceConfig::default()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generated query traces always validate, are sorted, sized, and
+    /// within-horizon; deadlines respect the paper's recipe.
+    #[test]
+    fn query_traces_are_well_formed(cfg in query_cfg_strategy()) {
+        let t = generate_queries(&cfg);
+        prop_assert_eq!(t.queries.len(), cfg.n_queries);
+        for q in &t.queries {
+            q.validate(cfg.n_items).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert!(q.arrival.0 <= cfg.horizon.0 + 1);
+        }
+        prop_assert!(t.queries.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        let sum: f64 = t.item_weights.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6);
+        // Determinism.
+        let t2 = generate_queries(&cfg);
+        prop_assert_eq!(t.queries, t2.queries);
+    }
+
+    /// Update traces hit their exact totals and validate, for every
+    /// distribution shape.
+    #[test]
+    fn update_traces_are_well_formed(
+        cfg in query_cfg_strategy(),
+        total in 100u64..5_000,
+        dist_pick in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let dist = match dist_pick {
+            0 => UpdateDistribution::Uniform,
+            1 => UpdateDistribution::PositiveCorrelation,
+            _ => UpdateDistribution::NegativeCorrelation,
+        };
+        let queries = generate_queries(&cfg);
+        let mut ucfg = UpdateTraceConfig::table1(UpdateVolume::Med, dist).with_total(total);
+        ucfg.seed = seed;
+        let t = generate_updates(&ucfg, &queries.item_weights, cfg.horizon);
+        prop_assert_eq!(t.item_counts.iter().sum::<u64>(), total);
+        for u in &t.updates {
+            u.validate(cfg.n_items).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        }
+        prop_assert!(t.achieved_rho.is_finite());
+        prop_assert!((-1.0..=1.0).contains(&t.achieved_rho));
+        // One stream per item with non-zero volume.
+        let nonzero = t.item_counts.iter().filter(|&&c| c > 0).count();
+        prop_assert_eq!(t.updates.len(), nonzero);
+    }
+
+    /// Apportionment is exact and never negative, for arbitrary weights.
+    #[test]
+    fn apportionment_is_exact(
+        raw in prop::collection::vec(0.0f64..10.0, 1..64),
+        total in 0u64..10_000,
+    ) {
+        let sum: f64 = raw.iter().sum();
+        prop_assume!(sum > 0.0);
+        let weights: Vec<f64> = raw.iter().map(|w| w / sum).collect();
+        let counts = apportion_counts(&weights, total);
+        prop_assert_eq!(counts.iter().sum::<u64>(), total);
+        // Zero weight -> zero count.
+        for (c, w) in counts.iter().zip(&weights) {
+            if *w == 0.0 {
+                prop_assert_eq!(*c, 0);
+            }
+        }
+    }
+
+    /// Correlated weight synthesis always yields a normalized, non-negative
+    /// vector whose correlation has the requested sign.
+    #[test]
+    fn correlated_weights_have_the_right_sign(
+        raw in prop::collection::vec(0.01f64..10.0, 16..128),
+        seed in any::<u64>(),
+    ) {
+        let sum: f64 = raw.iter().sum();
+        let reference: Vec<f64> = raw.iter().map(|w| w / sum).collect();
+        prop_assume!(pearson(&reference, &reference) > 0.99); // non-degenerate variance
+
+        let pos = correlated_weights(&reference, UpdateDistribution::PositiveCorrelation, 0.8, seed);
+        prop_assert!(pos.weights.iter().all(|&w| w >= 0.0));
+        prop_assert!((pos.weights.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        prop_assert!(pos.achieved_rho > 0.0, "pos rho {}", pos.achieved_rho);
+
+        let neg = correlated_weights(&reference, UpdateDistribution::NegativeCorrelation, 0.8, seed);
+        prop_assert!(neg.weights.iter().all(|&w| w >= 0.0));
+        prop_assert!(neg.achieved_rho < 0.0, "neg rho {}", neg.achieved_rho);
+    }
+
+    /// Bundles assemble consistently from their parts.
+    #[test]
+    fn bundles_are_consistent(cfg in query_cfg_strategy(), total in 100u64..2_000) {
+        let ucfg = UpdateTraceConfig::table1(UpdateVolume::Med, UpdateDistribution::Uniform)
+            .with_total(total);
+        let b = TraceBundle::generate(&cfg, &ucfg);
+        b.trace.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(b.trace.n_items, cfg.n_items);
+        prop_assert_eq!(b.trace.queries.len(), cfg.n_queries);
+        prop_assert!(b.query_utilization > 0.0);
+        prop_assert!(b.update_utilization > 0.0);
+        // JSON round trip.
+        let back = TraceBundle::from_json(&b.to_json().unwrap()).unwrap();
+        prop_assert_eq!(b.trace, back.trace);
+    }
+}

@@ -1,0 +1,107 @@
+//! Custom policy: plugging your own transaction manager into the server.
+//!
+//! The whole evaluation surface — UNIT and all baselines — sits behind the
+//! `unit_core::policy::Policy` trait. This example implements a simple
+//! "freshness-first with a fixed admission quota" policy from scratch and
+//! runs it against UNIT on the same workload, demonstrating the extension
+//! point a downstream user would build on.
+//!
+//! ```sh
+//! cargo run --release -p unit-bench --example custom_policy
+//! ```
+
+use unit_core::policy::{AdmissionDecision, Policy, UpdateAction};
+use unit_core::prelude::*;
+use unit_core::snapshot::SystemSnapshot;
+use unit_sim::{run_simulation, SimConfig};
+use unit_workload::prelude::*;
+
+/// Admits queries while the backlog stays under a fixed work quota and
+/// applies every other version of every item (a static 50% update shed).
+struct QuotaPolicy {
+    /// Maximum outstanding work (seconds) before arrivals are rejected.
+    backlog_quota_secs: f64,
+    /// Per-item toggle used to halve every stream's frequency.
+    apply_toggle: Vec<bool>,
+    rejected: u64,
+}
+
+impl QuotaPolicy {
+    fn new(backlog_quota_secs: f64) -> Self {
+        QuotaPolicy {
+            backlog_quota_secs,
+            apply_toggle: Vec::new(),
+            rejected: 0,
+        }
+    }
+}
+
+impl Policy for QuotaPolicy {
+    fn name(&self) -> &str {
+        "QUOTA"
+    }
+
+    fn init(&mut self, n_items: usize, _updates: &[UpdateSpec]) {
+        self.apply_toggle = vec![true; n_items];
+    }
+
+    fn on_query_arrival(&mut self, q: &QuerySpec, sys: &SystemSnapshot) -> AdmissionDecision {
+        let backlog = sys.update_backlog.as_secs_f64() + sys.query_backlog().as_secs_f64();
+        if backlog + q.exec_time.as_secs_f64() > self.backlog_quota_secs {
+            self.rejected += 1;
+            AdmissionDecision::Reject
+        } else {
+            AdmissionDecision::Admit
+        }
+    }
+
+    fn on_version_arrival(
+        &mut self,
+        item: DataId,
+        _now: SimTime,
+        _sys: &SystemSnapshot,
+    ) -> UpdateAction {
+        // Static modulation: apply every other version.
+        let slot = &mut self.apply_toggle[item.index()];
+        *slot = !*slot;
+        if *slot {
+            UpdateAction::Skip
+        } else {
+            UpdateAction::Apply
+        }
+    }
+}
+
+fn main() {
+    let queries = QueryTraceConfig {
+        n_items: 128,
+        n_queries: 4_000,
+        horizon: SimDuration::from_secs(140_000),
+        ..QueryTraceConfig::default()
+    };
+    let updates =
+        UpdateTraceConfig::table1(UpdateVolume::Med, UpdateDistribution::Uniform).with_total(1_100);
+    let bundle = TraceBundle::generate(&queries, &updates);
+    let cfg = SimConfig::new(bundle.horizon);
+
+    println!(
+        "workload `{}` at {:.0}% offered load\n",
+        bundle.name,
+        100.0 * bundle.offered_load()
+    );
+
+    let quota = run_simulation(&bundle.trace, QuotaPolicy::new(300.0), cfg);
+    println!("{}", quota.summary());
+
+    let unit = run_simulation(&bundle.trace, UnitPolicy::new(UnitConfig::default()), cfg);
+    println!("{}", unit.summary());
+
+    println!(
+        "\nThe static quota policy sheds exactly 50% of updates everywhere and uses a\n\
+         fixed admission quota; UNIT adapts both decisions to the observed outcome\n\
+         mix ({:+.3} vs {:+.3} success ratio here). Implementing `Policy` took ~40\n\
+         lines — the server, locking, deadlines, and freshness accounting are shared.",
+        unit.success_ratio(),
+        quota.success_ratio()
+    );
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build a small workload, run UNIT on it, read the report.
+//!
+//! ```sh
+//! cargo run --release -p unit-bench --example quickstart
+//! ```
+
+use unit_core::prelude::*;
+use unit_sim::{run_simulation, SimConfig};
+use unit_workload::prelude::*;
+
+fn main() {
+    // 1. Synthesize a workload: a cello99a-like query trace over 128 items
+    //    and a Table-1-style update trace at medium volume, uniformly spread.
+    let queries = QueryTraceConfig {
+        n_items: 128,
+        n_queries: 4_000,
+        horizon: SimDuration::from_secs(140_000),
+        ..QueryTraceConfig::default()
+    };
+    let updates =
+        UpdateTraceConfig::table1(UpdateVolume::Med, UpdateDistribution::Uniform).with_total(1_100); // ~1100 updates x ~96s over 140,000s ≈ 75% CPU
+    let bundle = TraceBundle::generate(&queries, &updates);
+    println!(
+        "workload `{}`: {} queries + {} update streams, offered load {:.0}%",
+        bundle.name,
+        bundle.trace.queries.len(),
+        bundle.trace.updates.len(),
+        100.0 * bundle.offered_load()
+    );
+
+    // 2. Pick user preferences: deadline misses are the most annoying.
+    let weights = UsmWeights::low_high_cfm();
+
+    // 3. Run the UNIT policy over the workload on the simulated server.
+    let policy = UnitPolicy::new(UnitConfig::with_weights(weights));
+    let report = run_simulation(
+        &bundle.trace,
+        policy,
+        SimConfig::new(bundle.horizon).with_weights(weights),
+    );
+
+    // 4. Read the results.
+    println!("{}", report.summary());
+    let [rs, rr, rfm, rfs] = report.ratios();
+    println!("success   {:>6.1}%", 100.0 * rs);
+    println!("rejected  {:>6.1}%", 100.0 * rr);
+    println!("missed    {:>6.1}%", 100.0 * rfm);
+    println!("stale     {:>6.1}%", 100.0 * rfs);
+    println!(
+        "average USM = {:+.4} (range [{}, {}])",
+        report.average_usm(),
+        weights.range().0,
+        weights.range().1
+    );
+    println!(
+        "update shedding: applied {:.1}% of {} emitted versions",
+        100.0 * report.applied_ratio(),
+        report.versions_arrived.iter().sum::<u64>()
+    );
+}

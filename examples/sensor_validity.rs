@@ -1,0 +1,102 @@
+//! Sensor dashboard with temporal validity: the time-based freshness model.
+//!
+//! A monitoring dashboard reads sensors whose values are considered valid
+//! for a fixed interval after a newer reading exists (the classical
+//! real-time-database notion of temporal validity — cf. the deferrable
+//! scheduling line of work the paper cites). Under the paper's lag-based
+//! metric, one skipped reading already violates a 90% freshness
+//! requirement; under time-based freshness a skipped reading is fine as
+//! long as the value's age stays inside the validity window — so the same
+//! shedding decisions produce far fewer Data-Stale Failures.
+//!
+//! ```sh
+//! cargo run --release -p unit-bench --example sensor_validity
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unit_core::prelude::*;
+use unit_sim::{run_simulation, SimConfig};
+
+const SENSORS: usize = 48;
+const HORIZON_S: u64 = 60_000;
+
+fn build_trace() -> Trace {
+    let mut rng = StdRng::seed_from_u64(7);
+    // Sensors report every 360s; ingesting a report costs ~15s of server
+    // time (aggregation, rollups). Offered update load: 48 x 15/360 = 2x.
+    let updates = (0..SENSORS)
+        .map(|i| UpdateSpec {
+            id: UpdateStreamId(i as u32),
+            item: DataId(i as u32),
+            period: SimDuration::from_secs(360),
+            exec_time: SimDuration::from_secs_f64(rng.gen_range(10.0..20.0)),
+            first_arrival: SimTime::from_secs(rng.gen_range(0..360)),
+        })
+        .collect();
+
+    // Dashboard queries: skewed over sensors, 1s each, 10-60s deadlines.
+    let mut queries = Vec::new();
+    let mut t = 0.0;
+    let mut id = 0u64;
+    while t < HORIZON_S as f64 {
+        t += -(rng.gen_range(f64::MIN_POSITIVE..1.0f64)).ln() * 8.0;
+        let sensor = (rng.gen::<f64>().powi(3) * SENSORS as f64) as usize;
+        queries.push(QuerySpec {
+            id: QueryId(id),
+            arrival: SimTime::from_secs_f64(t),
+            items: vec![DataId(sensor.min(SENSORS - 1) as u32)],
+            exec_time: SimDuration::from_secs_f64(rng.gen_range(0.5..2.0)),
+            relative_deadline: SimDuration::from_secs_f64(rng.gen_range(10.0..60.0)),
+            freshness_req: 0.5, // tolerate freshness down to 0.5
+            pref_class: 0,
+        });
+        id += 1;
+    }
+    Trace {
+        n_items: SENSORS,
+        queries,
+        updates,
+    }
+}
+
+fn main() {
+    let trace = build_trace();
+    trace.validate().expect("valid trace");
+    let horizon = SimDuration::from_secs(HORIZON_S);
+    println!(
+        "sensor dashboard: {} sensors, {} queries, offered update load {:.1}x CPU\n",
+        SENSORS,
+        trace.queries.len(),
+        trace.offered_update_utilization(horizon)
+    );
+
+    // Same UNIT policy, three freshness semantics.
+    for (label, model) in [
+        ("lag-based (paper)", FreshnessModel::Lag),
+        (
+            "time-based, 600s validity",
+            FreshnessModel::TimeBased {
+                validity: SimDuration::from_secs(600),
+            },
+        ),
+        (
+            "divergence-based, decay 0.3",
+            FreshnessModel::Divergence { decay: 0.3 },
+        ),
+    ] {
+        let report = run_simulation(
+            &trace,
+            UnitPolicy::new(UnitConfig::default()),
+            SimConfig::new(horizon).with_freshness_model(model),
+        );
+        println!("{label:<28} {}", report.summary());
+    }
+
+    println!(
+        "\nUnder temporal validity, skipped readings stay acceptable while the value\n\
+         is young, so far fewer reads count as stale — and because the controller\n\
+         reacts to the outcomes it observes, the gentler verdict also lets UNIT shed\n\
+         deeper without triggering Upgrade signals (compare the applied%% columns)."
+    );
+}

@@ -1,0 +1,180 @@
+//! The paper's qualitative result shapes, asserted as tests.
+//!
+//! These encode what EXPERIMENTS.md reports: who wins, who collapses, and
+//! how the outcome mix responds to preferences. Runs use a 1/2-scale
+//! workload — large enough to keep per-item version counts (and therefore
+//! the update-economics) faithful to the paper's setup.
+
+use unit_bench::{default_workload_plan, run_matrix, run_policy, ExperimentPlan, PolicyKind};
+use unit_core::usm::UsmWeights;
+use unit_workload::{UpdateDistribution, UpdateVolume};
+
+fn plan() -> ExperimentPlan {
+    default_workload_plan(2)
+}
+
+/// Fig. 4: IMU collapses once updates saturate the CPU.
+#[test]
+fn imu_collapses_at_high_update_volume() {
+    let p = plan();
+    let med = run_policy(
+        &p,
+        &p.bundle(UpdateVolume::Med, UpdateDistribution::Uniform),
+        PolicyKind::Imu,
+        UsmWeights::naive(),
+    );
+    let high = run_policy(
+        &p,
+        &p.bundle(UpdateVolume::High, UpdateDistribution::Uniform),
+        PolicyKind::Imu,
+        UsmWeights::naive(),
+    );
+    assert!(
+        med.report.success_ratio() < 0.55,
+        "med {:.3}",
+        med.report.success_ratio()
+    );
+    assert!(
+        high.report.success_ratio() < 0.02,
+        "IMU at 150% update load must produce near-zero USM, got {:.3}",
+        high.report.success_ratio()
+    );
+}
+
+/// Fig. 4: UNIT beats IMU and ODU on every trace, and never loses badly to
+/// anyone.
+#[test]
+fn unit_dominates_imu_and_odu_across_the_matrix() {
+    let p = plan();
+    for dist in [
+        UpdateDistribution::Uniform,
+        UpdateDistribution::PositiveCorrelation,
+        UpdateDistribution::NegativeCorrelation,
+    ] {
+        let bundles: Vec<_> = UpdateVolume::ALL
+            .iter()
+            .map(|&v| p.bundle(v, dist))
+            .collect();
+        let out = run_matrix(&p, &bundles, &PolicyKind::ALL, UsmWeights::naive());
+        for (bi, bundle) in bundles.iter().enumerate() {
+            let s = |pi: usize| out[bi * 4 + pi].report.success_ratio();
+            let (imu, odu, qmf, unit) = (s(0), s(1), s(2), s(3));
+            assert!(
+                unit >= imu - 1e-9,
+                "{}: UNIT {unit:.3} < IMU {imu:.3}",
+                bundle.name
+            );
+            assert!(
+                unit >= odu - 0.01,
+                "{}: UNIT {unit:.3} < ODU {odu:.3}",
+                bundle.name
+            );
+            assert!(
+                unit >= qmf - 0.03,
+                "{}: UNIT {unit:.3} must stay within a whisker of QMF {qmf:.3}",
+                bundle.name
+            );
+        }
+    }
+}
+
+/// Fig. 3: UNIT's surviving updates follow the query distribution — hot
+/// items keep almost everything, the cold half keeps almost nothing.
+#[test]
+fn unit_shedding_follows_the_query_distribution() {
+    let p = plan();
+    let bundle = p.bundle(UpdateVolume::Med, UpdateDistribution::Uniform);
+    let out = run_policy(&p, &bundle, PolicyKind::Unit, UsmWeights::naive());
+    let r = &out.report;
+
+    let mut order: Vec<usize> = (0..bundle.trace.n_items).collect();
+    order.sort_by(|&a, &b| r.query_accesses[b].cmp(&r.query_accesses[a]));
+    let keep = |items: &[usize]| -> f64 {
+        let a: u64 = items.iter().map(|&i| r.updates_applied[i]).sum();
+        let v: u64 = items.iter().map(|&i| r.versions_arrived[i]).sum();
+        a as f64 / v.max(1) as f64
+    };
+    let hot = keep(&order[..bundle.trace.n_items / 10]);
+    let cold = keep(&order[bundle.trace.n_items / 2..]);
+    assert!(hot > 0.75, "hot items keep {hot:.2} of their updates");
+    assert!(cold < 0.30, "cold half keeps {cold:.2} of its updates");
+    assert!(
+        hot > 3.0 * cold,
+        "hot/cold keep contrast: {hot:.2} vs {cold:.2}"
+    );
+}
+
+/// Fig. 3(c): under negative correlation most update mass is shed.
+#[test]
+fn unit_sheds_most_updates_under_negative_correlation() {
+    let p = plan();
+    let bundle = p.bundle(UpdateVolume::Med, UpdateDistribution::NegativeCorrelation);
+    let out = run_policy(&p, &bundle, PolicyKind::Unit, UsmWeights::naive());
+    assert!(
+        out.report.applied_ratio() < 0.40,
+        "UNIT should shed the majority of negatively-correlated updates, applied {:.2}",
+        out.report.applied_ratio()
+    );
+}
+
+/// Fig. 5: weight sensitivity — QMF is punished by high C_r, IMU/ODU by
+/// high C_fm, and UNIT stays the most stable.
+#[test]
+fn weight_sensitivity_matches_the_paper() {
+    let p = plan();
+    let bundle = p.bundle(UpdateVolume::Med, UpdateDistribution::Uniform);
+
+    let baselines: Vec<_> = [PolicyKind::Imu, PolicyKind::Odu, PolicyKind::Qmf]
+        .iter()
+        .map(|&k| run_policy(&p, &bundle, k, UsmWeights::naive()))
+        .collect();
+
+    // High C_r punishes QMF's aggressive rejections.
+    let w = UsmWeights::high_high_cr();
+    let qmf = baselines[2].report.usm_under(&w);
+    let unit = run_policy(&p, &bundle, PolicyKind::Unit, w);
+    assert!(
+        unit.report.average_usm() > qmf,
+        "UNIT {:.3} must beat QMF {qmf:.3} under high C_r",
+        unit.report.average_usm()
+    );
+
+    // High C_fm punishes IMU and ODU (big deadline-miss shares).
+    let w = UsmWeights::high_high_cfm();
+    let imu = baselines[0].report.usm_under(&w);
+    let odu = baselines[1].report.usm_under(&w);
+    let unit = run_policy(&p, &bundle, PolicyKind::Unit, w);
+    assert!(
+        unit.report.average_usm() > imu + 1.0,
+        "IMU must crater under high C_fm"
+    );
+    assert!(
+        unit.report.average_usm() > odu + 0.5,
+        "ODU must suffer under high C_fm"
+    );
+}
+
+/// Fig. 6: UNIT reshapes its outcome mix toward the cheap failure class.
+#[test]
+fn unit_outcome_mix_tracks_the_weights() {
+    let p = plan();
+    let bundle = p.bundle(UpdateVolume::Med, UpdateDistribution::Uniform);
+
+    let high_cr = run_policy(&p, &bundle, PolicyKind::Unit, UsmWeights::low_high_cr());
+    let high_cfm = run_policy(&p, &bundle, PolicyKind::Unit, UsmWeights::low_high_cfm());
+
+    // Pricier rejections -> relatively fewer rejections than under pricier
+    // deadline misses, and vice versa.
+    let rr_cr = high_cr.report.ratios()[1];
+    let rr_cfm = high_cfm.report.ratios()[1];
+    let rfm_cr = high_cr.report.ratios()[2];
+    let rfm_cfm = high_cfm.report.ratios()[2];
+    assert!(
+        rr_cr <= rr_cfm + 1e-9,
+        "rejection share must not grow when rejections get pricier: {rr_cr:.4} vs {rr_cfm:.4}"
+    );
+    assert!(
+        rfm_cfm <= rfm_cr + 1e-9,
+        "DMF share must not grow when misses get pricier: {rfm_cfm:.4} vs {rfm_cr:.4}"
+    );
+}
