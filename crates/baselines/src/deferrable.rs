@@ -20,7 +20,7 @@
 
 use unit_core::freshness::max_tolerable_udrop;
 use unit_core::policy::{AdmissionDecision, Policy, UpdateAction};
-use unit_core::snapshot::SystemSnapshot;
+use unit_core::snapshot::SnapshotView;
 use unit_core::time::{SimDuration, SimTime};
 use unit_core::types::{DataId, QuerySpec, UpdateSpec};
 
@@ -99,7 +99,7 @@ impl Policy for DeferrablePolicy {
         self.interval_ewma = vec![None; n_items];
     }
 
-    fn on_query_arrival(&mut self, _q: &QuerySpec, _sys: &SystemSnapshot) -> AdmissionDecision {
+    fn on_query_arrival(&mut self, _q: &QuerySpec, _sys: &SnapshotView<'_>) -> AdmissionDecision {
         AdmissionDecision::Admit
     }
 
@@ -107,7 +107,7 @@ impl Policy for DeferrablePolicy {
         &mut self,
         _item: DataId,
         _now: SimTime,
-        _sys: &SystemSnapshot,
+        _sys: &SnapshotView<'_>,
     ) -> UpdateAction {
         // Never apply on the source's schedule: defer.
         UpdateAction::Skip
@@ -189,7 +189,8 @@ mod tests {
     #[test]
     fn versions_are_never_applied_at_arrival() {
         let mut p = policy();
-        let sys = SystemSnapshot::empty(SimTime::ZERO);
+        let snap = unit_core::snapshot::SystemSnapshot::empty(SimTime::ZERO);
+        let sys = snap.view();
         assert!(!p
             .on_version_arrival(DataId(0), SimTime::from_secs(1), &sys)
             .is_apply());

@@ -8,7 +8,7 @@
 //! Fig. 4 exposes at the `high` volumes.
 
 use unit_core::policy::{AdmissionDecision, Policy, UpdateAction};
-use unit_core::snapshot::SystemSnapshot;
+use unit_core::snapshot::SnapshotView;
 use unit_core::time::SimTime;
 use unit_core::types::{DataId, QuerySpec, UpdateSpec};
 
@@ -30,7 +30,7 @@ impl Policy for ImuPolicy {
 
     fn init(&mut self, _n_items: usize, _updates: &[UpdateSpec]) {}
 
-    fn on_query_arrival(&mut self, _q: &QuerySpec, _sys: &SystemSnapshot) -> AdmissionDecision {
+    fn on_query_arrival(&mut self, _q: &QuerySpec, _sys: &SnapshotView<'_>) -> AdmissionDecision {
         AdmissionDecision::Admit
     }
 
@@ -38,7 +38,7 @@ impl Policy for ImuPolicy {
         &mut self,
         _item: DataId,
         _now: SimTime,
-        _sys: &SystemSnapshot,
+        _sys: &SnapshotView<'_>,
     ) -> UpdateAction {
         UpdateAction::Apply
     }
@@ -64,7 +64,8 @@ mod tests {
             freshness_req: 0.9,
             pref_class: 0,
         };
-        let sys = SystemSnapshot::empty(SimTime::ZERO);
+        let snap = unit_core::snapshot::SystemSnapshot::empty(SimTime::ZERO);
+        let sys = snap.view();
         assert!(p.on_query_arrival(&q, &sys).is_admit());
         assert!(p
             .on_version_arrival(DataId(3), SimTime::from_secs(5), &sys)

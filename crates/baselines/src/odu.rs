@@ -15,7 +15,7 @@
 
 use unit_core::freshness::max_tolerable_udrop;
 use unit_core::policy::{AdmissionDecision, Policy, UpdateAction};
-use unit_core::snapshot::SystemSnapshot;
+use unit_core::snapshot::SnapshotView;
 use unit_core::time::SimTime;
 use unit_core::types::{DataId, QuerySpec, UpdateSpec};
 
@@ -44,7 +44,7 @@ impl Policy for OduPolicy {
 
     fn init(&mut self, _n_items: usize, _updates: &[UpdateSpec]) {}
 
-    fn on_query_arrival(&mut self, _q: &QuerySpec, _sys: &SystemSnapshot) -> AdmissionDecision {
+    fn on_query_arrival(&mut self, _q: &QuerySpec, _sys: &SnapshotView<'_>) -> AdmissionDecision {
         AdmissionDecision::Admit
     }
 
@@ -52,7 +52,7 @@ impl Policy for OduPolicy {
         &mut self,
         _item: DataId,
         _now: SimTime,
-        _sys: &SystemSnapshot,
+        _sys: &SnapshotView<'_>,
     ) -> UpdateAction {
         UpdateAction::Skip
     }
@@ -96,7 +96,8 @@ mod tests {
     fn never_applies_background_versions() {
         let mut p = OduPolicy::new();
         p.init(4, &[]);
-        let sys = SystemSnapshot::empty(SimTime::ZERO);
+        let snap = unit_core::snapshot::SystemSnapshot::empty(SimTime::ZERO);
+        let sys = snap.view();
         assert!(!p
             .on_version_arrival(DataId(0), SimTime::from_secs(1), &sys)
             .is_apply());

@@ -27,7 +27,7 @@
 //! relative pricing of rejections vs. misses vs. staleness.
 
 use unit_core::policy::{AdmissionDecision, Policy, UpdateAction};
-use unit_core::snapshot::SystemSnapshot;
+use unit_core::snapshot::SnapshotView;
 use unit_core::time::{SimDuration, SimTime};
 use unit_core::types::{DataId, Outcome, QuerySpec, UpdateSpec};
 
@@ -182,7 +182,7 @@ impl QmfPolicy {
         }
     }
 
-    fn adapt(&mut self, now: SimTime, sys: &SystemSnapshot) {
+    fn adapt(&mut self, now: SimTime, sys: &SnapshotView<'_>) {
         self.adaptations += 1;
         self.last_adaptation = now;
 
@@ -237,7 +237,7 @@ impl Policy for QmfPolicy {
         self.dropped = vec![false; n_items];
     }
 
-    fn on_query_arrival(&mut self, q: &QuerySpec, sys: &SystemSnapshot) -> AdmissionDecision {
+    fn on_query_arrival(&mut self, q: &QuerySpec, sys: &SnapshotView<'_>) -> AdmissionDecision {
         let backlog = sys.update_backlog.as_secs_f64() + sys.query_backlog().as_secs_f64();
         if backlog + q.exec_time.as_secs_f64() > self.backlog_cap_secs {
             self.rejected += 1;
@@ -251,7 +251,7 @@ impl Policy for QmfPolicy {
         &mut self,
         item: DataId,
         _now: SimTime,
-        _sys: &SystemSnapshot,
+        _sys: &SnapshotView<'_>,
     ) -> UpdateAction {
         self.update_counts[item.index()] += 1;
         if self.dropped[item.index()] {
@@ -287,7 +287,7 @@ impl Policy for QmfPolicy {
     fn on_tick(
         &mut self,
         now: SimTime,
-        sys: &SystemSnapshot,
+        sys: &SnapshotView<'_>,
     ) -> Vec<unit_core::policy::ControlSignal> {
         if now.saturating_since(self.last_adaptation) >= self.cfg.adaptation_period {
             self.adapt(now, sys);
@@ -299,6 +299,7 @@ impl Policy for QmfPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use unit_core::snapshot::SystemSnapshot;
     use unit_core::time::SimDuration;
     use unit_core::types::QueryId;
 
@@ -324,10 +325,10 @@ mod tests {
     fn admits_under_the_backlog_cap_rejects_above() {
         let mut p = policy();
         let mut sys = SystemSnapshot::empty(SimTime::ZERO);
-        assert!(p.on_query_arrival(&query(2), &sys).is_admit());
+        assert!(p.on_query_arrival(&query(2), &sys.view()).is_admit());
         // Pile 800s of update backlog: over the 500s default cap.
         sys.update_backlog = SimDuration::from_secs(800);
-        assert!(!p.on_query_arrival(&query(2), &sys).is_admit());
+        assert!(!p.on_query_arrival(&query(2), &sys.view()).is_admit());
     }
 
     #[test]
@@ -335,7 +336,7 @@ mod tests {
         let mut p = policy();
         let sys = SystemSnapshot::empty(SimTime::ZERO);
         assert!(p
-            .on_version_arrival(DataId(1), SimTime::from_secs(1), &sys)
+            .on_version_arrival(DataId(1), SimTime::from_secs(1), &sys.view())
             .is_apply());
 
         // Window: misses above target, freshness perfect -> overloaded path
@@ -346,11 +347,11 @@ mod tests {
         }
         let mut busy = SystemSnapshot::empty(SimTime::from_secs(10));
         busy.recent_utilization = 1.0;
-        p.adapt(SimTime::from_secs(10), &busy);
+        p.adapt(SimTime::from_secs(10), &busy.view());
         assert_eq!(p.qod_level(), 8); // step clamped to n_items
                                       // All items' streams are now dropped.
         assert!(!p
-            .on_version_arrival(DataId(1), SimTime::from_secs(11), &sys)
+            .on_version_arrival(DataId(1), SimTime::from_secs(11), &sys.view())
             .is_apply());
     }
 
@@ -364,7 +365,7 @@ mod tests {
         let cap_before = p.backlog_cap_secs();
         let mut busy = SystemSnapshot::empty(SimTime::from_secs(10));
         busy.recent_utilization = 1.0;
-        p.adapt(SimTime::from_secs(10), &busy);
+        p.adapt(SimTime::from_secs(10), &busy.view());
         assert!(p.backlog_cap_secs() < cap_before);
         assert_eq!(p.qod_level(), 0, "freshness at the floor: do not degrade");
     }
@@ -379,7 +380,7 @@ mod tests {
         }
         let mut busy = SystemSnapshot::empty(SimTime::from_secs(10));
         busy.recent_utilization = 1.0;
-        p.adapt(SimTime::from_secs(10), &busy);
+        p.adapt(SimTime::from_secs(10), &busy.view());
         assert!(p.qod_level() > 0);
         // Then: idle CPU, stale dispatches -> upgrade.
         for _ in 0..10 {
@@ -387,7 +388,7 @@ mod tests {
             p.on_query_outcome(&query(1), Outcome::Success);
         }
         let idle = SystemSnapshot::empty(SimTime::from_secs(20));
-        p.adapt(SimTime::from_secs(20), &idle);
+        p.adapt(SimTime::from_secs(20), &idle.view());
         assert_eq!(p.qod_level(), 0);
     }
 
@@ -400,7 +401,7 @@ mod tests {
         }
         let cap_before = p.backlog_cap_secs();
         let idle = SystemSnapshot::empty(SimTime::from_secs(10));
-        p.adapt(SimTime::from_secs(10), &idle);
+        p.adapt(SimTime::from_secs(10), &idle.view());
         assert!(p.backlog_cap_secs() >= cap_before);
     }
 
@@ -410,8 +411,8 @@ mod tests {
         let sys = SystemSnapshot::empty(SimTime::ZERO);
         // Item 0: heavily updated, never read. Item 1: updated and read.
         for _ in 0..20 {
-            let _ = p.on_version_arrival(DataId(0), SimTime::from_secs(1), &sys);
-            let _ = p.on_version_arrival(DataId(1), SimTime::from_secs(1), &sys);
+            let _ = p.on_version_arrival(DataId(0), SimTime::from_secs(1), &sys.view());
+            let _ = p.on_version_arrival(DataId(1), SimTime::from_secs(1), &sys.view());
         }
         let mut q = query(1);
         q.items = vec![DataId(1)];
@@ -436,13 +437,13 @@ mod tests {
     fn tick_adapts_once_per_period() {
         let mut p = policy();
         let sys = SystemSnapshot::empty(SimTime::from_secs(100));
-        let _ = p.on_tick(SimTime::from_secs(100), &sys);
+        let _ = p.on_tick(SimTime::from_secs(100), &sys.view());
         assert_eq!(p.adaptations(), 0, "period not elapsed yet");
         let sys = SystemSnapshot::empty(SimTime::from_secs(500));
-        let _ = p.on_tick(SimTime::from_secs(500), &sys);
+        let _ = p.on_tick(SimTime::from_secs(500), &sys.view());
         assert_eq!(p.adaptations(), 1);
         let sys = SystemSnapshot::empty(SimTime::from_secs(600));
-        let _ = p.on_tick(SimTime::from_secs(600), &sys);
+        let _ = p.on_tick(SimTime::from_secs(600), &sys.view());
         assert_eq!(p.adaptations(), 1);
     }
 }
@@ -450,6 +451,7 @@ mod tests {
 #[cfg(test)]
 mod more_tests {
     use super::*;
+    use unit_core::snapshot::SystemSnapshot;
     use unit_core::types::{DataId, Outcome, QueryId};
 
     fn query(exec_s: u64) -> QuerySpec {
@@ -476,7 +478,7 @@ mod more_tests {
             }
             let mut sys = SystemSnapshot::empty(SimTime::from_secs(100 * (round + 1)));
             sys.recent_utilization = 1.0;
-            p.adapt(SimTime::from_secs(100 * (round + 1)), &sys);
+            p.adapt(SimTime::from_secs(100 * (round + 1)), &sys.view());
         }
         let (floor, _) = QmfConfig::default().backlog_cap_range;
         assert!(
@@ -487,7 +489,7 @@ mod more_tests {
         // At the floor, QMF rejects essentially everything with backlog.
         let mut sys = SystemSnapshot::empty(SimTime::from_secs(2_000));
         sys.update_backlog = SimDuration::from_secs(200);
-        assert!(!p.on_query_arrival(&query(1), &sys).is_admit());
+        assert!(!p.on_query_arrival(&query(1), &sys.view()).is_admit());
     }
 
     #[test]
@@ -500,7 +502,7 @@ mod more_tests {
         }
         let mut busy = SystemSnapshot::empty(SimTime::from_secs(100));
         busy.recent_utilization = 1.0;
-        p.adapt(SimTime::from_secs(100), &busy);
+        p.adapt(SimTime::from_secs(100), &busy.view());
         let crashed = p.backlog_cap_secs();
         // ...then feed clean windows: the PI loop must raise it again.
         for round in 0..20 {
@@ -508,7 +510,7 @@ mod more_tests {
                 p.on_query_outcome(&query(1), Outcome::Success);
             }
             let idle = SystemSnapshot::empty(SimTime::from_secs(200 + 100 * round));
-            p.adapt(SimTime::from_secs(200 + 100 * round), &idle);
+            p.adapt(SimTime::from_secs(200 + 100 * round), &idle.view());
         }
         assert!(
             p.backlog_cap_secs() > crashed,
@@ -528,7 +530,7 @@ mod more_tests {
         let sys = SystemSnapshot::empty(SimTime::ZERO);
         for i in 0..4 {
             assert!(p
-                .on_version_arrival(DataId(i), SimTime::from_secs(1), &sys)
+                .on_version_arrival(DataId(i), SimTime::from_secs(1), &sys.view())
                 .is_apply());
         }
     }
@@ -538,7 +540,7 @@ mod more_tests {
         let mut p = QmfPolicy::default();
         p.init(4, &[]);
         let sys = SystemSnapshot::empty(SimTime::from_secs(500));
-        p.adapt(SimTime::from_secs(500), &sys);
+        p.adapt(SimTime::from_secs(500), &sys.view());
         assert_eq!(p.adaptations(), 1);
         // Miss ratio of an empty window reads as 0 (meeting the target).
         assert!(p.backlog_cap_secs() >= QmfConfig::default().initial_backlog_cap);

@@ -125,7 +125,7 @@ fn admission(c: &mut Criterion) {
             BenchmarkId::new("evaluate", queue_len),
             &queue_len,
             |b, _| {
-                b.iter(|| black_box(ac.evaluate(&query, &snapshot, &weights)));
+                b.iter(|| black_box(ac.evaluate(&query, &snapshot.view(), &weights)));
             },
         );
     }

@@ -3,7 +3,7 @@
 use unit_bench::cli::HarnessArgs;
 use unit_bench::default_workload_plan;
 use unit_core::policy::{AdmissionDecision, ControlSignal, Policy, UpdateAction};
-use unit_core::snapshot::SystemSnapshot;
+use unit_core::snapshot::SnapshotView;
 use unit_core::time::{SimDuration, SimTime};
 use unit_core::types::{DataId, Outcome, QuerySpec, UpdateSpec};
 use unit_core::unit_policy::UnitPolicy;
@@ -24,10 +24,10 @@ impl Policy for Probe {
     fn init(&mut self, n: usize, u: &[UpdateSpec]) {
         self.inner.init(n, u)
     }
-    fn on_query_arrival(&mut self, q: &QuerySpec, s: &SystemSnapshot) -> AdmissionDecision {
+    fn on_query_arrival(&mut self, q: &QuerySpec, s: &SnapshotView<'_>) -> AdmissionDecision {
         self.inner.on_query_arrival(q, s)
     }
-    fn on_version_arrival(&mut self, d: DataId, t: SimTime, s: &SystemSnapshot) -> UpdateAction {
+    fn on_version_arrival(&mut self, d: DataId, t: SimTime, s: &SnapshotView<'_>) -> UpdateAction {
         self.inner.on_version_arrival(d, t, s)
     }
     fn on_query_dispatch(&mut self, q: &QuerySpec, f: f64) {
@@ -39,7 +39,7 @@ impl Policy for Probe {
     fn on_query_outcome(&mut self, q: &QuerySpec, o: Outcome) {
         self.inner.on_query_outcome(q, o)
     }
-    fn on_tick(&mut self, now: SimTime, s: &SystemSnapshot) -> Vec<ControlSignal> {
+    fn on_tick(&mut self, now: SimTime, s: &SnapshotView<'_>) -> Vec<ControlSignal> {
         let r = self.inner.on_tick(now, s);
         if now >= self.next_print {
             self.next_print = now + self.every;

@@ -1,0 +1,136 @@
+//! Perf gate: times the fig3 workload (UNIT policy, med-unif and
+//! med-neg bundles) at `--scale 8` and writes `BENCH_simspeed.json` at
+//! the repo root so the bench trajectory accumulates across PRs.
+//!
+//! Usage: `simspeed [--scale N] [--out FILE] [--runs K] [--baseline SECS]`.
+//!
+//! `--baseline` takes a reference total wall-clock (the seed engine's time on
+//! the same machine) and records the resulting speedup in the JSON.
+
+use std::time::Instant;
+use unit_bench::{default_workload_plan, run_policy, PolicyKind};
+use unit_core::usm::UsmWeights;
+use unit_workload::{UpdateDistribution, UpdateVolume};
+
+struct Args {
+    scale: u64,
+    out: Option<String>,
+    runs: usize,
+    baseline_secs: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 8,
+        out: Some("BENCH_simspeed.json".to_string()),
+        runs: 3,
+        baseline_secs: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().expect("--scale requires a value");
+                args.scale = v.parse().expect("bad --scale");
+            }
+            "--runs" => {
+                let v = it.next().expect("--runs requires a value");
+                args.runs = v.parse().expect("bad --runs");
+            }
+            "--baseline" => {
+                let v = it.next().expect("--baseline requires seconds");
+                args.baseline_secs = Some(v.parse().expect("bad --baseline"));
+            }
+            "--out" => args.out = Some(it.next().expect("--out requires a path")),
+            "--no-out" => args.out = None,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: simspeed [--scale N] [--runs K] [--baseline SECS] [--out FILE | --no-out]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let plan = default_workload_plan(args.scale);
+    let weights = UsmWeights::naive();
+    let cells = [
+        ("med-unif", UpdateDistribution::Uniform),
+        ("med-neg", UpdateDistribution::NegativeCorrelation),
+    ];
+
+    println!(
+        "simspeed: fig3 workload (UNIT), scale 1/{}, best of {} runs\n",
+        args.scale, args.runs
+    );
+
+    let mut total_secs = 0.0f64;
+    let mut total_events = 0u64;
+    let mut peak_events_per_sec = 0.0f64;
+    let mut rows = Vec::new();
+    for (name, dist) in cells {
+        let bundle = plan.bundle(UpdateVolume::Med, dist);
+        // One warm-up run, then best-of-K timed runs.
+        let mut best_secs = f64::INFINITY;
+        let mut events = 0u64;
+        let mut usm = 0.0f64;
+        for run in 0..=args.runs {
+            let start = Instant::now();
+            let out = run_policy(&plan, &bundle, PolicyKind::Unit, weights);
+            let secs = start.elapsed().as_secs_f64();
+            events = out.report.events_processed;
+            usm = out.report.average_usm();
+            if run > 0 && secs < best_secs {
+                best_secs = secs;
+            }
+        }
+        let events_per_sec = events as f64 / best_secs;
+        peak_events_per_sec = peak_events_per_sec.max(events_per_sec);
+        total_secs += best_secs;
+        total_events += events;
+        println!(
+            "  {name:<10} {best_secs:>8.3} s  {events:>9} events  {:>12.0} events/s  USM {usm:+.4}",
+            events_per_sec
+        );
+        rows.push(format!(
+            "    {{\"trace\": \"{name}\", \"wall_secs\": {best_secs:.6}, \
+             \"events\": {events}, \"events_per_sec\": {events_per_sec:.1}, \
+             \"usm\": {usm:.6}}}"
+        ));
+    }
+
+    println!(
+        "\n  total     {total_secs:>8.3} s  {total_events:>9} events  peak {peak_events_per_sec:.0} events/s"
+    );
+    let baseline_json = match args.baseline_secs {
+        Some(base) => {
+            let speedup = base / total_secs;
+            println!("  speedup   {speedup:>8.2}x vs seed baseline {base:.3} s");
+            format!(
+                "\n  \"seed_baseline_wall_secs_total\": {base:.6},\n  \"speedup_vs_seed\": {speedup:.2},"
+            )
+        }
+        None => String::new(),
+    };
+
+    if let Some(path) = args.out {
+        let json = format!
+            (
+            "{{\n  \"bench\": \"simspeed\",\n  \"workload\": \"fig3\",\n  \"scale\": {},\n  \"runs\": {},\n  \"wall_secs_total\": {:.6},\n  \"events_total\": {},\n  \"peak_events_per_sec\": {:.1},{}\n  \"cells\": [\n{}\n  ]\n}}\n",
+            args.scale,
+            args.runs,
+            total_secs,
+            total_events,
+            peak_events_per_sec,
+            baseline_json,
+            rows.join(",\n")
+        );
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("  wrote {path}");
+    }
+}

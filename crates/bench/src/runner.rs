@@ -1,6 +1,8 @@
 //! Shared experiment plumbing: workload plans, policy construction, and
 //! parallel run execution.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::thread;
 use unit_baselines::{ImuPolicy, OduPolicy, QmfPolicy};
 use unit_core::config::UnitConfig;
@@ -134,32 +136,50 @@ pub fn run_policy(
     }
 }
 
-/// Run a matrix of (bundle × policy) pairs in parallel (one OS thread per
-/// run; runs are independent and deterministic).
+/// Run a matrix of (bundle × policy) pairs in parallel on a bounded worker
+/// pool (runs are independent and deterministic; results keep matrix order).
+///
+/// The pool holds `min(available_parallelism, n_cells)` OS threads pulling
+/// cells from a shared counter — large sweeps no longer spawn one thread per
+/// cell and oversubscribe the host.
 pub fn run_matrix(
     plan: &ExperimentPlan,
     bundles: &[TraceBundle],
     policies: &[PolicyKind],
     weights: UsmWeights,
 ) -> Vec<RunOutcome> {
-    let mut results: Vec<Option<RunOutcome>> = Vec::new();
-    results.resize_with(bundles.len() * policies.len(), || None);
+    let cells: Vec<(&TraceBundle, PolicyKind)> = bundles
+        .iter()
+        .flat_map(|b| policies.iter().map(move |&p| (b, p)))
+        .collect();
+    let n_workers = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(cells.len())
+        .max(1);
+    let results: Vec<Mutex<Option<RunOutcome>>> =
+        (0..cells.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
     thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (bi, bundle) in bundles.iter().enumerate() {
-            for (pi, &policy) in policies.iter().enumerate() {
-                let plan = *plan;
-                handles.push((
-                    bi * policies.len() + pi,
-                    scope.spawn(move || run_policy(&plan, bundle, policy, weights)),
-                ));
-            }
-        }
-        for (idx, h) in handles {
-            results[idx] = Some(h.join().expect("run thread panicked"));
+        for _ in 0..n_workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(bundle, policy)) = cells.get(idx) else {
+                    return;
+                };
+                let outcome = run_policy(plan, bundle, policy, weights);
+                *results[idx].lock().expect("result slot poisoned") = Some(outcome);
+            });
         }
     });
-    results.into_iter().map(|r| r.expect("filled")).collect()
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every cell must have run")
+        })
+        .collect()
 }
 
 #[cfg(test)]

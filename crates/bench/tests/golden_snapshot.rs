@@ -1,0 +1,205 @@
+//! Golden fixed-seed regression test for the engine→policy hot path.
+//!
+//! Pins the complete `SimReport` — outcome counts, USM bits, per-item
+//! histograms, scheduler accounting, and the recorded timeline — for a
+//! `scale=40` med-unif workload across all four policies and all three
+//! scheduling disciplines. The values were captured from the eager
+//! `SystemSnapshot` implementation; the lazy `SnapshotView` / Fenwick
+//! admission path must reproduce every run bit-for-bit.
+//!
+//! To regenerate after an *intentional* behaviour change:
+//!
+//! ```text
+//! GOLDEN_PRINT=1 cargo test -p unit-bench --test golden_snapshot -- --nocapture
+//! ```
+
+use unit_bench::{default_workload_plan, PolicyKind};
+use unit_core::usm::UsmWeights;
+use unit_sim::{SchedulingDiscipline, SimReport};
+use unit_workload::{UpdateDistribution, UpdateVolume};
+
+/// FNV-1a over a little-endian byte stream.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+}
+
+/// Bit-exact digest of everything in a [`SimReport`].
+fn report_digest(r: &SimReport) -> u64 {
+    let mut h = Fnv::new();
+    h.bytes(r.policy.as_bytes());
+    for w in [
+        r.weights.gain,
+        r.weights.c_r,
+        r.weights.c_fm,
+        r.weights.c_fs,
+    ] {
+        h.f64(w);
+    }
+    for c in [
+        r.counts.success,
+        r.counts.rejected,
+        r.counts.deadline_miss,
+        r.counts.data_stale,
+    ] {
+        h.u64(c);
+    }
+    h.u64(r.class_counts.len() as u64);
+    for c in &r.class_counts {
+        for v in [c.success, c.rejected, c.deadline_miss, c.data_stale] {
+            h.u64(v);
+        }
+    }
+    for hist in [&r.query_accesses, &r.versions_arrived, &r.updates_applied] {
+        h.u64(hist.len() as u64);
+        for &v in hist.iter() {
+            h.u64(v);
+        }
+    }
+    h.u64(r.hp_aborts);
+    h.u64(r.query_restarts);
+    h.u64(r.preemptions);
+    h.u64(r.demand_refreshes);
+    h.u64(r.cpu_busy.0);
+    h.u64(r.end_time.0);
+    h.u64(r.horizon.0);
+    h.u64(r.n_cpus as u64);
+    for s in [
+        r.signals.loosen_admission,
+        r.signals.tighten_admission,
+        r.signals.degrade_updates,
+        r.signals.upgrade_updates,
+    ] {
+        h.u64(s);
+    }
+    h.f64(r.mean_dispatch_freshness);
+    h.u64(r.timeline.len() as u64);
+    for s in &r.timeline {
+        h.u64(s.time.0);
+        h.f64(s.usm);
+        h.u64(s.ready_queries as u64);
+        h.f64(s.update_backlog_secs);
+        h.f64(s.utilization);
+    }
+    h.0
+}
+
+const DISCIPLINES: [(SchedulingDiscipline, &str); 3] = [
+    (SchedulingDiscipline::DualPriorityEdf, "dual"),
+    (SchedulingDiscipline::GlobalEdf, "global"),
+    (SchedulingDiscipline::QueryFirst, "qfirst"),
+];
+
+/// Golden digests captured from the eager-snapshot engine
+/// (policy, discipline, USM bits, digest).
+const GOLDEN: [(&str, &str, u64, u64); 12] = [
+    ("IMU", "dual", 0xbfcfb02a4cee29f0, 0xf38f7adce7bba9e6),
+    ("IMU", "global", 0x3fefb8819521b2ec, 0x627a29b192aaa272),
+    ("IMU", "qfirst", 0x3fefb8819521b2ec, 0x627a29b192aaa272),
+    ("ODU", "dual", 0x3fe76eed58368398, 0xa05fc31eb75e286d),
+    ("ODU", "global", 0x3fe76eed58368398, 0xa05fc31eb75e286d),
+    ("ODU", "qfirst", 0x3fedff08279e96f4, 0x779aaba10860b7f8),
+    ("QMF", "dual", 0x3fbdca01dca01dca, 0xee3586e7d2d722bd),
+    ("QMF", "global", 0x3fefb8819521b2ec, 0x6ffcfe501967cabf),
+    ("QMF", "qfirst", 0x3fefb8819521b2ec, 0x6ffcfe501967cabf),
+    ("UNIT", "dual", 0x3fb77a3f3a334fcc, 0xccb57ab3399f6f69),
+    ("UNIT", "global", 0x3fd8e6dd8e6dd8e7, 0x79ce101b55902c76),
+    ("UNIT", "qfirst", 0x3fd8e6dd8e6dd8e7, 0x79ce101b55902c76),
+];
+
+fn run_cell(policy: PolicyKind, discipline: SchedulingDiscipline) -> SimReport {
+    let mut plan = default_workload_plan(40);
+    // The runner's sim_config has no timeline; rebuild with it on so the
+    // digest also pins the control-tick sampling path.
+    let bundle = plan.bundle(UpdateVolume::Med, UpdateDistribution::Uniform);
+    plan.tick_period = unit_core::time::SimDuration::from_secs(10);
+    let weights = UsmWeights::low_high_cfm();
+    let cfg = plan
+        .sim_config(weights)
+        .with_timeline()
+        .with_discipline(discipline);
+    run_policy_with_config(&plan, &bundle, policy, weights, cfg)
+}
+
+/// `run_policy` with an explicit `SimConfig` (the runner builds its own).
+fn run_policy_with_config(
+    plan: &unit_bench::ExperimentPlan,
+    bundle: &unit_workload::TraceBundle,
+    policy: PolicyKind,
+    weights: UsmWeights,
+    cfg: unit_sim::SimConfig,
+) -> SimReport {
+    use unit_baselines::{ImuPolicy, OduPolicy, QmfPolicy};
+    use unit_core::unit_policy::UnitPolicy;
+    use unit_sim::run_simulation;
+    match policy {
+        PolicyKind::Imu => run_simulation(&bundle.trace, ImuPolicy::new(), cfg),
+        PolicyKind::Odu => run_simulation(&bundle.trace, OduPolicy::new(), cfg),
+        PolicyKind::Qmf => run_simulation(&bundle.trace, QmfPolicy::default(), cfg),
+        PolicyKind::Unit => run_simulation(
+            &bundle.trace,
+            UnitPolicy::new(plan.unit_config(weights)),
+            cfg,
+        ),
+    }
+}
+
+#[test]
+fn reports_match_golden_digests() {
+    let print_mode = std::env::var_os("GOLDEN_PRINT").is_some();
+    let mut failures = Vec::new();
+    for kind in PolicyKind::ALL {
+        for (discipline, dname) in DISCIPLINES {
+            let report = run_cell(kind, discipline);
+            let digest = report_digest(&report);
+            let usm_bits = report.average_usm().to_bits();
+            if print_mode {
+                println!(
+                    "    (\"{}\", \"{}\", 0x{usm_bits:016x}, 0x{digest:016x}),",
+                    kind.name(),
+                    dname
+                );
+                continue;
+            }
+            let expected = GOLDEN
+                .iter()
+                .find(|(p, d, _, _)| *p == kind.name() && *d == dname)
+                .unwrap_or_else(|| panic!("no golden entry for {}/{dname}", kind.name()));
+            if digest != expected.3 || usm_bits != expected.2 {
+                failures.push(format!(
+                    "{}/{}: usm {:+.6} (bits 0x{usm_bits:016x}, want 0x{:016x}), \
+                     digest 0x{digest:016x} (want 0x{:016x}), counts {:?}",
+                    kind.name(),
+                    dname,
+                    report.average_usm(),
+                    expected.2,
+                    expected.3,
+                    report.counts,
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "SimReport diverged from the golden seed capture:\n{}",
+        failures.join("\n")
+    );
+}

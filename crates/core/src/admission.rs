@@ -1,22 +1,25 @@
 //! Query Admission Control (§3.3).
 //!
-//! Two gates, each `O(N_rq)` per arriving query:
+//! Two gates:
 //!
 //! 1. **Transaction deadline check** — is the query *promising*? Using the
 //!    Earliest-possible Start Time (EST = all work that would run before it
 //!    under the dual-priority EDF discipline), admit only if
 //!    `C_flex · EST_i + qe_i < qt_i`. The lag ratio `C_flex` starts at 1 and
 //!    is the controller's admission knob: TAC/LAC signals move it ±10%
-//!    (larger `C_flex` = tighter admission).
+//!    (larger `C_flex` = tighter admission). Against the engine's
+//!    deadline-indexed view the EST probe is `O(log N_rq)`.
 //!
 //! 2. **System USM check** — would admitting the query cost more than
 //!    rejecting it? Admitting inserts `qe_i` of work ahead of every admitted
 //!    query with a later deadline; queries that were on track but would now
 //!    miss are *endangered*. If their summed DMF penalty exceeds the
-//!    rejection penalty `C_r`, reject the newcomer.
+//!    rejection penalty `C_r`, reject the newcomer. The scan starts from an
+//!    `O(log N_rq)` prefix sum and walks only strictly-later incumbents,
+//!    stopping the moment the cost threshold is crossed.
 
 use crate::policy::AdmissionDecision;
-use crate::snapshot::SystemSnapshot;
+use crate::snapshot::SnapshotView;
 use crate::types::QuerySpec;
 use crate::usm::UsmWeights;
 use serde::{Deserialize, Serialize};
@@ -36,7 +39,9 @@ pub enum AdmissionVerdict {
     /// Failed the system-USM check: admitting endangers more USM than the
     /// rejection costs.
     EndangersSystem {
-        /// Summed `C_fm` over endangered transactions.
+        /// Summed `C_fm` over endangered transactions, up to the first
+        /// point the sum exceeded `rejection_cost` (the scan short-circuits
+        /// once the verdict is decided).
         endangered_cost: f64,
         /// The newcomer's rejection penalty `C_r`.
         rejection_cost: f64,
@@ -54,7 +59,7 @@ impl AdmissionVerdict {
 }
 
 /// The admission-control state machine: holds `C_flex` and evaluates both
-/// checks against a [`SystemSnapshot`].
+/// checks against a [`SnapshotView`].
 ///
 /// ```
 /// use unit_core::admission::{AdmissionControl, AdmissionVerdict};
@@ -75,7 +80,7 @@ impl AdmissionVerdict {
 /// };
 /// let idle = SystemSnapshot::empty(SimTime::ZERO);
 /// assert!(matches!(
-///     ac.evaluate(&q, &idle, &UsmWeights::naive()),
+///     ac.evaluate(&q, &idle.view(), &UsmWeights::naive()),
 ///     AdmissionVerdict::NotPromising { .. }
 /// ));
 /// ```
@@ -143,12 +148,12 @@ impl AdmissionControl {
         self.c_flex = (self.c_flex * (1.0 - self.step)).max(self.min_c_flex);
     }
 
-    /// Evaluate both admission checks for query `q` against the snapshot,
+    /// Evaluate both admission checks for query `q` against the view,
     /// with a single shared preference vector (the paper's setting).
     pub fn evaluate(
         &self,
         q: &QuerySpec,
-        sys: &SystemSnapshot,
+        sys: &SnapshotView<'_>,
         weights: &UsmWeights,
     ) -> AdmissionVerdict {
         self.evaluate_with(q, sys, weights, &|_| *weights)
@@ -161,13 +166,14 @@ impl AdmissionControl {
     pub fn evaluate_with(
         &self,
         q: &QuerySpec,
-        sys: &SystemSnapshot,
+        sys: &SnapshotView<'_>,
         arr_weights: &UsmWeights,
         weights_of: &dyn Fn(u32) -> UsmWeights,
     ) -> AdmissionVerdict {
         let weights = arr_weights;
         // --- Transaction deadline check -------------------------------
         // EST_i = work ahead of q under dual-priority EDF (relative to now).
+        // One O(log N_rq) prefix-sum probe against the engine's index.
         let est = sys.work_ahead_of(q.deadline());
         let projected = self.c_flex * est.as_secs_f64() + q.exec_time.as_secs_f64();
         let allowance = q.relative_deadline.as_secs_f64();
@@ -179,7 +185,7 @@ impl AdmissionControl {
         }
 
         // --- System USM check ------------------------------------------
-        let endangered_cost = self.endangered_cost(q, sys, weights_of);
+        let endangered_cost = Self::endangered_cost(q, sys, weights_of, weights.c_r);
         if endangered_cost > weights.c_r {
             return AdmissionVerdict::EndangersSystem {
                 endangered_cost,
@@ -193,40 +199,44 @@ impl AdmissionControl {
     /// their deadlines: a query is *endangered* when it completes in time
     /// without `q` but not with `q`'s `qe` inserted ahead of it. Each
     /// endangered incumbent is priced with *its own* class's `C_fm`.
+    ///
+    /// Incumbents with deadlines at or before the newcomer's are never
+    /// delayed, so their work is folded in via one `O(log N_rq)` prefix
+    /// probe and the scan visits only strictly-later incumbents (in EDF
+    /// `(deadline, id)` order — integer microsecond sums make this exactly
+    /// equal to the full sequential accumulation). The scan stops as soon
+    /// as the accumulated cost exceeds `stop_above`: the verdict is decided
+    /// and every summand is non-negative.
     fn endangered_cost(
-        &self,
         q: &QuerySpec,
-        sys: &SystemSnapshot,
+        sys: &SnapshotView<'_>,
         weights_of: &dyn Fn(u32) -> UsmWeights,
+        stop_above: f64,
     ) -> f64 {
-        if sys.queries.is_empty() {
+        if sys.ready_queue_len() == 0 {
             return 0.0;
         }
         let newcomer_deadline = q.deadline();
-        let qe = q.exec_time.as_secs_f64();
-        let now = sys.now.as_secs_f64();
-
-        // EDF order over admitted queries.
-        let mut queued = sys.queries.clone();
-        queued.sort_by_key(|e| (e.deadline, e.id));
+        let qe = q.exec_time;
+        let now = sys.now;
 
         let mut cost = 0.0;
-        // Running sum of work ahead of each incumbent (updates first).
-        let mut ahead = sys.update_backlog.as_secs_f64();
-        for entry in &queued {
-            let remaining = entry.remaining.as_secs_f64();
-            let finish_without = now + ahead + remaining;
-            let deadline = entry.deadline.as_secs_f64();
-            // The newcomer only delays incumbents scheduled after it, i.e.
-            // those with a later deadline (ties favor the incumbent).
-            if entry.deadline > newcomer_deadline {
-                let finish_with = finish_without + qe;
-                if finish_without <= deadline && finish_with > deadline {
-                    cost += weights_of(entry.pref_class).c_fm;
+        // Running sum of work ahead of each incumbent: update backlog plus
+        // every admitted query at or before the newcomer's deadline (none
+        // of which the newcomer can delay — ties favor the incumbent).
+        let mut ahead = sys.work_ahead_of(newcomer_deadline);
+        sys.for_each_later(newcomer_deadline, |entry| {
+            let finish_without = now + ahead + entry.remaining;
+            let finish_with = finish_without + qe;
+            if finish_without <= entry.deadline && finish_with > entry.deadline {
+                cost += weights_of(entry.pref_class).c_fm;
+                if cost > stop_above {
+                    return false;
                 }
             }
-            ahead += remaining;
-        }
+            ahead += entry.remaining;
+            true
+        });
         cost
     }
 }
@@ -234,7 +244,7 @@ impl AdmissionControl {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::snapshot::QueueEntryView;
+    use crate::snapshot::{QueueEntryView, SystemSnapshot};
     use crate::time::{SimDuration, SimTime};
     use crate::types::{DataId, QueryId};
 
@@ -263,7 +273,7 @@ mod tests {
     fn idle_server_admits_feasible_query() {
         let ac = AdmissionControl::default();
         let sys = SystemSnapshot::empty(SimTime::ZERO);
-        let verdict = ac.evaluate(&query(1, 0, 2, 10), &sys, &UsmWeights::naive());
+        let verdict = ac.evaluate(&query(1, 0, 2, 10), &sys.view(), &UsmWeights::naive());
         assert_eq!(verdict, AdmissionVerdict::Admitted);
     }
 
@@ -272,7 +282,7 @@ mod tests {
         let ac = AdmissionControl::default();
         let sys = SystemSnapshot::empty(SimTime::ZERO);
         // exec 10s, deadline 5s: cannot possibly finish.
-        let verdict = ac.evaluate(&query(1, 0, 10, 5), &sys, &UsmWeights::naive());
+        let verdict = ac.evaluate(&query(1, 0, 10, 5), &sys.view(), &UsmWeights::naive());
         assert!(matches!(verdict, AdmissionVerdict::NotPromising { .. }));
         assert_eq!(verdict.decision(), AdmissionDecision::Reject);
     }
@@ -283,10 +293,10 @@ mod tests {
         let mut sys = SystemSnapshot::empty(SimTime::ZERO);
         sys.update_backlog = SimDuration::from_secs(9);
         // EST 9 + exec 2 = 11 >= deadline 10 -> not promising.
-        let verdict = ac.evaluate(&query(1, 0, 2, 10), &sys, &UsmWeights::naive());
+        let verdict = ac.evaluate(&query(1, 0, 2, 10), &sys.view(), &UsmWeights::naive());
         assert!(matches!(verdict, AdmissionVerdict::NotPromising { .. }));
         // With deadline 12 it fits.
-        let verdict = ac.evaluate(&query(1, 0, 2, 12), &sys, &UsmWeights::naive());
+        let verdict = ac.evaluate(&query(1, 0, 2, 12), &sys.view(), &UsmWeights::naive());
         assert_eq!(verdict, AdmissionVerdict::Admitted);
     }
 
@@ -296,7 +306,7 @@ mod tests {
         let mut sys = SystemSnapshot::empty(SimTime::ZERO);
         // One admitted query with a *later* deadline: does not precede us.
         sys.queries.push(entry(7, 100, 50));
-        let verdict = ac.evaluate(&query(1, 0, 2, 10), &sys, &UsmWeights::naive());
+        let verdict = ac.evaluate(&query(1, 0, 2, 10), &sys.view(), &UsmWeights::naive());
         assert_eq!(verdict, AdmissionVerdict::Admitted);
     }
 
@@ -307,24 +317,24 @@ mod tests {
         sys.update_backlog = SimDuration::from_secs(7);
         let q = query(1, 0, 2, 10); // 1.0*7 + 2 = 9 < 10 -> admit
         assert_eq!(
-            ac.evaluate(&q, &sys, &UsmWeights::naive()),
+            ac.evaluate(&q, &sys.view(), &UsmWeights::naive()),
             AdmissionVerdict::Admitted
         );
         ac.tighten(); // C_flex = 1.1 -> 1.1*7 + 2 = 9.7 < 10 -> still admit
         assert_eq!(
-            ac.evaluate(&q, &sys, &UsmWeights::naive()),
+            ac.evaluate(&q, &sys.view(), &UsmWeights::naive()),
             AdmissionVerdict::Admitted
         );
         ac.tighten(); // C_flex = 1.21 -> 10.47 >= 10 -> reject
         assert!(matches!(
-            ac.evaluate(&q, &sys, &UsmWeights::naive()),
+            ac.evaluate(&q, &sys.view(), &UsmWeights::naive()),
             AdmissionVerdict::NotPromising { .. }
         ));
         // Loosening twice restores admission (0.9-steps undershoot 1.0 a bit).
         ac.loosen();
         ac.loosen();
         assert_eq!(
-            ac.evaluate(&q, &sys, &UsmWeights::naive()),
+            ac.evaluate(&q, &sys.view(), &UsmWeights::naive()),
             AdmissionVerdict::Admitted
         );
     }
@@ -352,7 +362,7 @@ mod tests {
         // Newcomer: exec 5s, deadline 6s (earlier) -> runs first, pushes the
         // incumbent to 13s > 12s: endangered, cost 0.8 > C_r 0.2 -> reject.
         let q = query(1, 0, 5, 6);
-        let verdict = ac.evaluate(&q, &sys, &weights);
+        let verdict = ac.evaluate(&q, &sys.view(), &weights);
         assert_eq!(
             verdict,
             AdmissionVerdict::EndangersSystem {
@@ -370,7 +380,10 @@ mod tests {
         let mut sys = SystemSnapshot::empty(SimTime::ZERO);
         sys.queries.push(entry(7, 12, 8));
         let q = query(1, 0, 5, 6);
-        assert_eq!(ac.evaluate(&q, &sys, &weights), AdmissionVerdict::Admitted);
+        assert_eq!(
+            ac.evaluate(&q, &sys.view(), &weights),
+            AdmissionVerdict::Admitted
+        );
     }
 
     #[test]
@@ -381,7 +394,7 @@ mod tests {
         let q = query(1, 0, 5, 6);
         // All penalties zero: 0 > 0 is false, so only the deadline check acts.
         assert_eq!(
-            ac.evaluate(&q, &sys, &UsmWeights::naive()),
+            ac.evaluate(&q, &sys.view(), &UsmWeights::naive()),
             AdmissionVerdict::Admitted
         );
     }
@@ -395,7 +408,10 @@ mod tests {
         sys.queries.push(entry(7, 5, 8));
         let q = query(1, 0, 1, 2);
         // It was doomed with or without the newcomer: not endangered.
-        assert_eq!(ac.evaluate(&q, &sys, &weights), AdmissionVerdict::Admitted);
+        assert_eq!(
+            ac.evaluate(&q, &sys.view(), &weights),
+            AdmissionVerdict::Admitted
+        );
     }
 
     #[test]
@@ -408,7 +424,7 @@ mod tests {
         sys.queries.push(entry(8, 19, 10)); // finishes 18, deadline 19
                                             // Newcomer exec 2s, deadline 3s: delays both past their deadlines.
         let q = query(1, 0, 2, 3);
-        let verdict = ac.evaluate(&q, &sys, &weights);
+        let verdict = ac.evaluate(&q, &sys.view(), &weights);
         assert_eq!(
             verdict,
             AdmissionVerdict::EndangersSystem {

@@ -156,6 +156,12 @@ impl FreshnessTable {
         &self.applied
     }
 
+    /// Consume the table, handing back the `(arrived, applied)` histograms
+    /// without copying them (end-of-run reporting).
+    pub fn into_histograms(self) -> (Vec<u64>, Vec<u64>) {
+        (self.arrived, self.applied)
+    }
+
     /// Fraction of arrived versions that were applied, over the whole
     /// database. 1.0 under IMU with no backlog; small under heavy shedding.
     pub fn applied_ratio(&self) -> f64 {

@@ -50,7 +50,7 @@
 //!     pref_class: 0,
 //! };
 //! let snapshot = SystemSnapshot::empty(SimTime::ZERO);
-//! assert!(policy.on_query_arrival(&q, &snapshot).is_admit());
+//! assert!(policy.on_query_arrival(&q, &snapshot.view()).is_admit());
 //! ```
 
 #![warn(missing_docs)]
@@ -59,6 +59,7 @@
 pub mod admission;
 pub mod config;
 pub mod controller;
+pub mod fenwick;
 pub mod freshness;
 pub mod freshness_model;
 pub mod lottery;
@@ -74,12 +75,13 @@ pub mod usm;
 pub use admission::{AdmissionControl, AdmissionVerdict};
 pub use config::UnitConfig;
 pub use controller::{Lbc, LbcConfig};
+pub use fenwick::{Fenwick, FenwickValue};
 pub use freshness::FreshnessTable;
 pub use freshness_model::FreshnessModel;
 pub use lottery::WeightedSampler;
 pub use modulation::{UpdateModulation, UpgradeRule};
 pub use policy::{AdmissionDecision, ControlSignal, Policy, UpdateAction};
-pub use snapshot::{QueueEntryView, SystemSnapshot};
+pub use snapshot::{QueueEntryView, QueueSource, SnapshotView, SystemSnapshot};
 pub use tickets::TicketTable;
 pub use time::{SimDuration, SimTime};
 pub use types::{
@@ -97,7 +99,7 @@ pub mod prelude {
     pub use crate::freshness_model::FreshnessModel;
     pub use crate::modulation::{UpdateModulation, UpgradeRule};
     pub use crate::policy::{AdmissionDecision, ControlSignal, Policy, UpdateAction};
-    pub use crate::snapshot::{QueueEntryView, SystemSnapshot};
+    pub use crate::snapshot::{QueueEntryView, QueueSource, SnapshotView, SystemSnapshot};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::types::{
         DataId, Outcome, QueryId, QuerySpec, Trace, TxnClass, UpdateSpec, UpdateStreamId,

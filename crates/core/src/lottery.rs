@@ -3,14 +3,15 @@
 //! §3.4.1 chooses the update-degradation victim by lottery scheduling
 //! (Waldspurger & Weihl): each data item holds a number of tickets and the
 //! victim is drawn with probability proportional to its ticket count. The
-//! paper quotes `O(log N_d)` per draw; we realize that bound with a Fenwick
-//! (binary indexed) tree over non-negative weights — `O(log N)` point
+//! paper quotes `O(log N_d)` per draw; we realize that bound with the
+//! shared [`Fenwick`] tree over non-negative weights — `O(log N)` point
 //! updates and `O(log N)` inverse-prefix-sum sampling.
 //!
 //! Weights are `f64` because UNIT's ticket values are continuous (Eq. 6–8).
 //! Callers must supply non-negative weights; UNIT shifts its raw tickets by
 //! `−T_min` before loading them (§3.4.1).
 
+use crate::fenwick::Fenwick;
 use rand::Rng;
 
 /// A Fenwick-tree-backed weighted sampler over indices `0..len`.
@@ -28,8 +29,8 @@ use rand::Rng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct WeightedSampler {
-    /// 1-indexed Fenwick array of partial sums.
-    tree: Vec<f64>,
+    /// Fenwick tree of partial weight sums.
+    tree: Fenwick<f64>,
     /// Current weight per index (kept for `weight()` and validation).
     weights: Vec<f64>,
 }
@@ -38,7 +39,7 @@ impl WeightedSampler {
     /// A sampler over `len` indices, all with weight zero.
     pub fn new(len: usize) -> Self {
         WeightedSampler {
-            tree: vec![0.0; len + 1],
+            tree: Fenwick::new(len),
             weights: vec![0.0; len],
         }
     }
@@ -72,7 +73,7 @@ impl WeightedSampler {
 
     /// Sum of all weights.
     pub fn total(&self) -> f64 {
-        self.prefix_sum(self.len())
+        self.tree.total()
     }
 
     /// Set the weight of `index` to `w` in O(log N).
@@ -86,22 +87,7 @@ impl WeightedSampler {
         );
         let delta = w - self.weights[index];
         self.weights[index] = w;
-        let mut i = index + 1;
-        while i < self.tree.len() {
-            self.tree[i] += delta;
-            i += i & i.wrapping_neg();
-        }
-    }
-
-    /// Sum of weights over `0..count` in O(log N).
-    fn prefix_sum(&self, count: usize) -> f64 {
-        let mut sum = 0.0;
-        let mut i = count;
-        while i > 0 {
-            sum += self.tree[i];
-            i -= i & i.wrapping_neg();
-        }
-        sum
+        self.tree.add(index, delta);
     }
 
     /// Draw one index with probability proportional to its weight, or `None`
@@ -115,30 +101,21 @@ impl WeightedSampler {
         Some(self.find(target))
     }
 
-    /// Largest-prefix descent: find the first index whose cumulative weight
-    /// exceeds `target`. `target` must be in `[0, total)`.
-    fn find(&self, mut target: f64) -> usize {
+    /// Map a raw `target ∈ [0, total)` to the index [`Self::sample`] would
+    /// return for that draw value. Exposed so callers that pre-classify
+    /// draws (e.g. against cumulative-weight spans) can resolve only the
+    /// draws that matter while consuming the RNG stream themselves.
+    pub fn locate(&self, target: f64) -> usize {
+        self.find(target)
+    }
+
+    /// Find the first index whose cumulative weight exceeds `target` via the
+    /// tree's largest-prefix descent. `target` must be in `[0, total)`.
+    fn find(&self, target: f64) -> usize {
         let n = self.len();
-        let mut pos = 0usize;
-        // Highest power of two <= n.
-        let mut step = if n == 0 {
-            0
-        } else {
-            usize::BITS - 1 - n.leading_zeros()
-        };
-        let mut jump = 1usize << step;
-        while jump > 0 {
-            let next = pos + jump;
-            if next <= n && self.tree[next] < target {
-                target -= self.tree[next];
-                pos = next;
-            }
-            step = step.wrapping_sub(1);
-            jump >>= 1;
-        }
-        // `pos` = count of full prefixes below target; clamp against
+        // Descent result = count of full prefixes below target; clamp against
         // accumulated float error landing on a zero-weight tail index.
-        let mut idx = pos.min(n - 1);
+        let mut idx = self.tree.descend(target).min(n - 1);
         while idx > 0 && self.weights[idx] == 0.0 {
             idx -= 1;
         }

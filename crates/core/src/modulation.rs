@@ -174,6 +174,20 @@ impl UpdateModulation {
         self.current[i] = stretched.min(cap);
     }
 
+    /// True when [`Self::degrade`] would leave `item` unchanged — the item
+    /// has no update stream, or its period already sits at the degradation
+    /// cap. Mirrors the `degrade` arithmetic exactly so callers can detect
+    /// no-op lottery draws without mutating anything.
+    pub fn degrade_is_noop(&self, item: DataId) -> bool {
+        let i = item.index();
+        if self.ideal[i] == SimDuration::MAX {
+            return true;
+        }
+        let stretched = self.current[i].scale(1.0 + self.c_du);
+        let cap = self.ideal[i].scale(self.max_factor);
+        stretched.min(cap) == self.current[i]
+    }
+
     /// Upgrade every degraded item one step toward its ideal period
     /// (Eq. 10), per the configured [`UpgradeRule`].
     pub fn upgrade_all(&mut self) {

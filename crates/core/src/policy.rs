@@ -16,7 +16,7 @@
 //! * **UNIT** applies versions at the modulated period `pc_j ≥ pi_j`
 //!   maintained by update-frequency modulation.
 
-use crate::snapshot::SystemSnapshot;
+use crate::snapshot::SnapshotView;
 use crate::time::{SimDuration, SimTime};
 use crate::types::{DataId, Outcome, QuerySpec, UpdateSpec};
 use serde::{Deserialize, Serialize};
@@ -82,8 +82,10 @@ pub trait Policy {
     /// streams, so the policy can size its per-item state.
     fn init(&mut self, n_items: usize, updates: &[UpdateSpec]);
 
-    /// Admission decision for a newly arrived query.
-    fn on_query_arrival(&mut self, q: &QuerySpec, sys: &SystemSnapshot) -> AdmissionDecision;
+    /// Admission decision for a newly arrived query. `sys` is a borrowed,
+    /// lazily-materialized view — scalar reads are free, queue probes are
+    /// O(log N_rq).
+    fn on_query_arrival(&mut self, q: &QuerySpec, sys: &SnapshotView<'_>) -> AdmissionDecision;
 
     /// A new version of `item` arrived from its source; decide whether the
     /// server should apply it.
@@ -91,7 +93,7 @@ pub trait Policy {
         &mut self,
         item: DataId,
         now: SimTime,
-        sys: &SystemSnapshot,
+        sys: &SnapshotView<'_>,
     ) -> UpdateAction;
 
     /// Items in `q`'s read set the server must refresh (as update
@@ -140,7 +142,7 @@ pub trait Policy {
 
     /// Periodic control tick. Returns the signals acted upon (for logging);
     /// open-loop policies return an empty vector.
-    fn on_tick(&mut self, now: SimTime, sys: &SystemSnapshot) -> Vec<ControlSignal> {
+    fn on_tick(&mut self, now: SimTime, sys: &SnapshotView<'_>) -> Vec<ControlSignal> {
         let _ = (now, sys);
         Vec::new()
     }
@@ -166,14 +168,18 @@ mod tests {
             "admit-all"
         }
         fn init(&mut self, _n_items: usize, _updates: &[UpdateSpec]) {}
-        fn on_query_arrival(&mut self, _q: &QuerySpec, _sys: &SystemSnapshot) -> AdmissionDecision {
+        fn on_query_arrival(
+            &mut self,
+            _q: &QuerySpec,
+            _sys: &SnapshotView<'_>,
+        ) -> AdmissionDecision {
             AdmissionDecision::Admit
         }
         fn on_version_arrival(
             &mut self,
             _item: DataId,
             _now: SimTime,
-            _sys: &SystemSnapshot,
+            _sys: &SnapshotView<'_>,
         ) -> UpdateAction {
             UpdateAction::Apply
         }
@@ -202,9 +208,8 @@ mod tests {
             pref_class: 0,
         };
         assert!(p.demand_refresh(&q, &|_| 5).is_empty());
-        assert!(p
-            .on_tick(SimTime::ZERO, &SystemSnapshot::empty(SimTime::ZERO))
-            .is_empty());
+        let snap = crate::snapshot::SystemSnapshot::empty(SimTime::ZERO);
+        assert!(p.on_tick(SimTime::ZERO, &snap.view()).is_empty());
         assert_eq!(p.current_period(DataId(0)), None);
         p.on_query_dispatch(&q, 1.0);
         p.on_update_commit(DataId(0), SimDuration::from_secs(1));

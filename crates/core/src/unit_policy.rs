@@ -24,12 +24,12 @@ use crate::controller::Lbc;
 use crate::lottery::WeightedSampler;
 use crate::modulation::UpdateModulation;
 use crate::policy::{AdmissionDecision, ControlSignal, Policy, UpdateAction};
-use crate::snapshot::SystemSnapshot;
+use crate::snapshot::SnapshotView;
 use crate::tickets::TicketTable;
 use crate::time::{SimDuration, SimTime};
 use crate::types::{DataId, Outcome, QuerySpec, UpdateSpec};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Counters exposed for instrumentation and the experiment harness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -169,23 +169,49 @@ impl UnitPolicy {
     /// accumulated shedding.
     fn upgrade_batch(&mut self) {
         let budget = self.cfg.upgrade_step_util;
-        let mut degraded: Vec<usize> = (0..self.util_share.len())
-            .filter(|&i| self.modulation.is_degraded(DataId(i as u32)))
-            .collect();
-        // Ascending ticket = most query-valuable first. Ties by index keep
-        // the order deterministic.
-        degraded.sort_by(|&a, &b| {
-            self.tickets
-                .raw(a)
-                .partial_cmp(&self.tickets.raw(b))
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
-        let mut restored = 0.0;
-        for i in degraded {
-            if restored >= budget {
-                break;
+        // Ascending ticket = most query-valuable first; ties by index keep
+        // the order deterministic. A lazily-popped min-heap visits items in
+        // exactly that order but pays O(log N) only per item actually
+        // upgraded — the budget usually stops after a handful, so the
+        // per-signal cost is O(N_degraded) heapify instead of a full sort.
+        struct ByTicket {
+            ticket: f64,
+            index: usize,
+        }
+        impl PartialEq for ByTicket {
+            fn eq(&self, other: &Self) -> bool {
+                self.cmp(other) == std::cmp::Ordering::Equal
             }
+        }
+        impl Eq for ByTicket {}
+        impl PartialOrd for ByTicket {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for ByTicket {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.ticket
+                    .partial_cmp(&other.ticket)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(self.index.cmp(&other.index))
+            }
+        }
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<ByTicket>> =
+            (0..self.util_share.len())
+                .filter(|&i| self.modulation.is_degraded(DataId(i as u32)))
+                .map(|i| {
+                    std::cmp::Reverse(ByTicket {
+                        ticket: self.tickets.raw(i),
+                        index: i,
+                    })
+                })
+                .collect();
+        let mut restored = 0.0;
+        while restored < budget {
+            let Some(std::cmp::Reverse(ByTicket { index: i, .. })) = heap.pop() else {
+                break;
+            };
             let d = DataId(i as u32);
             let before = self.modulation.survival_fraction(d);
             if self.modulation.upgrade_one(d) {
@@ -210,22 +236,84 @@ impl UnitPolicy {
             }
         }
         let sampler = WeightedSampler::from_weights(&weights);
+        let total = sampler.total();
+        if total <= 0.0 || !total.is_finite() {
+            return; // all tickets equal: sample() would yield None unconsumed
+        }
+        // Draws only mutate state while they land on a positive-weight item
+        // that is still below its degradation cap; every other draw is a pure
+        // no-op (zero shed, no period change) that exists solely to advance
+        // the RNG stream. Zero-weight items occupy no draw mass, so `[0,
+        // total)` splits into one contiguous cumulative span per positive
+        // item, in index order. Precompute the spans belonging to *uncapped*
+        // items, inflated by a margin many orders above the descent's float
+        // rounding, and classify each draw with a binary search — only draws
+        // inside a span (or its safety margin) pay for the exact tree
+        // descent. In steady state the lottery's mass sits on capped items,
+        // and the old loop burned thousands of descents per signal shedding
+        // 0 CPU.
+        let margin = total * 1e-6;
+        let mut bounds: Vec<f64> = Vec::new();
+        let mut uncapped = 0usize;
+        let mut cum = 0.0_f64;
+        for (i, &w) in weights.iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            let start = cum;
+            cum += w;
+            if !self.modulation.degrade_is_noop(DataId(i as u32)) {
+                uncapped += 1;
+                match bounds.last_mut() {
+                    Some(end) if *end >= start - margin => *end = cum + margin,
+                    _ => {
+                        bounds.push(start - margin);
+                        bounds.push(cum + margin);
+                    }
+                }
+            }
+        }
         let mut shed = 0.0;
-        for _ in 0..self.cfg.degrade_victims_per_signal {
+        let mut remaining = self.cfg.degrade_victims_per_signal;
+        while remaining > 0 {
             if shed >= self.cfg.modulation_step_util {
                 break;
             }
-            match sampler.sample(&mut self.rng) {
-                Some(victim) => {
-                    let d = DataId(victim as u32);
+            if uncapped == 0 {
+                // Every further draw picks a positive-weight (hence capped)
+                // victim: no shed, no modulation change. Consume the same
+                // number of RNG values and stop.
+                for _ in 0..remaining {
+                    let _ = self.rng.gen::<f64>();
+                }
+                self.stats.degrade_draws += remaining as u64;
+                break;
+            }
+            let target = self.rng.gen::<f64>() * total;
+            // Odd partition index = inside an uncapped span (spans are
+            // disjoint and sorted, stored as flattened [start, end) pairs).
+            if bounds.partition_point(|&b| b <= target) % 2 == 0 {
+                // Certainly a capped victim: the draw is a no-op.
+                self.stats.degrade_draws += 1;
+            } else {
+                let victim = sampler.locate(target);
+                let d = DataId(victim as u32);
+                if self.modulation.degrade_is_noop(d) {
+                    // Margin hit or an item capped earlier in this loop —
+                    // still a no-op, only the counter moves.
+                    self.stats.degrade_draws += 1;
+                } else {
                     let before = self.modulation.survival_fraction(d);
                     self.modulation.degrade(d);
                     let after = self.modulation.survival_fraction(d);
                     shed += self.util_share[victim] * (before - after);
                     self.stats.degrade_draws += 1;
+                    if self.modulation.degrade_is_noop(d) {
+                        uncapped -= 1;
+                    }
                 }
-                None => break, // all tickets equal: nothing stands out yet
             }
+            remaining -= 1;
         }
     }
 }
@@ -301,7 +389,7 @@ impl Policy for UnitPolicy {
         );
     }
 
-    fn on_query_arrival(&mut self, q: &QuerySpec, sys: &SystemSnapshot) -> AdmissionDecision {
+    fn on_query_arrival(&mut self, q: &QuerySpec, sys: &SnapshotView<'_>) -> AdmissionDecision {
         if !self.cfg.admission_enabled {
             return AdmissionDecision::Admit;
         }
@@ -322,7 +410,7 @@ impl Policy for UnitPolicy {
         &mut self,
         item: DataId,
         now: SimTime,
-        _sys: &SystemSnapshot,
+        _sys: &SnapshotView<'_>,
     ) -> UpdateAction {
         if self.modulation.should_apply(item, now) {
             self.stats.versions_applied += 1;
@@ -357,7 +445,7 @@ impl Policy for UnitPolicy {
         self.lbc.record_for_class(outcome, q.pref_class);
     }
 
-    fn on_tick(&mut self, now: SimTime, sys: &SystemSnapshot) -> Vec<ControlSignal> {
+    fn on_tick(&mut self, now: SimTime, sys: &SnapshotView<'_>) -> Vec<ControlSignal> {
         let mut signals = self.lbc.maybe_activate(now, sys.recent_utilization);
         // Rejection-dominated windows normally just loosen admission, but
         // when C_flex already sits at its floor the LAC is a no-op: the
@@ -385,6 +473,7 @@ impl Policy for UnitPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::SystemSnapshot;
     use crate::types::{QueryId, UpdateStreamId};
     use crate::usm::UsmWeights;
 
@@ -427,7 +516,7 @@ mod tests {
     fn feasible_queries_are_admitted_on_an_idle_server() {
         let mut p = initialized_policy();
         let sys = SystemSnapshot::empty(SimTime::ZERO);
-        let d = p.on_query_arrival(&query_spec(1, &[0], 2, 30), &sys);
+        let d = p.on_query_arrival(&query_spec(1, &[0], 2, 30), &sys.view());
         assert_eq!(d, AdmissionDecision::Admit);
         assert_eq!(p.stats().rejected_not_promising, 0);
     }
@@ -436,7 +525,7 @@ mod tests {
     fn hopeless_queries_are_rejected() {
         let mut p = initialized_policy();
         let sys = SystemSnapshot::empty(SimTime::ZERO);
-        let d = p.on_query_arrival(&query_spec(1, &[0], 30, 2), &sys);
+        let d = p.on_query_arrival(&query_spec(1, &[0], 30, 2), &sys.view());
         assert_eq!(d, AdmissionDecision::Reject);
         assert_eq!(p.stats().rejected_not_promising, 1);
     }
@@ -446,7 +535,7 @@ mod tests {
         let mut p = initialized_policy();
         let sys = SystemSnapshot::empty(SimTime::ZERO);
         for k in 0..5u64 {
-            let a = p.on_version_arrival(DataId(0), SimTime::from_secs(k * 10), &sys);
+            let a = p.on_version_arrival(DataId(0), SimTime::from_secs(k * 10), &sys.view());
             assert_eq!(a, UpdateAction::Apply, "version {k} must be applied");
         }
         assert_eq!(p.stats().versions_applied, 5);
@@ -480,7 +569,7 @@ mod tests {
         // Its versions are now subsampled.
         let mut applied = 0;
         for k in 0..100u64 {
-            if p.on_version_arrival(DataId(2), SimTime::from_secs(k * 30), &sys)
+            if p.on_version_arrival(DataId(2), SimTime::from_secs(k * 30), &sys.view())
                 .is_apply()
             {
                 applied += 1;
@@ -521,9 +610,9 @@ mod tests {
             p.on_query_outcome(&query_spec(1, &[0], 1, 10), Outcome::Success);
         }
         // Before the grace period: no activation.
-        assert!(p.on_tick(SimTime::from_secs(1), &sys).is_empty());
+        assert!(p.on_tick(SimTime::from_secs(1), &sys.view()).is_empty());
         // After: DSF dominates -> UpgradeUpdates.
-        let signals = p.on_tick(SimTime::from_secs(60), &sys);
+        let signals = p.on_tick(SimTime::from_secs(60), &sys.view());
         assert_eq!(signals, vec![ControlSignal::UpgradeUpdates]);
         assert_eq!(p.lbc_activations(), 1);
     }

@@ -126,11 +126,13 @@ fn admission_prices_endangered_incumbents_with_their_own_class() {
     };
 
     // Endangering an analyst (C_fm 0.8 > C_r 0.2): reject.
-    let verdict = ac.evaluate_with(&q, &incumbent(1), &traders(), &weights_of);
+    let sys = incumbent(1);
+    let verdict = ac.evaluate_with(&q, &sys.view(), &traders(), &weights_of);
     assert!(matches!(verdict, AdmissionVerdict::EndangersSystem { .. }));
 
     // Endangering a fellow trader (C_fm 0.2 = C_r 0.2, not greater): admit.
-    let verdict = ac.evaluate_with(&q, &incumbent(0), &traders(), &weights_of);
+    let sys = incumbent(0);
+    let verdict = ac.evaluate_with(&q, &sys.view(), &traders(), &weights_of);
     assert_eq!(verdict, AdmissionVerdict::Admitted);
 }
 

@@ -26,11 +26,14 @@ use crate::events::{Event, EventQueue};
 use crate::locks::{LockManager, ReadAcquire, WriteAcquire};
 use crate::stats::{SignalCounts, SimReport, TimelineSample};
 use crate::txn::{Txn, TxnId, TxnKind, TxnState};
-use std::collections::BTreeSet;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
+use unit_core::fenwick::Fenwick;
 use unit_core::freshness::FreshnessTable;
 use unit_core::freshness_model::FreshnessModel;
 use unit_core::policy::Policy;
-use unit_core::snapshot::{QueueEntryView, SystemSnapshot};
+use unit_core::snapshot::{QueueEntryView, QueueSource, SnapshotView};
 use unit_core::time::{SimDuration, SimTime};
 use unit_core::types::{DataId, Outcome, QueryId, Trace, TxnClass};
 use unit_core::usm::{OutcomeCounts, UsmWeights};
@@ -173,6 +176,104 @@ struct RunningTxn {
 
 type PriorityKey = (u8, SimTime, TxnId);
 
+/// An admitted, unfinished query as tracked by the deadline index.
+#[derive(Debug, Clone, Copy)]
+struct AdmittedEntry {
+    /// The live transaction carrying this query.
+    txn: TxnId,
+    /// Stored remaining service, synced whenever the transaction's
+    /// `remaining` changes at rest (preemption, 2PL-HP restart). The
+    /// in-progress slice of a *running* query is subtracted at view time.
+    remaining: SimDuration,
+    /// Submitting user's preference class.
+    pref_class: u32,
+}
+
+/// Borrowed, Fenwick-indexed [`QueueSource`] over the simulator's admitted
+/// queries: `O(log N_rq)` work probes, `O(N_rq)` materialization only when a
+/// policy explicitly asks for the whole list.
+struct EngineQueue<'b> {
+    clock: SimTime,
+    admitted: &'b BTreeMap<(SimTime, QueryId), AdmittedEntry>,
+    deadline_coords: &'b [SimTime],
+    work_index: &'b Fenwick<u64>,
+    running: &'b [RunningTxn],
+    txns: &'b [Txn],
+    scratch: &'b RefCell<Vec<QueueEntryView>>,
+}
+
+impl EngineQueue<'_> {
+    /// In-progress slice of `id` when it currently holds a CPU.
+    fn running_elapsed(&self, id: TxnId) -> SimDuration {
+        self.running
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| self.clock.saturating_since(r.started))
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    fn entry_view(&self, key: &(SimTime, QueryId), e: &AdmittedEntry) -> QueueEntryView {
+        QueueEntryView {
+            id: key.1,
+            deadline: key.0,
+            remaining: e.remaining.saturating_sub(self.running_elapsed(e.txn)),
+            pref_class: e.pref_class,
+        }
+    }
+
+    /// Already-served (not yet synced) work of current query-class runners
+    /// with deadline `<= deadline`; pass [`SimTime::MAX`] for all of them.
+    /// `O(n_cpus)`.
+    fn running_query_elapsed_before(&self, deadline: SimTime) -> SimDuration {
+        let mut elapsed = SimDuration::ZERO;
+        for r in self.running {
+            let txn = &self.txns[r.id.index()];
+            if txn.is_query() && txn.edf_deadline <= deadline {
+                elapsed += self.clock.saturating_since(r.started);
+            }
+        }
+        elapsed
+    }
+}
+
+impl QueueSource for EngineQueue<'_> {
+    fn query_count(&self) -> usize {
+        self.admitted.len()
+    }
+
+    fn total_query_work(&self) -> SimDuration {
+        SimDuration(self.work_index.total())
+            .saturating_sub(self.running_query_elapsed_before(SimTime::MAX))
+    }
+
+    fn query_work_at_or_before(&self, deadline: SimTime) -> SimDuration {
+        let count = self.deadline_coords.partition_point(|&d| d <= deadline);
+        SimDuration(self.work_index.prefix_sum(count))
+            .saturating_sub(self.running_query_elapsed_before(deadline))
+    }
+
+    fn for_each_later(&self, after: SimTime, visit: &mut dyn FnMut(QueueEntryView) -> bool) {
+        // Keys strictly above `(after, MAX)` are exactly those with
+        // deadline > after (no trace query carries id u64::MAX).
+        let from = (
+            Bound::Excluded((after, QueryId(u64::MAX))),
+            Bound::Unbounded,
+        );
+        for (key, e) in self.admitted.range(from) {
+            if !visit(self.entry_view(key, e)) {
+                return;
+            }
+        }
+    }
+
+    fn with_queries(&self, f: &mut dyn FnMut(&[QueueEntryView])) {
+        let mut buf = self.scratch.borrow_mut();
+        buf.clear();
+        buf.extend(self.admitted.iter().map(|(k, e)| self.entry_view(k, e)));
+        f(&buf);
+    }
+}
+
 enum DispatchResult {
     /// Candidate is now running.
     Running,
@@ -203,9 +304,20 @@ pub struct Simulator<'a, P: Policy> {
     /// Items with a queued-but-uncommitted on-demand refresh.
     pending_ondemand: Vec<bool>,
     /// Sum of `remaining` over every unfinished update transaction, kept
-    /// incrementally so snapshots are O(admitted queries) even when the
-    /// update backlog holds tens of thousands of transactions.
+    /// incrementally so snapshot scalars are O(n_cpus) even when the update
+    /// backlog holds tens of thousands of transactions.
     outstanding_update_work: SimDuration,
+    /// Admitted, unfinished queries keyed by `(deadline, trace id)` — the
+    /// exact ascending order [`QueueSource`] iteration must follow.
+    admitted: BTreeMap<(SimTime, QueryId), AdmittedEntry>,
+    /// Sorted, deduplicated deadlines of every trace query: the coordinate
+    /// space of `work_index`.
+    deadline_coords: Vec<SimTime>,
+    /// Remaining admitted-query work (ticks) per deadline coordinate, so
+    /// `work_ahead_of(deadline)` probes are O(log N) instead of a walk.
+    work_index: Fenwick<u64>,
+    /// Reusable buffer behind `QueueSource::with_queries`.
+    view_scratch: RefCell<Vec<QueueEntryView>>,
 
     // --- accounting -----------------------------------------------------
     counts: OutcomeCounts,
@@ -220,6 +332,7 @@ pub struct Simulator<'a, P: Policy> {
     dispatch_freshness_sum: f64,
     dispatch_freshness_n: u64,
     timeline: Vec<TimelineSample>,
+    events_processed: u64,
 }
 
 impl<'a, P: Policy> Simulator<'a, P> {
@@ -240,6 +353,11 @@ impl<'a, P: Policy> Simulator<'a, P> {
                 *slot = Some(u.exec_time);
             }
         }
+        let mut deadline_coords: Vec<SimTime> =
+            trace.queries.iter().map(|q| q.deadline()).collect();
+        deadline_coords.sort_unstable();
+        deadline_coords.dedup();
+        let work_index = Fenwick::new(deadline_coords.len());
         Simulator {
             trace,
             policy,
@@ -256,6 +374,10 @@ impl<'a, P: Policy> Simulator<'a, P> {
             item_update_exec,
             pending_ondemand: vec![false; n],
             outstanding_update_work: SimDuration::ZERO,
+            admitted: BTreeMap::new(),
+            deadline_coords,
+            work_index,
+            view_scratch: RefCell::new(Vec::new()),
             counts: OutcomeCounts::default(),
             class_counts: Vec::new(),
             cpu_busy: SimDuration::ZERO,
@@ -268,6 +390,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
             dispatch_freshness_sum: 0.0,
             dispatch_freshness_n: 0,
             timeline: Vec::new(),
+            events_processed: 0,
         }
     }
 
@@ -298,6 +421,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
         while let Some((t, ev)) = self.events.pop() {
             debug_assert!(t >= self.clock, "time went backwards");
             self.clock = t;
+            self.events_processed += 1;
             match ev {
                 Event::QueryArrival { spec_idx } => self.on_query_arrival(spec_idx),
                 Event::VersionArrival { stream_idx } => self.on_version_arrival(stream_idx),
@@ -309,6 +433,8 @@ impl<'a, P: Policy> Simulator<'a, P> {
 
         debug_assert!(self.ready.is_empty(), "ready transactions left behind");
         debug_assert!(self.running.is_empty(), "running transactions left behind");
+        debug_assert!(self.admitted.is_empty(), "admitted queries left behind");
+        debug_assert_eq!(self.work_index.total(), 0, "work index must drain to zero");
         debug_assert_eq!(
             self.counts.total() as usize,
             self.trace.queries.len(),
@@ -319,16 +445,20 @@ impl<'a, P: Policy> Simulator<'a, P> {
         (report, self.policy)
     }
 
-    fn report(&self) -> SimReport {
+    /// Assemble the final report, moving the accumulated histograms and
+    /// timeline out of the simulator instead of cloning them.
+    fn report(&mut self) -> SimReport {
         let query_accesses = self.trace.query_access_histogram();
+        let freshness = std::mem::replace(&mut self.freshness, FreshnessTable::new(0));
+        let (versions_arrived, updates_applied) = freshness.into_histograms();
         SimReport {
             policy: self.policy.name().to_string(),
             weights: self.cfg.weights,
             counts: self.counts,
-            class_counts: self.class_counts.clone(),
+            class_counts: std::mem::take(&mut self.class_counts),
             query_accesses,
-            versions_arrived: self.freshness.arrived_histogram().to_vec(),
-            updates_applied: self.freshness.applied_histogram().to_vec(),
+            versions_arrived,
+            updates_applied,
             hp_aborts: self.locks.hp_aborts(),
             query_restarts: self.query_restarts,
             preemptions: self.preemptions,
@@ -343,7 +473,8 @@ impl<'a, P: Policy> Simulator<'a, P> {
             } else {
                 self.dispatch_freshness_sum / self.dispatch_freshness_n as f64
             },
-            timeline: self.timeline.clone(),
+            timeline: std::mem::take(&mut self.timeline),
+            events_processed: self.events_processed,
         }
     }
 
@@ -365,9 +496,9 @@ impl<'a, P: Policy> Simulator<'a, P> {
     // --- event handlers --------------------------------------------------
 
     fn on_query_arrival(&mut self, spec_idx: usize) {
-        let snapshot = self.snapshot();
-        let spec = &self.trace.queries[spec_idx];
-        let decision = self.policy.on_query_arrival(spec, &snapshot);
+        let trace = self.trace;
+        let spec = &trace.queries[spec_idx];
+        let decision = self.with_view(|policy, view| policy.on_query_arrival(spec, view));
         if !decision.is_admit() {
             self.record_outcome(spec_idx, Outcome::Rejected);
             return;
@@ -392,6 +523,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
             .push(txn.edf_deadline, Event::QueryDeadline { txn: id });
         self.ready.insert(self.pkey_of(&txn));
         self.txns.push(txn);
+        self.insert_admitted(spec_idx, id);
         if self.policy.refresh_at_admission() {
             // Eager on-demand policies (ODU) check staleness the moment the
             // query enters the system.
@@ -434,8 +566,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
         let exec = u.exec_time;
         self.freshness.record_arrival(item, self.clock);
 
-        let snapshot = self.snapshot();
-        let action = self.policy.on_version_arrival(item, self.clock, &snapshot);
+        let action = self.with_view(|policy, view| policy.on_version_arrival(item, view.now, view));
         if action.is_apply() {
             self.spawn_update(item, exec, self.clock + period, false);
             self.reschedule();
@@ -511,6 +642,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
             self.policy.on_update_commit(item, exec);
         }
         if let Some((spec_idx, outcome)) = outcome_to_record {
+            self.remove_admitted(id);
             self.record_outcome(spec_idx, outcome);
         }
         self.reschedule();
@@ -520,6 +652,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
         if self.txns[id.index()].state == TxnState::Finished {
             return; // committed (or already aborted) before expiry
         }
+        self.remove_admitted(id);
         // Firm deadline: abort wherever the query currently is.
         if let Some(pos) = self.running.iter().position(|r| r.id == id) {
             let run = self.running.swap_remove(pos);
@@ -548,8 +681,17 @@ impl<'a, P: Policy> Simulator<'a, P> {
     }
 
     fn on_control_tick(&mut self) {
-        let snapshot = self.snapshot();
-        let signals = self.policy.on_tick(self.clock, &snapshot);
+        // One view serves both the policy tick and the timeline sample, so
+        // the sample reflects pre-tick state exactly as the policy saw it.
+        let (signals, ready_queries, update_backlog_secs, utilization) =
+            self.with_view(|policy, view| {
+                (
+                    policy.on_tick(view.now, view),
+                    view.ready_queue_len(),
+                    view.update_backlog.as_secs_f64(),
+                    view.recent_utilization,
+                )
+            });
         for &s in &signals {
             self.signals.record(s);
         }
@@ -579,9 +721,9 @@ impl<'a, P: Policy> Simulator<'a, P> {
             self.timeline.push(TimelineSample {
                 time: self.clock,
                 usm: self.counts.average_usm(&self.cfg.weights),
-                ready_queries: snapshot.ready_queue_len(),
-                update_backlog_secs: snapshot.update_backlog.as_secs_f64(),
-                utilization: snapshot.recent_utilization,
+                ready_queries,
+                update_backlog_secs,
+                utilization,
             });
         }
         // New utilization window.
@@ -643,6 +785,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
         txn.state = TxnState::Ready;
         let key = self.pkey(run.id);
         self.ready.insert(key);
+        self.sync_admitted_remaining(run.id);
         self.preemptions += 1;
     }
 
@@ -766,6 +909,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
         let key = self.pkey(victim);
         self.ready.insert(key);
         if was_query {
+            self.sync_admitted_remaining(victim);
             self.query_restarts += 1;
         } else {
             // An update victim restarts with its full demand again.
@@ -863,56 +1007,15 @@ impl<'a, P: Policy> Simulator<'a, P> {
         self.policy.on_query_outcome(spec, outcome);
     }
 
-    /// Assemble the policy-facing view of the server (`O(N_rq)`).
-    fn snapshot(&self) -> SystemSnapshot {
-        let mut queries = Vec::new();
+    // --- policy views ----------------------------------------------------
 
-        let running_elapsed = |id: TxnId| -> SimDuration {
-            self.running
-                .iter()
-                .find(|r| r.id == id)
-                .map(|r| self.clock.saturating_since(r.started))
-                .unwrap_or(SimDuration::ZERO)
-        };
-        // Update backlog comes from the incremental counter (the ready set
-        // can hold tens of thousands of update transactions under the high
-        // volumes); only the in-progress slice of a running update needs
-        // adjusting. Queries are enumerated — the admitted set is small.
+    /// The cheap [`SnapshotView`] scalars — the update backlog adjusted for
+    /// the in-progress slices of running updates, and the windowed CPU
+    /// utilization — in `O(n_cpus)`.
+    fn view_scalars(&self) -> (SimDuration, f64) {
         let mut update_backlog = self.outstanding_update_work;
-        let mut add = |txn: &Txn| {
-            if let TxnKind::Query { spec_idx, .. } = txn.kind {
-                queries.push(QueueEntryView {
-                    id: QueryId(self.trace.queries[spec_idx].id.0),
-                    deadline: txn.edf_deadline,
-                    remaining: txn.remaining.saturating_sub(running_elapsed(txn.id)),
-                    pref_class: self.trace.queries[spec_idx].pref_class,
-                });
-            }
-        };
-
-        // Under the dual-priority discipline, query-class keys sort after
-        // all update-class keys, so a range scan touches only queries; the
-        // ablation disciplines interleave classes and need a full scan.
-        if self.cfg.discipline == SchedulingDiscipline::DualPriorityEdf {
-            let first_query_key = (1u8, SimTime::ZERO, TxnId(0));
-            for &(_, _, id) in self.ready.range(first_query_key..) {
-                add(&self.txns[id.index()]);
-            }
-        } else {
-            for &(_, _, id) in &self.ready {
-                let txn = &self.txns[id.index()];
-                if txn.is_query() {
-                    add(txn);
-                }
-            }
-        }
-        for &id in &self.blocked {
-            add(&self.txns[id.index()]);
-        }
         for r in &self.running {
-            let txn = &self.txns[r.id.index()];
-            add(txn);
-            if !txn.is_query() {
+            if !self.txns[r.id.index()].is_query() {
                 update_backlog =
                     update_backlog.saturating_sub(self.clock.saturating_since(r.started));
             }
@@ -930,12 +1033,99 @@ impl<'a, P: Policy> Simulator<'a, P> {
         } else {
             (busy.as_secs_f64() / (window.as_secs_f64() * self.cfg.n_cpus as f64)).min(1.0)
         };
+        (update_backlog, recent_utilization)
+    }
 
-        SystemSnapshot {
-            now: self.clock,
-            queries,
-            update_backlog,
-            recent_utilization,
+    /// Run `f(policy, view)` with a borrowed [`SnapshotView`] over the live
+    /// indexes: no admitted-query list is materialized unless the policy
+    /// asks for one, and work probes go through the Fenwick index.
+    fn with_view<R>(&mut self, f: impl FnOnce(&mut P, &SnapshotView<'_>) -> R) -> R {
+        let (update_backlog, recent_utilization) = self.view_scalars();
+        let Simulator {
+            policy,
+            clock,
+            admitted,
+            deadline_coords,
+            work_index,
+            running,
+            txns,
+            view_scratch,
+            ..
+        } = self;
+        let source = EngineQueue {
+            clock: *clock,
+            admitted: &*admitted,
+            deadline_coords: &*deadline_coords,
+            work_index: &*work_index,
+            running: &*running,
+            txns: &*txns,
+            scratch: &*view_scratch,
+        };
+        let view = SnapshotView::new(*clock, update_backlog, recent_utilization, &source);
+        f(policy, &view)
+    }
+
+    // --- admitted-query index maintenance --------------------------------
+
+    /// Coordinate of `deadline` in the work index.
+    fn coord_of(&self, deadline: SimTime) -> usize {
+        self.deadline_coords
+            .binary_search(&deadline)
+            .expect("every admitted deadline is a trace coordinate")
+    }
+
+    fn insert_admitted(&mut self, spec_idx: usize, txn: TxnId) {
+        let trace = self.trace;
+        let spec = &trace.queries[spec_idx];
+        let deadline = spec.deadline();
+        let coord = self.coord_of(deadline);
+        let prev = self.admitted.insert(
+            (deadline, spec.id),
+            AdmittedEntry {
+                txn,
+                remaining: spec.exec_time,
+                pref_class: spec.pref_class,
+            },
+        );
+        debug_assert!(prev.is_none(), "query admitted twice");
+        self.work_index.add(coord, spec.exec_time.0);
+    }
+
+    /// Re-sync the stored remaining of an admitted query after its
+    /// transaction's `remaining` changed at rest (preemption or 2PL-HP
+    /// restart). No-op for update transactions.
+    fn sync_admitted_remaining(&mut self, id: TxnId) {
+        let txn = &self.txns[id.index()];
+        let TxnKind::Query { spec_idx, .. } = txn.kind else {
+            return;
+        };
+        let key = (txn.edf_deadline, self.trace.queries[spec_idx].id);
+        let coord = self.coord_of(txn.edf_deadline);
+        let new = txn.remaining;
+        let entry = self
+            .admitted
+            .get_mut(&key)
+            .expect("unfinished query must be admitted");
+        let old = entry.remaining;
+        entry.remaining = new;
+        if new >= old {
+            self.work_index.add(coord, new.0 - old.0);
+        } else {
+            self.work_index.sub(coord, old.0 - new.0);
         }
+    }
+
+    fn remove_admitted(&mut self, id: TxnId) {
+        let txn = &self.txns[id.index()];
+        let TxnKind::Query { spec_idx, .. } = txn.kind else {
+            unreachable!("only queries enter the admitted index");
+        };
+        let key = (txn.edf_deadline, self.trace.queries[spec_idx].id);
+        let coord = self.coord_of(txn.edf_deadline);
+        let entry = self
+            .admitted
+            .remove(&key)
+            .expect("unfinished query must be admitted");
+        self.work_index.sub(coord, entry.remaining.0);
     }
 }

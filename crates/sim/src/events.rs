@@ -3,6 +3,11 @@
 //! A binary min-heap over `(time, sequence)` keys. The sequence number makes
 //! same-instant events pop in insertion order, which keeps every run
 //! bit-reproducible — a property the whole evaluation leans on.
+//!
+//! Payloads are interned in a slab and the heap holds only 24-byte
+//! `(time, seq, slot)` keys: sift operations move small `Copy` keys instead
+//! of full `Event` variants, and freed slots are recycled so the
+//! steady-state path performs no per-event heap allocation.
 
 use crate::txn::TxnId;
 use std::cmp::Reverse;
@@ -44,27 +49,13 @@ pub enum Event {
 /// Min-heap event queue with deterministic same-time ordering.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<(SimTime, u64, EventBox)>>,
+    /// Keys only: payloads never participate in sifting or ordering.
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    /// Interned payloads, indexed by the key's slot.
+    slab: Vec<Event>,
+    /// Recycled slab slots.
+    free: Vec<u32>,
     next_seq: u64,
-}
-
-/// Wrapper ordered by insertion sequence only through the tuple position;
-/// the event payload itself never participates in ordering.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct EventBox(Event);
-
-impl PartialOrd for EventBox {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for EventBox {
-    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
-        // Keys (time, seq) are unique per entry, so payload comparison is
-        // never consulted; still required by the heap's bounds.
-        std::cmp::Ordering::Equal
-    }
 }
 
 impl EventQueue {
@@ -87,12 +78,27 @@ impl EventQueue {
     pub fn push(&mut self, time: SimTime, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse((time, seq, EventBox(event))));
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s as usize] = event;
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slab.len()).expect("event slab exceeds u32 slots");
+                self.slab.push(event);
+                s
+            }
+        };
+        self.heap.push(Reverse((time, seq, slot)));
     }
 
     /// Pop the earliest event (ties in insertion order).
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|Reverse((t, _, b))| (t, b.0))
+        self.heap.pop().map(|Reverse((t, _, slot))| {
+            self.free.push(slot);
+            let event = std::mem::replace(&mut self.slab[slot as usize], Event::ControlTick);
+            (t, event)
+        })
     }
 
     /// Time of the next event without popping it.
@@ -145,5 +151,25 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn slab_slots_are_recycled() {
+        let mut q = EventQueue::new();
+        // Interleave pushes and pops: the slab must not grow past the peak
+        // number of simultaneously pending events.
+        for round in 0..100usize {
+            q.push(SimTime::from_secs(round as u64), Event::ControlTick);
+            q.push(
+                SimTime::from_secs(round as u64),
+                Event::QueryArrival { spec_idx: round },
+            );
+            let (_, e) = q.pop().unwrap();
+            assert_eq!(e, Event::ControlTick);
+            let (_, e) = q.pop().unwrap();
+            assert_eq!(e, Event::QueryArrival { spec_idx: round });
+        }
+        assert!(q.slab.len() <= 2, "slab grew to {}", q.slab.len());
+        assert!(q.is_empty());
     }
 }

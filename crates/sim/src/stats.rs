@@ -92,6 +92,9 @@ pub struct SimReport {
     pub mean_dispatch_freshness: f64,
     /// Optional timeline (enabled via `SimConfig::record_timeline`).
     pub timeline: Vec<TimelineSample>,
+    /// Total discrete events the engine processed (perf instrumentation;
+    /// excluded from golden digests so it can evolve freely).
+    pub events_processed: u64,
 }
 
 impl SimReport {
@@ -221,6 +224,7 @@ mod tests {
             signals: SignalCounts::default(),
             mean_dispatch_freshness: 0.95,
             timeline: Vec::new(),
+            events_processed: 0,
         }
     }
 

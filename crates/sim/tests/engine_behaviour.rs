@@ -3,7 +3,7 @@
 //! accounting invariants.
 
 use unit_core::policy::{AdmissionDecision, Policy, UpdateAction};
-use unit_core::snapshot::SystemSnapshot;
+use unit_core::snapshot::SnapshotView;
 use unit_core::time::{SimDuration, SimTime};
 use unit_core::types::{DataId, QueryId, QuerySpec, Trace, UpdateSpec, UpdateStreamId};
 use unit_sim::{run_simulation, SimConfig};
@@ -20,10 +20,10 @@ impl Policy for ApplyAll {
         "apply-all"
     }
     fn init(&mut self, _: usize, _: &[UpdateSpec]) {}
-    fn on_query_arrival(&mut self, _: &QuerySpec, _: &SystemSnapshot) -> AdmissionDecision {
+    fn on_query_arrival(&mut self, _: &QuerySpec, _: &SnapshotView<'_>) -> AdmissionDecision {
         AdmissionDecision::Admit
     }
-    fn on_version_arrival(&mut self, _: DataId, _: SimTime, _: &SystemSnapshot) -> UpdateAction {
+    fn on_version_arrival(&mut self, _: DataId, _: SimTime, _: &SnapshotView<'_>) -> UpdateAction {
         UpdateAction::Apply
     }
 }
@@ -36,10 +36,10 @@ impl Policy for SkipAll {
         "skip-all"
     }
     fn init(&mut self, _: usize, _: &[UpdateSpec]) {}
-    fn on_query_arrival(&mut self, _: &QuerySpec, _: &SystemSnapshot) -> AdmissionDecision {
+    fn on_query_arrival(&mut self, _: &QuerySpec, _: &SnapshotView<'_>) -> AdmissionDecision {
         AdmissionDecision::Admit
     }
-    fn on_version_arrival(&mut self, _: DataId, _: SimTime, _: &SystemSnapshot) -> UpdateAction {
+    fn on_version_arrival(&mut self, _: DataId, _: SimTime, _: &SnapshotView<'_>) -> UpdateAction {
         UpdateAction::Skip
     }
 }
@@ -52,10 +52,10 @@ impl Policy for RejectAll {
         "reject-all"
     }
     fn init(&mut self, _: usize, _: &[UpdateSpec]) {}
-    fn on_query_arrival(&mut self, _: &QuerySpec, _: &SystemSnapshot) -> AdmissionDecision {
+    fn on_query_arrival(&mut self, _: &QuerySpec, _: &SnapshotView<'_>) -> AdmissionDecision {
         AdmissionDecision::Reject
     }
-    fn on_version_arrival(&mut self, _: DataId, _: SimTime, _: &SystemSnapshot) -> UpdateAction {
+    fn on_version_arrival(&mut self, _: DataId, _: SimTime, _: &SnapshotView<'_>) -> UpdateAction {
         UpdateAction::Apply
     }
 }
@@ -68,10 +68,10 @@ impl Policy for DemandRefresh {
         "demand-refresh"
     }
     fn init(&mut self, _: usize, _: &[UpdateSpec]) {}
-    fn on_query_arrival(&mut self, _: &QuerySpec, _: &SystemSnapshot) -> AdmissionDecision {
+    fn on_query_arrival(&mut self, _: &QuerySpec, _: &SnapshotView<'_>) -> AdmissionDecision {
         AdmissionDecision::Admit
     }
-    fn on_version_arrival(&mut self, _: DataId, _: SimTime, _: &SystemSnapshot) -> UpdateAction {
+    fn on_version_arrival(&mut self, _: DataId, _: SimTime, _: &SnapshotView<'_>) -> UpdateAction {
         UpdateAction::Skip
     }
     fn demand_refresh(&mut self, q: &QuerySpec, udrop: &dyn Fn(DataId) -> u64) -> Vec<DataId> {
@@ -555,14 +555,14 @@ fn on_demand_and_periodic_updates_coexist_on_one_item() {
             "half"
         }
         fn init(&mut self, _: usize, _: &[UpdateSpec]) {}
-        fn on_query_arrival(&mut self, _: &QuerySpec, _: &SystemSnapshot) -> AdmissionDecision {
+        fn on_query_arrival(&mut self, _: &QuerySpec, _: &SnapshotView<'_>) -> AdmissionDecision {
             AdmissionDecision::Admit
         }
         fn on_version_arrival(
             &mut self,
             _: DataId,
             _: SimTime,
-            _: &SystemSnapshot,
+            _: &SnapshotView<'_>,
         ) -> UpdateAction {
             self.toggle = !self.toggle;
             if self.toggle {

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use unit_core::policy::{AdmissionDecision, Policy, UpdateAction};
-use unit_core::snapshot::SystemSnapshot;
+use unit_core::snapshot::SnapshotView;
 use unit_core::time::{SimDuration, SimTime};
 use unit_core::types::{DataId, QueryId, QuerySpec, Trace, UpdateSpec, UpdateStreamId};
 use unit_sim::events::{Event, EventQueue};
@@ -127,10 +127,10 @@ impl Policy for ApplyAll {
         "apply-all"
     }
     fn init(&mut self, _: usize, _: &[UpdateSpec]) {}
-    fn on_query_arrival(&mut self, _: &QuerySpec, _: &SystemSnapshot) -> AdmissionDecision {
+    fn on_query_arrival(&mut self, _: &QuerySpec, _: &SnapshotView<'_>) -> AdmissionDecision {
         AdmissionDecision::Admit
     }
-    fn on_version_arrival(&mut self, _: DataId, _: SimTime, _: &SystemSnapshot) -> UpdateAction {
+    fn on_version_arrival(&mut self, _: DataId, _: SimTime, _: &SnapshotView<'_>) -> UpdateAction {
         UpdateAction::Apply
     }
 }

@@ -12,7 +12,7 @@
 
 use unit_core::policy::{AdmissionDecision, Policy, UpdateAction};
 use unit_core::prelude::*;
-use unit_core::snapshot::SystemSnapshot;
+use unit_core::snapshot::SnapshotView;
 use unit_sim::{run_simulation, SimConfig};
 use unit_workload::prelude::*;
 
@@ -45,7 +45,7 @@ impl Policy for QuotaPolicy {
         self.apply_toggle = vec![true; n_items];
     }
 
-    fn on_query_arrival(&mut self, q: &QuerySpec, sys: &SystemSnapshot) -> AdmissionDecision {
+    fn on_query_arrival(&mut self, q: &QuerySpec, sys: &SnapshotView<'_>) -> AdmissionDecision {
         let backlog = sys.update_backlog.as_secs_f64() + sys.query_backlog().as_secs_f64();
         if backlog + q.exec_time.as_secs_f64() > self.backlog_quota_secs {
             self.rejected += 1;
@@ -59,7 +59,7 @@ impl Policy for QuotaPolicy {
         &mut self,
         item: DataId,
         _now: SimTime,
-        _sys: &SystemSnapshot,
+        _sys: &SnapshotView<'_>,
     ) -> UpdateAction {
         // Static modulation: apply every other version.
         let slot = &mut self.apply_toggle[item.index()];

@@ -1,0 +1,509 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the vendored `serde` crate's Value-tree model, for the shapes this
+//! workspace uses: named/tuple/unit structs and enums whose variants
+//! are unit, newtype, tuple, or struct-like; container attribute
+//! `#[serde(transparent)]`; field attributes `#[serde(default)]` and
+//! `#[serde(default = "path")]`. No dependency on `syn`/`quote` — the
+//! item is parsed directly from the token stream and the impls are
+//! emitted as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// How a missing field deserializes.
+#[derive(Clone)]
+enum FieldDefault {
+    /// Hard error (serde's default behaviour).
+    Required,
+    /// `Default::default()` — `#[serde(default)]`.
+    DefaultTrait,
+    /// `path()` — `#[serde(default = "path")]`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+enum Payload {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Kind {
+    Struct(Payload),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Consume leading attributes, returning (transparent, field_default)
+    /// extracted from any `#[serde(...)]` among them.
+    fn eat_attrs(&mut self) -> (bool, FieldDefault) {
+        let mut transparent = false;
+        let mut default = FieldDefault::Required;
+        while self.eat_punct('#') {
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde derive: malformed attribute, found {other:?}"),
+            };
+            let mut inner = Cursor::new(group.stream());
+            if !inner.eat_ident("serde") {
+                continue;
+            }
+            let args = match inner.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+                other => panic!("serde derive: malformed serde attribute: {other:?}"),
+            };
+            let mut a = Cursor::new(args.stream());
+            while let Some(tok) = a.next() {
+                let word = match tok {
+                    TokenTree::Ident(i) => i.to_string(),
+                    TokenTree::Punct(p) if p.as_char() == ',' => continue,
+                    other => panic!("serde derive: unsupported serde attribute token {other:?}"),
+                };
+                match word.as_str() {
+                    "transparent" => transparent = true,
+                    "default" => {
+                        if a.eat_punct('=') {
+                            let lit = match a.next() {
+                                Some(TokenTree::Literal(l)) => l.to_string(),
+                                other => {
+                                    panic!("serde derive: expected path literal, got {other:?}")
+                                }
+                            };
+                            default = FieldDefault::Path(lit.trim_matches('"').to_string());
+                        } else {
+                            default = FieldDefault::DefaultTrait;
+                        }
+                    }
+                    other => panic!("serde derive: unsupported serde attribute `{other}`"),
+                }
+            }
+        }
+        (transparent, default)
+    }
+
+    /// Consume a visibility qualifier if present.
+    fn eat_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skip a type expression: everything until a `,` at angle-depth 0.
+    fn skip_type(&mut self) {
+        let mut depth = 0i32;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let (_, default) = c.eat_attrs();
+        c.eat_visibility();
+        let name = c.expect_ident();
+        assert!(c.eat_punct(':'), "serde derive: expected `:` after field");
+        c.skip_type();
+        c.eat_punct(',');
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut n = 0;
+    while c.peek().is_some() {
+        c.eat_attrs();
+        c.eat_visibility();
+        c.skip_type();
+        c.eat_punct(',');
+        n += 1;
+    }
+    n
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut c = Cursor::new(input);
+    let (transparent, _) = c.eat_attrs();
+    c.eat_visibility();
+    let kind_word = c.expect_ident();
+    let name = c.expect_ident();
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive stand-in: generic types are not supported");
+    }
+    match kind_word.as_str() {
+        "struct" => {
+            let payload = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Payload::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Payload::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Payload::Unit,
+                other => panic!("serde derive: unexpected struct body {other:?}"),
+            };
+            Input {
+                name,
+                transparent,
+                kind: Kind::Struct(payload),
+            }
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("serde derive: expected enum body, found {other:?}"),
+            };
+            let mut vc = Cursor::new(body.stream());
+            let mut variants = Vec::new();
+            while vc.peek().is_some() {
+                vc.eat_attrs();
+                let vname = vc.expect_ident();
+                let payload = match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        vc.pos += 1;
+                        Payload::Named(fields)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g.stream());
+                        vc.pos += 1;
+                        Payload::Tuple(n)
+                    }
+                    _ => Payload::Unit,
+                };
+                if vc.eat_punct('=') {
+                    // Discriminant expression: skip to the trailing comma.
+                    while let Some(tok) = vc.peek() {
+                        if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                            break;
+                        }
+                        vc.pos += 1;
+                    }
+                }
+                vc.eat_punct(',');
+                variants.push(Variant {
+                    name: vname,
+                    payload,
+                });
+            }
+            Input {
+                name,
+                transparent,
+                kind: Kind::Enum(variants),
+            }
+        }
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn named_fields_to_map(fields: &[Field], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value(&{prefix}{n}))",
+                n = f.name
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn named_fields_from_map(fields: &[Field], map_var: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let missing = match &f.default {
+                FieldDefault::Required => format!(
+                    "return ::core::result::Result::Err(::serde::Error::missing_field(\"{}\"))",
+                    f.name
+                ),
+                FieldDefault::DefaultTrait => "::core::default::Default::default()".to_string(),
+                FieldDefault::Path(p) => format!("{p}()"),
+            };
+            format!(
+                "{n}: match ::serde::field({m}, \"{n}\") {{ \
+                   ::core::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?, \
+                   ::core::option::Option::None => {missing}, \
+                 }},",
+                n = f.name,
+                m = map_var
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Payload::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Struct(Payload::Named(fields)) => {
+            if input.transparent {
+                assert_eq!(fields.len(), 1, "transparent needs exactly one field");
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+            } else {
+                named_fields_to_map(fields, "self.")
+            }
+        }
+        Kind::Struct(Payload::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Payload::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.payload {
+                        Payload::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Payload::Named(fields) => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let inner = named_fields_to_map(fields, "");
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), {inner})]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        Payload::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(x0)".to_string()
+                            } else {
+                                let elems: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), {inner})]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Payload::Unit) => format!(
+            "match value {{ \
+               ::serde::Value::Null => ::core::result::Result::Ok({name}), \
+               other => ::core::result::Result::Err(::serde::Error::expected(\"null\", other)), \
+             }}"
+        ),
+        Kind::Struct(Payload::Named(fields)) => {
+            if input.transparent {
+                assert_eq!(fields.len(), 1, "transparent needs exactly one field");
+                format!(
+                    "::core::result::Result::Ok({name} {{ {f}: ::serde::Deserialize::from_value(value)? }})",
+                    f = fields[0].name
+                )
+            } else {
+                let inits = named_fields_from_map(fields, "m");
+                format!(
+                    "let m = value.as_map().ok_or_else(|| ::serde::Error::expected(\"object\", value))?;\n\
+                     ::core::result::Result::Ok({name} {{\n{inits}\n}})"
+                )
+            }
+        }
+        Kind::Struct(Payload::Tuple(1)) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+        ),
+        Kind::Struct(Payload::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                .collect();
+            format!(
+                "let s = value.as_seq().ok_or_else(|| ::serde::Error::expected(\"array\", value))?;\n\
+                 if s.len() != {n} {{ return ::core::result::Result::Err(::serde::Error::custom(\"wrong tuple length\")); }}\n\
+                 ::core::result::Result::Ok({name}({elems}))",
+                elems = elems.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.payload, Payload::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.payload, Payload::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.payload {
+                        Payload::Unit => unreachable!(),
+                        Payload::Named(fields) => {
+                            let inits = named_fields_from_map(fields, "fm");
+                            format!(
+                                "\"{vn}\" => {{ \
+                                   let fm = v.as_map().ok_or_else(|| ::serde::Error::expected(\"object\", v))?; \
+                                   ::core::result::Result::Ok({name}::{vn} {{ {inits} }}) \
+                                 }}"
+                            )
+                        }
+                        Payload::Tuple(1) => format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(v)?)),"
+                        ),
+                        Payload::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ \
+                                   let s = v.as_seq().ok_or_else(|| ::serde::Error::expected(\"array\", v))?; \
+                                   if s.len() != {n} {{ return ::core::result::Result::Err(::serde::Error::custom(\"wrong tuple length\")); }} \
+                                   ::core::result::Result::Ok({name}::{vn}({elems})) \
+                                 }}",
+                                elems = elems.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match value {{\n\
+                   ::serde::Value::Str(s) => match s.as_str() {{\n{units}\n\
+                     other => ::core::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                   }},\n\
+                   ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                     let (k, v) = &m[0];\n\
+                     match k.as_str() {{\n{payloads}\n\
+                       other => ::core::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }}\n\
+                   }},\n\
+                   other => ::core::result::Result::Err(::serde::Error::expected(\"enum representation\", other)),\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                payloads = payload_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+           fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Derive the vendored serde's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+/// Derive the vendored serde's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde derive: generated Deserialize impl failed to parse")
+}
