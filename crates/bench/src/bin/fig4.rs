@@ -48,7 +48,7 @@ fn main() {
                 .map(|pi| outcomes[bi * 4 + pi].report.success_ratio())
                 .collect();
             let unit = per_policy[3];
-            let best_other = per_policy[..3].iter().cloned().fold(0.0_f64, f64::max);
+            let best_other = per_policy[..3].iter().copied().fold(0.0_f64, f64::max);
             let rel = if best_other > 0.0 {
                 format!("{:+.0}%", 100.0 * (unit - best_other) / best_other)
             } else {

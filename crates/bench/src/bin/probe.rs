@@ -22,7 +22,7 @@ impl Policy for Probe {
         self.inner.name()
     }
     fn init(&mut self, n: usize, u: &[UpdateSpec]) {
-        self.inner.init(n, u)
+        self.inner.init(n, u);
     }
     fn on_query_arrival(&mut self, q: &QuerySpec, s: &SnapshotView<'_>) -> AdmissionDecision {
         self.inner.on_query_arrival(q, s)
@@ -31,13 +31,13 @@ impl Policy for Probe {
         self.inner.on_version_arrival(d, t, s)
     }
     fn on_query_dispatch(&mut self, q: &QuerySpec, f: f64) {
-        self.inner.on_query_dispatch(q, f)
+        self.inner.on_query_dispatch(q, f);
     }
     fn on_update_commit(&mut self, d: DataId, e: SimDuration) {
-        self.inner.on_update_commit(d, e)
+        self.inner.on_update_commit(d, e);
     }
     fn on_query_outcome(&mut self, q: &QuerySpec, o: Outcome) {
-        self.inner.on_query_outcome(q, o)
+        self.inner.on_query_outcome(q, o);
     }
     fn on_tick(&mut self, now: SimTime, s: &SnapshotView<'_>) -> Vec<ControlSignal> {
         let r = self.inner.on_tick(now, s);
@@ -108,8 +108,7 @@ fn main() {
                     .updates
                     .iter()
                     .find(|u| u.item.index() == i)
-                    .map(|u| u.period)
-                    .unwrap_or(cur);
+                    .map_or(cur, |u| u.period);
                 cur.as_secs_f64() / ideal.as_secs_f64()
             }
         })

@@ -150,8 +150,8 @@ fn main() {
                 f(report.applied_ratio(), 4)
             ]);
         }
-        let spread = usms.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-            - usms.iter().cloned().fold(f64::INFINITY, f64::min);
+        let spread = usms.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            - usms.iter().copied().fold(f64::INFINITY, f64::min);
         println!(
             "{} (paper: {})\n{}USM spread across the sweep: {:.3}\n",
             sweep.name,

@@ -94,8 +94,7 @@ fn main() {
         total_secs += best_secs;
         total_events += events;
         println!(
-            "  {name:<10} {best_secs:>8.3} s  {events:>9} events  {:>12.0} events/s  USM {usm:+.4}",
-            events_per_sec
+            "  {name:<10} {best_secs:>8.3} s  {events:>9} events  {events_per_sec:>12.0} events/s  USM {usm:+.4}"
         );
         rows.push(format!(
             "    {{\"trace\": \"{name}\", \"wall_secs\": {best_secs:.6}, \

@@ -53,7 +53,7 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n >= 1)
-                    .unwrap_or_else(|| usage())
+                    .unwrap_or_else(|| usage());
             }
             "--full" => out.scale = 1,
             "--volume" => {
@@ -114,12 +114,12 @@ fn describe(bundle: &TraceBundle) {
     println!(
         "  query exec:       mean {:.2}s, max {:.2}s",
         mean(&execs),
-        execs.iter().cloned().fold(0.0, f64::max)
+        execs.iter().copied().fold(0.0, f64::max)
     );
     println!(
         "  query deadline:   mean {:.1}s, max {:.1}s",
         mean(&deadlines),
-        deadlines.iter().cloned().fold(0.0, f64::max)
+        deadlines.iter().copied().fold(0.0, f64::max)
     );
     let classes = t.queries.iter().map(|q| q.pref_class).max().unwrap_or(0) + 1;
     println!("  preference classes: {classes}");

@@ -59,7 +59,7 @@ fn main() {
         let s: Vec<f64> = (0..4)
             .map(|pi| out[bi * 4 + pi].report.success_ratio())
             .collect();
-        let best = s.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let best = s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         if (s[3] - best).abs() < 1e-12 {
             unit_wins += 1;
         }
@@ -73,10 +73,10 @@ fn main() {
     let mut csv_rows = Vec::new();
     for (pi, kind) in PolicyKind::ALL.iter().enumerate() {
         let (mean, std) = mean_std(&per_policy[pi]);
-        let min = per_policy[pi].iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = per_policy[pi].iter().copied().fold(f64::INFINITY, f64::min);
         let max = per_policy[pi]
             .iter()
-            .cloned()
+            .copied()
             .fold(f64::NEG_INFINITY, f64::max);
         rows.push(row![
             kind.name(),

@@ -93,7 +93,7 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> Result<HarnessArgs, String> {
-        HarnessArgs::parse(args.iter().map(|s| s.to_string()))
+        HarnessArgs::parse(args.iter().map(|&s| s.to_string()))
     }
 
     #[test]

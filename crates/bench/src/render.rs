@@ -7,7 +7,7 @@ use std::fmt::Write as _;
 /// arity.
 pub fn text_table(header: &[String], rows: &[Vec<String>]) -> String {
     let cols = header.len();
-    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
     for row in rows {
         assert_eq!(row.len(), cols, "row arity mismatch");
         for (i, cell) in row.iter().enumerate() {

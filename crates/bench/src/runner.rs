@@ -153,8 +153,7 @@ pub fn run_matrix(
         .flat_map(|b| policies.iter().map(move |&p| (b, p)))
         .collect();
     let n_workers = thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+        .map_or(1, std::num::NonZeroUsize::get)
         .min(cells.len())
         .max(1);
     let results: Vec<Mutex<Option<RunOutcome>>> =

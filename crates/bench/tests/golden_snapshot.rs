@@ -70,7 +70,7 @@ fn report_digest(r: &SimReport) -> u64 {
     }
     for hist in [&r.query_accesses, &r.versions_arrived, &r.updates_applied] {
         h.u64(hist.len() as u64);
-        for &v in hist.iter() {
+        for &v in hist {
             h.u64(v);
         }
     }

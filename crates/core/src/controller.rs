@@ -199,6 +199,9 @@ impl Lbc {
             (r, fm, fs)
         };
 
+        // Exact zero marks "no failures at all this window": the ratios/costs
+        // below are sums of zero terms, not accumulated arithmetic drift.
+        // lint: allow(D4) — intentional exact-zero sentinel, see comment above
         if r == 0.0 && fm == 0.0 && fs == 0.0 {
             return if self.cfg.loosen_when_clean && counts.total() > 0 {
                 vec![ControlSignal::LoosenAdmission]

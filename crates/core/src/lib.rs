@@ -71,6 +71,7 @@ pub mod time;
 pub mod types;
 pub mod unit_policy;
 pub mod usm;
+pub mod validate;
 
 pub use admission::{AdmissionControl, AdmissionVerdict};
 pub use config::UnitConfig;

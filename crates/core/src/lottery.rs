@@ -109,6 +109,29 @@ impl WeightedSampler {
         self.find(target)
     }
 
+    /// Cross-check the Fenwick tree against the stored weight vector: every
+    /// prefix sum recomputed the naive O(N) way must match the tree within
+    /// float tolerance. The shadow of the O(log N) fast path; always
+    /// compiled, invoked behind the `validate` feature (see
+    /// [`crate::validate`]).
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let mut cum = 0.0_f64;
+        for (i, &w) in self.weights.iter().enumerate() {
+            if w < 0.0 || !w.is_finite() {
+                return Err(format!(
+                    "weight {i} is {w}, must be finite and non-negative"
+                ));
+            }
+            cum += w;
+            let tree_cum = self.tree.prefix_sum(i + 1);
+            let tol = 1e-9 * cum.abs().max(1.0);
+            if (tree_cum - cum).abs() > tol {
+                return Err(format!("fenwick prefix {i}: tree {tree_cum}, naive {cum}"));
+            }
+        }
+        Ok(())
+    }
+
     /// Find the first index whose cumulative weight exceeds `target` via the
     /// tree's largest-prefix descent. `target` must be in `[0, total)`.
     fn find(&self, target: f64) -> usize {
@@ -116,10 +139,12 @@ impl WeightedSampler {
         // Descent result = count of full prefixes below target; clamp against
         // accumulated float error landing on a zero-weight tail index.
         let mut idx = self.tree.descend(target).min(n - 1);
+        // lint: allow(D4) — weights are set to the 0.0 literal, never computed; exact match is the sentinel
         while idx > 0 && self.weights[idx] == 0.0 {
             idx -= 1;
         }
         // If we walked into a zero-weight prefix (all-left zeros), walk right.
+        // lint: allow(D4) — weights are set to the 0.0 literal, never computed; exact match is the sentinel
         while idx < n - 1 && self.weights[idx] == 0.0 {
             idx += 1;
         }
@@ -200,6 +225,24 @@ mod tests {
                 assert!(s.weight(idx) > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn consistency_check_accepts_a_healthy_sampler() {
+        let mut s = WeightedSampler::from_weights(&[0.0, 3.0, 1.0, 2.5]);
+        s.set(2, 0.0);
+        s.set(0, 4.0);
+        assert_eq!(s.check_consistency(), Ok(()));
+    }
+
+    #[test]
+    fn consistency_check_catches_a_corrupted_tree() {
+        let mut s = WeightedSampler::from_weights(&[1.0, 2.0, 3.0]);
+        // Skew the Fenwick tree without going through `set`, as a bug in the
+        // incremental path would.
+        s.tree.add(1, 0.5);
+        let err = s.check_consistency().unwrap_err();
+        assert!(err.contains("fenwick prefix 1"), "{err}");
     }
 
     #[test]

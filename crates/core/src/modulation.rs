@@ -272,6 +272,32 @@ impl UpdateModulation {
     pub fn survival_fraction(&self, item: DataId) -> f64 {
         1.0 / self.degradation_factor(item)
     }
+
+    /// Check `pi_j ≤ pc_j ≤ cap·pi_j` for every item; streamless items
+    /// (`pi = MAX`) must remain untouched. The naive shadow of the clamps
+    /// in [`Self::degrade`]/[`Self::upgrade_one`]; always compiled, invoked
+    /// behind the `validate` feature (see [`crate::validate`]).
+    pub fn check_period_bounds(&self) -> Result<(), String> {
+        for i in 0..self.len() {
+            let (pi, pc) = (self.ideal[i], self.current[i]);
+            if pi == SimDuration::MAX {
+                if pc != SimDuration::MAX {
+                    return Err(format!(
+                        "item {i}: streamless but period modulated to {pc:?}"
+                    ));
+                }
+                continue;
+            }
+            if pc < pi {
+                return Err(format!("item {i}: current {pc:?} below ideal {pi:?}"));
+            }
+            let cap = pi.scale(self.max_factor);
+            if pc > cap {
+                return Err(format!("item {i}: current {pc:?} above cap {cap:?}"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -467,6 +493,33 @@ mod tests {
         }
         let expected = 0.5 / m.degradation_factor(DataId(0)) + 0.1;
         assert!((m.expected_utilization(&shares) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn period_bounds_check_accepts_modulated_state() {
+        let mut m = modulation(&[10, 20]);
+        for _ in 0..100 {
+            m.degrade(DataId(0));
+        }
+        m.upgrade_all();
+        assert_eq!(m.check_period_bounds(), Ok(()));
+    }
+
+    #[test]
+    fn period_bounds_check_catches_out_of_range_periods() {
+        let mut m = modulation(&[10, 20]);
+        // Corrupt the state directly, as a clamp bug would.
+        m.current[0] = SimDuration::from_secs(5);
+        let err = m.check_period_bounds().unwrap_err();
+        assert!(err.contains("below ideal"), "{err}");
+        m.current[0] = SimDuration::from_secs(10_000);
+        let err = m.check_period_bounds().unwrap_err();
+        assert!(err.contains("above cap"), "{err}");
+
+        let mut m = UpdateModulation::new(vec![SimDuration::MAX], 0.1, 0.5);
+        m.current[0] = SimDuration::from_secs(1);
+        let err = m.check_period_bounds().unwrap_err();
+        assert!(err.contains("streamless"), "{err}");
     }
 
     #[test]

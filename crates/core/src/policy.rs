@@ -75,20 +75,23 @@ pub enum ControlSignal {
 /// driven by one server. Hooks must be deterministic given the call sequence
 /// and the policy's own seeded RNG, so that experiment runs are reproducible.
 pub trait Policy {
-    /// Human-readable policy name for reports ("UNIT", "IMU", ...).
+    /// Human-readable policy name for reports ("UNIT", "IMU", ...). O(1).
     fn name(&self) -> &str;
 
     /// Called once before the run with the database size and the update
-    /// streams, so the policy can size its per-item state.
+    /// streams, so the policy can size its per-item state. O(N_d); runs
+    /// once, off the event hot path.
     fn init(&mut self, n_items: usize, updates: &[UpdateSpec]);
 
     /// Admission decision for a newly arrived query. `sys` is a borrowed,
     /// lazily-materialized view — scalar reads are free, queue probes are
-    /// O(log N_rq).
+    /// O(log N_rq). Implementations must stay within O(log N_rq) per call;
+    /// this hook runs on every arrival.
     fn on_query_arrival(&mut self, q: &QuerySpec, sys: &SnapshotView<'_>) -> AdmissionDecision;
 
     /// A new version of `item` arrived from its source; decide whether the
-    /// server should apply it.
+    /// server should apply it. O(1) for every shipped policy — this hook
+    /// fires once per version across every update stream.
     fn on_version_arrival(
         &mut self,
         item: DataId,
@@ -99,6 +102,7 @@ pub trait Policy {
     /// Items in `q`'s read set the server must refresh (as update
     /// transactions) before `q` starts executing. Only on-demand policies
     /// return a non-empty list. `udrop` exposes the current per-item backlog.
+    /// O(|read set|) — called at most twice per query (admission, dispatch).
     fn demand_refresh(&mut self, q: &QuerySpec, udrop: &dyn Fn(DataId) -> u64) -> Vec<DataId> {
         let _ = (q, udrop);
         Vec::new()
@@ -109,6 +113,7 @@ pub trait Policy {
     /// policies schedule update applications ahead of predicted accesses —
     /// e.g. the deferrable-update policy from the paper's related work.
     /// `udrop` exposes the current per-item backlog. Default: none.
+    /// O(N_d) worst case, but only at tick frequency — never per event.
     fn tick_refreshes(&mut self, now: SimTime, udrop: &dyn Fn(DataId) -> u64) -> Vec<DataId> {
         let _ = (now, udrop);
         Vec::new()
@@ -118,30 +123,34 @@ pub trait Policy {
     /// is *admitted* ("the query finds the needed data item is stale", §4.1)
     /// rather than when it first reaches the CPU. Arrival-time refreshing is
     /// eager: it spends CPU on refreshes even for queries that later miss
-    /// their deadlines in the queue.
+    /// their deadlines in the queue. O(1).
     fn refresh_at_admission(&self) -> bool {
         false
     }
 
     /// The server dispatched `q` (acquired its read locks); `freshness` is
     /// the strict-minimum freshness of the read set at that instant. Called
-    /// again after a lock-conflict restart.
+    /// again after a lock-conflict restart. O(|read set|) or cheaper.
     fn on_query_dispatch(&mut self, q: &QuerySpec, freshness: f64) {
         let _ = (q, freshness);
     }
 
-    /// An update transaction for `item` committed.
+    /// An update transaction for `item` committed. O(1) — this hook fires
+    /// once per applied update.
     fn on_update_commit(&mut self, item: DataId, exec_time: SimDuration) {
         let _ = (item, exec_time);
     }
 
-    /// Final outcome of a query (including rejections).
+    /// Final outcome of a query (including rejections). O(1) amortized —
+    /// fires once per submitted query.
     fn on_query_outcome(&mut self, q: &QuerySpec, outcome: Outcome) {
         let _ = (q, outcome);
     }
 
     /// Periodic control tick. Returns the signals acted upon (for logging);
-    /// open-loop policies return an empty vector.
+    /// open-loop policies return an empty vector. Runs at tick frequency,
+    /// not per event: up to O(N_d log N_d) (UNIT's lottery batches) is
+    /// acceptable here, per DESIGN.md §2.1.
     fn on_tick(&mut self, now: SimTime, sys: &SnapshotView<'_>) -> Vec<ControlSignal> {
         let _ = (now, sys);
         Vec::new()
@@ -149,7 +158,7 @@ pub trait Policy {
 
     /// The server's current modulated period for `item`'s updates, if the
     /// policy modulates periods (used by Fig. 3 instrumentation). `None`
-    /// means "the ideal period".
+    /// means "the ideal period". O(1).
     fn current_period(&self, item: DataId) -> Option<SimDuration> {
         let _ = item;
         None

@@ -119,8 +119,10 @@ impl<'a> SnapshotView<'a> {
         let mut f = Some(f);
         let mut out = None;
         self.source.with_queries(&mut |qs| {
+            // lint: allow(panic) — QueueSource contract: callback runs exactly once
             out = Some((f.take().expect("with_queries called twice"))(qs));
         });
+        // lint: allow(panic) — QueueSource contract: callback runs exactly once
         out.expect("QueueSource::with_queries must invoke its callback")
     }
 }

@@ -130,6 +130,14 @@ impl TicketTable {
         self.tickets[item] = value;
     }
 
+    /// Sum of every raw ticket, left to right. The modulation path reads
+    /// tickets but must never write them; validate mode compares this sum
+    /// bit-for-bit around each degrade/upgrade signal (see
+    /// [`crate::validate`]).
+    pub fn ticket_sum(&self) -> f64 {
+        self.tickets.iter().sum()
+    }
+
     /// Lottery weights per the paper (§3.4.1): tickets shifted by `−T_min`
     /// so every weight is non-negative. The minimum-ticket item gets weight
     /// zero and is therefore never degraded — it is the item queries value

@@ -72,6 +72,7 @@ impl UnitPolicy {
     /// Panics if `cfg.validate()` fails.
     pub fn new(cfg: UnitConfig) -> Self {
         if let Err(e) = cfg.validate() {
+            // lint: allow(panic) — documented constructor contract, caught at config time
             panic!("invalid UnitConfig: {e}");
         }
         UnitPolicy {
@@ -149,6 +150,8 @@ impl UnitPolicy {
     }
 
     fn apply_signal(&mut self, signal: ControlSignal) {
+        #[cfg(feature = "validate")]
+        let ticket_bits = self.tickets.ticket_sum().to_bits();
         match signal {
             ControlSignal::LoosenAdmission => self.ac.loosen(),
             ControlSignal::TightenAdmission => self.ac.tighten(),
@@ -158,6 +161,19 @@ impl UnitPolicy {
                 self.stats.upgrade_signals += 1;
             }
         }
+        crate::validate_check!("ticket-conservation", {
+            let after = self.tickets.ticket_sum().to_bits();
+            if after == ticket_bits {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{signal:?} changed the ticket sum: {:e} -> {:e}",
+                    f64::from_bits(ticket_bits),
+                    f64::from_bits(after)
+                ))
+            }
+        });
+        crate::validate_check!("period-bounds", self.modulation.check_period_bounds());
     }
 
     /// One `UpgradeUpdates` signal: walk degraded items back toward their
@@ -230,12 +246,14 @@ impl UnitPolicy {
             crate::config::VictimWeighting::ShiftMin => self.tickets.shifted_weights(),
             crate::config::VictimWeighting::ClampZero => self.tickets.clamped_weights(),
         };
+        // lint: allow(D4) — sharpness is a configured literal; 1.0 means "feature off"
         if self.cfg.lottery_sharpness != 1.0 {
             for w in &mut weights {
                 *w = w.powf(self.cfg.lottery_sharpness);
             }
         }
         let sampler = WeightedSampler::from_weights(&weights);
+        crate::validate_check!("lottery-sampler", sampler.check_consistency());
         let total = sampler.total();
         if total <= 0.0 || !total.is_finite() {
             return; // all tickets equal: sample() would yield None unconsumed

@@ -35,7 +35,7 @@ use unit_core::freshness_model::FreshnessModel;
 use unit_core::policy::Policy;
 use unit_core::snapshot::{QueueEntryView, QueueSource, SnapshotView};
 use unit_core::time::{SimDuration, SimTime};
-use unit_core::types::{DataId, Outcome, QueryId, Trace, TxnClass};
+use unit_core::types::{DataId, Outcome, QueryId, QuerySpec, Trace, TxnClass};
 use unit_core::usm::{OutcomeCounts, UsmWeights};
 
 /// How the single CPU orders ready transactions.
@@ -154,6 +154,7 @@ impl SimConfig {
     /// Panics on degenerate model parameters.
     pub fn with_freshness_model(mut self, model: FreshnessModel) -> Self {
         if let Err(e) = model.validate() {
+            // lint: allow(panic) — documented constructor contract, caught at config time
             panic!("invalid freshness model: {e}");
         }
         self.freshness_model = model;
@@ -208,8 +209,9 @@ impl EngineQueue<'_> {
         self.running
             .iter()
             .find(|r| r.id == id)
-            .map(|r| self.clock.saturating_since(r.started))
-            .unwrap_or(SimDuration::ZERO)
+            .map_or(SimDuration::ZERO, |r| {
+                self.clock.saturating_since(r.started)
+            })
     }
 
     fn entry_view(&self, key: &(SimTime, QueryId), e: &AdmittedEntry) -> QueueEntryView {
@@ -333,6 +335,10 @@ pub struct Simulator<'a, P: Policy> {
     dispatch_freshness_n: u64,
     timeline: Vec<TimelineSample>,
     events_processed: u64,
+    /// Raw per-query outcome log, kept only in validate builds so the USM
+    /// tallies can be recounted from first principles at every control tick.
+    #[cfg(feature = "validate")]
+    outcome_log: Vec<Outcome>,
 }
 
 impl<'a, P: Policy> Simulator<'a, P> {
@@ -343,6 +349,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
     /// beforehand).
     pub fn new(trace: &'a Trace, policy: P, cfg: SimConfig) -> Self {
         if let Err(e) = trace.validate() {
+            // lint: allow(panic) — documented constructor contract, caught before the run
             panic!("invalid trace: {e}");
         }
         let n = trace.n_items;
@@ -354,7 +361,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
             }
         }
         let mut deadline_coords: Vec<SimTime> =
-            trace.queries.iter().map(|q| q.deadline()).collect();
+            trace.queries.iter().map(QuerySpec::deadline).collect();
         deadline_coords.sort_unstable();
         deadline_coords.dedup();
         let work_index = Fenwick::new(deadline_coords.len());
@@ -391,6 +398,8 @@ impl<'a, P: Policy> Simulator<'a, P> {
             dispatch_freshness_n: 0,
             timeline: Vec::new(),
             events_processed: 0,
+            #[cfg(feature = "validate")]
+            outcome_log: Vec::new(),
         }
     }
 
@@ -440,6 +449,8 @@ impl<'a, P: Policy> Simulator<'a, P> {
             self.trace.queries.len(),
             "every submitted query must have exactly one outcome"
         );
+        #[cfg(feature = "validate")]
+        self.validate_invariants();
 
         let report = self.report();
         (report, self.policy)
@@ -495,6 +506,9 @@ impl<'a, P: Policy> Simulator<'a, P> {
 
     // --- event handlers --------------------------------------------------
 
+    /// Query-arrival hook: admission decision plus ready-queue insertion.
+    /// O(log N_rq) for the policy's slack probe and the index inserts, plus
+    /// the [`Simulator::reschedule`] that follows.
     fn on_query_arrival(&mut self, spec_idx: usize) {
         let trace = self.trace;
         let spec = &trace.queries[spec_idx];
@@ -559,6 +573,10 @@ impl<'a, P: Policy> Simulator<'a, P> {
         spawned
     }
 
+    /// Version-arrival hook: freshness bookkeeping, the policy's
+    /// apply/skip decision, and the next arrival's scheduling.
+    /// O(log N_ev) for the event pushes; the policy callback is O(1) for
+    /// every shipped policy.
     fn on_version_arrival(&mut self, stream_idx: usize) {
         let u = &self.trace.updates[stream_idx];
         let item = u.item;
@@ -578,6 +596,9 @@ impl<'a, P: Policy> Simulator<'a, P> {
         }
     }
 
+    /// Completion hook: commit the transaction, release its locks, record
+    /// the outcome. O(W + log N_rq) where W is the freed waiter count, plus
+    /// the trailing [`Simulator::reschedule`].
     fn on_completion(&mut self, id: TxnId, generation: u64) {
         // Stale completions (the transaction was preempted or aborted after
         // this event was scheduled) are ignored.
@@ -648,6 +669,9 @@ impl<'a, P: Policy> Simulator<'a, P> {
         self.reschedule();
     }
 
+    /// Firm-deadline hook: abort an expired query wherever it currently
+    /// sits. O(n_cpus + log N_rq) to evict it from the run/ready/admitted
+    /// structures, plus the trailing [`Simulator::reschedule`].
     fn on_query_deadline(&mut self, id: TxnId) {
         if self.txns[id.index()].state == TxnState::Finished {
             return; // committed (or already aborted) before expiry
@@ -671,6 +695,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
             txn.holds_locks = false;
             match txn.kind {
                 TxnKind::Query { spec_idx, .. } => spec_idx,
+                // lint: allow(panic) — only QueryDeadline events carry query txn ids
                 TxnKind::Update { .. } => unreachable!("updates have no deadline events"),
             }
         };
@@ -680,6 +705,10 @@ impl<'a, P: Policy> Simulator<'a, P> {
         self.reschedule();
     }
 
+    /// Control-tick hook: run the policy's feedback loop and sample the
+    /// timeline. O(T log N_ev) where T is the tick-triggered refresh count;
+    /// the policy's `on_tick` is O(1) amortized for UNIT (lottery batches
+    /// are credited against the signals that trigger them, DESIGN.md §2.1).
     fn on_control_tick(&mut self) {
         // One view serves both the policy tick and the timeline sample, so
         // the sample reflects pre-tick state exactly as the policy saw it.
@@ -730,10 +759,35 @@ impl<'a, P: Policy> Simulator<'a, P> {
         self.window_busy = SimDuration::ZERO;
         self.window_start = self.clock;
 
+        #[cfg(feature = "validate")]
+        self.validate_invariants();
+
         let next = self.clock + self.cfg.tick_period;
         if next.0 <= self.cfg.horizon.0 {
             self.events.push(next, Event::ControlTick);
         }
+    }
+
+    /// Cross-check the incremental engine structures against naive
+    /// recomputation (see [`crate::validate`]): the Fenwick work index vs an
+    /// O(N) recount over the admitted set, and the USM tallies vs the raw
+    /// outcome log. Runs at every control tick and once at end of run.
+    #[cfg(feature = "validate")]
+    fn validate_invariants(&self) {
+        unit_core::validate_check!(
+            "work-index",
+            crate::validate::check_work_index(
+                &self.work_index,
+                &self.deadline_coords,
+                self.admitted
+                    .iter()
+                    .map(|(&(deadline, _), e)| (deadline, e.remaining.0)),
+            )
+        );
+        unit_core::validate_check!(
+            "usm-identity",
+            crate::validate::check_usm_identity(&self.counts, &self.outcome_log, &self.cfg.weights)
+        );
     }
 
     // --- scheduling ------------------------------------------------------
@@ -741,7 +795,8 @@ impl<'a, P: Policy> Simulator<'a, P> {
     /// Re-evaluate CPU ownership: fill idle CPUs with the highest-priority
     /// ready transactions, preempting lower-priority incumbents when every
     /// CPU is busy. Loops until no dispatchable candidate outranks the
-    /// worst incumbent.
+    /// worst incumbent. O(D · (n_cpus + log N_rq)) where D is the number of
+    /// dispatch attempts this call actually performs (usually 0 or 1).
     fn reschedule(&mut self) {
         loop {
             let Some(&key) = self.ready.iter().next() else {
@@ -756,6 +811,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
                     .enumerate()
                     .map(|(i, r)| (i, self.pkey(r.id)))
                     .max_by_key(|&(_, k)| k)
+                    // lint: allow(panic) — running.len() >= n_cpus >= 1 on this branch
                     .expect("running is non-empty");
                 if worst_key <= key {
                     return; // incumbents keep their CPUs
@@ -767,7 +823,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
             match self.try_dispatch(cand) {
                 DispatchResult::Running
                 | DispatchResult::Blocked
-                | DispatchResult::SpawnedRefresh => continue,
+                | DispatchResult::SpawnedRefresh => {}
             }
         }
     }
@@ -997,6 +1053,8 @@ impl<'a, P: Policy> Simulator<'a, P> {
 
     fn record_outcome(&mut self, spec_idx: usize, outcome: Outcome) {
         self.counts.record(outcome);
+        #[cfg(feature = "validate")]
+        self.outcome_log.push(outcome);
         let spec = &self.trace.queries[spec_idx];
         let class = spec.pref_class as usize;
         if self.class_counts.len() <= class {
@@ -1071,6 +1129,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
     fn coord_of(&self, deadline: SimTime) -> usize {
         self.deadline_coords
             .binary_search(&deadline)
+            // lint: allow(panic) — coords are built from all trace deadlines up front
             .expect("every admitted deadline is a trace coordinate")
     }
 
@@ -1105,6 +1164,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
         let entry = self
             .admitted
             .get_mut(&key)
+            // lint: allow(panic) — insert/remove are paired with txn lifecycle
             .expect("unfinished query must be admitted");
         let old = entry.remaining;
         entry.remaining = new;
@@ -1118,6 +1178,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
     fn remove_admitted(&mut self, id: TxnId) {
         let txn = &self.txns[id.index()];
         let TxnKind::Query { spec_idx, .. } = txn.kind else {
+            // lint: allow(panic) — callers pass ids from the admitted index
             unreachable!("only queries enter the admitted index");
         };
         let key = (txn.edf_deadline, self.trace.queries[spec_idx].id);
@@ -1125,6 +1186,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
         let entry = self
             .admitted
             .remove(&key)
+            // lint: allow(panic) — insert/remove are paired with txn lifecycle
             .expect("unfinished query must be admitted");
         self.work_index.sub(coord, entry.remaining.0);
     }

@@ -84,6 +84,7 @@ impl EventQueue {
                 s
             }
             None => {
+                // lint: allow(panic) — 4B simultaneous events is beyond any trace scale
                 let s = u32::try_from(self.slab.len()).expect("event slab exceeds u32 slots");
                 self.slab.push(event);
                 s

@@ -47,6 +47,8 @@ pub mod events;
 pub mod locks;
 pub mod stats;
 pub mod txn;
+#[cfg(feature = "validate")]
+pub mod validate;
 
 pub use engine::{run_simulation, SchedulingDiscipline, SimConfig, Simulator};
 pub use stats::{SignalCounts, SimReport, TimelineSample};

@@ -18,7 +18,7 @@
 //! through single-lock holders — it cannot cycle.
 
 use crate::txn::TxnId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use unit_core::types::DataId;
 
 /// Result of a read-set acquisition attempt.
@@ -52,11 +52,15 @@ enum LockState {
 }
 
 /// The lock table: one slot per data item, plus a per-transaction index of
-/// held locks so release is O(held).
+/// held locks so release is O(held · log held).
+///
+/// The index is a `BTreeMap` (not a `HashMap`): its iteration order feeds
+/// the invariant checker's error messages, and the determinism rule (D1,
+/// `cargo xtask lint`) bans hash-ordered containers in this crate outright.
 #[derive(Debug)]
 pub struct LockManager {
     slots: Vec<LockState>,
-    held: HashMap<TxnId, Vec<DataId>>,
+    held: BTreeMap<TxnId, Vec<DataId>>,
     hp_aborts: u64,
 }
 
@@ -65,7 +69,7 @@ impl LockManager {
     pub fn new(n_items: usize) -> Self {
         LockManager {
             slots: vec![LockState::Free; n_items],
-            held: HashMap::new(),
+            held: BTreeMap::new(),
             hp_aborts: 0,
         }
     }
@@ -101,6 +105,7 @@ impl LockManager {
             match &mut self.slots[d.index()] {
                 LockState::Free => self.slots[d.index()] = LockState::Read(vec![txn]),
                 LockState::Read(readers) => readers.push(txn),
+                // lint: allow(panic) — the write-conflict scan above returned early
                 LockState::Write(_) => unreachable!("checked above"),
             }
         }

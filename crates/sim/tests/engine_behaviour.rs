@@ -515,7 +515,11 @@ fn per_class_counts_partition_the_totals() {
     assert_eq!(r.class_counts(1).total(), 0, "class 1 unused");
     assert_eq!(r.class_counts(2).success, 1);
     assert_eq!(r.class_counts(2).deadline_miss, 1);
-    let sum: u64 = r.class_counts.iter().map(|c| c.total()).sum();
+    let sum: u64 = r
+        .class_counts
+        .iter()
+        .map(unit_core::OutcomeCounts::total)
+        .sum();
     assert_eq!(sum, r.counts.total());
     // Unseen classes read as zeros.
     assert_eq!(r.class_counts(9).total(), 0);

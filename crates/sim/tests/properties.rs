@@ -241,7 +241,7 @@ proptest! {
             prop_assert!(a.updates_applied[i] <= a.versions_arrived[i]);
         }
         // Per-class counts partition the totals.
-        let class_total: u64 = a.class_counts.iter().map(|c| c.total()).sum();
+        let class_total: u64 = a.class_counts.iter().map(unit_core::OutcomeCounts::total).sum();
         prop_assert_eq!(class_total, a.counts.total());
 
         let b = run_simulation(&trace, mk(), cfg);

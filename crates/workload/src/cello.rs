@@ -168,7 +168,7 @@ pub fn generate_queries(cfg: &QueryTraceConfig) -> QueryTrace {
     // time and 10x the maximal response time (we use the generated execution
     // times as the response-time base).
     let avg_exec = exec_times.iter().sum::<f64>() / exec_times.len() as f64;
-    let max_exec = exec_times.iter().cloned().fold(0.0_f64, f64::max);
+    let max_exec = exec_times.iter().copied().fold(0.0_f64, f64::max);
     let deadline_lo = avg_exec;
     let deadline_hi = (10.0 * max_exec).max(deadline_lo + 1.0);
 
@@ -177,6 +177,7 @@ pub fn generate_queries(cfg: &QueryTraceConfig) -> QueryTrace {
         let n_extra = capped_geometric(&mut rng, cfg.multi_item_p, cfg.max_items_per_query - 1);
         let mut items = Vec::with_capacity(1 + n_extra);
         while items.len() < 1 + n_extra {
+            // lint: allow(panic) — zipf_weights() returns >= 1 strictly positive weights
             let d = DataId(sampler.sample(&mut rng).expect("non-empty weights") as u32);
             if !items.contains(&d) {
                 items.push(d);
@@ -338,7 +339,7 @@ mod tests {
             .map(|q| q.exec_time.as_secs_f64())
             .collect();
         let avg = execs.iter().sum::<f64>() / execs.len() as f64;
-        let max = execs.iter().cloned().fold(0.0_f64, f64::max);
+        let max = execs.iter().copied().fold(0.0_f64, f64::max);
         for q in &t.queries {
             let d = q.relative_deadline.as_secs_f64();
             assert!(d >= avg - 1e-9, "deadline {d} below average exec {avg}");

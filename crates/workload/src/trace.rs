@@ -8,10 +8,74 @@
 use crate::cello::{generate_queries, QueryTrace, QueryTraceConfig};
 use crate::updates::{generate_updates, UpdateTrace, UpdateTraceConfig};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::io;
 use std::path::Path;
 use unit_core::time::SimDuration;
 use unit_core::types::Trace;
+
+/// A trace-deserialization failure with source-position context.
+///
+/// The vendored JSON parser reports byte offsets in its messages;
+/// [`TraceBundle::from_json`] resolves the offset against the input text so
+/// a malformed trace file points at the offending line instead of panicking
+/// or surfacing a bare parser string. Shape errors (valid JSON that does not
+/// match the [`TraceBundle`] schema) carry no position — `line` is `None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// The underlying parser or deserializer message.
+    pub message: String,
+    /// 1-based line of the error, when the parser reported a byte offset.
+    pub line: Option<usize>,
+    /// 1-based byte column within that line, when known.
+    pub column: Option<usize>,
+}
+
+impl TraceParseError {
+    /// Wrap a parser message, resolving any `at byte N` suffix the vendored
+    /// parser embeds into a line/column pair within `src`.
+    fn locate(src: &str, message: String) -> TraceParseError {
+        let (line, column) = match byte_offset_in(&message) {
+            Some(off) => {
+                let prefix = &src.as_bytes()[..off.min(src.len())];
+                let line = 1 + prefix.iter().filter(|&&b| b == b'\n').count();
+                let col = 1 + prefix.iter().rev().take_while(|&&b| b != b'\n').count();
+                (Some(line), Some(col))
+            }
+            None => (None, None),
+        };
+        TraceParseError {
+            message,
+            line,
+            column,
+        }
+    }
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.line, self.column) {
+            (Some(l), Some(c)) => {
+                write!(
+                    f,
+                    "trace parse error at line {l}, column {c}: {}",
+                    self.message
+                )
+            }
+            _ => write!(f, "trace parse error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Extract the byte offset from a vendored-parser message ending in
+/// `... at byte N ...`, if present.
+fn byte_offset_in(message: &str) -> Option<usize> {
+    let tail = &message[message.rfind("at byte ")? + "at byte ".len()..];
+    let digits: &str = tail.split(|c: char| !c.is_ascii_digit()).next()?;
+    digits.parse().ok()
+}
 
 /// A fully generated workload: queries + updates + derived statistics.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -71,9 +135,10 @@ impl TraceBundle {
         serde_json::to_string_pretty(self)
     }
 
-    /// Deserialize from JSON.
-    pub fn from_json(s: &str) -> serde_json::Result<TraceBundle> {
-        serde_json::from_str(s)
+    /// Deserialize from JSON. Malformed input yields a [`TraceParseError`]
+    /// carrying the 1-based line and column of the first syntax error.
+    pub fn from_json(s: &str) -> Result<TraceBundle, TraceParseError> {
+        serde_json::from_str(s).map_err(|e| TraceParseError::locate(s, e.to_string()))
     }
 
     /// Write the bundle to a file as JSON.
@@ -84,10 +149,17 @@ impl TraceBundle {
         std::fs::write(path, json)
     }
 
-    /// Load a bundle from a JSON file.
+    /// Load a bundle from a JSON file. Parse failures are reported as
+    /// [`io::ErrorKind::InvalidData`] with the file path and, for syntax
+    /// errors, the line and column of the offending byte.
     pub fn load(path: &Path) -> io::Result<TraceBundle> {
         let s = std::fs::read_to_string(path)?;
-        TraceBundle::from_json(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        TraceBundle::from_json(&s).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })
     }
 }
 
@@ -145,6 +217,39 @@ mod tests {
         assert_eq!(b.trace, back.trace);
         assert_eq!(b.name, back.name);
         assert_eq!(b.achieved_rho, back.achieved_rho);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_and_column() {
+        // The `]` on line 4 is wrong inside an object: error at line 4.
+        let bad = "{\n  \"name\": \"x\",\n  \"trace\": 1,\n]\n}";
+        let err = TraceBundle::from_json(bad).unwrap_err();
+        assert_eq!(err.line, Some(4), "{err}");
+        assert_eq!(err.column, Some(1), "{err}");
+        let rendered = err.to_string();
+        assert!(rendered.contains("line 4"), "{rendered}");
+    }
+
+    #[test]
+    fn shape_errors_pass_through_without_position() {
+        // Valid JSON, wrong shape: no byte offset to resolve.
+        let err = TraceBundle::from_json("[1, 2, 3]").unwrap_err();
+        assert_eq!(err.line, None);
+        assert!(err.to_string().starts_with("trace parse error:"));
+    }
+
+    #[test]
+    fn load_reports_path_and_line() {
+        let dir = std::env::temp_dir().join("unit-workload-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.json");
+        std::fs::write(&path, "{\n  \"name\": oops\n}").unwrap();
+        let err = TraceBundle::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let rendered = err.to_string();
+        assert!(rendered.contains("corrupt.json"), "{rendered}");
+        assert!(rendered.contains("line 2"), "{rendered}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

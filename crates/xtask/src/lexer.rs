@@ -1,0 +1,567 @@
+//! A minimal token-level Rust scanner — pure std, no `syn`.
+//!
+//! The lint rules (see [`crate::rules`]) only need a token stream with line
+//! numbers, comment text, and a notion of "is this token inside test code".
+//! The lexer therefore handles exactly the lexical constructs that would
+//! otherwise produce false positives:
+//!
+//! * line (`//`) and block (`/* */`, nested) comments, with doc comments
+//!   (`///`, `//!`, `/**`, `/*!`) kept separate so `P1` can find them and so
+//!   code inside doc examples never reaches the rules;
+//! * string, raw-string (`r#"…"#`), byte-string, and char literals (so a
+//!   `"HashMap"` in a message is not a `HashMap` use);
+//! * char literal vs. lifetime disambiguation (`'a'` vs. `'a`);
+//! * float vs. integer literal classification (for `D4`'s `== <float>`
+//!   heuristic);
+//! * `#[cfg(test)]` / `#[test]` item tracking, so panics in unit tests are
+//!   exempt from `D3` by construction.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `as`, …).
+    Ident,
+    /// A lifetime such as `'a` (kept distinct from char literals).
+    Lifetime,
+    /// Integer literal (including hex/octal/binary and int-suffixed forms).
+    Int,
+    /// Float literal (`1.0`, `1e-6`, `2f64`, …).
+    Float,
+    /// String, raw-string, or byte-string literal (content dropped).
+    Str,
+    /// Char or byte literal (content dropped).
+    Char,
+    /// Punctuation. Multi-char operators the rules care about (`::`, `==`,
+    /// `!=`, `->`, `=>`) arrive as one token; everything else is one char.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Lexeme kind.
+    pub kind: TokKind,
+    /// Lexeme text (empty for string/char literals — rules never need it).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// True when the token sits inside a `#[cfg(test)]` / `#[test]` item.
+    pub in_test: bool,
+}
+
+/// A comment, captured for allow-annotation parsing (`//` style) and doc
+/// scanning (`///` / `//!` style).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment body (without the `//` / `/*` markers).
+    pub text: String,
+    /// True for doc comments (`///`, `//!`, `/**`, `/*!`).
+    pub is_doc: bool,
+}
+
+/// Lexer output: the token stream plus every comment encountered.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize `src`, then mark test-item token ranges.
+pub fn scan(src: &str) -> Scan {
+    let mut s = lex(src);
+    mark_test_items(&mut s.toks);
+    s
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn lex(src: &str) -> Scan {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Scan::default();
+
+    macro_rules! push {
+        ($kind:expr, $text:expr, $line:expr) => {
+            out.toks.push(Tok {
+                kind: $kind,
+                text: $text,
+                line: $line,
+                in_test: false,
+            })
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && b[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = b[start..j].iter().collect();
+                // `///x` and `//!x` are doc comments; `////…` is not.
+                let is_doc =
+                    (text.starts_with('/') && !text.starts_with("//")) || text.starts_with('!');
+                out.comments.push(Comment { line, text, is_doc });
+                i = j;
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let start_line = line;
+                let start = i + 2;
+                let is_doc = start < n && (b[start] == '*' || b[start] == '!')
+                    // `/**/` is empty, `/***/` is plain.
+                    && !(start + 1 < n && b[start] == '*' && b[start + 1] == '/');
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < n && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: b[start..end].iter().collect(),
+                    is_doc,
+                });
+                i = j;
+            }
+            '"' => {
+                let start_line = line;
+                i += 1;
+                while i < n {
+                    match b[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                push!(TokKind::Str, String::new(), start_line);
+            }
+            '\'' => {
+                // Char literal vs. lifetime.
+                let next = b.get(i + 1).copied();
+                let after = b.get(i + 2).copied();
+                let is_char = match next {
+                    Some('\\') => true,
+                    Some(c2) if is_ident_start(c2) || c2.is_ascii_digit() => after == Some('\''),
+                    Some(_) => true, // e.g. '(' — a char literal like '('
+                    None => false,
+                };
+                if is_char {
+                    let start_line = line;
+                    i += 1;
+                    while i < n {
+                        match b[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    push!(TokKind::Char, String::new(), start_line);
+                } else {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < n && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    push!(TokKind::Lifetime, b[start..j].iter().collect(), line);
+                    i = j;
+                }
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                let mut j = i;
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                let text: String = b[start..j].iter().collect();
+                // Raw / byte string prefixes: r"…", r#"…"#, b"…", br#"…"#.
+                let is_raw_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb")
+                    && j < n
+                    && (b[j] == '"' || b[j] == '#');
+                if is_raw_prefix && consume_raw_string(&b, &mut j, &mut line, text.contains('r')) {
+                    push!(TokKind::Str, String::new(), line);
+                    i = j;
+                } else if text == "b" && j < n && b[j] == '\'' {
+                    // Byte literal b'x'.
+                    let mut k = j + 1;
+                    while k < n {
+                        match b[k] {
+                            '\\' => k += 2,
+                            '\'' => {
+                                k += 1;
+                                break;
+                            }
+                            _ => k += 1,
+                        }
+                    }
+                    push!(TokKind::Char, String::new(), line);
+                    i = k;
+                } else {
+                    push!(TokKind::Ident, text, line);
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (kind, j) = lex_number(&b, i);
+                push!(kind, b[i..j].iter().collect(), line);
+                i = j;
+            }
+            _ => {
+                let two: String = b[i..n.min(i + 2)].iter().collect();
+                let tok = match two.as_str() {
+                    "::" | "==" | "!=" | "->" | "=>" => two,
+                    _ => c.to_string(),
+                };
+                i += tok.chars().count();
+                push!(TokKind::Punct, tok, line);
+            }
+        }
+    }
+    out
+}
+
+/// Consume a raw (or raw-byte) string starting at `*j` (positioned at `#` or
+/// `"` after the `r`/`br` prefix). Returns false if this is not actually a
+/// raw string (e.g. `r#foo` raw identifiers), leaving `*j` untouched.
+fn consume_raw_string(b: &[char], j: &mut usize, line: &mut u32, _raw: bool) -> bool {
+    let n = b.len();
+    let mut k = *j;
+    let mut hashes = 0usize;
+    while k < n && b[k] == '#' {
+        hashes += 1;
+        k += 1;
+    }
+    if k >= n || b[k] != '"' {
+        return false; // raw identifier like r#fn
+    }
+    k += 1;
+    'outer: while k < n {
+        if b[k] == '\n' {
+            *line += 1;
+            k += 1;
+            continue;
+        }
+        if b[k] == '"' {
+            let mut h = 0usize;
+            while h < hashes && k + 1 + h < n && b[k + 1 + h] == '#' {
+                h += 1;
+            }
+            if h == hashes {
+                k += 1 + hashes;
+                break 'outer;
+            }
+        }
+        k += 1;
+    }
+    *j = k;
+    true
+}
+
+/// Lex a numeric literal starting at `i`; returns (kind, end index).
+fn lex_number(b: &[char], i: usize) -> (TokKind, usize) {
+    let n = b.len();
+    let mut j = i;
+    let mut float = false;
+    if b[j] == '0' && j + 1 < n && matches!(b[j + 1], 'x' | 'X' | 'o' | 'O' | 'b' | 'B') {
+        j += 2;
+        while j < n && (b[j].is_ascii_hexdigit() || b[j] == '_') {
+            j += 1;
+        }
+        return (TokKind::Int, j);
+    }
+    while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+        j += 1;
+    }
+    if j < n && b[j] == '.' {
+        let next = b.get(j + 1).copied();
+        match next {
+            // `1.5` — fraction digits follow.
+            Some(c) if c.is_ascii_digit() => {
+                float = true;
+                j += 1;
+                while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                    j += 1;
+                }
+            }
+            // `1..2` is a range, `1.max(2)` a method call — stop at the dot.
+            Some('.') => return (TokKind::Int, j),
+            Some(c) if is_ident_start(c) => return (TokKind::Int, j),
+            // Trailing-dot float: `1.`
+            _ => {
+                float = true;
+                j += 1;
+            }
+        }
+    }
+    if j < n && matches!(b[j], 'e' | 'E') {
+        let mut k = j + 1;
+        if k < n && matches!(b[k], '+' | '-') {
+            k += 1;
+        }
+        if k < n && b[k].is_ascii_digit() {
+            float = true;
+            j = k;
+            while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix (`f64`, `u32`, …).
+    let suffix_start = j;
+    while j < n && is_ident_continue(b[j]) {
+        j += 1;
+    }
+    let suffix: String = b[suffix_start..j].iter().collect();
+    if suffix.starts_with('f') {
+        float = true;
+    }
+    (if float { TokKind::Float } else { TokKind::Int }, j)
+}
+
+/// Mark tokens belonging to `#[cfg(test)]` / `#[test]` items as test code.
+///
+/// After a test attribute, everything up to the end of the following item is
+/// test code: either the matching `}` of the item's first brace block, or a
+/// `;` encountered before any brace (for `use` / declarations).
+fn mark_test_items(toks: &mut [Tok]) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].kind == TokKind::Punct && toks[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        // Parse one attribute `#[ … ]`, tracking bracket depth.
+        let attr_start = i;
+        let Some(open) = toks.get(i + 1) else { break };
+        if !(open.kind == TokKind::Punct && open.text == "[") {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut has_test = false;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct && t.text == "[" {
+                depth += 1;
+            } else if t.kind == TokKind::Punct && t.text == "]" {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.kind == TokKind::Ident && t.text == "test" {
+                // `#[cfg(not(test))]` guards *non*-test code.
+                let negated = j >= 2
+                    && toks[j - 1].text == "("
+                    && toks[j - 2].kind == TokKind::Ident
+                    && toks[j - 2].text == "not";
+                if !negated {
+                    has_test = true;
+                }
+            }
+            j += 1;
+        }
+        if !has_test {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes, then consume the item.
+        let mut k = j + 1;
+        while k + 1 < toks.len()
+            && toks[k].kind == TokKind::Punct
+            && toks[k].text == "#"
+            && toks[k + 1].text == "["
+        {
+            let mut d = 0usize;
+            let mut m = k + 1;
+            while m < toks.len() {
+                if toks[m].text == "[" {
+                    d += 1;
+                } else if toks[m].text == "]" {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                m += 1;
+            }
+            k = m + 1;
+        }
+        // Find the item's extent: first `{ … }` block, or a `;` before it.
+        let mut brace = 0usize;
+        let mut end = k;
+        while end < toks.len() {
+            let t = &toks[end];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" => brace += 1,
+                    "}" => {
+                        brace -= 1;
+                        if brace == 0 {
+                            break;
+                        }
+                    }
+                    ";" if brace == 0 => break,
+                    _ => {}
+                }
+            }
+            end += 1;
+        }
+        let stop = (end + 1).min(toks.len());
+        for t in &mut toks[attr_start..stop] {
+            t.in_test = true;
+        }
+        i = end + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in a block */
+            let s = "HashMap";
+            let r = r#"HashMap"#;
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|t| *t == "HashMap").count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes: Vec<_> = s
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(s.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn float_classification() {
+        let s = scan("let a = 1.5; let b = 1..2; let c = 1e-6; let d = 2f64; let e = 3;");
+        let kinds: Vec<_> = s
+            .toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Float,
+                TokKind::Int,
+                TokKind::Int,
+                TokKind::Float,
+                TokKind::Float,
+                TokKind::Int
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let src = "
+            fn live() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn t() { y.unwrap(); }
+            }
+        ";
+        let s = scan(src);
+        let unwraps: Vec<_> = s
+            .toks
+            .iter()
+            .filter(|t| t.text == "unwrap")
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+    }
+
+    #[test]
+    fn test_attribute_marks_single_fn() {
+        let src = "
+            #[test]
+            fn a_test() { q.unwrap(); }
+            fn live() { r.unwrap(); }
+        ";
+        let s = scan(src);
+        let unwraps: Vec<_> = s
+            .toks
+            .iter()
+            .filter(|t| t.text == "unwrap")
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, vec![true, false]);
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let s = scan("/// docs O(1)\nfn f() {}\n// plain\n//! inner doc");
+        let docs: Vec<_> = s.comments.iter().map(|c| c.is_doc).collect();
+        assert_eq!(docs, vec![true, false, true]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let s = scan("a\nb\n  c");
+        let lines: Vec<_> = s.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,184 @@
+//! # xtask — workspace automation for the UNIT repro
+//!
+//! The only subcommand today is `lint`: a zero-dependency static-analysis
+//! pass (`cargo xtask lint`) that walks every `.rs` file under `crates/`
+//! and enforces the determinism and invariant rules the golden-digest test
+//! relies on. See [`rules`] for the rule table and the allow-annotation
+//! syntax, and DESIGN.md §2.2 for the invariant each rule guards.
+//!
+//! Test code is exempt by construction: files under `tests/`, `benches/`,
+//! `examples/`, and `fixtures/` directories are skipped by the walker, and
+//! `#[cfg(test)]` / `#[test]` items are skipped by the lexer.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{check_source, FileCtx, Finding};
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Directory names the walker never descends into.
+const SKIP_DIRS: &[&str] = &["tests", "benches", "examples", "fixtures", "target"];
+
+/// Collect every lintable `.rs` file under `<root>/crates`, sorted by path
+/// so output and exit codes are stable.
+///
+/// # Errors
+/// Fails when the directory tree cannot be read.
+pub fn workspace_rs_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let crates = root.join("crates");
+    let mut files = Vec::new();
+    walk(&crates, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Build the [`FileCtx`] for a file, given the workspace root.
+///
+/// Returns `None` for files that do not live under `<root>/crates/<name>/`.
+pub fn file_ctx(root: &Path, path: &Path) -> Option<FileCtx> {
+    let rel = path.strip_prefix(root).ok()?;
+    let mut parts = rel.components().map(|c| c.as_os_str().to_string_lossy());
+    if parts.next().as_deref() != Some("crates") {
+        return None;
+    }
+    let crate_name = parts.next()?.to_string();
+    let rel_path = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/");
+    Some(FileCtx {
+        crate_name,
+        rel_path,
+    })
+}
+
+/// Lint the whole workspace rooted at `root`. Findings are ordered by file
+/// path, then line.
+///
+/// # Errors
+/// Fails when the tree cannot be walked or a source file cannot be read.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    for path in workspace_rs_files(root)? {
+        let Some(ctx) = file_ctx(root, &path) else {
+            continue;
+        };
+        let src =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        findings.extend(check_source(&src, &ctx));
+    }
+    Ok(findings)
+}
+
+/// Render findings as human-readable text, one violation per paragraph.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{}:{}: {} {}", f.file, f.line, f.rule, f.message);
+        let _ = writeln!(out, "    fix: {}", f.hint);
+    }
+    if findings.is_empty() {
+        out.push_str("unit-lint: clean\n");
+    } else {
+        let _ = writeln!(out, "unit-lint: {} violation(s)", findings.len());
+    }
+    out
+}
+
+/// Render findings as a JSON array (hand-rolled: xtask has no dependencies).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{},\"hint\":{}}}",
+            json_str(&f.file),
+            f.line,
+            json_str(f.rule),
+            json_str(&f.message),
+            json_str(&f.hint)
+        );
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn file_ctx_parses_crate_layout() {
+        let root = Path::new("/ws");
+        let ctx = file_ctx(root, Path::new("/ws/crates/sim/src/engine.rs")).unwrap();
+        assert_eq!(ctx.crate_name, "sim");
+        assert_eq!(ctx.rel_path, "crates/sim/src/engine.rs");
+        assert!(file_ctx(root, Path::new("/ws/vendor/rand/src/lib.rs")).is_none());
+    }
+
+    #[test]
+    fn render_text_mentions_rule_and_line() {
+        let f = Finding {
+            file: "crates/sim/src/x.rs".into(),
+            line: 7,
+            rule: "D1",
+            message: "m".into(),
+            hint: "h".into(),
+        };
+        let text = render_text(&[f]);
+        assert!(text.contains("crates/sim/src/x.rs:7: D1 m"));
+        assert!(text.contains("fix: h"));
+    }
+}

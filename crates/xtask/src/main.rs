@@ -1,0 +1,94 @@
+//! `cargo xtask` — workspace automation CLI.
+//!
+//! ```text
+//! cargo xtask lint [--format text|json] [--root <path>]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown subcommand `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+xtask — workspace automation for the UNIT repro
+
+USAGE:
+    cargo xtask lint [--format text|json] [--root <path>]
+
+SUBCOMMANDS:
+    lint    run the unit-lint determinism & invariant static-analysis pass
+            (rules D1-D4, P1; see CONTRIBUTING.md and DESIGN.md §2.2)
+
+OPTIONS:
+    --format text|json   output format (default: text)
+    --root <path>        workspace root (default: inferred from this binary)
+";
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut format = "text".to_string();
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next() {
+                Some(f) if f == "text" || f == "json" => format = f.clone(),
+                _ => {
+                    eprintln!("xtask: --format expects `text` or `json`");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("xtask: --root expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("xtask: unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default root: two levels above this crate's manifest dir
+    // (crates/xtask -> workspace root), so the pass works from any cwd.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+
+    match xtask::lint_workspace(&root) {
+        Ok(findings) => {
+            if format == "json" {
+                print!("{}", xtask::render_json(&findings));
+            } else {
+                print!("{}", xtask::render_text(&findings));
+            }
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,4 @@
+// lint: allow-file(D1) — fixture: file-wide exemption with a reason
+use std::collections::HashMap;
+
+pub type Index = HashMap<u64, u32>;

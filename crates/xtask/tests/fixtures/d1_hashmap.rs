@@ -1,0 +1,8 @@
+//! D1 fixture: hash containers in a deterministic crate.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub struct State {
+    by_txn: HashMap<u64, u32>,
+    seen: HashSet<u32>,
+}

@@ -1,0 +1,12 @@
+//! D2 fixture: wall clocks and OS entropy in simulation code.
+use std::time::Instant;
+
+pub fn elapsed() -> std::time::Duration {
+    let start = Instant::now();
+    start.elapsed()
+}
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rand::random()
+}

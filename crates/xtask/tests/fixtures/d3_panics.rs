@@ -1,0 +1,13 @@
+//! D3 fixture: panic-family calls, one carrying a justified allow.
+pub fn first(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn second(x: Option<u32>) -> u32 {
+    // lint: allow(panic) — fixture: justified exemption
+    x.expect("checked by caller")
+}
+
+pub fn boom() {
+    panic!("unconditional");
+}

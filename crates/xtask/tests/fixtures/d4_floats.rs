@@ -1,0 +1,8 @@
+//! D4 fixture: float equality and simulated-time truncation.
+pub fn exact(a: f64) -> bool {
+    a == 0.5
+}
+
+pub fn truncate(d: SimDuration) -> u64 {
+    (d.as_secs_f64() * 1000.0) as u64
+}

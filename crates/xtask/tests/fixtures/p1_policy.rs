@@ -1,0 +1,10 @@
+//! P1 fixture: Policy trait fns must document a complexity bound.
+pub trait Policy {
+    /// Documented hook. O(1).
+    fn good(&self);
+
+    /// Missing a complexity bound.
+    fn bad(&self);
+
+    fn naked(&self);
+}

@@ -1,0 +1,184 @@
+//! Fixture-driven linter tests: each file under `tests/fixtures/` must
+//! produce exactly the findings (rule id + line number) asserted here — no
+//! more, no fewer. The workspace walker skips `tests/` and `fixtures/`
+//! directories, so these deliberately violating files never pollute the
+//! real `cargo xtask lint` pass.
+
+use std::path::Path;
+use xtask::{check_source, FileCtx, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap()
+}
+
+fn ctx(crate_name: &str, rel_path: &str) -> FileCtx {
+    FileCtx {
+        crate_name: crate_name.to_string(),
+        rel_path: rel_path.to_string(),
+    }
+}
+
+fn rule_lines(findings: &[Finding]) -> Vec<(&'static str, u32)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn d1_fixture_reports_every_hash_container() {
+    let fs = check_source(
+        &fixture("d1_hashmap.rs"),
+        &ctx("sim", "crates/sim/src/fixture.rs"),
+    );
+    assert_eq!(
+        rule_lines(&fs),
+        vec![("D1", 2), ("D1", 3), ("D1", 6), ("D1", 7)]
+    );
+    assert!(fs[0].hint.contains("BTreeMap"), "{}", fs[0].hint);
+    assert!(fs[1].hint.contains("BTreeSet"), "{}", fs[1].hint);
+}
+
+#[test]
+fn d1_fixture_is_ignored_outside_deterministic_crates() {
+    let fs = check_source(
+        &fixture("d1_hashmap.rs"),
+        &ctx("workload", "crates/workload/src/fixture.rs"),
+    );
+    assert!(fs.is_empty(), "{fs:?}");
+}
+
+#[test]
+fn d2_fixture_reports_clocks_and_entropy() {
+    let fs = check_source(
+        &fixture("d2_wall_clock.rs"),
+        &ctx("core", "crates/core/src/fixture.rs"),
+    );
+    assert_eq!(rule_lines(&fs), vec![("D2", 5), ("D2", 10), ("D2", 11)]);
+    assert!(fs[0].message.contains("Instant::now"), "{}", fs[0].message);
+    assert!(fs[1].message.contains("thread_rng"), "{}", fs[1].message);
+    assert!(fs[2].message.contains("rand::random"), "{}", fs[2].message);
+}
+
+#[test]
+fn d2_fixture_is_exempt_in_bench() {
+    let fs = check_source(
+        &fixture("d2_wall_clock.rs"),
+        &ctx("bench", "crates/bench/src/fixture.rs"),
+    );
+    assert!(fs.is_empty(), "{fs:?}");
+}
+
+#[test]
+fn d3_fixture_reports_unannotated_panics_only() {
+    let fs = check_source(
+        &fixture("d3_panics.rs"),
+        &ctx("core", "crates/core/src/fixture.rs"),
+    );
+    // Line 8's `.expect` is suppressed by the allow on line 7.
+    assert_eq!(rule_lines(&fs), vec![("D3", 3), ("D3", 12)]);
+    assert!(fs[0].message.contains(".unwrap()"), "{}", fs[0].message);
+    assert!(fs[1].message.contains("panic!"), "{}", fs[1].message);
+    assert!(fs[0].hint.contains("allow(panic)"), "{}", fs[0].hint);
+}
+
+#[test]
+fn d4_fixture_reports_equality_and_time_casts() {
+    let fs = check_source(
+        &fixture("d4_floats.rs"),
+        &ctx("core", "crates/core/src/fixture.rs"),
+    );
+    assert_eq!(rule_lines(&fs), vec![("D4", 3), ("D4", 7)]);
+    assert!(fs[0].message.contains("float `==`"), "{}", fs[0].message);
+    assert!(fs[1].message.contains("as-cast"), "{}", fs[1].message);
+}
+
+#[test]
+fn d4_fixture_is_exempt_in_the_time_module() {
+    let fs = check_source(
+        &fixture("d4_floats.rs"),
+        &ctx("core", "crates/core/src/time.rs"),
+    );
+    assert!(fs.is_empty(), "{fs:?}");
+}
+
+#[test]
+fn p1_fixture_reports_undocumented_policy_fns() {
+    let fs = check_source(
+        &fixture("p1_policy.rs"),
+        &ctx("core", "crates/core/src/policy.rs"),
+    );
+    assert_eq!(rule_lines(&fs), vec![("P1", 7), ("P1", 9)]);
+    assert!(fs[0].message.contains("fn bad"), "{}", fs[0].message);
+    assert!(fs[1].message.contains("fn naked"), "{}", fs[1].message);
+}
+
+#[test]
+fn p1_fixture_only_applies_to_the_policy_surface() {
+    let fs = check_source(
+        &fixture("p1_policy.rs"),
+        &ctx("core", "crates/core/src/other.rs"),
+    );
+    assert!(fs.is_empty(), "{fs:?}");
+}
+
+#[test]
+fn file_scoped_allow_suppresses_the_whole_file() {
+    let fs = check_source(
+        &fixture("allow_file.rs"),
+        &ctx("sim", "crates/sim/src/fixture.rs"),
+    );
+    assert!(fs.is_empty(), "{fs:?}");
+}
+
+// --- binary-level tests: exit codes and output formats -------------------
+
+fn fake_workspace(tag: &str, file: &str, contents: &str) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!("unit-lint-{tag}-{}", std::process::id()));
+    let src_dir = root.join("crates/sim/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::write(src_dir.join(file), contents).unwrap();
+    root
+}
+
+#[test]
+fn lint_binary_exits_nonzero_with_json_findings() {
+    let root = fake_workspace("dirty", "bad.rs", &fixture("d1_hashmap.rs"));
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--format", "json", "--root"])
+        .arg(&root)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"rule\":\"D1\""), "{stdout}");
+    assert!(stdout.contains("\"line\":2"), "{stdout}");
+    assert!(
+        stdout.contains("\"file\":\"crates/sim/src/bad.rs\""),
+        "{stdout}"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn lint_binary_exits_zero_on_a_clean_tree() {
+    let root = fake_workspace("clean", "good.rs", "pub fn id(x: u32) -> u32 { x }\n");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--root"])
+        .arg(&root)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("unit-lint: clean"), "{stdout}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn lint_binary_rejects_unknown_flags_with_exit_2() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--format", "yaml"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -183,6 +183,12 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
+    /// Build an error carrying the current byte offset, so every syntax
+    /// error is locatable in the source text (callers map offsets to lines).
+    fn err_at(&self, msg: impl core::fmt::Display) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
     fn expect(&mut self, b: u8) -> Result<()> {
         if self.peek() == Some(b) {
             self.pos += 1;
@@ -228,14 +234,14 @@ impl<'a> Parser<'a> {
         loop {
             let b = self
                 .peek()
-                .ok_or_else(|| Error::new("unterminated string"))?;
+                .ok_or_else(|| self.err_at("unterminated string"))?;
             self.pos += 1;
             match b {
                 b'"' => return Ok(out),
                 b'\\' => {
                     let esc = self
                         .peek()
-                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                        .ok_or_else(|| self.err_at("unterminated escape"))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -250,18 +256,18 @@ impl<'a> Parser<'a> {
                             let hex = self
                                 .bytes
                                 .get(self.pos..self.pos + 4)
-                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                                .ok_or_else(|| self.err_at("truncated \\u escape"))?;
                             let hex = core::str::from_utf8(hex)
-                                .map_err(|_| Error::new("bad \\u escape"))?;
+                                .map_err(|_| self.err_at("bad \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| Error::new("bad \\u escape"))?;
+                                .map_err(|_| self.err_at("bad \\u escape"))?;
                             self.pos += 4;
                             // Surrogate pairs are not produced by our writer;
                             // map lone surrogates to the replacement char.
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         }
                         other => {
-                            return Err(Error::new(format!("bad escape `\\{}`", other as char)))
+                            return Err(self.err_at(format!("bad escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -273,9 +279,9 @@ impl<'a> Parser<'a> {
                     let chunk = self
                         .bytes
                         .get(start..end)
-                        .ok_or_else(|| Error::new("truncated UTF-8"))?;
+                        .ok_or_else(|| self.err_at("truncated UTF-8"))?;
                     let s =
-                        core::str::from_utf8(chunk).map_err(|_| Error::new("invalid UTF-8"))?;
+                        core::str::from_utf8(chunk).map_err(|_| self.err_at("invalid UTF-8"))?;
                     out.push_str(s);
                     self.pos = end;
                 }
@@ -300,22 +306,22 @@ impl<'a> Parser<'a> {
             }
         }
         let text = core::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| Error::new("invalid number"))?;
+            .map_err(|_| self.err_at("invalid number"))?;
         let num = if is_float {
             Number::F(
                 text.parse::<f64>()
-                    .map_err(|_| Error::new(format!("invalid number `{text}`")))?,
+                    .map_err(|_| self.err_at(format!("invalid number `{text}`")))?,
             )
         } else if let Some(stripped) = text.strip_prefix('-') {
             let _ = stripped;
             Number::I(
                 text.parse::<i64>()
-                    .map_err(|_| Error::new(format!("invalid number `{text}`")))?,
+                    .map_err(|_| self.err_at(format!("invalid number `{text}`")))?,
             )
         } else {
             Number::U(
                 text.parse::<u64>()
-                    .map_err(|_| Error::new(format!("invalid number `{text}`")))?,
+                    .map_err(|_| self.err_at(format!("invalid number `{text}`")))?,
             )
         };
         Ok(Value::Num(num))
@@ -340,7 +346,7 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Seq(items));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `]` at {}", self.pos))),
+                _ => return Err(self.err_at("expected `,` or `]`")),
             }
         }
     }
@@ -369,7 +375,7 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Map(entries));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `}}` at {}", self.pos))),
+                _ => return Err(self.err_at("expected `,` or `}`")),
             }
         }
     }
