@@ -1,0 +1,117 @@
+//! Cluster scaling experiment: the fig3 workload (UNIT policy, med-unif
+//! bundle) on a sharded cluster at 1/2/4/8 shards under every routing
+//! policy, reporting cluster USM and wall-clock per cell and writing
+//! `BENCH_cluster.json` at the repo root.
+//!
+//! Usage: `cluster [--scale N] [--seed S] [--out FILE | --no-out]`.
+//!
+//! The 1-shard rows double as a smoke check of the differential identity:
+//! their USM must equal the plain single-server engine's USM on the same
+//! bundle (the full bit-level digest check lives in
+//! `crates/cluster/tests/differential.rs`).
+
+use std::time::Instant;
+use unit_bench::default_workload_plan;
+use unit_cluster::{run_unit_cluster, ClusterConfig, RoutingPolicy};
+use unit_core::usm::UsmWeights;
+use unit_workload::{UpdateDistribution, UpdateVolume};
+
+struct Args {
+    scale: u64,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 8,
+        seed: 0x5EED_0001,
+        out: Some("BENCH_cluster.json".to_string()),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().expect("--scale requires a value");
+                args.scale = v.parse().expect("bad --scale");
+            }
+            "--seed" => {
+                let v = it.next().expect("--seed requires a value");
+                args.seed = v.parse().expect("bad --seed");
+            }
+            "--out" => args.out = Some(it.next().expect("--out requires a path")),
+            "--no-out" => args.out = None,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: cluster [--scale N] [--seed S] [--out FILE | --no-out]");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let plan = default_workload_plan(args.scale);
+    let weights = UsmWeights::low_high_cfm();
+    let bundle = plan.bundle(UpdateVolume::Med, UpdateDistribution::Uniform);
+    let sim = plan.sim_config(weights);
+    let unit = plan.unit_config(weights);
+
+    println!(
+        "cluster: fig3 med-unif (UNIT per shard), scale 1/{}, {} queries, seed {:#x}\n",
+        args.scale,
+        bundle.trace.queries.len(),
+        args.seed
+    );
+    println!(
+        "  {:<16} {:>7} {:>10} {:>10} {:>9}  per-shard queries",
+        "routing", "shards", "usm", "wall_s", "events"
+    );
+
+    let mut rows = Vec::new();
+    for routing in RoutingPolicy::ALL {
+        for n_shards in [1usize, 2, 4, 8] {
+            let cluster = ClusterConfig::new(n_shards)
+                .with_routing(routing)
+                .with_seed(args.seed);
+            let start = Instant::now();
+            let report = run_unit_cluster(&bundle.trace, sim, &cluster, &unit);
+            let wall = start.elapsed().as_secs_f64();
+            let usm = report.average_usm();
+            let events: u64 = report
+                .shard_reports
+                .iter()
+                .map(|r| r.events_processed)
+                .sum();
+            let per_shard = report.queries_per_shard();
+            println!(
+                "  {:<16} {n_shards:>7} {usm:>10.4} {wall:>10.3} {events:>9}  {per_shard:?}",
+                routing.name()
+            );
+            let per_shard_json: Vec<String> = per_shard
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect();
+            rows.push(format!(
+                "    {{\"routing\": \"{}\", \"n_shards\": {n_shards}, \"usm\": {usm:.6}, \
+                 \"wall_secs\": {wall:.6}, \"events\": {events}, \
+                 \"queries_per_shard\": [{}]}}",
+                routing.name(),
+                per_shard_json.join(", ")
+            ));
+        }
+    }
+
+    if let Some(path) = args.out {
+        let json = format!(
+            "{{\n  \"bench\": \"cluster\",\n  \"workload\": \"fig3 med-unif\",\n  \"policy\": \"UNIT per shard\",\n  \"scale\": {},\n  \"seed\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
+            args.scale,
+            args.seed,
+            rows.join(",\n")
+        );
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("\n  wrote {path}");
+    }
+}

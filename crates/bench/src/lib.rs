@@ -25,5 +25,6 @@ pub mod render;
 pub mod runner;
 
 pub use runner::{
-    default_workload_plan, run_matrix, run_policy, ExperimentPlan, PolicyKind, RunOutcome,
+    default_workload_plan, run_matrix, run_policy, worker_pool_size, ExperimentPlan, PolicyKind,
+    RunOutcome,
 };

@@ -136,12 +136,22 @@ pub fn run_policy(
     }
 }
 
+/// Size a worker pool: `min(jobs, parallelism)`, but always at least one
+/// thread. `parallelism` is the raw host value — callers pass `0` (or `1`)
+/// when `available_parallelism()` errored, and the floor absorbs it. Pure so
+/// the clamping is testable without observing live thread counts: a 2-job
+/// matrix gets at most 2 workers no matter how wide the host is.
+pub fn worker_pool_size(parallelism: usize, jobs: usize) -> usize {
+    parallelism.min(jobs).max(1)
+}
+
 /// Run a matrix of (bundle × policy) pairs in parallel on a bounded worker
 /// pool (runs are independent and deterministic; results keep matrix order).
 ///
-/// The pool holds `min(available_parallelism, n_cells)` OS threads pulling
-/// cells from a shared counter — large sweeps no longer spawn one thread per
-/// cell and oversubscribe the host.
+/// The pool holds [`worker_pool_size`] = `min(n_cells,
+/// available_parallelism)` OS threads pulling cells from a shared counter —
+/// large sweeps do not spawn one thread per cell and oversubscribe the
+/// host, and small matrices do not spawn idle workers.
 pub fn run_matrix(
     plan: &ExperimentPlan,
     bundles: &[TraceBundle],
@@ -152,10 +162,10 @@ pub fn run_matrix(
         .iter()
         .flat_map(|b| policies.iter().map(move |&p| (b, p)))
         .collect();
-    let n_workers = thread::available_parallelism()
-        .map_or(1, std::num::NonZeroUsize::get)
-        .min(cells.len())
-        .max(1);
+    let n_workers = worker_pool_size(
+        thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        cells.len(),
+    );
     let results: Vec<Mutex<Option<RunOutcome>>> =
         (0..cells.len()).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
@@ -232,6 +242,40 @@ mod tests {
         assert_eq!(out[0].policy, PolicyKind::Imu);
         assert_eq!(out[1].policy, PolicyKind::Unit);
         assert_eq!(out[2].trace_name, "low-pos");
+    }
+
+    #[test]
+    fn pool_never_exceeds_the_job_count() {
+        // Regression: a 2-job matrix must never get more than 2 workers,
+        // regardless of how many cores the host reports.
+        for parallelism in [1, 2, 3, 4, 8, 64, 512] {
+            assert!(worker_pool_size(parallelism, 2) <= 2, "p={parallelism}");
+        }
+        assert_eq!(worker_pool_size(8, 2), 2);
+        assert_eq!(worker_pool_size(2, 8), 2);
+    }
+
+    #[test]
+    fn pool_always_has_at_least_one_worker() {
+        // available_parallelism() errors surface as parallelism 0/1; an
+        // empty matrix must still not produce a zero-size pool.
+        assert_eq!(worker_pool_size(0, 5), 1);
+        assert_eq!(worker_pool_size(4, 0), 1);
+        assert_eq!(worker_pool_size(0, 0), 1);
+        assert_eq!(worker_pool_size(1, 1), 1);
+    }
+
+    #[test]
+    fn run_matrix_handles_a_two_job_matrix() {
+        // End-to-end: the clamped pool still runs every cell exactly once
+        // and keeps matrix order.
+        let p = tiny_plan();
+        let bundles = vec![p.bundle(UpdateVolume::Low, UpdateDistribution::Uniform)];
+        let policies = [PolicyKind::Imu, PolicyKind::Odu];
+        let out = run_matrix(&p, &bundles, &policies, UsmWeights::naive());
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].policy, PolicyKind::Imu);
+        assert_eq!(out[1].policy, PolicyKind::Odu);
     }
 
     #[test]

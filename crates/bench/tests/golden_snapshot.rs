@@ -15,92 +15,8 @@
 
 use unit_bench::{default_workload_plan, PolicyKind};
 use unit_core::usm::UsmWeights;
-use unit_sim::{SchedulingDiscipline, SimReport};
+use unit_sim::{report_digest, SchedulingDiscipline, SimReport};
 use unit_workload::{UpdateDistribution, UpdateVolume};
-
-/// FNV-1a over a little-endian byte stream.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Fnv {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
-        }
-    }
-
-    fn u64(&mut self, v: u64) {
-        self.bytes(&v.to_le_bytes());
-    }
-
-    fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-}
-
-/// Bit-exact digest of everything in a [`SimReport`].
-fn report_digest(r: &SimReport) -> u64 {
-    let mut h = Fnv::new();
-    h.bytes(r.policy.as_bytes());
-    for w in [
-        r.weights.gain,
-        r.weights.c_r,
-        r.weights.c_fm,
-        r.weights.c_fs,
-    ] {
-        h.f64(w);
-    }
-    for c in [
-        r.counts.success,
-        r.counts.rejected,
-        r.counts.deadline_miss,
-        r.counts.data_stale,
-    ] {
-        h.u64(c);
-    }
-    h.u64(r.class_counts.len() as u64);
-    for c in &r.class_counts {
-        for v in [c.success, c.rejected, c.deadline_miss, c.data_stale] {
-            h.u64(v);
-        }
-    }
-    for hist in [&r.query_accesses, &r.versions_arrived, &r.updates_applied] {
-        h.u64(hist.len() as u64);
-        for &v in hist {
-            h.u64(v);
-        }
-    }
-    h.u64(r.hp_aborts);
-    h.u64(r.query_restarts);
-    h.u64(r.preemptions);
-    h.u64(r.demand_refreshes);
-    h.u64(r.cpu_busy.0);
-    h.u64(r.end_time.0);
-    h.u64(r.horizon.0);
-    h.u64(r.n_cpus as u64);
-    for s in [
-        r.signals.loosen_admission,
-        r.signals.tighten_admission,
-        r.signals.degrade_updates,
-        r.signals.upgrade_updates,
-    ] {
-        h.u64(s);
-    }
-    h.f64(r.mean_dispatch_freshness);
-    h.u64(r.timeline.len() as u64);
-    for s in &r.timeline {
-        h.u64(s.time.0);
-        h.f64(s.usm);
-        h.u64(s.ready_queries as u64);
-        h.f64(s.update_backlog_secs);
-        h.f64(s.utilization);
-    }
-    h.0
-}
 
 const DISCIPLINES: [(SchedulingDiscipline, &str); 3] = [
     (SchedulingDiscipline::DualPriorityEdf, "dual"),

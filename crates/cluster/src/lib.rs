@@ -1,0 +1,287 @@
+//! # unit-cluster — sharded multi-server UNIT simulation
+//!
+//! The paper evaluates UNIT on one server; this crate scales the same
+//! machinery to a cluster of `N` deterministic server shards behind a
+//! dispatcher (DESIGN.md §3):
+//!
+//! * **Partitioning** — every data item has one owner shard
+//!   (`item mod N`, [`unit_workload::ItemPartition`]); an item's update
+//!   streams always execute on its owner.
+//! * **Routing** — queries are routed among the owners of their read-set
+//!   items by a pluggable [`RoutingPolicy`]: round-robin, least
+//!   outstanding routed work, or freshness-aware ([`routing`]).
+//! * **Execution** — each shard is a full single-server engine
+//!   ([`unit_sim::Simulator`]) with its own policy instance (its own
+//!   AC + UM + LBC feedback loop for UNIT) and its own RNG stream split
+//!   from the run seed ([`unit_core::split_seed`]).
+//! * **Merge** — per-shard outcome logs merge into one cluster history
+//!   ordered by `(virtual_time, shard_id, seq)` and one exact integer
+//!   outcome tally ([`merge`]).
+//!
+//! ## Determinism
+//!
+//! A cluster run is a pure function of `(trace, SimConfig, ClusterConfig)`
+//! regardless of worker-thread count or scheduling: routing is a
+//! sequential prologue, shards share no mutable state during execution
+//! (each consumes its own trace slice and its own seed), results land in
+//! slots indexed by shard id, and the merge key is unique. Running with 1
+//! worker or `N` workers yields bit-identical [`ClusterReport`]s — a
+//! property test pins this.
+//!
+//! With one shard the dispatcher has a single eligible target for every
+//! query, the trace slice equals the global trace, and the shard engine
+//! sees byte-identical inputs to a plain single-server run (seeded with
+//! `split_seed(seed, 0)`): the differential suite checks the resulting
+//! reports digest-identically under every routing policy.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod merge;
+pub mod routing;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use unit_core::policy::Policy;
+use unit_core::split_seed;
+use unit_core::types::Trace;
+use unit_core::unit_policy::UnitPolicy;
+use unit_core::UnitConfig;
+use unit_sim::{SimConfig, SimReport, Simulator};
+use unit_workload::{slice_trace, ItemPartition};
+
+pub use merge::{check_cluster_identity, ClusterReport, MergedOutcome};
+pub use routing::{assign, RoutingPolicy};
+
+/// Cluster shape and determinism knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of server shards (≥ 1).
+    pub n_shards: usize,
+    /// How the dispatcher routes queries.
+    pub routing: RoutingPolicy,
+    /// Run seed; shard `i`'s policy seed is `split_seed(seed, i)`.
+    pub seed: u64,
+    /// Worker threads driving the shards; `0` means one thread per shard.
+    /// Purely a throughput knob — results are bit-identical for any value.
+    pub workers: usize,
+}
+
+impl ClusterConfig {
+    /// A cluster of `n_shards` round-robin-routed shards with the default
+    /// seed and one worker thread per shard.
+    ///
+    /// # Panics
+    /// Panics if `n_shards` is zero.
+    pub fn new(n_shards: usize) -> ClusterConfig {
+        // lint: allow(assert) — documented constructor contract
+        assert!(n_shards > 0, "a cluster needs at least one shard");
+        ClusterConfig {
+            n_shards,
+            routing: RoutingPolicy::RoundRobin,
+            seed: unit_core::config::DEFAULT_SEED,
+            workers: 0,
+        }
+    }
+
+    /// Set the routing policy.
+    pub fn with_routing(mut self, routing: RoutingPolicy) -> ClusterConfig {
+        self.routing = routing;
+        self
+    }
+
+    /// Set the run seed.
+    pub fn with_seed(mut self, seed: u64) -> ClusterConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Cap the worker threads (`0` = one per shard).
+    pub fn with_workers(mut self, workers: usize) -> ClusterConfig {
+        self.workers = workers;
+        self
+    }
+}
+
+/// Run a cluster: route, slice, execute every shard, merge.
+///
+/// `make_policy(shard_id, seed)` builds each shard's policy instance;
+/// `seed` is already split from the run seed, so implementations just
+/// thread it into their config (or ignore it for seedless baselines).
+/// The engine-level outcome log is forced on — the merge layer needs it —
+/// which does not change engine behaviour (the log is excluded from
+/// [`unit_sim::report_digest`]).
+///
+/// # Panics
+/// Panics if `trace` is malformed (same contract as
+/// [`Simulator::new`]) or a worker thread panics.
+pub fn run_cluster<P, F>(
+    trace: &Trace,
+    sim: SimConfig,
+    cluster: &ClusterConfig,
+    make_policy: F,
+) -> ClusterReport
+where
+    P: Policy + Send,
+    F: Fn(usize, u64) -> P + Sync,
+{
+    let n = cluster.n_shards;
+    let partition = ItemPartition::new(n);
+    let assignment = routing::assign(trace, &partition, cluster.routing);
+    let shard_traces = match slice_trace(trace, &assignment, &partition) {
+        Ok(t) => t,
+        // lint: allow(panic) — the dispatcher produced the assignment; a bad one is a routing bug, not caller input
+        Err(e) => panic!("internal routing error: {e}"),
+    };
+    let seeds: Vec<u64> = (0..n).map(|i| split_seed(cluster.seed, i as u64)).collect();
+    let shard_cfg = sim.with_outcome_log();
+    let workers = if cluster.workers == 0 {
+        n
+    } else {
+        cluster.workers.min(n)
+    };
+
+    // Interleaving-independence: workers claim shard indices from an atomic
+    // counter, run them without any shared mutable state, and return
+    // (shard_id, report) pairs; results are then placed into slots keyed by
+    // shard id, so neither claim order nor finish order is observable.
+    let mut slots: Vec<Option<SimReport>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let next = &next;
+        let shard_traces = &shard_traces;
+        let seeds = &seeds;
+        let make_policy = &make_policy;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut finished: Vec<(usize, SimReport)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let policy = make_policy(i, seeds[i]);
+                        let report = Simulator::new(&shard_traces[i], policy, shard_cfg).run();
+                        finished.push((i, report));
+                    }
+                    finished
+                })
+            })
+            .collect();
+        for h in handles {
+            // lint: allow(panic) — a worker panic is a shard-engine bug;
+            // propagate it instead of reporting a partial cluster
+            let finished = match h.join() {
+                Ok(f) => f,
+                Err(e) => std::panic::resume_unwind(e),
+            };
+            for (i, report) in finished {
+                slots[i] = Some(report);
+            }
+        }
+    });
+    let shard_reports: Vec<SimReport> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| match s {
+            Some(r) => r,
+            // lint: allow(panic) — every index < n is claimed exactly once
+            None => panic!("shard {i} produced no report"),
+        })
+        .collect();
+
+    let report = ClusterReport::merge(cluster.routing, sim.weights, assignment, shard_reports);
+    unit_core::validate_check!(
+        "cluster-usm-identity",
+        merge::check_cluster_identity(&report)
+    );
+    report
+}
+
+/// Run a UNIT cluster: one [`UnitPolicy`] per shard, each configured from
+/// `base` with its own split seed. The common case for benches.
+pub fn run_unit_cluster(
+    trace: &Trace,
+    sim: SimConfig,
+    cluster: &ClusterConfig,
+    base: &UnitConfig,
+) -> ClusterReport {
+    run_cluster(trace, sim, cluster, |_, seed| {
+        UnitPolicy::new(base.clone().with_seed(seed))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unit_core::time::{SimDuration, SimTime};
+    use unit_core::types::{DataId, QueryId, QuerySpec, UpdateSpec, UpdateStreamId};
+    use unit_core::usm::UsmWeights;
+
+    fn tiny_trace() -> Trace {
+        let mut queries = Vec::new();
+        for i in 0..40u64 {
+            queries.push(QuerySpec {
+                id: QueryId(i),
+                arrival: SimTime::from_secs(1 + i),
+                items: vec![DataId((i % 8) as u32), DataId(((i + 3) % 8) as u32)],
+                exec_time: SimDuration::from_secs(1),
+                relative_deadline: SimDuration::from_secs(8),
+                freshness_req: 0.9,
+                pref_class: 0,
+            });
+        }
+        let updates = (0..8u32)
+            .map(|i| UpdateSpec {
+                id: UpdateStreamId(i),
+                item: DataId(i),
+                period: SimDuration::from_secs(7 + u64::from(i)),
+                exec_time: SimDuration::from_secs(1),
+                first_arrival: SimTime::from_secs(u64::from(i % 3)),
+            })
+            .collect();
+        Trace {
+            n_items: 8,
+            queries,
+            updates,
+        }
+    }
+
+    fn sim_cfg() -> SimConfig {
+        SimConfig::new(SimDuration::from_secs(60))
+            .with_weights(UsmWeights::low_high_cfm())
+            .with_tick_period(SimDuration::from_secs(5))
+    }
+
+    #[test]
+    fn cluster_runs_and_accounts_for_every_query() {
+        let trace = tiny_trace();
+        for n in [1, 2, 4] {
+            let cluster = ClusterConfig::new(n).with_seed(7);
+            let report = run_unit_cluster(&trace, sim_cfg(), &cluster, &UnitConfig::default());
+            assert_eq!(report.n_shards, n);
+            assert_eq!(report.counts.total(), 40, "n={n}");
+            assert_eq!(report.log.len(), 40, "n={n}");
+            assert_eq!(report.assignment.len(), 40);
+            check_cluster_identity(&report).unwrap();
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_merge() {
+        let trace = tiny_trace();
+        for routing in RoutingPolicy::ALL {
+            let base = ClusterConfig::new(4).with_seed(11).with_routing(routing);
+            let a = run_unit_cluster(&trace, sim_cfg(), &base, &UnitConfig::default());
+            let b = run_unit_cluster(
+                &trace,
+                sim_cfg(),
+                &base.with_workers(1),
+                &UnitConfig::default(),
+            );
+            assert_eq!(a.assignment, b.assignment);
+            assert_eq!(a.log, b.log);
+            assert_eq!(a.counts, b.counts);
+        }
+    }
+}

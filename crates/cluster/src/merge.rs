@@ -1,0 +1,307 @@
+//! Merging per-shard results into one cluster-level report.
+//!
+//! Each shard's engine produces an outcome log ordered by its own virtual
+//! time. The cluster merges all logs into one totally ordered history by
+//! the key `(virtual_time, shard_id, seq)`: virtual time first (shards
+//! share the same clock origin), shard id to break cross-shard ties at the
+//! same instant, and the shard-local sequence number for same-instant
+//! outcomes within one shard. Every key is unique, so the merged order —
+//! and everything derived from it — is independent of which worker thread
+//! finished first (DESIGN.md §3).
+//!
+//! The cluster USM is computed from the **summed integer outcome counts**,
+//! which is exact: addition of `u64` tallies has no rounding, so the
+//! cluster tally equals a recount over the merged log bit-for-bit, and the
+//! float USM derived from it is the same bits no matter how many shards
+//! contributed (the "cluster USM identity" the `validate` feature checks).
+
+use crate::routing::RoutingPolicy;
+use unit_core::time::SimTime;
+use unit_core::types::{Outcome, QueryId};
+use unit_core::usm::{OutcomeCounts, UsmWeights};
+use unit_sim::{OutcomeRecord, SimReport};
+
+/// One outcome in the merged cluster history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergedOutcome {
+    /// Virtual instant the outcome was decided (shard-local clock; all
+    /// shards share the origin `t = 0`).
+    pub time: SimTime,
+    /// The shard that decided it.
+    pub shard: usize,
+    /// Its sequence number within that shard's log.
+    pub seq: u64,
+    /// The query.
+    pub query: QueryId,
+    /// How it ended.
+    pub outcome: Outcome,
+}
+
+/// The result of one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Number of shards the cluster ran with.
+    pub n_shards: usize,
+    /// Routing policy the dispatcher used.
+    pub routing: RoutingPolicy,
+    /// Weights the run was priced under.
+    pub weights: UsmWeights,
+    /// Shard index every global query was routed to (trace order).
+    pub assignment: Vec<usize>,
+    /// Each shard's full single-server report, index = shard id.
+    pub shard_reports: Vec<SimReport>,
+    /// Summed outcome tallies over all shards (exact integer addition).
+    pub counts: OutcomeCounts,
+    /// All shard outcome logs merged by `(time, shard, seq)`.
+    pub log: Vec<MergedOutcome>,
+}
+
+impl ClusterReport {
+    /// Merge per-shard reports (index = shard id) into a cluster report.
+    /// O(N log N) in the total outcome count for the ordered merge.
+    pub fn merge(
+        routing: RoutingPolicy,
+        weights: UsmWeights,
+        assignment: Vec<usize>,
+        shard_reports: Vec<SimReport>,
+    ) -> ClusterReport {
+        let mut counts = OutcomeCounts::default();
+        let mut log: Vec<MergedOutcome> = Vec::new();
+        for (shard, report) in shard_reports.iter().enumerate() {
+            counts.success += report.counts.success;
+            counts.rejected += report.counts.rejected;
+            counts.deadline_miss += report.counts.deadline_miss;
+            counts.data_stale += report.counts.data_stale;
+            log.extend(report.outcome_records.iter().map(
+                |&OutcomeRecord {
+                     seq,
+                     time,
+                     query,
+                     outcome,
+                 }| MergedOutcome {
+                    time,
+                    shard,
+                    seq,
+                    query,
+                    outcome,
+                },
+            ));
+        }
+        // Keys are unique — (shard, seq) alone already is — so an unstable
+        // sort yields one well-defined order.
+        log.sort_unstable_by_key(|r| (r.time, r.shard, r.seq));
+        ClusterReport {
+            n_shards: shard_reports.len(),
+            routing,
+            weights,
+            assignment,
+            shard_reports,
+            counts,
+            log,
+        }
+    }
+
+    /// Cluster-level average USM (Eq. 5 over the summed tallies).
+    pub fn average_usm(&self) -> f64 {
+        self.counts.average_usm(&self.weights)
+    }
+
+    /// Queries routed to each shard (from the assignment; includes queries
+    /// the shard then rejected — every routed query gets an outcome).
+    pub fn queries_per_shard(&self) -> Vec<u64> {
+        let mut per = vec![0u64; self.n_shards];
+        for &s in &self.assignment {
+            per[s] += 1;
+        }
+        per
+    }
+
+    /// The query-count-weighted mean of the per-shard average USMs,
+    /// `Σ nᵢ·USMᵢ / Σ nᵢ` in f64. Equals [`ClusterReport::average_usm`] up
+    /// to float associativity (the integer-tally identity underneath is
+    /// exact and is what [`check_cluster_identity`] pins bit-level).
+    pub fn query_weighted_shard_usm(&self) -> f64 {
+        let total: u64 = self.shard_reports.iter().map(|r| r.counts.total()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .shard_reports
+            .iter()
+            .map(|r| r.counts.total() as f64 * r.counts.average_usm(&self.weights))
+            .sum();
+        weighted / total as f64
+    }
+}
+
+/// Recount a shard's outcome tallies from the merged log.
+fn recount(log: &[MergedOutcome], shard: Option<usize>) -> OutcomeCounts {
+    let mut c = OutcomeCounts::default();
+    for r in log {
+        if shard.map_or(true, |s| s == r.shard) {
+            c.record(r.outcome);
+        }
+    }
+    c
+}
+
+/// The cluster USM identity (validate feature; DESIGN.md §3):
+///
+/// 1. recounting each shard's outcomes from the *merged* log reproduces
+///    that shard's report tallies exactly (integers — the merge lost and
+///    invented nothing),
+/// 2. the cluster tally is the exact integer sum of the shard tallies,
+/// 3. the cluster USM priced from the merged-log recount is bit-identical
+///    to [`ClusterReport::average_usm`] (same tallies, same pricing code),
+/// 4. the float query-weighted mean of per-shard USMs agrees with the
+///    cluster USM to ~1e-9 relative (float associativity bounds, not bits),
+/// 5. the merged log is strictly ordered by `(time, shard, seq)`.
+pub fn check_cluster_identity(report: &ClusterReport) -> Result<(), String> {
+    for (shard, sr) in report.shard_reports.iter().enumerate() {
+        let rc = recount(&report.log, Some(shard));
+        if rc != sr.counts {
+            return Err(format!(
+                "shard {shard}: merged-log recount {rc:?} != shard report {:?}",
+                sr.counts
+            ));
+        }
+    }
+    let total = recount(&report.log, None);
+    if total != report.counts {
+        return Err(format!(
+            "cluster tally {:?} != merged-log recount {total:?}",
+            report.counts
+        ));
+    }
+    let from_log = total.average_usm(&report.weights);
+    if from_log.to_bits() != report.average_usm().to_bits() {
+        return Err(format!(
+            "cluster USM {} != merged-log USM {from_log} (bit mismatch)",
+            report.average_usm()
+        ));
+    }
+    let weighted = report.query_weighted_shard_usm();
+    let scale = report.average_usm().abs().max(1.0);
+    if (weighted - report.average_usm()).abs() > 1e-9 * scale {
+        return Err(format!(
+            "query-weighted shard USM {weighted} drifted from cluster USM {}",
+            report.average_usm()
+        ));
+    }
+    for w in report.log.windows(2) {
+        if (w[0].time, w[0].shard, w[0].seq) >= (w[1].time, w[1].shard, w[1].seq) {
+            return Err(format!(
+                "merged log out of order at t={:?} shard={} seq={}",
+                w[1].time, w[1].shard, w[1].seq
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard_report(policy: &str, outcomes: &[(u64, u64, u64, Outcome)]) -> SimReport {
+        let mut counts = OutcomeCounts::default();
+        let mut records = Vec::new();
+        for &(seq, secs, qid, outcome) in outcomes {
+            counts.record(outcome);
+            records.push(OutcomeRecord {
+                seq,
+                time: SimTime::from_secs(secs),
+                query: QueryId(qid),
+                outcome,
+            });
+        }
+        SimReport {
+            policy: policy.to_string(),
+            weights: UsmWeights::naive(),
+            counts,
+            class_counts: Vec::new(),
+            query_accesses: Vec::new(),
+            versions_arrived: Vec::new(),
+            updates_applied: Vec::new(),
+            hp_aborts: 0,
+            query_restarts: 0,
+            preemptions: 0,
+            demand_refreshes: 0,
+            cpu_busy: unit_core::time::SimDuration::ZERO,
+            end_time: SimTime::from_secs(10),
+            horizon: unit_core::time::SimDuration::from_secs(10),
+            n_cpus: 1,
+            signals: Default::default(),
+            mean_dispatch_freshness: 1.0,
+            timeline: Vec::new(),
+            events_processed: 0,
+            outcome_records: records,
+        }
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_shard_then_seq() {
+        let s0 = shard_report(
+            "A",
+            &[(0, 5, 0, Outcome::Success), (1, 5, 2, Outcome::Rejected)],
+        );
+        let s1 = shard_report(
+            "A",
+            &[(0, 3, 1, Outcome::Success), (1, 5, 3, Outcome::Success)],
+        );
+        let r = ClusterReport::merge(
+            RoutingPolicy::RoundRobin,
+            UsmWeights::naive(),
+            vec![0, 1, 0, 1],
+            vec![s0, s1],
+        );
+        let keys: Vec<(u64, usize, u64)> =
+            r.log.iter().map(|m| (m.time.0, m.shard, m.seq)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        // t=3 shard1 first, then the two t=5 shard0 records (seq order),
+        // then t=5 shard1.
+        let order: Vec<u64> = r.log.iter().map(|m| m.query.0).collect();
+        assert_eq!(order, vec![1, 0, 2, 3]);
+        assert_eq!(r.counts.total(), 4);
+        assert_eq!(r.counts.success, 3);
+        check_cluster_identity(&r).unwrap();
+    }
+
+    #[test]
+    fn identity_check_catches_a_dropped_record() {
+        let s0 = shard_report("A", &[(0, 1, 0, Outcome::Success)]);
+        let s1 = shard_report("A", &[(0, 2, 1, Outcome::DeadlineMiss)]);
+        let mut r = ClusterReport::merge(
+            RoutingPolicy::LeastLoad,
+            UsmWeights::low_high_cfm(),
+            vec![0, 1],
+            vec![s0, s1],
+        );
+        check_cluster_identity(&r).unwrap();
+        r.log.pop();
+        assert!(check_cluster_identity(&r).is_err());
+    }
+
+    #[test]
+    fn weighted_mean_tracks_cluster_usm() {
+        let s0 = shard_report(
+            "A",
+            &[
+                (0, 1, 0, Outcome::Success),
+                (1, 2, 1, Outcome::Success),
+                (2, 3, 2, Outcome::Rejected),
+            ],
+        );
+        let s1 = shard_report("A", &[(0, 1, 3, Outcome::DataStale)]);
+        let r = ClusterReport::merge(
+            RoutingPolicy::FreshnessAware,
+            UsmWeights::low_high_cfm(),
+            vec![0, 0, 0, 1],
+            vec![s0, s1],
+        );
+        assert!((r.query_weighted_shard_usm() - r.average_usm()).abs() < 1e-12);
+        assert_eq!(r.queries_per_shard(), vec![3, 1]);
+    }
+}

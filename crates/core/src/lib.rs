@@ -65,6 +65,7 @@ pub mod freshness_model;
 pub mod lottery;
 pub mod modulation;
 pub mod policy;
+pub mod seed;
 pub mod snapshot;
 pub mod tickets;
 pub mod time;
@@ -82,6 +83,7 @@ pub use freshness_model::FreshnessModel;
 pub use lottery::WeightedSampler;
 pub use modulation::{UpdateModulation, UpgradeRule};
 pub use policy::{AdmissionDecision, ControlSignal, Policy, UpdateAction};
+pub use seed::split_seed;
 pub use snapshot::{QueueEntryView, QueueSource, SnapshotView, SystemSnapshot};
 pub use tickets::TicketTable;
 pub use time::{SimDuration, SimTime};

@@ -97,6 +97,11 @@ pub struct SimConfig {
     /// highest-priority ready transactions run concurrently; 2PL-HP then
     /// resolves genuinely simultaneous lock conflicts.
     pub n_cpus: usize,
+    /// Record every per-query outcome as an [`crate::stats::OutcomeRecord`]
+    /// (virtual time, query id, outcome, sequence number) in the report.
+    /// The cluster layer merges these logs across shards; off by default so
+    /// single-server runs carry no extra allocation.
+    pub record_outcomes: bool,
 }
 
 impl SimConfig {
@@ -110,7 +115,14 @@ impl SimConfig {
             freshness_model: FreshnessModel::default(),
             discipline: SchedulingDiscipline::default(),
             n_cpus: 1,
+            record_outcomes: false,
         }
+    }
+
+    /// Enable per-query outcome logging (see [`SimConfig::record_outcomes`]).
+    pub fn with_outcome_log(mut self) -> Self {
+        self.record_outcomes = true;
+        self
     }
 
     /// Set the reporting/policy weights.
@@ -292,6 +304,9 @@ pub struct Simulator<'a, P: Policy> {
     cfg: SimConfig,
 
     clock: SimTime,
+    /// Whether the run has been started (trace arrivals seeded, policy
+    /// initialized). Flipped by the first [`Simulator::step`].
+    started: bool,
     events: EventQueue,
     txns: Vec<Txn>,
     ready: BTreeSet<PriorityKey>,
@@ -335,6 +350,10 @@ pub struct Simulator<'a, P: Policy> {
     dispatch_freshness_n: u64,
     timeline: Vec<TimelineSample>,
     events_processed: u64,
+    /// Per-query outcome records (only filled when
+    /// [`SimConfig::record_outcomes`] is set; exported through the report
+    /// for the cluster merge layer).
+    outcome_records: Vec<crate::stats::OutcomeRecord>,
     /// Raw per-query outcome log, kept only in validate builds so the USM
     /// tallies can be recounted from first principles at every control tick.
     #[cfg(feature = "validate")]
@@ -370,6 +389,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
             policy,
             cfg,
             clock: SimTime::ZERO,
+            started: false,
             events: EventQueue::new(),
             txns: Vec::new(),
             ready: BTreeSet::new(),
@@ -398,6 +418,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
             dispatch_freshness_n: 0,
             timeline: Vec::new(),
             events_processed: 0,
+            outcome_records: Vec::new(),
             #[cfg(feature = "validate")]
             outcome_log: Vec::new(),
         }
@@ -412,6 +433,16 @@ impl<'a, P: Policy> Simulator<'a, P> {
     /// Like [`Simulator::run`], but also hand back the policy so callers can
     /// inspect its final internal state (controller counters, periods, ...).
     pub fn run_with_policy(mut self) -> (SimReport, P) {
+        while self.step() {}
+        self.finish()
+    }
+
+    /// Seed the run: initialize the policy and schedule every trace arrival
+    /// plus the first control tick. Called lazily by the first
+    /// [`Simulator::step`]. O((N_q + N_u) log N_ev), once per run.
+    fn start(&mut self) {
+        debug_assert!(!self.started);
+        self.started = true;
         self.policy.init(self.trace.n_items, &self.trace.updates);
 
         for (i, q) in self.trace.queries.iter().enumerate() {
@@ -426,20 +457,46 @@ impl<'a, P: Policy> Simulator<'a, P> {
         }
         self.events
             .push(SimTime::ZERO + self.cfg.tick_period, Event::ControlTick);
+    }
 
-        while let Some((t, ev)) = self.events.pop() {
-            debug_assert!(t >= self.clock, "time went backwards");
-            self.clock = t;
-            self.events_processed += 1;
-            match ev {
-                Event::QueryArrival { spec_idx } => self.on_query_arrival(spec_idx),
-                Event::VersionArrival { stream_idx } => self.on_version_arrival(stream_idx),
-                Event::Completion { txn, generation } => self.on_completion(txn, generation),
-                Event::QueryDeadline { txn } => self.on_query_deadline(txn),
-                Event::ControlTick => self.on_control_tick(),
-            }
+    /// Process the next pending event, advancing the virtual clock. Returns
+    /// `false` once the run has drained (no events left). The embeddable
+    /// half of the engine: a cluster shard is driven by calling this in a
+    /// loop and then harvesting [`Simulator::finish`]. O(log N_ev) plus the
+    /// dispatched handler's cost.
+    pub fn step(&mut self) -> bool {
+        if !self.started {
+            self.start();
         }
+        let Some((t, ev)) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(t >= self.clock, "time went backwards");
+        self.clock = t;
+        self.events_processed += 1;
+        match ev {
+            Event::QueryArrival { spec_idx } => self.on_query_arrival(spec_idx),
+            Event::VersionArrival { stream_idx } => self.on_version_arrival(stream_idx),
+            Event::Completion { txn, generation } => self.on_completion(txn, generation),
+            Event::QueryDeadline { txn } => self.on_query_deadline(txn),
+            Event::ControlTick => self.on_control_tick(),
+        }
+        true
+    }
 
+    /// The current virtual clock (the timestamp of the last processed
+    /// event). O(1).
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Finish a drained run: check the end-of-run invariants and assemble
+    /// the report plus the policy's final state. Call only after
+    /// [`Simulator::step`] has returned `false`; finishing mid-run trips
+    /// the drain assertions in debug builds and misreports in-flight work
+    /// in release builds. O(N_d) for the report's histogram moves.
+    pub fn finish(mut self) -> (SimReport, P) {
+        debug_assert!(self.started, "finish() before the run was stepped");
         debug_assert!(self.ready.is_empty(), "ready transactions left behind");
         debug_assert!(self.running.is_empty(), "running transactions left behind");
         debug_assert!(self.admitted.is_empty(), "admitted queries left behind");
@@ -486,6 +543,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
             },
             timeline: std::mem::take(&mut self.timeline),
             events_processed: self.events_processed,
+            outcome_records: std::mem::take(&mut self.outcome_records),
         }
     }
 
@@ -1055,6 +1113,14 @@ impl<'a, P: Policy> Simulator<'a, P> {
         self.counts.record(outcome);
         #[cfg(feature = "validate")]
         self.outcome_log.push(outcome);
+        if self.cfg.record_outcomes {
+            self.outcome_records.push(crate::stats::OutcomeRecord {
+                seq: self.outcome_records.len() as u64,
+                time: self.clock,
+                query: self.trace.queries[spec_idx].id,
+                outcome,
+            });
+        }
         let spec = &self.trace.queries[spec_idx];
         let class = spec.pref_class as usize;
         if self.class_counts.len() <= class {

@@ -51,4 +51,4 @@ pub mod txn;
 pub mod validate;
 
 pub use engine::{run_simulation, SchedulingDiscipline, SimConfig, Simulator};
-pub use stats::{SignalCounts, SimReport, TimelineSample};
+pub use stats::{report_digest, OutcomeRecord, SignalCounts, SimReport, TimelineSample};

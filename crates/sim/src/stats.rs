@@ -3,7 +3,27 @@
 use serde::{Deserialize, Serialize};
 use unit_core::policy::ControlSignal;
 use unit_core::time::{SimDuration, SimTime};
+use unit_core::types::{Outcome, QueryId};
 use unit_core::usm::{OutcomeCounts, UsmWeights};
+
+/// One per-query outcome, stamped with the virtual instant it was decided
+/// (only recorded when [`crate::SimConfig::record_outcomes`] is on).
+///
+/// This is the unit of the cluster merge layer: per-shard logs are merged
+/// by `(time, shard_id, seq)`, so `seq` — the record's position in its own
+/// shard's log — is the deterministic tie-breaker for outcomes decided at
+/// the same virtual instant on the same shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeRecord {
+    /// Position of this record in its server's outcome log (0-based).
+    pub seq: u64,
+    /// Virtual instant the outcome was decided.
+    pub time: SimTime,
+    /// The query the outcome belongs to.
+    pub query: QueryId,
+    /// How the query ended.
+    pub outcome: Outcome,
+}
 
 /// One periodic sample of system state (taken at control ticks when
 /// timeline recording is enabled).
@@ -95,6 +115,11 @@ pub struct SimReport {
     /// Total discrete events the engine processed (perf instrumentation;
     /// excluded from golden digests so it can evolve freely).
     pub events_processed: u64,
+    /// Per-query outcome log (only filled when
+    /// [`crate::SimConfig::record_outcomes`] is on; excluded from
+    /// [`report_digest`] so digests match between logged and unlogged runs).
+    #[serde(default)]
+    pub outcome_records: Vec<OutcomeRecord>,
 }
 
 impl SimReport {
@@ -190,6 +215,98 @@ impl SimReport {
     }
 }
 
+/// FNV-1a over a little-endian byte stream.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+}
+
+/// Bit-exact digest of a [`SimReport`]'s observable behaviour.
+///
+/// Everything user-visible goes in, in declaration order; the two
+/// instrumentation fields stay out so they can evolve freely:
+/// `events_processed` (perf counter) and `outcome_records` (opt-in log —
+/// a logged run must digest identically to an unlogged one). The golden
+/// snapshot suite and the cluster differential tests share this function,
+/// so "cluster(1 shard) == single server" means the whole report matches
+/// bit-for-bit, not just the USM.
+pub fn report_digest(r: &SimReport) -> u64 {
+    let mut h = Fnv::new();
+    h.bytes(r.policy.as_bytes());
+    for w in [
+        r.weights.gain,
+        r.weights.c_r,
+        r.weights.c_fm,
+        r.weights.c_fs,
+    ] {
+        h.f64(w);
+    }
+    for c in [
+        r.counts.success,
+        r.counts.rejected,
+        r.counts.deadline_miss,
+        r.counts.data_stale,
+    ] {
+        h.u64(c);
+    }
+    h.u64(r.class_counts.len() as u64);
+    for c in &r.class_counts {
+        for v in [c.success, c.rejected, c.deadline_miss, c.data_stale] {
+            h.u64(v);
+        }
+    }
+    for hist in [&r.query_accesses, &r.versions_arrived, &r.updates_applied] {
+        h.u64(hist.len() as u64);
+        for &v in hist {
+            h.u64(v);
+        }
+    }
+    h.u64(r.hp_aborts);
+    h.u64(r.query_restarts);
+    h.u64(r.preemptions);
+    h.u64(r.demand_refreshes);
+    h.u64(r.cpu_busy.0);
+    h.u64(r.end_time.0);
+    h.u64(r.horizon.0);
+    h.u64(r.n_cpus as u64);
+    for s in [
+        r.signals.loosen_admission,
+        r.signals.tighten_admission,
+        r.signals.degrade_updates,
+        r.signals.upgrade_updates,
+    ] {
+        h.u64(s);
+    }
+    h.f64(r.mean_dispatch_freshness);
+    h.u64(r.timeline.len() as u64);
+    for s in &r.timeline {
+        h.u64(s.time.0);
+        h.f64(s.usm);
+        h.u64(s.ready_queries as u64);
+        h.f64(s.update_backlog_secs);
+        h.f64(s.utilization);
+    }
+    h.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +342,7 @@ mod tests {
             mean_dispatch_freshness: 0.95,
             timeline: Vec::new(),
             events_processed: 0,
+            outcome_records: Vec::new(),
         }
     }
 
@@ -258,6 +376,31 @@ mod tests {
         assert_eq!(s.loosen_admission, 1);
         assert_eq!(s.degrade_updates, 2);
         assert_eq!(s.total(), 5);
+    }
+
+    #[test]
+    fn digest_ignores_instrumentation_fields() {
+        let base = report();
+        let mut instrumented = base.clone();
+        instrumented.events_processed = 99;
+        instrumented.outcome_records.push(OutcomeRecord {
+            seq: 0,
+            time: SimTime::from_secs(1),
+            query: QueryId(7),
+            outcome: Outcome::Success,
+        });
+        assert_eq!(report_digest(&base), report_digest(&instrumented));
+    }
+
+    #[test]
+    fn digest_sees_behavioural_fields() {
+        let base = report();
+        let mut changed = base.clone();
+        changed.counts.record(Outcome::Success);
+        assert_ne!(report_digest(&base), report_digest(&changed));
+        let mut changed = base.clone();
+        changed.policy.push('X');
+        assert_ne!(report_digest(&base), report_digest(&changed));
     }
 
     #[test]

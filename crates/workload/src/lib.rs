@@ -14,6 +14,8 @@
 //! * [`correlate`] — correlation-targeted weight synthesis with bisection to
 //!   the requested Pearson coefficient.
 //! * [`trace`] — bundle assembly and JSON (de)serialization.
+//! * [`partition`] — item ownership + per-shard trace slicing for the
+//!   cluster layer.
 //! * [`builder`] — fluent, checked construction of hand-crafted scenarios.
 //! * [`stats`] — descriptive workload statistics (skew, burstiness, load).
 //! * [`dist`] — the deterministic sampling primitives behind all of it.
@@ -45,6 +47,7 @@ pub mod builder;
 pub mod cello;
 pub mod correlate;
 pub mod dist;
+pub mod partition;
 pub mod stats;
 pub mod trace;
 pub mod updates;
@@ -52,6 +55,7 @@ pub mod updates;
 pub use builder::TraceBuilder;
 pub use cello::{generate_queries, QueryTrace, QueryTraceConfig};
 pub use correlate::{apportion_counts, correlated_weights, CorrelatedWeights, UpdateDistribution};
+pub use partition::{slice_trace, ItemPartition, PartitionError};
 pub use stats::TraceStats;
 pub use trace::TraceBundle;
 pub use updates::{generate_updates, UpdateTrace, UpdateTraceConfig, UpdateVolume};

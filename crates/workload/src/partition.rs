@@ -1,0 +1,267 @@
+//! Partitioning a trace across cluster shards.
+//!
+//! A cluster run splits one global [`Trace`] into per-shard traces: every
+//! data item has exactly one *owner* shard ([`ItemPartition`]), update
+//! streams follow their item to its owner, and queries go wherever the
+//! dispatcher routed them. [`slice_trace`] performs the split from a
+//! per-query assignment computed by the cluster's routing policy.
+//!
+//! Shards keep the **global** item-id space (`n_items` is unchanged): a
+//! shard simply never sees arrivals for items it does not own. This keeps
+//! ids stable across shard counts — no remapping tables — and makes the
+//! 1-shard cluster trace *identical* to the global trace, which is what the
+//! differential suite pins against the single-server engine.
+
+use unit_core::types::{DataId, Trace};
+
+/// Modulo ownership of data items by shard.
+///
+/// Item `d` belongs to shard `d mod n_shards`. Deterministic, stateless,
+/// and uniform over the id space; with Zipf-popular items spread across
+/// ids, it also spreads the hot set (DESIGN.md §3 discusses the limits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ItemPartition {
+    n_shards: usize,
+}
+
+impl ItemPartition {
+    /// Build a partition over `n_shards` shards.
+    ///
+    /// # Panics
+    /// Panics if `n_shards` is zero.
+    pub fn new(n_shards: usize) -> ItemPartition {
+        // lint: allow(assert) — documented constructor contract
+        assert!(n_shards > 0, "a cluster needs at least one shard");
+        ItemPartition { n_shards }
+    }
+
+    /// Number of shards the items are spread over.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The shard that owns item `d`. O(1).
+    pub fn owner(&self, d: DataId) -> usize {
+        d.index() % self.n_shards
+    }
+
+    /// Deduplicated, ascending list of shards owning at least one of
+    /// `items` — the shards *eligible* to serve a query with that read
+    /// set. O(|items| + n_shards) via a seen-bitmap, no allocation beyond
+    /// the result.
+    pub fn eligible_shards(&self, items: &[DataId]) -> Vec<usize> {
+        let mut seen = vec![false; self.n_shards];
+        for &d in items {
+            seen[self.owner(d)] = true;
+        }
+        seen.iter()
+            .enumerate()
+            .filter_map(|(s, &hit)| hit.then_some(s))
+            .collect()
+    }
+}
+
+/// A malformed query-to-shard assignment handed to [`slice_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The assignment has a different length than the trace's query list.
+    AssignmentLength {
+        /// Queries in the trace.
+        queries: usize,
+        /// Entries in the assignment.
+        assigned: usize,
+    },
+    /// An assignment entry referenced a shard outside `0..n_shards`.
+    ShardOutOfRange {
+        /// Index of the offending query in the trace.
+        query_index: usize,
+        /// The out-of-range shard.
+        shard: usize,
+        /// Number of shards in the partition.
+        n_shards: usize,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::AssignmentLength { queries, assigned } => write!(
+                f,
+                "assignment covers {assigned} queries but the trace has {queries}"
+            ),
+            PartitionError::ShardOutOfRange {
+                query_index,
+                shard,
+                n_shards,
+            } => write!(
+                f,
+                "query #{query_index} assigned to shard {shard} of {n_shards}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Split a global trace into one trace per shard.
+///
+/// Query `i` goes to shard `assignment[i]`; update streams go to their
+/// item's owner under `partition`. Relative arrival order is preserved
+/// within every shard (a filtered subsequence of a sorted list stays
+/// sorted), so each slice is a valid trace. Every query and every update
+/// stream lands in exactly one slice — the conservation property the
+/// cluster tests check end-to-end. O(N_q + N_u).
+pub fn slice_trace(
+    trace: &Trace,
+    assignment: &[usize],
+    partition: &ItemPartition,
+) -> Result<Vec<Trace>, PartitionError> {
+    if assignment.len() != trace.queries.len() {
+        return Err(PartitionError::AssignmentLength {
+            queries: trace.queries.len(),
+            assigned: assignment.len(),
+        });
+    }
+    let n = partition.n_shards();
+    if let Some((query_index, &shard)) = assignment.iter().enumerate().find(|&(_, &s)| s >= n) {
+        return Err(PartitionError::ShardOutOfRange {
+            query_index,
+            shard,
+            n_shards: n,
+        });
+    }
+    let mut shards: Vec<Trace> = (0..n)
+        .map(|_| Trace {
+            n_items: trace.n_items,
+            queries: Vec::new(),
+            updates: Vec::new(),
+        })
+        .collect();
+    for (q, &s) in trace.queries.iter().zip(assignment) {
+        shards[s].queries.push(q.clone());
+    }
+    for u in &trace.updates {
+        shards[partition.owner(u.item)].updates.push(u.clone());
+    }
+    Ok(shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unit_core::time::{SimDuration, SimTime};
+    use unit_core::types::{QueryId, QuerySpec, UpdateSpec, UpdateStreamId};
+
+    fn query(id: u64, arrival: u64, items: &[u32]) -> QuerySpec {
+        QuerySpec {
+            id: QueryId(id),
+            arrival: SimTime::from_secs(arrival),
+            items: items.iter().map(|&i| DataId(i)).collect(),
+            exec_time: SimDuration::from_secs(1),
+            relative_deadline: SimDuration::from_secs(10),
+            freshness_req: 0.9,
+            pref_class: 0,
+        }
+    }
+
+    fn update(id: u32, item: u32) -> UpdateSpec {
+        UpdateSpec {
+            id: UpdateStreamId(id),
+            item: DataId(item),
+            period: SimDuration::from_secs(60),
+            exec_time: SimDuration::from_secs(2),
+            first_arrival: SimTime::ZERO,
+        }
+    }
+
+    fn trace() -> Trace {
+        Trace {
+            n_items: 8,
+            queries: vec![
+                query(0, 1, &[0, 1]),
+                query(1, 2, &[2]),
+                query(2, 2, &[3, 5]),
+                query(3, 4, &[6]),
+            ],
+            updates: vec![update(0, 0), update(1, 1), update(2, 5), update(3, 6)],
+        }
+    }
+
+    #[test]
+    fn ownership_is_modular_and_total() {
+        let p = ItemPartition::new(3);
+        for i in 0..32 {
+            assert_eq!(p.owner(DataId(i)), (i as usize) % 3);
+        }
+        assert_eq!(ItemPartition::new(1).owner(DataId(31)), 0);
+    }
+
+    #[test]
+    fn eligible_shards_dedup_and_sort() {
+        let p = ItemPartition::new(4);
+        // items 1, 5 -> shard 1 (twice); item 2 -> shard 2.
+        assert_eq!(
+            p.eligible_shards(&[DataId(5), DataId(2), DataId(1)]),
+            vec![1, 2]
+        );
+        assert_eq!(ItemPartition::new(1).eligible_shards(&[DataId(7)]), vec![0]);
+    }
+
+    #[test]
+    fn slices_conserve_queries_and_updates() {
+        let t = trace();
+        let p = ItemPartition::new(2);
+        let shards = slice_trace(&t, &[0, 1, 0, 1], &p).unwrap();
+        assert_eq!(shards.len(), 2);
+        // Every query in exactly one shard, order preserved.
+        let ids: Vec<u64> = shards
+            .iter()
+            .flat_map(|s| s.queries.iter().map(|q| q.id.0))
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        assert_eq!(shards[0].queries[0].id, QueryId(0));
+        assert_eq!(shards[0].queries[1].id, QueryId(2));
+        // Updates follow ownership: items 0, 6 -> shard 0; 1, 5 -> shard 1.
+        let u0: Vec<u32> = shards[0].updates.iter().map(|u| u.item.0).collect();
+        let u1: Vec<u32> = shards[1].updates.iter().map(|u| u.item.0).collect();
+        assert_eq!(u0, vec![0, 6]);
+        assert_eq!(u1, vec![1, 5]);
+        // Slices keep the global id space and stay valid traces.
+        for s in &shards {
+            assert_eq!(s.n_items, 8);
+            s.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn one_shard_slice_is_the_identity() {
+        let t = trace();
+        let p = ItemPartition::new(1);
+        let shards = slice_trace(&t, &[0, 0, 0, 0], &p).unwrap();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0], t);
+    }
+
+    #[test]
+    fn malformed_assignments_are_rejected() {
+        let t = trace();
+        let p = ItemPartition::new(2);
+        assert_eq!(
+            slice_trace(&t, &[0, 1], &p),
+            Err(PartitionError::AssignmentLength {
+                queries: 4,
+                assigned: 2
+            })
+        );
+        assert_eq!(
+            slice_trace(&t, &[0, 1, 2, 0], &p),
+            Err(PartitionError::ShardOutOfRange {
+                query_index: 2,
+                shard: 2,
+                n_shards: 2
+            })
+        );
+    }
+}

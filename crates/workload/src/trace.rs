@@ -12,7 +12,7 @@ use std::fmt;
 use std::io;
 use std::path::Path;
 use unit_core::time::SimDuration;
-use unit_core::types::Trace;
+use unit_core::types::{SpecError, Trace};
 
 /// A trace-deserialization failure with source-position context.
 ///
@@ -37,10 +37,8 @@ impl TraceParseError {
     fn locate(src: &str, message: String) -> TraceParseError {
         let (line, column) = match byte_offset_in(&message) {
             Some(off) => {
-                let prefix = &src.as_bytes()[..off.min(src.len())];
-                let line = 1 + prefix.iter().filter(|&&b| b == b'\n').count();
-                let col = 1 + prefix.iter().rev().take_while(|&&b| b != b'\n').count();
-                (Some(line), Some(col))
+                let (l, c) = line_col(src, off);
+                (Some(l), Some(c))
             }
             None => (None, None),
         };
@@ -50,6 +48,84 @@ impl TraceParseError {
             column,
         }
     }
+
+    /// Wrap a semantic (spec-validation) failure, pointing at the `"id"` key
+    /// of the offending query or update stream when it can be found in the
+    /// source text.
+    fn locate_spec(src: &str, err: &SpecError) -> TraceParseError {
+        let (line, column) =
+            match spec_error_anchor(err).and_then(|(id, q)| locate_spec_id(src, id, q)) {
+                Some(off) => {
+                    let (l, c) = line_col(src, off);
+                    (Some(l), Some(c))
+                }
+                None => (None, None),
+            };
+        TraceParseError {
+            message: format!("invalid trace: {err}"),
+            line,
+            column,
+        }
+    }
+}
+
+/// 1-based line and byte-column of byte offset `off` within `src`. Counts
+/// `\n` only, so CRLF input resolves to the same line numbers an editor
+/// shows (the `\r` lands in the previous line's last column).
+fn line_col(src: &str, off: usize) -> (usize, usize) {
+    let prefix = &src.as_bytes()[..off.min(src.len())];
+    let line = 1 + prefix.iter().filter(|&&b| b == b'\n').count();
+    let col = 1 + prefix.iter().rev().take_while(|&&b| b != b'\n').count();
+    (line, col)
+}
+
+/// The spec id a [`SpecError`] is anchored to: `(raw id, is_query)`.
+/// Out-of-range items carry no owning id, so they resolve to `None`.
+fn spec_error_anchor(err: &SpecError) -> Option<(u64, bool)> {
+    match err {
+        SpecError::EmptyReadSet(q)
+        | SpecError::DuplicateItem(q, _)
+        | SpecError::ZeroExecTime(q)
+        | SpecError::ZeroDeadline(q)
+        | SpecError::BadFreshnessReq(q, _)
+        | SpecError::UnsortedQueries(q) => Some((q.0, true)),
+        SpecError::ZeroPeriod(u) | SpecError::ZeroUpdateExec(u) => Some((u.0 as u64, false)),
+        SpecError::ItemOutOfRange(..) => None,
+    }
+}
+
+/// Best-effort byte offset of the `"id"` key belonging to query (or update
+/// stream) `id` in the serialized trace. Relies on the `Trace` field order —
+/// the `"queries"` array precedes the `"updates"` array — to tell the two
+/// id spaces apart; returns `None` rather than guessing when the sections
+/// cannot be found.
+fn locate_spec_id(src: &str, id: u64, query: bool) -> Option<usize> {
+    let queries_at = src.find("\"queries\"")?;
+    let updates_at = src.find("\"updates\"")?;
+    let (lo, hi) = if query {
+        (queries_at, updates_at)
+    } else {
+        (updates_at, src.len())
+    };
+    let section = src.get(lo..hi)?;
+    let want = id.to_string();
+    let mut from = 0;
+    while let Some(rel) = section[from..].find("\"id\"") {
+        let key_at = from + rel;
+        let rest = section[key_at + "\"id\"".len()..].trim_start();
+        if let Some(rest) = rest.strip_prefix(':') {
+            let rest = rest.trim_start();
+            let digits: &str = rest
+                .split(|c: char| !c.is_ascii_digit())
+                .next()
+                .unwrap_or("");
+            if digits == want {
+                return Some(lo + key_at);
+            }
+        }
+        from = key_at + "\"id\"".len();
+    }
+    None
 }
 
 impl fmt::Display for TraceParseError {
@@ -136,9 +212,18 @@ impl TraceBundle {
     }
 
     /// Deserialize from JSON. Malformed input yields a [`TraceParseError`]
-    /// carrying the 1-based line and column of the first syntax error.
+    /// carrying the 1-based line and column of the first syntax error;
+    /// well-formed JSON whose trace violates a spec invariant (duplicate
+    /// read-set item, zero deadline, unsorted arrivals, ...) yields one
+    /// pointing at the offending spec's `"id"` key. Either way the
+    /// simulator's panicking constructor is never reached with bad input.
     pub fn from_json(s: &str) -> Result<TraceBundle, TraceParseError> {
-        serde_json::from_str(s).map_err(|e| TraceParseError::locate(s, e.to_string()))
+        let bundle: TraceBundle =
+            serde_json::from_str(s).map_err(|e| TraceParseError::locate(s, e.to_string()))?;
+        if let Err(e) = bundle.trace.validate() {
+            return Err(TraceParseError::locate_spec(s, &e));
+        }
+        Ok(bundle)
     }
 
     /// Write the bundle to a file as JSON.

@@ -3,9 +3,9 @@
 //!
 //! | Rule | What it forbids | Where |
 //! |------|-----------------|-------|
-//! | `D1` | `HashMap`/`HashSet` (iteration-order nondeterminism) | `core`, `sim`, `baselines` |
+//! | `D1` | `HashMap`/`HashSet` (iteration-order nondeterminism) | `core`, `sim`, `baselines`, `cluster` |
 //! | `D2` | wall clocks & unseeded RNGs (`Instant::now`, `SystemTime::now`, `thread_rng`, `rand::random`) | everywhere but `bench` |
-//! | `D3` | `unwrap()`/`expect()`/`panic!`-family in non-test library code | `core`, `sim`, `workload`, `baselines` |
+//! | `D3` | `unwrap()`/`expect()`/`panic!`-family in non-test library code | `core`, `sim`, `workload`, `baselines`, `cluster` |
 //! | `D4` | direct `f64` `==`/`!=` against float literals; `as`-cast truncation of simulated-time values | library crates, except `core/src/time.rs` |
 //! | `P1` | `Policy`-surface / event-loop functions without a `/// O(...)` complexity doc | `core/src/policy.rs`, `sim/src/engine.rs` |
 //!
@@ -22,13 +22,13 @@ use crate::lexer::{scan, Comment, Tok, TokKind};
 use std::collections::BTreeMap;
 
 /// Crates where iteration-order nondeterminism can reach simulator state.
-const D1_CRATES: &[&str] = &["core", "sim", "baselines"];
+const D1_CRATES: &[&str] = &["core", "sim", "baselines", "cluster"];
 /// Crates that must stay wall-clock- and entropy-free (all but `bench`).
 const D2_EXEMPT_CRATES: &[&str] = &["bench"];
 /// Library crates where panics must be annotated.
-const D3_CRATES: &[&str] = &["core", "sim", "workload", "baselines"];
+const D3_CRATES: &[&str] = &["core", "sim", "workload", "baselines", "cluster"];
 /// Library crates where float-equality / time-cast hygiene applies.
-const D4_CRATES: &[&str] = &["core", "sim", "workload", "baselines"];
+const D4_CRATES: &[&str] = &["core", "sim", "workload", "baselines", "cluster"];
 /// The one file allowed to truncate simulated-time floats: the tick
 /// conversion boundary itself.
 const D4_EXEMPT_FILES: &[&str] = &["crates/core/src/time.rs"];
