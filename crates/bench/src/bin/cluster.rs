@@ -77,7 +77,8 @@ fn main() {
                 .with_routing(routing)
                 .with_seed(args.seed);
             let start = Instant::now();
-            let report = run_unit_cluster(&bundle.trace, sim, &cluster, &unit);
+            let report = run_unit_cluster(&bundle.trace, sim, &cluster, &unit)
+                .expect("valid cluster config");
             let wall = start.elapsed().as_secs_f64();
             let usm = report.average_usm();
             let events: u64 = report

@@ -1,0 +1,694 @@
+//! Fault-aware dispatching: failover routing with deterministic
+//! retry/backoff and USM-honest dispatcher rejections.
+//!
+//! With a [`FaultPlan`] in force, some shards are
+//! down ([`FaultMode::Pause`]) or serving
+//! degraded reads
+//! ([`FaultMode::DegradedReads`])
+//! over known virtual-time windows. Because the schedule is declarative —
+//! fixed before the first event fires — the dispatcher can stay a
+//! **sequential prologue** (DESIGN.md §3) and still react to faults: it
+//! consults the plan, not shard execution, so the routing decision for
+//! every query remains a pure function of
+//! `(trace, plan, routing policy, failover policy)`.
+//!
+//! Per query, [`route_with_faults`] proceeds in preference order:
+//!
+//! 1. route among the **fully-up** eligible shards, by the underlying
+//!    [`RoutingPolicy`] (same ledgers, same tie-breaks as fault-free
+//!    [`assign`](crate::routing::assign));
+//! 2. none up → route among **degraded** eligible shards (graceful
+//!    degradation: reads on last-applied versions, honest DSF);
+//! 3. all paused → wait out an exponential-backoff step *in virtual time*
+//!    and retry, up to [`BackoffConfig::max_retries`] attempts and never
+//!    past the query's firm deadline;
+//! 4. budget or deadline exhausted → the dispatcher rejects the query,
+//!    which is scored as a real `C_r` rejection in the cluster USM.
+//!
+//! A query routed after `k > 0` backoff steps reaches its shard at the
+//! retry instant: its arrival moves forward and its relative deadline
+//! shrinks by the waited time, preserving the original **absolute**
+//! deadline. [`FailoverPolicy::NoRetry`] is the naive baseline: route by
+//! the underlying policy as if every shard were healthy, letting queries
+//! stall into crash windows — the thing the fault bench compares against.
+
+use crate::merge::{ClusterReport, MergedOutcome};
+use crate::routing::{FreshnessEstimate, RoutingPolicy, ShardLoad};
+use unit_core::time::{SimDuration, SimTime};
+use unit_core::types::{Outcome, QuerySpec, Trace};
+use unit_core::usm::OutcomeCounts;
+use unit_faults::{FaultMode, FaultPlan};
+use unit_sim::HealthState;
+use unit_workload::ItemPartition;
+
+/// Deterministic exponential backoff, in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// Delay before the first retry.
+    pub base: SimDuration,
+    /// Factor applied per further retry (`delay_k = base · multiplier^k`).
+    pub multiplier: u64,
+    /// Retry budget: attempts beyond the initial one.
+    pub max_retries: u32,
+}
+
+impl BackoffConfig {
+    /// Delay before retry `attempt` (0-based), saturating on overflow.
+    /// O(1).
+    pub fn delay(&self, attempt: u32) -> SimDuration {
+        SimDuration(
+            self.base
+                .0
+                .saturating_mul(self.multiplier.saturating_pow(attempt)),
+        )
+    }
+}
+
+impl Default for BackoffConfig {
+    /// 1 s base, doubling, 5 retries — total patience 31 s, enough to ride
+    /// out the ~10 s crash windows the fault bench injects.
+    fn default() -> BackoffConfig {
+        BackoffConfig {
+            base: SimDuration::from_secs(1),
+            multiplier: 2,
+            max_retries: 5,
+        }
+    }
+}
+
+/// How the dispatcher reacts to shards the fault plan marks unhealthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailoverPolicy {
+    /// Ignore health entirely: route as if every shard were up. Queries
+    /// sent into a crash window stall until recovery (usually a DMF). The
+    /// naive baseline.
+    NoRetry,
+    /// Prefer up shards, fall back to degraded ones, and back off in
+    /// virtual time when every eligible shard is paused.
+    Backoff(BackoffConfig),
+}
+
+impl FailoverPolicy {
+    /// The retry budget this policy allows per query. O(1).
+    pub fn retry_budget(&self) -> u32 {
+        match self {
+            FailoverPolicy::NoRetry => 0,
+            FailoverPolicy::Backoff(cfg) => cfg.max_retries,
+        }
+    }
+}
+
+/// The dispatcher's verdict for one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// Routed to `shard`, reaching it at `at` (`at > ` original arrival
+    /// when the dispatcher backed off first).
+    Routed {
+        /// Target shard.
+        shard: usize,
+        /// Effective arrival at the shard.
+        at: SimTime,
+        /// Backoff steps taken before routing.
+        retries: u32,
+    },
+    /// Rejected by the dispatcher at `at` after `retries` backoff steps:
+    /// every eligible shard stayed paused until the budget or the query's
+    /// deadline ran out. Scored as `C_r`.
+    Rejected {
+        /// Virtual instant the dispatcher gave up.
+        at: SimTime,
+        /// Backoff steps taken before giving up.
+        retries: u32,
+    },
+}
+
+impl RouteDecision {
+    /// Backoff steps this decision consumed. O(1).
+    pub fn retries(&self) -> u32 {
+        match *self {
+            RouteDecision::Routed { retries, .. } | RouteDecision::Rejected { retries, .. } => {
+                retries
+            }
+        }
+    }
+}
+
+/// The underlying routing policy's mutable state, factored so the
+/// fault-aware dispatcher reuses the exact decision logic of
+/// [`assign`](crate::routing::assign) — restricted to a candidate pool —
+/// and is bit-identical to it when every shard is healthy.
+enum RouterState {
+    RoundRobin { counter: usize },
+    LeastLoad { loads: Vec<ShardLoad> },
+    FreshnessAware { est: FreshnessEstimate },
+}
+
+impl RouterState {
+    fn new(routing: RoutingPolicy, trace: &Trace, n_shards: usize) -> RouterState {
+        match routing {
+            RoutingPolicy::RoundRobin => RouterState::RoundRobin { counter: 0 },
+            RoutingPolicy::LeastLoad => RouterState::LeastLoad {
+                loads: (0..n_shards).map(|_| ShardLoad::new()).collect(),
+            },
+            RoutingPolicy::FreshnessAware => RouterState::FreshnessAware {
+                est: FreshnessEstimate::new(trace),
+            },
+        }
+    }
+
+    /// Pick a shard from the non-empty `pool` (ascending shard ids) for a
+    /// query being dispatched at `now`. Mirrors the fault-free assigners:
+    /// same counters, same ledgers, same lowest-id tie-breaks.
+    fn pick(
+        &mut self,
+        q: &QuerySpec,
+        pool: &[usize],
+        now: SimTime,
+        partition: &ItemPartition,
+    ) -> usize {
+        match self {
+            RouterState::RoundRobin { counter } => {
+                let shard = pool[*counter % pool.len()];
+                *counter += 1;
+                shard
+            }
+            RouterState::LeastLoad { loads } => pool
+                .iter()
+                .copied()
+                .map(|s| {
+                    loads[s].expire(now);
+                    (loads[s].outstanding, s)
+                })
+                .min()
+                .map_or(0, |(_, s)| s),
+            RouterState::FreshnessAware { est } => pool
+                .iter()
+                .copied()
+                .map(|s| {
+                    let staleness: u64 = q
+                        .items
+                        .iter()
+                        .filter(|&&d| partition.owner(d) == s)
+                        .map(|&d| est.udrop(d.index(), now))
+                        .max()
+                        .unwrap_or(0);
+                    (staleness, s)
+                })
+                .min()
+                .map_or(0, |(_, s)| s),
+        }
+    }
+
+    /// Account for a routed query, mirroring the fault-free assigners'
+    /// post-pick bookkeeping.
+    fn commit(&mut self, q: &QuerySpec, shard: usize, now: SimTime, partition: &ItemPartition) {
+        match self {
+            RouterState::RoundRobin { .. } => {}
+            RouterState::LeastLoad { loads } => loads[shard].admit(q.deadline(), q.exec_time),
+            RouterState::FreshnessAware { est } => {
+                for &d in &q.items {
+                    if partition.owner(d) == shard {
+                        est.reset(d.index(), now);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Compute the fault-aware routing decision for every query in `trace`.
+///
+/// Sequential and pure: one walk over the queries in arrival order,
+/// O(N_q · (A + S log W)) for read sets of size A, S eligible shards and W
+/// crash windows per shard. `plan.shards` must have one schedule per
+/// shard. With an empty plan (or `NoRetry`), the routed shards are
+/// identical to [`assign`](crate::routing::assign) and every effective
+/// arrival equals the trace arrival — the inertness the fault
+/// differential suite pins.
+pub fn route_with_faults(
+    trace: &Trace,
+    partition: &ItemPartition,
+    routing: RoutingPolicy,
+    plan: &FaultPlan,
+    failover: &FailoverPolicy,
+) -> Vec<RouteDecision> {
+    let mut router = RouterState::new(routing, trace, partition.n_shards());
+    trace
+        .queries
+        .iter()
+        .map(|q| {
+            let eligible = partition.eligible_shards(&q.items);
+            let cfg = match failover {
+                FailoverPolicy::NoRetry => {
+                    let shard = router.pick(q, &eligible, q.arrival, partition);
+                    router.commit(q, shard, q.arrival, partition);
+                    return RouteDecision::Routed {
+                        shard,
+                        at: q.arrival,
+                        retries: 0,
+                    };
+                }
+                FailoverPolicy::Backoff(cfg) => cfg,
+            };
+            let deadline = q.deadline();
+            let mut now = q.arrival;
+            let mut retries = 0u32;
+            loop {
+                let up: Vec<usize> = eligible
+                    .iter()
+                    .copied()
+                    .filter(|&s| plan.shards[s].health_at(now) == HealthState::Up)
+                    .collect();
+                // Prefer fully-up shards; fall back to degraded ones (their
+                // read path is still serving). Both pools stay ascending, so
+                // tie-breaks match the fault-free assigners.
+                let pool = if up.is_empty() {
+                    eligible
+                        .iter()
+                        .copied()
+                        .filter(|&s| !plan.shards[s].health_at(now).queries_paused())
+                        .collect()
+                } else {
+                    up
+                };
+                if !pool.is_empty() {
+                    let shard = router.pick(q, &pool, now, partition);
+                    router.commit(q, shard, now, partition);
+                    return RouteDecision::Routed {
+                        shard,
+                        at: now,
+                        retries,
+                    };
+                }
+                if retries >= cfg.max_retries {
+                    return RouteDecision::Rejected { at: now, retries };
+                }
+                let delay = cfg.delay(retries);
+                retries += 1;
+                let Some(next) = now.0.checked_add(delay.0) else {
+                    return RouteDecision::Rejected { at: now, retries };
+                };
+                now = SimTime(next);
+                if now >= deadline {
+                    return RouteDecision::Rejected {
+                        at: deadline,
+                        retries,
+                    };
+                }
+            }
+        })
+        .collect()
+}
+
+/// Routed queries with their effective specs, plus the assignment aligned
+/// to the returned trace's query order.
+///
+/// Rejected queries are excluded (the dispatcher already decided them);
+/// routed queries whose dispatch was delayed get `arrival = at` and
+/// `relative_deadline` shrunk to preserve the absolute deadline. Queries
+/// are stably re-sorted by the effective arrival so the result is a valid
+/// trace; fault-free this is the identity. O(N_q log N_q).
+pub(crate) fn routed_trace(trace: &Trace, decisions: &[RouteDecision]) -> (Trace, Vec<usize>) {
+    let mut routed: Vec<(QuerySpec, usize)> = Vec::with_capacity(trace.queries.len());
+    for (q, d) in trace.queries.iter().zip(decisions) {
+        if let RouteDecision::Routed { shard, at, .. } = *d {
+            let mut spec = q.clone();
+            if at > spec.arrival {
+                spec.relative_deadline = spec.deadline().saturating_since(at);
+                spec.arrival = at;
+            }
+            routed.push((spec, shard));
+        }
+    }
+    // Stable: same-arrival queries keep their trace order, exactly like
+    // the original (sorted) trace.
+    routed.sort_by_key(|(q, _)| q.arrival);
+    let assignment = routed.iter().map(|&(_, s)| s).collect();
+    let queries = routed.into_iter().map(|(q, _)| q).collect();
+    (
+        Trace {
+            n_items: trace.n_items,
+            queries,
+            updates: trace.updates.clone(),
+        },
+        assignment,
+    )
+}
+
+/// The result of one fault-injected cluster run.
+///
+/// Wraps the shard-level [`ClusterReport`] (whose counts, log and
+/// assignment cover only the *routed* queries, so its own identity checks
+/// still hold) and folds dispatcher rejections back in: they appear in
+/// [`FaultClusterReport::counts`] as `C_r` and in the combined
+/// [`FaultClusterReport::log`] under the pseudo-shard id
+/// [`FaultClusterReport::dispatcher_shard`].
+#[derive(Debug, Clone)]
+pub struct FaultClusterReport {
+    /// The shard-level report over routed queries.
+    pub cluster: ClusterReport,
+    /// Per-query routing decisions, in original trace order.
+    pub decisions: Vec<RouteDecision>,
+    /// Cluster tallies *including* dispatcher rejections.
+    pub counts: OutcomeCounts,
+    /// Shard outcomes and dispatcher rejections, merged by
+    /// `(time, shard, seq)`; dispatcher entries carry the pseudo-shard id.
+    pub log: Vec<MergedOutcome>,
+}
+
+impl FaultClusterReport {
+    /// Fold dispatcher rejections into the shard-level report. O(N log N)
+    /// for the re-sorted combined log.
+    pub fn assemble(
+        trace: &Trace,
+        cluster: ClusterReport,
+        decisions: Vec<RouteDecision>,
+    ) -> FaultClusterReport {
+        let pseudo = cluster.n_shards;
+        let mut counts = cluster.counts;
+        let mut log = cluster.log.clone();
+        let mut seq = 0u64;
+        for (q, d) in trace.queries.iter().zip(&decisions) {
+            if let RouteDecision::Rejected { at, .. } = *d {
+                counts.rejected += 1;
+                log.push(MergedOutcome {
+                    time: at,
+                    shard: pseudo,
+                    seq,
+                    query: q.id,
+                    outcome: Outcome::Rejected,
+                });
+                seq += 1;
+            }
+        }
+        log.sort_unstable_by_key(|r| (r.time, r.shard, r.seq));
+        FaultClusterReport {
+            cluster,
+            decisions,
+            counts,
+            log,
+        }
+    }
+
+    /// The pseudo-shard id dispatcher rejections are logged under (one
+    /// past the last real shard). O(1).
+    pub fn dispatcher_shard(&self) -> usize {
+        self.cluster.n_shards
+    }
+
+    /// Queries the dispatcher rejected without routing. O(1).
+    pub fn dispatcher_rejections(&self) -> u64 {
+        self.counts.rejected - self.cluster.counts.rejected
+    }
+
+    /// Cluster-average USM over *all* queries, dispatcher rejections
+    /// included. O(1).
+    pub fn average_usm(&self) -> f64 {
+        self.counts.average_usm(&self.cluster.weights)
+    }
+
+    /// Total backoff steps the dispatcher took across all queries. O(N_q).
+    pub fn total_retries(&self) -> u64 {
+        self.decisions.iter().map(|d| u64::from(d.retries())).sum()
+    }
+}
+
+/// The fault cluster's health-consistency invariant (validate feature;
+/// DESIGN.md §4):
+///
+/// 1. no shard outcome is decided strictly inside one of that shard's
+///    `Pause` windows (a paused shard decides nothing; boundary instants
+///    are legal — recovery work completes *at* `end`),
+/// 2. no decision used more backoff steps than the failover policy's
+///    budget,
+/// 3. every trace query is accounted exactly once: shard outcomes plus
+///    dispatcher rejections total the decision count, and the combined
+///    log matches the combined tally.
+pub fn check_health_consistency(
+    report: &FaultClusterReport,
+    plan: &FaultPlan,
+    failover: &FailoverPolicy,
+) -> Result<(), String> {
+    let n = report.cluster.n_shards;
+    if plan.shards.len() != n {
+        return Err(format!(
+            "plan covers {} shards but the cluster has {n}",
+            plan.shards.len()
+        ));
+    }
+    for r in &report.log {
+        if r.shard >= n {
+            continue; // dispatcher entries are not shard outcomes
+        }
+        for w in &plan.shards[r.shard].crashes {
+            if w.mode == FaultMode::Pause && w.start < r.time && r.time < w.end {
+                return Err(format!(
+                    "shard {} decided query {:?} at t={:?}, strictly inside its pause window [{:?}, {:?})",
+                    r.shard, r.query, r.time, w.start, w.end
+                ));
+            }
+        }
+    }
+    let budget = failover.retry_budget();
+    for (i, d) in report.decisions.iter().enumerate() {
+        if d.retries() > budget {
+            return Err(format!(
+                "query #{i} used {} backoff steps, over the budget of {budget}",
+                d.retries()
+            ));
+        }
+    }
+    if report.counts.total() != report.decisions.len() as u64 {
+        return Err(format!(
+            "{} outcomes for {} routing decisions",
+            report.counts.total(),
+            report.decisions.len()
+        ));
+    }
+    let mut recount = OutcomeCounts::default();
+    for r in &report.log {
+        recount.record(r.outcome);
+    }
+    if recount != report.counts {
+        return Err(format!(
+            "combined tally {:?} != combined-log recount {recount:?}",
+            report.counts
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unit_core::types::{DataId, QueryId, UpdateSpec, UpdateStreamId};
+    use unit_faults::{CrashWindow, FaultSchedule};
+
+    fn query(id: u64, arrival: u64, items: &[u32]) -> QuerySpec {
+        QuerySpec {
+            id: QueryId(id),
+            arrival: SimTime::from_secs(arrival),
+            items: items.iter().map(|&i| DataId(i)).collect(),
+            exec_time: SimDuration::from_secs(1),
+            relative_deadline: SimDuration::from_secs(20),
+            freshness_req: 0.9,
+            pref_class: 0,
+        }
+    }
+
+    /// 4 items over 2 shards; every query eligible on both shards.
+    fn trace() -> Trace {
+        Trace {
+            n_items: 4,
+            queries: vec![
+                query(0, 1, &[0, 1]),
+                query(1, 2, &[0, 1]),
+                query(2, 3, &[2, 3]),
+                query(3, 4, &[2, 3]),
+            ],
+            updates: vec![UpdateSpec {
+                id: UpdateStreamId(0),
+                item: DataId(0),
+                period: SimDuration::from_secs(5),
+                exec_time: SimDuration::from_secs(1),
+                first_arrival: SimTime::ZERO,
+            }],
+        }
+    }
+
+    fn down(start: u64, end: u64, mode: FaultMode) -> FaultSchedule {
+        FaultSchedule {
+            crashes: vec![CrashWindow {
+                start: SimTime::from_secs(start),
+                end: SimTime::from_secs(end),
+                mode,
+            }],
+            ..FaultSchedule::default()
+        }
+    }
+
+    #[test]
+    fn quiet_plan_reproduces_the_fault_free_assignment() {
+        let t = trace();
+        let p = ItemPartition::new(2);
+        let plan = FaultPlan::quiet(2);
+        for routing in RoutingPolicy::ALL {
+            let plain = crate::routing::assign(&t, &p, routing);
+            for failover in [
+                FailoverPolicy::NoRetry,
+                FailoverPolicy::Backoff(BackoffConfig::default()),
+            ] {
+                let decisions = route_with_faults(&t, &p, routing, &plan, &failover);
+                for (i, d) in decisions.iter().enumerate() {
+                    assert_eq!(
+                        *d,
+                        RouteDecision::Routed {
+                            shard: plain[i],
+                            at: t.queries[i].arrival,
+                            retries: 0
+                        },
+                        "{routing:?}/{failover:?} query {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failover_routes_around_a_down_shard() {
+        let t = trace();
+        let p = ItemPartition::new(2);
+        // Shard 0 is down for the whole query window; shard 1 is up.
+        let plan = FaultPlan {
+            shards: vec![down(0, 30, FaultMode::Pause), FaultSchedule::empty()],
+        };
+        let decisions = route_with_faults(
+            &t,
+            &p,
+            RoutingPolicy::RoundRobin,
+            &plan,
+            &FailoverPolicy::Backoff(BackoffConfig::default()),
+        );
+        for d in &decisions {
+            assert!(
+                matches!(
+                    *d,
+                    RouteDecision::Routed {
+                        shard: 1,
+                        retries: 0,
+                        ..
+                    }
+                ),
+                "expected immediate failover to shard 1, got {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_shards_still_take_reads() {
+        let t = trace();
+        let p = ItemPartition::new(2);
+        // Both shards unhealthy, but shard 1 only degraded: reads go there
+        // without any backoff.
+        let plan = FaultPlan {
+            shards: vec![
+                down(0, 30, FaultMode::Pause),
+                down(0, 30, FaultMode::DegradedReads),
+            ],
+        };
+        let decisions = route_with_faults(
+            &t,
+            &p,
+            RoutingPolicy::LeastLoad,
+            &plan,
+            &FailoverPolicy::Backoff(BackoffConfig::default()),
+        );
+        for d in &decisions {
+            assert!(matches!(
+                *d,
+                RouteDecision::Routed {
+                    shard: 1,
+                    retries: 0,
+                    ..
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn backoff_waits_out_a_short_outage_and_preserves_the_deadline() {
+        let t = trace();
+        let p = ItemPartition::new(2);
+        // Both shards paused until t=6: q0 (arrival 1) retries at 2, 4, 8.
+        let plan = FaultPlan {
+            shards: vec![down(0, 6, FaultMode::Pause), down(0, 6, FaultMode::Pause)],
+        };
+        let decisions = route_with_faults(
+            &t,
+            &p,
+            RoutingPolicy::RoundRobin,
+            &plan,
+            &FailoverPolicy::Backoff(BackoffConfig::default()),
+        );
+        assert_eq!(
+            decisions[0],
+            RouteDecision::Routed {
+                shard: 0,
+                at: SimTime::from_secs(8),
+                retries: 3
+            }
+        );
+        let (routed, assignment) = routed_trace(&t, &decisions);
+        assert_eq!(routed.queries.len(), 4);
+        assert_eq!(assignment.len(), 4);
+        routed.validate().unwrap();
+        let q0 = routed.queries.iter().find(|q| q.id == QueryId(0)).unwrap();
+        assert_eq!(q0.arrival, SimTime::from_secs(8));
+        // Absolute deadline 1 + 20 = 21 is preserved.
+        assert_eq!(q0.deadline(), SimTime::from_secs(21));
+    }
+
+    #[test]
+    fn exhausted_budget_rejects_within_the_deadline() {
+        let t = trace();
+        let p = ItemPartition::new(2);
+        let forever = 10_000;
+        let plan = FaultPlan {
+            shards: vec![
+                down(0, forever, FaultMode::Pause),
+                down(0, forever, FaultMode::Pause),
+            ],
+        };
+        let cfg = BackoffConfig::default();
+        let decisions = route_with_faults(
+            &t,
+            &p,
+            RoutingPolicy::FreshnessAware,
+            &plan,
+            &FailoverPolicy::Backoff(cfg),
+        );
+        for (q, d) in t.queries.iter().zip(&decisions) {
+            let RouteDecision::Rejected { at, retries } = *d else {
+                panic!("expected rejection, got {d:?}");
+            };
+            assert!(retries <= cfg.max_retries);
+            assert!(at <= q.deadline());
+        }
+        let (routed, assignment) = routed_trace(&t, &decisions);
+        assert!(routed.queries.is_empty());
+        assert!(assignment.is_empty());
+    }
+
+    #[test]
+    fn backoff_delays_are_exponential_and_saturating() {
+        let cfg = BackoffConfig {
+            base: SimDuration::from_secs(2),
+            multiplier: 3,
+            max_retries: 10,
+        };
+        assert_eq!(cfg.delay(0), SimDuration::from_secs(2));
+        assert_eq!(cfg.delay(1), SimDuration::from_secs(6));
+        assert_eq!(cfg.delay(2), SimDuration::from_secs(18));
+        assert_eq!(cfg.delay(u32::MAX), SimDuration(u64::MAX));
+    }
+}

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod failover;
 pub mod merge;
 pub mod routing;
 
@@ -46,11 +47,79 @@ use unit_core::split_seed;
 use unit_core::types::Trace;
 use unit_core::unit_policy::UnitPolicy;
 use unit_core::UnitConfig;
+use unit_faults::{FaultPlan, ScheduleError, ShardFaults};
 use unit_sim::{SimConfig, SimReport, Simulator};
 use unit_workload::{slice_trace, ItemPartition};
 
+pub use failover::{
+    check_health_consistency, route_with_faults, BackoffConfig, FailoverPolicy, FaultClusterReport,
+    RouteDecision,
+};
 pub use merge::{check_cluster_identity, ClusterReport, MergedOutcome};
 pub use routing::{assign, RoutingPolicy};
+
+/// Upper bound on the worker-thread knob; values past this are a typo, not
+/// a throughput request.
+pub const MAX_WORKERS: usize = 4096;
+
+/// A malformed cluster or fault configuration, rejected before any shard
+/// runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterConfigError {
+    /// `n_shards == 0`: a cluster needs at least one shard.
+    ZeroShards,
+    /// `workers` exceeds [`MAX_WORKERS`].
+    TooManyWorkers {
+        /// The requested worker count.
+        workers: usize,
+        /// The cap.
+        max: usize,
+    },
+    /// The fault plan does not cover exactly one schedule per shard.
+    PlanShardMismatch {
+        /// Schedules in the plan.
+        plan_shards: usize,
+        /// Shards in the cluster.
+        n_shards: usize,
+    },
+    /// A shard's fault schedule failed structural validation.
+    FaultSchedule {
+        /// The shard whose schedule is malformed.
+        shard: usize,
+        /// The underlying schedule error.
+        error: ScheduleError,
+    },
+}
+
+impl std::fmt::Display for ClusterConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterConfigError::ZeroShards => write!(f, "a cluster needs at least one shard"),
+            ClusterConfigError::TooManyWorkers { workers, max } => {
+                write!(f, "{workers} worker threads requested, the cap is {max}")
+            }
+            ClusterConfigError::PlanShardMismatch {
+                plan_shards,
+                n_shards,
+            } => write!(
+                f,
+                "fault plan covers {plan_shards} shards but the cluster has {n_shards}"
+            ),
+            ClusterConfigError::FaultSchedule { shard, error } => {
+                write!(f, "shard {shard} fault schedule: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterConfigError::FaultSchedule { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
 
 /// Cluster shape and determinism knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,57 +169,64 @@ impl ClusterConfig {
         self.workers = workers;
         self
     }
+
+    /// Like [`ClusterConfig::new`], returning the error instead of
+    /// panicking.
+    pub fn try_new(n_shards: usize) -> Result<ClusterConfig, ClusterConfigError> {
+        if n_shards == 0 {
+            return Err(ClusterConfigError::ZeroShards);
+        }
+        Ok(ClusterConfig {
+            n_shards,
+            routing: RoutingPolicy::RoundRobin,
+            seed: unit_core::config::DEFAULT_SEED,
+            workers: 0,
+        })
+    }
+
+    /// Check the run-entry invariants. Every `run_*` entry point calls
+    /// this first, so a malformed config is a typed error, not a panic
+    /// deep in a worker thread.
+    pub fn validate(&self) -> Result<(), ClusterConfigError> {
+        if self.n_shards == 0 {
+            return Err(ClusterConfigError::ZeroShards);
+        }
+        if self.workers > MAX_WORKERS {
+            return Err(ClusterConfigError::TooManyWorkers {
+                workers: self.workers,
+                max: MAX_WORKERS,
+            });
+        }
+        Ok(())
+    }
 }
 
-/// Run a cluster: route, slice, execute every shard, merge.
+/// Execute every shard on a worker pool and return the reports indexed by
+/// shard id.
 ///
-/// `make_policy(shard_id, seed)` builds each shard's policy instance;
-/// `seed` is already split from the run seed, so implementations just
-/// thread it into their config (or ignore it for seedless baselines).
-/// The engine-level outcome log is forced on — the merge layer needs it —
-/// which does not change engine behaviour (the log is excluded from
-/// [`unit_sim::report_digest`]).
-///
-/// # Panics
-/// Panics if `trace` is malformed (same contract as
-/// [`Simulator::new`]) or a worker thread panics.
-pub fn run_cluster<P, F>(
-    trace: &Trace,
-    sim: SimConfig,
-    cluster: &ClusterConfig,
-    make_policy: F,
-) -> ClusterReport
+/// Interleaving-independence: workers claim shard indices from an atomic
+/// counter, run them without any shared mutable state, and return
+/// (shard_id, report) pairs; results are then placed into slots keyed by
+/// shard id, so neither claim order nor finish order is observable. With
+/// `hooks`, shard `i` runs with `hooks[i]` installed as its fault hook.
+fn execute_shards<P, F>(
+    shard_traces: &[Trace],
+    seeds: &[u64],
+    shard_cfg: SimConfig,
+    workers: usize,
+    hooks: Option<&[ShardFaults]>,
+    make_policy: &F,
+) -> Vec<SimReport>
 where
     P: Policy + Send,
     F: Fn(usize, u64) -> P + Sync,
 {
-    let n = cluster.n_shards;
-    let partition = ItemPartition::new(n);
-    let assignment = routing::assign(trace, &partition, cluster.routing);
-    let shard_traces = match slice_trace(trace, &assignment, &partition) {
-        Ok(t) => t,
-        // lint: allow(panic) — the dispatcher produced the assignment; a bad one is a routing bug, not caller input
-        Err(e) => panic!("internal routing error: {e}"),
-    };
-    let seeds: Vec<u64> = (0..n).map(|i| split_seed(cluster.seed, i as u64)).collect();
-    let shard_cfg = sim.with_outcome_log();
-    let workers = if cluster.workers == 0 {
-        n
-    } else {
-        cluster.workers.min(n)
-    };
-
-    // Interleaving-independence: workers claim shard indices from an atomic
-    // counter, run them without any shared mutable state, and return
-    // (shard_id, report) pairs; results are then placed into slots keyed by
-    // shard id, so neither claim order nor finish order is observable.
+    let n = shard_traces.len();
+    let workers = if workers == 0 { n } else { workers.min(n) };
     let mut slots: Vec<Option<SimReport>> = (0..n).map(|_| None).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         let next = &next;
-        let shard_traces = &shard_traces;
-        let seeds = &seeds;
-        let make_policy = &make_policy;
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(move || {
@@ -161,8 +237,11 @@ where
                             break;
                         }
                         let policy = make_policy(i, seeds[i]);
-                        let report = Simulator::new(&shard_traces[i], policy, shard_cfg).run();
-                        finished.push((i, report));
+                        let mut sim = Simulator::new(&shard_traces[i], policy, shard_cfg);
+                        if let Some(hooks) = hooks {
+                            sim = sim.with_faults(Box::new(hooks[i].clone()));
+                        }
+                        finished.push((i, sim.run()));
                     }
                     finished
                 })
@@ -180,7 +259,7 @@ where
             }
         }
     });
-    let shard_reports: Vec<SimReport> = slots
+    slots
         .into_iter()
         .enumerate()
         .map(|(i, s)| match s {
@@ -188,25 +267,173 @@ where
             // lint: allow(panic) — every index < n is claimed exactly once
             None => panic!("shard {i} produced no report"),
         })
-        .collect();
+        .collect()
+}
+
+/// Run a cluster: route, slice, execute every shard, merge.
+///
+/// `make_policy(shard_id, seed)` builds each shard's policy instance;
+/// `seed` is already split from the run seed, so implementations just
+/// thread it into their config (or ignore it for seedless baselines).
+/// The engine-level outcome log is forced on — the merge layer needs it —
+/// which does not change engine behaviour (the log is excluded from
+/// [`unit_sim::report_digest`]).
+///
+/// # Errors
+/// Returns [`ClusterConfigError`] when `cluster` fails
+/// [`ClusterConfig::validate`].
+///
+/// # Panics
+/// Panics if `trace` is malformed (same contract as
+/// [`Simulator::new`]) or a worker thread panics.
+pub fn run_cluster<P, F>(
+    trace: &Trace,
+    sim: SimConfig,
+    cluster: &ClusterConfig,
+    make_policy: F,
+) -> Result<ClusterReport, ClusterConfigError>
+where
+    P: Policy + Send,
+    F: Fn(usize, u64) -> P + Sync,
+{
+    cluster.validate()?;
+    let n = cluster.n_shards;
+    let partition = ItemPartition::new(n);
+    let assignment = routing::assign(trace, &partition, cluster.routing);
+    let shard_traces = match slice_trace(trace, &assignment, &partition) {
+        Ok(t) => t,
+        // lint: allow(panic) — the dispatcher produced the assignment; a bad one is a routing bug, not caller input
+        Err(e) => panic!("internal routing error: {e}"),
+    };
+    let seeds: Vec<u64> = (0..n).map(|i| split_seed(cluster.seed, i as u64)).collect();
+    let shard_reports = execute_shards(
+        &shard_traces,
+        &seeds,
+        sim.with_outcome_log(),
+        cluster.workers,
+        None,
+        &make_policy,
+    );
 
     let report = ClusterReport::merge(cluster.routing, sim.weights, assignment, shard_reports);
     unit_core::validate_check!(
         "cluster-usm-identity",
         merge::check_cluster_identity(&report)
     );
-    report
+    Ok(report)
 }
 
 /// Run a UNIT cluster: one [`UnitPolicy`] per shard, each configured from
 /// `base` with its own split seed. The common case for benches.
+///
+/// # Errors
+/// Returns [`ClusterConfigError`] when `cluster` fails
+/// [`ClusterConfig::validate`].
 pub fn run_unit_cluster(
     trace: &Trace,
     sim: SimConfig,
     cluster: &ClusterConfig,
     base: &UnitConfig,
-) -> ClusterReport {
+) -> Result<ClusterReport, ClusterConfigError> {
     run_cluster(trace, sim, cluster, |_, seed| {
+        UnitPolicy::new(base.clone().with_seed(seed))
+    })
+}
+
+/// Run a cluster under a fault plan: fault-aware routing, per-shard fault
+/// hooks, dispatcher rejections folded into the USM.
+///
+/// The dispatcher runs [`route_with_faults`] (still a sequential
+/// prologue — the plan is declarative), routed queries execute on shards
+/// with their [`ShardFaults`] hook installed, and dispatcher rejections
+/// join the merged history under a pseudo-shard id. With
+/// [`FaultPlan::quiet`] schedules the report's shard-level content is
+/// bit-identical to [`run_cluster`] — the fault differential suite pins
+/// this digest-for-digest.
+///
+/// # Errors
+/// Returns [`ClusterConfigError`] when `cluster` fails validation, the
+/// plan does not cover every shard, or a shard schedule is malformed.
+///
+/// # Panics
+/// Panics if `trace` is malformed (same contract as
+/// [`Simulator::new`]) or a worker thread panics.
+pub fn run_fault_cluster<P, F>(
+    trace: &Trace,
+    sim: SimConfig,
+    cluster: &ClusterConfig,
+    plan: &FaultPlan,
+    failover: &FailoverPolicy,
+    make_policy: F,
+) -> Result<FaultClusterReport, ClusterConfigError>
+where
+    P: Policy + Send,
+    F: Fn(usize, u64) -> P + Sync,
+{
+    cluster.validate()?;
+    let n = cluster.n_shards;
+    if plan.shards.len() != n {
+        return Err(ClusterConfigError::PlanShardMismatch {
+            plan_shards: plan.shards.len(),
+            n_shards: n,
+        });
+    }
+    let hooks: Vec<ShardFaults> = plan
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(shard, s)| {
+            ShardFaults::new(s.clone())
+                .map_err(|error| ClusterConfigError::FaultSchedule { shard, error })
+        })
+        .collect::<Result<_, _>>()?;
+
+    let partition = ItemPartition::new(n);
+    let decisions = failover::route_with_faults(trace, &partition, cluster.routing, plan, failover);
+    let (routed, assignment) = failover::routed_trace(trace, &decisions);
+    let shard_traces = match slice_trace(&routed, &assignment, &partition) {
+        Ok(t) => t,
+        // lint: allow(panic) — the dispatcher produced the assignment; a bad one is a routing bug, not caller input
+        Err(e) => panic!("internal routing error: {e}"),
+    };
+    let seeds: Vec<u64> = (0..n).map(|i| split_seed(cluster.seed, i as u64)).collect();
+    let shard_reports = execute_shards(
+        &shard_traces,
+        &seeds,
+        sim.with_outcome_log(),
+        cluster.workers,
+        Some(&hooks),
+        &make_policy,
+    );
+
+    let cluster_report =
+        ClusterReport::merge(cluster.routing, sim.weights, assignment, shard_reports);
+    unit_core::validate_check!(
+        "cluster-usm-identity",
+        merge::check_cluster_identity(&cluster_report)
+    );
+    let report = FaultClusterReport::assemble(trace, cluster_report, decisions);
+    unit_core::validate_check!(
+        "health-consistency",
+        failover::check_health_consistency(&report, plan, failover)
+    );
+    Ok(report)
+}
+
+/// Run a UNIT cluster under a fault plan: one [`UnitPolicy`] per shard,
+/// each configured from `base` with its own split seed.
+///
+/// # Errors
+/// Same contract as [`run_fault_cluster`].
+pub fn run_unit_fault_cluster(
+    trace: &Trace,
+    sim: SimConfig,
+    cluster: &ClusterConfig,
+    plan: &FaultPlan,
+    failover: &FailoverPolicy,
+    base: &UnitConfig,
+) -> Result<FaultClusterReport, ClusterConfigError> {
+    run_fault_cluster(trace, sim, cluster, plan, failover, |_, seed| {
         UnitPolicy::new(base.clone().with_seed(seed))
     })
 }
@@ -258,7 +485,8 @@ mod tests {
         let trace = tiny_trace();
         for n in [1, 2, 4] {
             let cluster = ClusterConfig::new(n).with_seed(7);
-            let report = run_unit_cluster(&trace, sim_cfg(), &cluster, &UnitConfig::default());
+            let report =
+                run_unit_cluster(&trace, sim_cfg(), &cluster, &UnitConfig::default()).unwrap();
             assert_eq!(report.n_shards, n);
             assert_eq!(report.counts.total(), 40, "n={n}");
             assert_eq!(report.log.len(), 40, "n={n}");
@@ -272,16 +500,156 @@ mod tests {
         let trace = tiny_trace();
         for routing in RoutingPolicy::ALL {
             let base = ClusterConfig::new(4).with_seed(11).with_routing(routing);
-            let a = run_unit_cluster(&trace, sim_cfg(), &base, &UnitConfig::default());
+            let a = run_unit_cluster(&trace, sim_cfg(), &base, &UnitConfig::default()).unwrap();
             let b = run_unit_cluster(
                 &trace,
                 sim_cfg(),
                 &base.with_workers(1),
                 &UnitConfig::default(),
-            );
+            )
+            .unwrap();
             assert_eq!(a.assignment, b.assignment);
             assert_eq!(a.log, b.log);
             assert_eq!(a.counts, b.counts);
         }
+    }
+
+    #[test]
+    fn malformed_configs_are_typed_errors() {
+        let trace = tiny_trace();
+        assert_eq!(
+            ClusterConfig::try_new(0).unwrap_err(),
+            ClusterConfigError::ZeroShards
+        );
+        let mut zero = ClusterConfig::new(2);
+        zero.n_shards = 0;
+        assert_eq!(
+            run_unit_cluster(&trace, sim_cfg(), &zero, &UnitConfig::default()).unwrap_err(),
+            ClusterConfigError::ZeroShards
+        );
+        let greedy = ClusterConfig::new(2).with_workers(MAX_WORKERS + 1);
+        assert_eq!(
+            run_unit_cluster(&trace, sim_cfg(), &greedy, &UnitConfig::default()).unwrap_err(),
+            ClusterConfigError::TooManyWorkers {
+                workers: MAX_WORKERS + 1,
+                max: MAX_WORKERS
+            }
+        );
+        // A capped-but-legal worker count is fine.
+        let ok = ClusterConfig::try_new(2).unwrap().with_workers(MAX_WORKERS);
+        assert!(run_unit_cluster(&trace, sim_cfg(), &ok, &UnitConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn fault_cluster_rejects_bad_plans() {
+        let trace = tiny_trace();
+        let cluster = ClusterConfig::new(2).with_seed(7);
+        let short = FaultPlan::quiet(1);
+        assert_eq!(
+            run_unit_fault_cluster(
+                &trace,
+                sim_cfg(),
+                &cluster,
+                &short,
+                &FailoverPolicy::NoRetry,
+                &UnitConfig::default()
+            )
+            .unwrap_err(),
+            ClusterConfigError::PlanShardMismatch {
+                plan_shards: 1,
+                n_shards: 2
+            }
+        );
+        let mut bad = FaultPlan::quiet(2);
+        bad.shards[1].crashes.push(unit_faults::CrashWindow {
+            start: unit_core::time::SimTime::from_secs(5),
+            end: unit_core::time::SimTime::from_secs(5),
+            mode: unit_faults::FaultMode::Pause,
+        });
+        let err = run_unit_fault_cluster(
+            &trace,
+            sim_cfg(),
+            &cluster,
+            &bad,
+            &FailoverPolicy::NoRetry,
+            &UnitConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ClusterConfigError::FaultSchedule { shard: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn quiet_fault_cluster_matches_the_plain_cluster() {
+        let trace = tiny_trace();
+        for routing in RoutingPolicy::ALL {
+            let cluster = ClusterConfig::new(4).with_seed(11).with_routing(routing);
+            let plain =
+                run_unit_cluster(&trace, sim_cfg(), &cluster, &UnitConfig::default()).unwrap();
+            for failover in [
+                FailoverPolicy::NoRetry,
+                FailoverPolicy::Backoff(BackoffConfig::default()),
+            ] {
+                let faulty = run_unit_fault_cluster(
+                    &trace,
+                    sim_cfg(),
+                    &cluster,
+                    &FaultPlan::quiet(4),
+                    &failover,
+                    &UnitConfig::default(),
+                )
+                .unwrap();
+                assert_eq!(faulty.cluster.assignment, plain.assignment);
+                assert_eq!(faulty.cluster.log, plain.log);
+                assert_eq!(faulty.counts, plain.counts);
+                assert_eq!(faulty.dispatcher_rejections(), 0);
+                assert_eq!(faulty.total_retries(), 0);
+                check_health_consistency(&faulty, &FaultPlan::quiet(4), &failover).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_cluster_conserves_queries_and_stays_consistent() {
+        use unit_core::time::SimDuration;
+        use unit_faults::{FaultConfig, FaultMode};
+        let trace = tiny_trace();
+        let cfg = FaultConfig::quiet(SimDuration::from_secs(60), 8).with_crashes(
+            0.25,
+            SimDuration::from_secs(8),
+            FaultMode::Pause,
+        );
+        let plan = FaultPlan::generate(0xFA_17, 2, &cfg);
+        assert!(!plan.is_empty());
+        let cluster = ClusterConfig::new(2).with_seed(7);
+        let failover = FailoverPolicy::Backoff(BackoffConfig::default());
+        let report = run_unit_fault_cluster(
+            &trace,
+            sim_cfg(),
+            &cluster,
+            &plan,
+            &failover,
+            &UnitConfig::default(),
+        )
+        .unwrap();
+        // Every query decided exactly once, dispatcher rejections included.
+        assert_eq!(report.counts.total(), 40);
+        assert_eq!(report.log.len(), 40);
+        check_health_consistency(&report, &plan, &failover).unwrap();
+        // Bit-reproducible, for any worker count.
+        let again = run_unit_fault_cluster(
+            &trace,
+            sim_cfg(),
+            &cluster.with_workers(1),
+            &plan,
+            &failover,
+            &UnitConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.log, again.log);
+        assert_eq!(report.counts, again.counts);
+        assert_eq!(report.decisions, again.decisions);
     }
 }

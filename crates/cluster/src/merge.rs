@@ -236,6 +236,7 @@ mod tests {
             timeline: Vec::new(),
             events_processed: 0,
             outcome_records: records,
+            faults: Default::default(),
         }
     }
 
@@ -282,6 +283,94 @@ mod tests {
         check_cluster_identity(&r).unwrap();
         r.log.pop();
         assert!(check_cluster_identity(&r).is_err());
+    }
+
+    #[test]
+    fn partial_log_merges_in_total_order() {
+        // Shard 1's history ends early (it crashed mid-run and recorded
+        // nothing after t=4); shard 0 keeps going. The merge must still be
+        // strictly ordered by (time, shard, seq) with shard 1's records
+        // interleaved where their timestamps fall, not appended.
+        let s0 = shard_report(
+            "A",
+            &[
+                (0, 2, 0, Outcome::Success),
+                (1, 5, 2, Outcome::Success),
+                (2, 9, 4, Outcome::DeadlineMiss),
+                (3, 12, 5, Outcome::Success),
+            ],
+        );
+        let s1 = shard_report(
+            "A",
+            &[(0, 3, 1, Outcome::Success), (1, 4, 3, Outcome::Rejected)],
+        );
+        let r = ClusterReport::merge(
+            RoutingPolicy::RoundRobin,
+            UsmWeights::low_high_cfm(),
+            vec![0, 1, 0, 1, 0, 0],
+            vec![s0, s1],
+        );
+        let order: Vec<(u64, usize)> = r.log.iter().map(|m| (m.time.0, m.shard)).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted, "short log interleaves, not appends");
+        let queries: Vec<u64> = r.log.iter().map(|m| m.query.0).collect();
+        assert_eq!(queries, vec![0, 1, 3, 2, 4, 5]);
+        // The tally is exact despite the asymmetric logs.
+        assert_eq!(r.counts.total(), 6);
+        assert_eq!(r.counts.success, 4);
+        assert_eq!(r.counts.rejected, 1);
+        assert_eq!(r.counts.deadline_miss, 1);
+        check_cluster_identity(&r).unwrap();
+    }
+
+    #[test]
+    fn partial_log_with_an_empty_shard_still_checks_out() {
+        // Degenerate partial log: one shard recorded nothing at all (every
+        // query the dispatcher would have sent it was rejected upstream).
+        let s0 = shard_report(
+            "A",
+            &[(0, 1, 0, Outcome::Success), (1, 2, 1, Outcome::DataStale)],
+        );
+        let s1 = shard_report("A", &[]);
+        let r = ClusterReport::merge(
+            RoutingPolicy::LeastLoad,
+            UsmWeights::low_high_cfm(),
+            vec![0, 0],
+            vec![s0, s1],
+        );
+        assert_eq!(r.counts.total(), 2);
+        assert_eq!(r.queries_per_shard(), vec![2, 0]);
+        assert!(r.log.iter().all(|m| m.shard == 0));
+        check_cluster_identity(&r).unwrap();
+    }
+
+    #[test]
+    fn same_instant_cross_shard_ties_break_by_shard_then_seq() {
+        // All four outcomes at t=7: the merged order must be shard 0's
+        // records (by seq), then shard 1's (by seq) — the unique key the
+        // docs promise.
+        let s0 = shard_report(
+            "A",
+            &[(0, 7, 2, Outcome::Success), (1, 7, 0, Outcome::Success)],
+        );
+        let s1 = shard_report(
+            "A",
+            &[(0, 7, 3, Outcome::Success), (1, 7, 1, Outcome::Success)],
+        );
+        let r = ClusterReport::merge(
+            RoutingPolicy::FreshnessAware,
+            UsmWeights::naive(),
+            vec![0, 1, 0, 1],
+            vec![s0, s1],
+        );
+        let keys: Vec<(usize, u64)> = r.log.iter().map(|m| (m.shard, m.seq)).collect();
+        assert_eq!(keys, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+        assert_eq!(
+            r.log.iter().map(|m| m.query.0).collect::<Vec<_>>(),
+            vec![2, 0, 3, 1]
+        );
+        check_cluster_identity(&r).unwrap();
     }
 
     #[test]

@@ -92,20 +92,20 @@ fn assign_round_robin(trace: &Trace, partition: &ItemPartition) -> Vec<usize> {
 /// firm deadlines; entries whose deadline has passed are lazily expired at
 /// the next routing decision (a firm-deadline query is finished or dead by
 /// then, either way no longer queued work).
-struct ShardLoad {
+pub(crate) struct ShardLoad {
     by_deadline: BinaryHeap<Reverse<(SimTime, SimDuration)>>,
-    outstanding: SimDuration,
+    pub(crate) outstanding: SimDuration,
 }
 
 impl ShardLoad {
-    fn new() -> ShardLoad {
+    pub(crate) fn new() -> ShardLoad {
         ShardLoad {
             by_deadline: BinaryHeap::new(),
             outstanding: SimDuration::ZERO,
         }
     }
 
-    fn expire(&mut self, now: SimTime) {
+    pub(crate) fn expire(&mut self, now: SimTime) {
         while let Some(&Reverse((deadline, exec))) = self.by_deadline.peek() {
             if deadline > now {
                 break;
@@ -115,7 +115,7 @@ impl ShardLoad {
         }
     }
 
-    fn admit(&mut self, deadline: SimTime, exec: SimDuration) {
+    pub(crate) fn admit(&mut self, deadline: SimTime, exec: SimDuration) {
         self.by_deadline.push(Reverse((deadline, exec)));
         self.outstanding += exec;
     }
@@ -158,7 +158,7 @@ fn assign_least_load(trace: &Trace, partition: &ItemPartition) -> Vec<usize> {
 /// item is routed to its owner — modelling that the owner refreshes items
 /// its queries touch. An estimate, not ground truth: shards modulate
 /// update periods at runtime. DESIGN.md §3 discusses the gap.
-struct FreshnessEstimate {
+pub(crate) struct FreshnessEstimate {
     /// Per item: the `(first_arrival, period)` of each update stream on it.
     streams: Vec<Vec<(SimTime, SimDuration)>>,
     /// Per item: version count at the last routed read of the item.
@@ -166,7 +166,7 @@ struct FreshnessEstimate {
 }
 
 impl FreshnessEstimate {
-    fn new(trace: &Trace) -> FreshnessEstimate {
+    pub(crate) fn new(trace: &Trace) -> FreshnessEstimate {
         let mut streams = vec![Vec::new(); trace.n_items];
         for u in &trace.updates {
             streams[u.item.index()].push((u.first_arrival, u.period));
@@ -178,7 +178,7 @@ impl FreshnessEstimate {
     }
 
     /// Versions emitted for `item` up to and including `now`.
-    fn versions(&self, item: usize, now: SimTime) -> u64 {
+    pub(crate) fn versions(&self, item: usize, now: SimTime) -> u64 {
         self.streams[item]
             .iter()
             .map(|&(first, period)| {
@@ -192,13 +192,13 @@ impl FreshnessEstimate {
     }
 
     /// Estimated unapplied versions of `item` at `now`.
-    fn udrop(&self, item: usize, now: SimTime) -> u64 {
+    pub(crate) fn udrop(&self, item: usize, now: SimTime) -> u64 {
         self.versions(item, now).saturating_sub(self.baseline[item])
     }
 
     /// A query reading `item` was routed to its owner: assume the owner
     /// refreshes it for the read.
-    fn reset(&mut self, item: usize, now: SimTime) {
+    pub(crate) fn reset(&mut self, item: usize, now: SimTime) {
         self.baseline[item] = self.versions(item, now);
     }
 }

@@ -62,7 +62,8 @@ fn differential<P: Policy + Send>(policy_name: &str, make: impl Fn(u64) -> P + S
         let single_digest = report_digest(&single);
         for routing in RoutingPolicy::ALL {
             let cluster_cfg = ClusterConfig::new(1).with_routing(routing).with_seed(SEED);
-            let report = run_cluster(&bundle.trace, cfg, &cluster_cfg, |_, seed| make(seed));
+            let report = run_cluster(&bundle.trace, cfg, &cluster_cfg, |_, seed| make(seed))
+                .expect("valid cluster config");
             let shard_digest = report_digest(&report.shard_reports[0]);
             if shard_digest != single_digest {
                 failures.push(format!(
@@ -122,7 +123,8 @@ fn eight_shard_fig3_scale_run_completes() {
         let cluster_cfg = ClusterConfig::new(8).with_routing(routing).with_seed(SEED);
         let report = run_cluster(&bundle.trace, cfg, &cluster_cfg, |_, seed| {
             UnitPolicy::new(UnitConfig::with_weights(UsmWeights::low_high_cfm()).with_seed(seed))
-        });
+        })
+        .expect("valid cluster config");
         assert_eq!(
             report.counts.total() as usize,
             bundle.trace.queries.len(),

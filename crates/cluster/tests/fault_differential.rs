@@ -1,0 +1,162 @@
+//! Fault differential suite: the empty fault schedule is provably inert.
+//!
+//! [`unit_cluster::run_fault_cluster`] with a [`FaultPlan::quiet`] plan
+//! installs a fault hook on every shard and routes through the fault-aware
+//! dispatcher — yet must produce **digest-bit-identical** shard reports,
+//! the same assignment, the same merged log and the same tallies as the
+//! plain [`unit_cluster::run_cluster`], for all 4 policies × 3 scheduling
+//! disciplines × 3 routing policies on the golden fig3-style workload at
+//! scale=8, under either failover policy and any worker count. This is the
+//! contract that lets the fault machinery ship inside the main cluster
+//! path without perturbing a single golden digest.
+
+use unit_baselines::{ImuPolicy, OduPolicy, QmfPolicy};
+use unit_cluster::{
+    run_cluster, run_fault_cluster, BackoffConfig, ClusterConfig, FailoverPolicy, RoutingPolicy,
+};
+use unit_core::config::UnitConfig;
+use unit_core::policy::Policy;
+use unit_core::time::SimDuration;
+use unit_core::unit_policy::UnitPolicy;
+use unit_core::usm::UsmWeights;
+use unit_faults::FaultPlan;
+use unit_sim::{report_digest, SchedulingDiscipline, SimConfig};
+use unit_workload::{
+    QueryTraceConfig, TraceBundle, UpdateDistribution, UpdateTraceConfig, UpdateVolume,
+};
+
+const SCALE: u64 = 8;
+const SEED: u64 = 0x5EED_0001;
+const N_SHARDS: usize = 2;
+
+/// The golden workload at scale=8 (same bundle as `differential.rs`).
+fn golden_bundle() -> TraceBundle {
+    let qcfg = QueryTraceConfig::default().scaled_down(SCALE);
+    let ucfg = UpdateTraceConfig::table1(UpdateVolume::Med, UpdateDistribution::Uniform)
+        .with_total((UpdateVolume::Med.total_updates() / SCALE).max(1));
+    TraceBundle::generate(&qcfg, &ucfg)
+}
+
+fn sim_config(horizon: SimDuration, discipline: SchedulingDiscipline) -> SimConfig {
+    SimConfig::new(horizon)
+        .with_weights(UsmWeights::low_high_cfm())
+        .with_tick_period(SimDuration::from_secs(10))
+        .with_discipline(discipline)
+}
+
+const DISCIPLINES: [(SchedulingDiscipline, &str); 3] = [
+    (SchedulingDiscipline::DualPriorityEdf, "dual"),
+    (SchedulingDiscipline::GlobalEdf, "global"),
+    (SchedulingDiscipline::QueryFirst, "qfirst"),
+];
+
+/// For every discipline × routing: quiet-plan fault cluster ==
+/// plain cluster, shard digest for shard digest.
+fn quiet_differential<P: Policy + Send>(
+    policy_name: &str,
+    failover: &FailoverPolicy,
+    workers: usize,
+    make: impl Fn(u64) -> P + Sync,
+) {
+    let bundle = golden_bundle();
+    let plan = FaultPlan::quiet(N_SHARDS);
+    let mut failures = Vec::new();
+    for (discipline, dname) in DISCIPLINES {
+        let cfg = sim_config(bundle.horizon, discipline);
+        for routing in RoutingPolicy::ALL {
+            let cluster_cfg = ClusterConfig::new(N_SHARDS)
+                .with_routing(routing)
+                .with_seed(SEED)
+                .with_workers(workers);
+            let plain = run_cluster(&bundle.trace, cfg, &cluster_cfg, |_, seed| make(seed))
+                .expect("valid cluster config");
+            let faulty = run_fault_cluster(
+                &bundle.trace,
+                cfg,
+                &cluster_cfg,
+                &plan,
+                failover,
+                |_, seed| make(seed),
+            )
+            .expect("valid fault cluster config");
+            for shard in 0..N_SHARDS {
+                let p = report_digest(&plain.shard_reports[shard]);
+                let f = report_digest(&faulty.cluster.shard_reports[shard]);
+                if p != f {
+                    failures.push(format!(
+                        "{policy_name}/{dname}/{}/shard{shard}: quiet-plan digest \
+                         {f:#018x} != plain {p:#018x}",
+                        routing.name()
+                    ));
+                }
+            }
+            assert_eq!(faulty.cluster.assignment, plain.assignment);
+            assert_eq!(faulty.cluster.log, plain.log);
+            assert_eq!(faulty.counts, plain.counts);
+            assert_eq!(faulty.dispatcher_rejections(), 0);
+            assert_eq!(faulty.total_retries(), 0);
+            assert_eq!(
+                faulty.average_usm().to_bits(),
+                plain.average_usm().to_bits(),
+                "{policy_name}/{dname}/{}: USM diverged under the quiet plan",
+                routing.name()
+            );
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "the empty fault schedule was not inert:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn quiet_plan_is_inert_imu() {
+    quiet_differential(
+        "IMU",
+        &FailoverPolicy::Backoff(BackoffConfig::default()),
+        0,
+        |_| ImuPolicy::new(),
+    );
+}
+
+#[test]
+fn quiet_plan_is_inert_odu() {
+    quiet_differential(
+        "ODU",
+        &FailoverPolicy::Backoff(BackoffConfig::default()),
+        0,
+        |_| OduPolicy::new(),
+    );
+}
+
+#[test]
+fn quiet_plan_is_inert_qmf() {
+    quiet_differential(
+        "QMF",
+        &FailoverPolicy::Backoff(BackoffConfig::default()),
+        0,
+        |_| QmfPolicy::default(),
+    );
+}
+
+#[test]
+fn quiet_plan_is_inert_unit() {
+    quiet_differential(
+        "UNIT",
+        &FailoverPolicy::Backoff(BackoffConfig::default()),
+        0,
+        |seed| {
+            UnitPolicy::new(UnitConfig::with_weights(UsmWeights::low_high_cfm()).with_seed(seed))
+        },
+    );
+}
+
+#[test]
+fn quiet_plan_is_inert_for_no_retry_and_one_worker() {
+    // The other axis of "any worker count, either failover policy": the
+    // naive dispatcher on a single worker thread must be just as inert.
+    quiet_differential("UNIT", &FailoverPolicy::NoRetry, 1, |seed| {
+        UnitPolicy::new(UnitConfig::with_weights(UsmWeights::low_high_cfm()).with_seed(seed))
+    });
+}

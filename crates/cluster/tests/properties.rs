@@ -81,6 +81,7 @@ fn run(s: &Scenario, workers: usize) -> unit_cluster::ClusterReport {
         &cluster,
         &UnitConfig::with_weights(UsmWeights::low_high_cfm()),
     )
+    .expect("valid cluster config")
 }
 
 proptest! {

@@ -23,8 +23,9 @@
 //! randomness (policies carry their own seeded RNGs).
 
 use crate::events::{Event, EventQueue};
+use crate::faults::{FaultHook, HealthState, UpdateFault};
 use crate::locks::{LockManager, ReadAcquire, WriteAcquire};
-use crate::stats::{SignalCounts, SimReport, TimelineSample};
+use crate::stats::{FaultCounts, SignalCounts, SimReport, TimelineSample};
 use crate::txn::{Txn, TxnId, TxnKind, TxnState};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
@@ -335,6 +336,9 @@ pub struct Simulator<'a, P: Policy> {
     work_index: Fenwick<u64>,
     /// Reusable buffer behind `QueueSource::with_queries`.
     view_scratch: RefCell<Vec<QueueEntryView>>,
+    /// Optional fault-injection hook ([`crate::faults`]). `None` — the
+    /// common case — takes exactly the fault-free code paths.
+    faults: Option<Box<dyn FaultHook>>,
 
     // --- accounting -----------------------------------------------------
     counts: OutcomeCounts,
@@ -346,6 +350,7 @@ pub struct Simulator<'a, P: Policy> {
     query_restarts: u64,
     demand_refreshes: u64,
     signals: SignalCounts,
+    fault_counts: FaultCounts,
     dispatch_freshness_sum: f64,
     dispatch_freshness_n: u64,
     timeline: Vec<TimelineSample>,
@@ -405,6 +410,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
             deadline_coords,
             work_index,
             view_scratch: RefCell::new(Vec::new()),
+            faults: None,
             counts: OutcomeCounts::default(),
             class_counts: Vec::new(),
             cpu_busy: SimDuration::ZERO,
@@ -414,6 +420,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
             query_restarts: 0,
             demand_refreshes: 0,
             signals: SignalCounts::default(),
+            fault_counts: FaultCounts::default(),
             dispatch_freshness_sum: 0.0,
             dispatch_freshness_n: 0,
             timeline: Vec::new(),
@@ -422,6 +429,18 @@ impl<'a, P: Policy> Simulator<'a, P> {
             #[cfg(feature = "validate")]
             outcome_log: Vec::new(),
         }
+    }
+
+    /// Install a fault-injection hook ([`crate::faults::FaultHook`]). Must
+    /// be called before the first [`Simulator::step`] so the schedule's
+    /// transition events can be seeded with the trace arrivals.
+    ///
+    /// # Panics
+    /// Debug-panics when called after the run has started.
+    pub fn with_faults(mut self, hook: Box<dyn FaultHook>) -> Self {
+        debug_assert!(!self.started, "install the fault hook before stepping");
+        self.faults = Some(hook);
+        self
     }
 
     /// Execute the whole run: process every trace arrival, drain in-flight
@@ -457,6 +476,20 @@ impl<'a, P: Policy> Simulator<'a, P> {
         }
         self.events
             .push(SimTime::ZERO + self.cfg.tick_period, Event::ControlTick);
+
+        // Fault transitions: every crash-window boundary and burst instant,
+        // sorted and deduplicated so the event-seq assignment (and thus
+        // same-instant tie-breaking) is a pure function of the schedule. An
+        // absent hook or an empty schedule pushes nothing — the event
+        // stream is bit-identical to a fault-free run.
+        if let Some(hook) = &self.faults {
+            let mut times = hook.transition_times();
+            times.sort_unstable();
+            times.dedup();
+            for t in times {
+                self.events.push(t, Event::FaultTransition);
+            }
+        }
     }
 
     /// Process the next pending event, advancing the virtual clock. Returns
@@ -480,6 +513,12 @@ impl<'a, P: Policy> Simulator<'a, P> {
             Event::Completion { txn, generation } => self.on_completion(txn, generation),
             Event::QueryDeadline { txn } => self.on_query_deadline(txn),
             Event::ControlTick => self.on_control_tick(),
+            Event::FaultTransition => self.on_fault_transition(),
+            Event::DelayedApply {
+                item,
+                exec,
+                edf_deadline,
+            } => self.on_delayed_apply(item, exec, edf_deadline),
         }
         true
     }
@@ -544,6 +583,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
             timeline: std::mem::take(&mut self.timeline),
             events_processed: self.events_processed,
             outcome_records: std::mem::take(&mut self.outcome_records),
+            faults: self.fault_counts,
         }
     }
 
@@ -568,8 +608,22 @@ impl<'a, P: Policy> Simulator<'a, P> {
     /// O(log N_rq) for the policy's slack probe and the index inserts, plus
     /// the [`Simulator::reschedule`] that follows.
     fn on_query_arrival(&mut self, spec_idx: usize) {
+        if let Some(until) = self.paused_until() {
+            // Crash window: the server is not listening. Defer the arrival
+            // to the recovery instant.
+            self.fault_counts.deferred_events += 1;
+            self.events.push(until, Event::QueryArrival { spec_idx });
+            return;
+        }
         let trace = self.trace;
         let spec = &trace.queries[spec_idx];
+        if self.faults.is_some() && spec.deadline() <= self.clock {
+            // Dead on arrival: the firm deadline expired while the arrival
+            // sat deferred through a crash window. Unreachable fault-free
+            // (relative deadlines are strictly positive).
+            self.record_outcome(spec_idx, Outcome::DeadlineMiss);
+            return;
+        }
         let decision = self.with_view(|policy, view| policy.on_query_arrival(spec, view));
         if !decision.is_admit() {
             self.record_outcome(spec_idx, Outcome::Rejected);
@@ -640,12 +694,48 @@ impl<'a, P: Policy> Simulator<'a, P> {
         let item = u.item;
         let period = u.period;
         let exec = u.exec_time;
+        // Sources are external: the version is observed (Udrop rises) even
+        // when a fault keeps it from being applied.
         self.freshness.record_arrival(item, self.clock);
 
-        let action = self.with_view(|policy, view| policy.on_version_arrival(item, view.now, view));
-        if action.is_apply() {
-            self.spawn_update(item, exec, self.clock + period, false);
-            self.reschedule();
+        let fault = match self.faults.as_deref() {
+            None => UpdateFault::Apply,
+            // Down or degraded windows drop every application; staleness
+            // then accrues honestly through the ordinary Udrop path.
+            Some(h) if h.health(self.clock).updates_dropped() => UpdateFault::Drop,
+            Some(h) => h.update_fault(item, self.clock),
+        };
+        match fault {
+            UpdateFault::Apply => {
+                let action =
+                    self.with_view(|policy, view| policy.on_version_arrival(item, view.now, view));
+                if action.is_apply() {
+                    self.spawn_update(item, exec, self.clock + period, false);
+                    self.reschedule();
+                }
+            }
+            UpdateFault::Drop => {
+                self.fault_counts.update_drops += 1;
+            }
+            UpdateFault::Delay(d) => {
+                // The policy still decides whether this version is worth
+                // applying; the fault only postpones the application. The
+                // EDF deadline stays at the version's temporal-validity
+                // deadline, not the delayed spawn instant.
+                let action =
+                    self.with_view(|policy, view| policy.on_version_arrival(item, view.now, view));
+                if action.is_apply() {
+                    self.fault_counts.update_delays += 1;
+                    self.events.push(
+                        self.clock + d,
+                        Event::DelayedApply {
+                            item,
+                            exec,
+                            edf_deadline: self.clock + period,
+                        },
+                    );
+                }
+            }
         }
 
         let next = self.clock + period;
@@ -709,6 +799,12 @@ impl<'a, P: Policy> Simulator<'a, P> {
                         self.outstanding_update_work.saturating_sub(elapsed);
                     (None, Some(item))
                 }
+                TxnKind::Background => {
+                    // Injected load: consumes CPU, touches nothing.
+                    self.outstanding_update_work =
+                        self.outstanding_update_work.saturating_sub(elapsed);
+                    (None, None)
+                }
             }
         };
 
@@ -731,6 +827,13 @@ impl<'a, P: Policy> Simulator<'a, P> {
     /// sits. O(n_cpus + log N_rq) to evict it from the run/ready/admitted
     /// structures, plus the trailing [`Simulator::reschedule`].
     fn on_query_deadline(&mut self, id: TxnId) {
+        if let Some(until) = self.paused_until() {
+            // Crash window: the abort (and its DMF outcome) is deferred to
+            // the recovery instant, so no outcome lands inside the window.
+            self.fault_counts.deferred_events += 1;
+            self.events.push(until, Event::QueryDeadline { txn: id });
+            return;
+        }
         if self.txns[id.index()].state == TxnState::Finished {
             return; // committed (or already aborted) before expiry
         }
@@ -753,8 +856,10 @@ impl<'a, P: Policy> Simulator<'a, P> {
             txn.holds_locks = false;
             match txn.kind {
                 TxnKind::Query { spec_idx, .. } => spec_idx,
-                // lint: allow(panic) — only QueryDeadline events carry query txn ids
-                TxnKind::Update { .. } => unreachable!("updates have no deadline events"),
+                TxnKind::Update { .. } | TxnKind::Background => {
+                    // lint: allow(panic) — only QueryDeadline events carry query txn ids
+                    unreachable!("updates have no deadline events")
+                }
             }
         };
         let freed = self.locks.release_all(id);
@@ -768,6 +873,13 @@ impl<'a, P: Policy> Simulator<'a, P> {
     /// the policy's `on_tick` is O(1) amortized for UNIT (lottery batches
     /// are credited against the signals that trigger them, DESIGN.md §2.1).
     fn on_control_tick(&mut self) {
+        if let Some(until) = self.paused_until() {
+            // Crash window: the controller is down with the rest of the
+            // server; the tick train restarts at the recovery instant.
+            self.fault_counts.deferred_events += 1;
+            self.events.push(until, Event::ControlTick);
+            return;
+        }
         // One view serves both the policy tick and the timeline sample, so
         // the sample reflects pre-tick state exactly as the policy saw it.
         let (signals, ready_queries, update_backlog_secs, utilization) =
@@ -826,6 +938,67 @@ impl<'a, P: Policy> Simulator<'a, P> {
         }
     }
 
+    /// Fault-transition hook: at a crash-window start preempt every running
+    /// transaction (their scheduled completions go stale through the
+    /// generation check, so nothing commits inside the window); at a
+    /// recovery or burst instant inject any scheduled background load and
+    /// re-fill the CPUs. O(n_cpus · log N_rq + B_now) plus the trailing
+    /// [`Simulator::reschedule`].
+    fn on_fault_transition(&mut self) {
+        let Some(health) = self.faults.as_deref().map(|h| h.health(self.clock)) else {
+            debug_assert!(false, "FaultTransition scheduled without a hook");
+            return;
+        };
+        if health.queries_paused() {
+            while !self.running.is_empty() {
+                self.preempt_running(0);
+            }
+            return;
+        }
+        let loads = self
+            .faults
+            .as_deref()
+            .map(|h| h.load_at(self.clock))
+            .unwrap_or_default();
+        for load in loads {
+            self.fault_counts.background_spawned += 1;
+            self.spawn_background(load.exec);
+        }
+        // Recovery instants reach here with an empty load list: this
+        // reschedule is what restarts the work preempted at window start.
+        self.reschedule();
+    }
+
+    /// Delayed-apply hook: spawn the update transaction that
+    /// [`UpdateFault::Delay`] postponed, unless a crash/degradation window
+    /// now drops it. O(log N_rq) plus the trailing
+    /// [`Simulator::reschedule`].
+    fn on_delayed_apply(&mut self, item: DataId, exec: SimDuration, edf_deadline: SimTime) {
+        let dropped = self
+            .faults
+            .as_deref()
+            .is_some_and(|h| h.health(self.clock).updates_dropped());
+        if dropped {
+            self.fault_counts.update_drops += 1;
+            return;
+        }
+        self.spawn_update(item, exec, edf_deadline, false);
+        self.reschedule();
+    }
+
+    /// The recovery instant of the current crash window, when the fault
+    /// hook reports the server [`HealthState::Down`] at the current clock
+    /// with a strictly-future recovery (the strictness guard makes a
+    /// degenerate `until == now` window inert instead of self-deferring
+    /// forever). `None` on every fault-free path. O(log F).
+    fn paused_until(&self) -> Option<SimTime> {
+        let hook = self.faults.as_deref()?;
+        match hook.health(self.clock) {
+            HealthState::Down { until } if until > self.clock => Some(until),
+            _ => None,
+        }
+    }
+
     /// Cross-check the incremental engine structures against naive
     /// recomputation (see [`crate::validate`]): the Fenwick work index vs an
     /// O(N) recount over the admitted set, and the USM tallies vs the raw
@@ -856,6 +1029,9 @@ impl<'a, P: Policy> Simulator<'a, P> {
     /// worst incumbent. O(D · (n_cpus + log N_rq)) where D is the number of
     /// dispatch attempts this call actually performs (usually 0 or 1).
     fn reschedule(&mut self) {
+        if self.paused_until().is_some() {
+            return; // crash window: nothing dispatches until recovery
+        }
         loop {
             let Some(&key) = self.ready.iter().next() else {
                 return;
@@ -908,6 +1084,11 @@ impl<'a, P: Policy> Simulator<'a, P> {
         match self.txns[id.index()].kind {
             TxnKind::Query { spec_idx, .. } => self.try_dispatch_query(id, spec_idx),
             TxnKind::Update { item, .. } => self.try_dispatch_update(id, item),
+            TxnKind::Background => {
+                // Injected load takes no locks: straight onto the CPU.
+                self.start_running(id);
+                DispatchResult::Running
+            }
         }
     }
 
@@ -1070,6 +1251,28 @@ impl<'a, P: Policy> Simulator<'a, P> {
             holds_locks: false,
             blocked_on: None,
             kind: TxnKind::Update { item, on_demand },
+        };
+        self.outstanding_update_work += exec;
+        self.ready.insert(self.pkey_of(&txn));
+        self.txns.push(txn);
+    }
+
+    /// Inject one background-load transaction (fault-schedule burst):
+    /// update-class CPU demand, no locks, no item, no outcome. Its EDF
+    /// deadline is the injection instant, so it outranks every pending
+    /// periodic update — bursts bite immediately.
+    fn spawn_background(&mut self, exec: SimDuration) {
+        let id = TxnId(self.txns.len() as u64);
+        let txn = Txn {
+            id,
+            class: TxnClass::Update,
+            edf_deadline: self.clock,
+            exec_time: exec,
+            remaining: exec,
+            state: TxnState::Ready,
+            holds_locks: false,
+            blocked_on: None,
+            kind: TxnKind::Background,
         };
         self.outstanding_update_work += exec;
         self.ready.insert(self.pkey_of(&txn));

@@ -44,6 +44,21 @@ pub enum Event {
     /// Periodic control tick: drives `Policy::on_tick` (and therefore UNIT's
     /// Load Balancing Controller).
     ControlTick,
+    /// A fault-schedule transition instant (crash-window boundary or load
+    /// burst). Only scheduled when a [`crate::faults::FaultHook`] is
+    /// installed; a run without faults never sees one.
+    FaultTransition,
+    /// A fault-delayed update application becomes due: spawn the update
+    /// transaction that [`crate::faults::UpdateFault::Delay`] postponed.
+    DelayedApply {
+        /// The item whose version is (finally) being applied.
+        item: unit_core::types::DataId,
+        /// Execution time of the application transaction.
+        exec: unit_core::time::SimDuration,
+        /// EDF (temporal-validity) deadline the update would have carried
+        /// had it been spawned at its arrival instant.
+        edf_deadline: SimTime,
+    },
 }
 
 /// Min-heap event queue with deterministic same-time ordering.

@@ -44,6 +44,7 @@
 
 pub mod engine;
 pub mod events;
+pub mod faults;
 pub mod locks;
 pub mod stats;
 pub mod txn;
@@ -51,4 +52,7 @@ pub mod txn;
 pub mod validate;
 
 pub use engine::{run_simulation, SchedulingDiscipline, SimConfig, Simulator};
-pub use stats::{report_digest, OutcomeRecord, SignalCounts, SimReport, TimelineSample};
+pub use faults::{BackgroundLoad, FaultHook, HealthState, NoFaults, UpdateFault};
+pub use stats::{
+    report_digest, FaultCounts, OutcomeRecord, SignalCounts, SimReport, TimelineSample,
+};

@@ -71,6 +71,31 @@ impl SignalCounts {
     }
 }
 
+/// Counters of fault-injection activity ([`crate::faults`]); all zero on a
+/// fault-free run. Diagnostics only — like `events_processed`, excluded
+/// from [`report_digest`] so an installed-but-empty fault schedule digests
+/// identically to no schedule at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounts {
+    /// Update applications dropped (crash/degradation windows plus per-item
+    /// drop faults).
+    pub update_drops: u64,
+    /// Update applications postponed by a delay fault.
+    pub update_delays: u64,
+    /// Background-load transactions injected by bursts.
+    pub background_spawned: u64,
+    /// Events (arrivals, deadlines, control ticks) deferred to the end of a
+    /// crash window.
+    pub deferred_events: u64,
+}
+
+impl FaultCounts {
+    /// True when the run saw no fault activity at all.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultCounts::default()
+    }
+}
+
 /// Complete result of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimReport {
@@ -120,6 +145,11 @@ pub struct SimReport {
     /// [`report_digest`] so digests match between logged and unlogged runs).
     #[serde(default)]
     pub outcome_records: Vec<OutcomeRecord>,
+    /// Fault-injection activity counters (zero on fault-free runs;
+    /// excluded from [`report_digest`] — fault *effects* show up in the
+    /// behavioural fields, these are diagnostics).
+    #[serde(default)]
+    pub faults: FaultCounts,
 }
 
 impl SimReport {
@@ -241,10 +271,12 @@ impl Fnv {
 
 /// Bit-exact digest of a [`SimReport`]'s observable behaviour.
 ///
-/// Everything user-visible goes in, in declaration order; the two
+/// Everything user-visible goes in, in declaration order; the
 /// instrumentation fields stay out so they can evolve freely:
-/// `events_processed` (perf counter) and `outcome_records` (opt-in log —
-/// a logged run must digest identically to an unlogged one). The golden
+/// `events_processed` (perf counter), `outcome_records` (opt-in log —
+/// a logged run must digest identically to an unlogged one), and `faults`
+/// (fault-activity diagnostics — fault *effects* land in the behavioural
+/// fields, and an empty schedule must digest identically to none). The golden
 /// snapshot suite and the cluster differential tests share this function,
 /// so "cluster(1 shard) == single server" means the whole report matches
 /// bit-for-bit, not just the USM.
@@ -343,6 +375,7 @@ mod tests {
             timeline: Vec::new(),
             events_processed: 0,
             outcome_records: Vec::new(),
+            faults: FaultCounts::default(),
         }
     }
 
@@ -389,6 +422,13 @@ mod tests {
             query: QueryId(7),
             outcome: Outcome::Success,
         });
+        instrumented.faults = FaultCounts {
+            update_drops: 3,
+            update_delays: 2,
+            background_spawned: 1,
+            deferred_events: 4,
+        };
+        assert!(!instrumented.faults.is_zero());
         assert_eq!(report_digest(&base), report_digest(&instrumented));
     }
 

@@ -55,6 +55,12 @@ pub enum TxnKind {
         /// (ODU) rather than by a periodic stream.
         on_demand: bool,
     },
+    /// Injected background load (fault-schedule burst): update-class CPU
+    /// demand that takes no locks, refreshes no item, and records no
+    /// outcome. Exists so load bursts steal CPU from queries exactly the
+    /// way real maintenance traffic does under the dual-priority
+    /// discipline.
+    Background,
 }
 
 /// A live transaction.
@@ -103,7 +109,7 @@ impl Txn {
     pub fn update_item(&self) -> Option<DataId> {
         match self.kind {
             TxnKind::Update { item, .. } => Some(item),
-            TxnKind::Query { .. } => None,
+            TxnKind::Query { .. } | TxnKind::Background => None,
         }
     }
 

@@ -3,11 +3,11 @@
 //!
 //! | Rule | What it forbids | Where |
 //! |------|-----------------|-------|
-//! | `D1` | `HashMap`/`HashSet` (iteration-order nondeterminism) | `core`, `sim`, `baselines`, `cluster` |
+//! | `D1` | `HashMap`/`HashSet` (iteration-order nondeterminism) | `core`, `sim`, `baselines`, `cluster`, `faults` |
 //! | `D2` | wall clocks & unseeded RNGs (`Instant::now`, `SystemTime::now`, `thread_rng`, `rand::random`) | everywhere but `bench` |
-//! | `D3` | `unwrap()`/`expect()`/`panic!`-family in non-test library code | `core`, `sim`, `workload`, `baselines`, `cluster` |
+//! | `D3` | `unwrap()`/`expect()`/`panic!`-family in non-test library code | `core`, `sim`, `workload`, `baselines`, `cluster`, `faults` |
 //! | `D4` | direct `f64` `==`/`!=` against float literals; `as`-cast truncation of simulated-time values | library crates, except `core/src/time.rs` |
-//! | `P1` | `Policy`-surface / event-loop functions without a `/// O(...)` complexity doc | `core/src/policy.rs`, `sim/src/engine.rs` |
+//! | `P1` | `Policy`/`FaultHook`-surface / event-loop functions without a `/// O(...)` complexity doc | `core/src/policy.rs`, `sim/src/engine.rs`, `sim/src/faults.rs` |
 //!
 //! Suppression:
 //!
@@ -22,13 +22,13 @@ use crate::lexer::{scan, Comment, Tok, TokKind};
 use std::collections::BTreeMap;
 
 /// Crates where iteration-order nondeterminism can reach simulator state.
-const D1_CRATES: &[&str] = &["core", "sim", "baselines", "cluster"];
+const D1_CRATES: &[&str] = &["core", "sim", "baselines", "cluster", "faults"];
 /// Crates that must stay wall-clock- and entropy-free (all but `bench`).
 const D2_EXEMPT_CRATES: &[&str] = &["bench"];
 /// Library crates where panics must be annotated.
-const D3_CRATES: &[&str] = &["core", "sim", "workload", "baselines", "cluster"];
+const D3_CRATES: &[&str] = &["core", "sim", "workload", "baselines", "cluster", "faults"];
 /// Library crates where float-equality / time-cast hygiene applies.
-const D4_CRATES: &[&str] = &["core", "sim", "workload", "baselines", "cluster"];
+const D4_CRATES: &[&str] = &["core", "sim", "workload", "baselines", "cluster", "faults"];
 /// The one file allowed to truncate simulated-time floats: the tick
 /// conversion boundary itself.
 const D4_EXEMPT_FILES: &[&str] = &["crates/core/src/time.rs"];
@@ -343,29 +343,31 @@ fn rule_d4(toks: &[Tok], ctx: &FileCtx, findings: &mut Vec<Finding>) {
     }
 }
 
-/// P1 — complexity documentation on the `Policy` trait surface and the
-/// engine's event-loop hooks.
+/// P1 — complexity documentation on the `Policy` and `FaultHook` trait
+/// surfaces and the engine's event-loop hooks.
 fn rule_p1(toks: &[Tok], comments: &[Comment], ctx: &FileCtx, findings: &mut Vec<Finding>) {
     enum Scope {
-        /// Every `fn` inside `trait Policy { … }`.
-        PolicyTrait,
+        /// Every `fn` inside `trait <name> { … }` (and its impls share the
+        /// docs through rustdoc inheritance, so only the trait is checked).
+        TraitSurface(&'static str),
         /// Every `fn on_*` plus `fn reschedule` (the event loop hooks).
         EngineHooks,
     }
     let scope = match ctx.rel_path.as_str() {
-        "crates/core/src/policy.rs" => Scope::PolicyTrait,
+        "crates/core/src/policy.rs" => Scope::TraitSurface("Policy"),
+        "crates/sim/src/faults.rs" => Scope::TraitSurface("FaultHook"),
         "crates/sim/src/engine.rs" => Scope::EngineHooks,
         _ => return,
     };
 
-    // For the trait scope: find the token range of `trait Policy { … }`.
+    // For a trait scope: find the token range of `trait <name> { … }`.
     let trait_range = match scope {
-        Scope::PolicyTrait => {
+        Scope::TraitSurface(trait_name) => {
             let mut range = None;
             for (i, t) in toks.iter().enumerate() {
                 if t.kind == TokKind::Ident
                     && t.text == "trait"
-                    && toks.get(i + 1).is_some_and(|n| n.text == "Policy")
+                    && toks.get(i + 1).is_some_and(|n| n.text == trait_name)
                 {
                     let mut depth = 0usize;
                     for (j, u) in toks.iter().enumerate().skip(i) {
@@ -398,7 +400,7 @@ fn rule_p1(toks: &[Tok], comments: &[Comment], ctx: &FileCtx, findings: &mut Vec
             continue;
         }
         let wanted = match scope {
-            Scope::PolicyTrait => trait_range.is_some_and(|(lo, hi)| i > lo && i < hi),
+            Scope::TraitSurface(_) => trait_range.is_some_and(|(lo, hi)| i > lo && i < hi),
             Scope::EngineHooks => name_tok.text.starts_with("on_") || name_tok.text == "reschedule",
         };
         if !wanted {

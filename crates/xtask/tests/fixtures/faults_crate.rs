@@ -1,0 +1,22 @@
+//! Faults-crate fixture: one deliberate violation per determinism rule.
+use std::collections::HashMap;
+
+pub fn windows() -> HashMap<u64, u64> {
+    HashMap::new()
+}
+
+pub fn now_seed() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}
+
+pub fn pick(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+pub fn boundary(frac: f64) -> bool {
+    frac == 0.25
+}
+
+pub fn to_ticks(secs: f64) -> u64 {
+    (secs * TICKS_PER_SEC as f64) as u64
+}

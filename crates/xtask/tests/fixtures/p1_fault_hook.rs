@@ -1,0 +1,14 @@
+//! P1 fixture: FaultHook trait fns must document a complexity bound.
+pub trait FaultHook {
+    /// Documented hook. O(log F).
+    fn health(&self);
+
+    /// Missing a complexity bound.
+    fn update_fault(&self);
+
+    fn load_at(&self);
+}
+
+pub trait Unrelated {
+    fn ignored(&self);
+}

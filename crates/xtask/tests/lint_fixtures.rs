@@ -123,6 +123,54 @@ fn p1_fixture_only_applies_to_the_policy_surface() {
 }
 
 #[test]
+fn faults_crate_fixture_trips_every_determinism_rule() {
+    // The faults crate is deterministic-simulation code: every D-rule
+    // covers it, and each deliberate violation in the fixture is reported.
+    let fs = check_source(
+        &fixture("faults_crate.rs"),
+        &ctx("faults", "crates/faults/src/fixture.rs"),
+    );
+    assert_eq!(
+        rule_lines(&fs),
+        vec![
+            ("D1", 2),
+            ("D1", 4),
+            ("D1", 5),
+            ("D2", 9),
+            ("D3", 13),
+            ("D4", 17),
+            ("D4", 21),
+        ]
+    );
+}
+
+#[test]
+fn p1_covers_the_fault_hook_surface() {
+    let fs = check_source(
+        &fixture("p1_fault_hook.rs"),
+        &ctx("sim", "crates/sim/src/faults.rs"),
+    );
+    assert_eq!(rule_lines(&fs), vec![("P1", 7), ("P1", 9)]);
+    assert!(
+        fs[0].message.contains("fn update_fault"),
+        "{}",
+        fs[0].message
+    );
+    // Only the FaultHook trait body is in scope: `Unrelated::ignored` and
+    // the documented `health` produce nothing.
+    assert!(fs.iter().all(|f| f.line != 4 && f.line != 13), "{fs:?}");
+}
+
+#[test]
+fn p1_fault_hook_fixture_is_ignored_elsewhere() {
+    let fs = check_source(
+        &fixture("p1_fault_hook.rs"),
+        &ctx("sim", "crates/sim/src/other.rs"),
+    );
+    assert!(fs.is_empty(), "{fs:?}");
+}
+
+#[test]
 fn file_scoped_allow_suppresses_the_whole_file() {
     let fs = check_source(
         &fixture("allow_file.rs"),
