@@ -3,7 +3,8 @@
 //! policy, reporting cluster USM and wall-clock per cell and writing
 //! `BENCH_cluster.json` at the repo root.
 //!
-//! Usage: `cluster [--scale N] [--seed S] [--out FILE | --no-out]`.
+//! Usage: `cluster [--scale N] [--seed S] [--out FILE | --no-out]
+//! [--trace-out FILE]`.
 //!
 //! The 1-shard rows double as a smoke check of the differential identity:
 //! their USM must equal the plain single-server engine's USM on the same
@@ -12,14 +13,17 @@
 
 use std::time::Instant;
 use unit_bench::default_workload_plan;
-use unit_cluster::{run_unit_cluster, ClusterConfig, RoutingPolicy};
+use unit_bench::render::render_event_timeline;
+use unit_cluster::{ClusterConfig, RoutingPolicy};
 use unit_core::usm::UsmWeights;
+use unit_obs::RingRecorder;
 use unit_workload::{UpdateDistribution, UpdateVolume};
 
 struct Args {
     scale: u64,
     seed: u64,
     out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -27,6 +31,7 @@ fn parse_args() -> Args {
         scale: 8,
         seed: 0x5EED_0001,
         out: Some("BENCH_cluster.json".to_string()),
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -41,14 +46,36 @@ fn parse_args() -> Args {
             }
             "--out" => args.out = Some(it.next().expect("--out requires a path")),
             "--no-out" => args.out = None,
+            "--trace-out" => {
+                args.trace_out = Some(it.next().expect("--trace-out requires a path"));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: cluster [--scale N] [--seed S] [--out FILE | --no-out]");
+                eprintln!(
+                    "usage: cluster [--scale N] [--seed S] [--out FILE | --no-out] \
+                     [--trace-out FILE]"
+                );
                 std::process::exit(2);
             }
         }
     }
     args
+}
+
+/// Write the recorded stream to `path` (`.csv` → CSV, else JSONL).
+fn write_trace(path: &str, events: &[unit_obs::ObsEvent]) {
+    let result = if std::path::Path::new(path)
+        .extension()
+        .is_some_and(|e| e == "csv")
+    {
+        unit_obs::write_csv(path, events)
+    } else {
+        unit_obs::write_jsonl(path, events)
+    };
+    match result {
+        Ok(()) => println!("\n  event trace written to {path}"),
+        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    }
 }
 
 fn main() {
@@ -76,10 +103,34 @@ fn main() {
             let cluster = ClusterConfig::new(n_shards)
                 .with_routing(routing)
                 .with_seed(args.seed);
+            // The 4-shard least-load cell doubles as the --trace-out
+            // subject (observation is digest-neutral, so the observed
+            // report serves the table too).
+            let record =
+                args.trace_out.is_some() && routing == RoutingPolicy::LeastLoad && n_shards == 4;
+            let mut rec = RingRecorder::unbounded();
             let start = Instant::now();
-            let report = run_unit_cluster(&bundle.trace, sim, &cluster, &unit)
-                .expect("valid cluster config");
+            let run = cluster.build();
+            let run = if record {
+                run.with_observer(&mut rec)
+            } else {
+                run
+            };
+            let report = run
+                .run_unit(&bundle.trace, sim, &unit)
+                .expect("valid cluster config")
+                .into_plain()
+                .expect("fault-free run");
             let wall = start.elapsed().as_secs_f64();
+            if record {
+                let events = rec.into_events();
+                println!("\n  event timeline (4 shards, least-load):");
+                print!("{}", render_event_timeline(&events, 64));
+                if let Some(path) = &args.trace_out {
+                    write_trace(path, &events);
+                }
+                println!();
+            }
             let usm = report.average_usm();
             let events: u64 = report
                 .shard_reports

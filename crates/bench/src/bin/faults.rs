@@ -15,16 +15,17 @@
 //! quiet plan is inert; the bit-level proof lives in
 //! `crates/cluster/tests/fault_differential.rs`).
 //!
-//! Usage: `faults [--scale N] [--seed S] [--out FILE | --no-out]`.
+//! Usage: `faults [--scale N] [--seed S] [--out FILE | --no-out]
+//! [--trace-out FILE]`.
 
 use std::time::Instant;
 use unit_bench::default_workload_plan;
-use unit_cluster::{
-    run_unit_fault_cluster, BackoffConfig, ClusterConfig, FailoverPolicy, RoutingPolicy,
-};
+use unit_bench::render::render_event_timeline;
+use unit_cluster::{BackoffConfig, ClusterConfig, FailoverPolicy, RoutingPolicy};
 use unit_core::time::SimDuration;
 use unit_core::usm::UsmWeights;
 use unit_faults::{FaultConfig, FaultMode, FaultPlan};
+use unit_obs::RingRecorder;
 use unit_workload::{UpdateDistribution, UpdateVolume};
 
 const N_SHARDS: usize = 4;
@@ -34,6 +35,7 @@ struct Args {
     scale: u64,
     seed: u64,
     out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -41,6 +43,7 @@ fn parse_args() -> Args {
         scale: 8,
         seed: 0x5EED_0001,
         out: Some("BENCH_faults.json".to_string()),
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -55,14 +58,36 @@ fn parse_args() -> Args {
             }
             "--out" => args.out = Some(it.next().expect("--out requires a path")),
             "--no-out" => args.out = None,
+            "--trace-out" => {
+                args.trace_out = Some(it.next().expect("--trace-out requires a path"));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: faults [--scale N] [--seed S] [--out FILE | --no-out]");
+                eprintln!(
+                    "usage: faults [--scale N] [--seed S] [--out FILE | --no-out] \
+                     [--trace-out FILE]"
+                );
                 std::process::exit(2);
             }
         }
     }
     args
+}
+
+/// Write the recorded stream to `path` (`.csv` → CSV, else JSONL).
+fn write_trace(path: &str, events: &[unit_obs::ObsEvent]) {
+    let result = if std::path::Path::new(path)
+        .extension()
+        .is_some_and(|e| e == "csv")
+    {
+        unit_obs::write_csv(path, events)
+    } else {
+        unit_obs::write_jsonl(path, events)
+    };
+    match result {
+        Ok(()) => println!("\n  event trace written to {path}"),
+        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    }
 }
 
 struct Strategy {
@@ -125,17 +150,34 @@ fn main() {
             let cluster = ClusterConfig::new(N_SHARDS)
                 .with_routing(RoutingPolicy::LeastLoad)
                 .with_seed(args.seed);
+            // The backoff+degraded cell at crash rate 0.2 doubles as the
+            // --trace-out subject (observation is digest-neutral, so the
+            // observed report serves the table too).
+            let record =
+                args.trace_out.is_some() && strat.name == "backoff+degraded" && rate == 0.2;
+            let mut rec = RingRecorder::unbounded();
             let start = Instant::now();
-            let report = run_unit_fault_cluster(
-                &bundle.trace,
-                sim,
-                &cluster,
-                &fplan,
-                &strat.failover,
-                &unit,
-            )
-            .expect("valid fault cluster config");
+            let run = cluster.build().with_faults(&fplan, strat.failover);
+            let run = if record {
+                run.with_observer(&mut rec)
+            } else {
+                run
+            };
+            let report = run
+                .run_unit(&bundle.trace, sim, &unit)
+                .expect("valid fault cluster config")
+                .into_faulty()
+                .expect("fault run");
             let wall = start.elapsed().as_secs_f64();
+            if record {
+                let events = rec.into_events();
+                println!("\n  event timeline (backoff+degraded, crash rate 0.2):");
+                print!("{}", render_event_timeline(&events, 64));
+                if let Some(path) = &args.trace_out {
+                    write_trace(path, &events);
+                }
+                println!();
+            }
             let usm = report.average_usm();
             let c = report.counts;
             println!(

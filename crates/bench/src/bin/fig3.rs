@@ -13,9 +13,9 @@
 //! per-item histograms for external plotting.
 
 use unit_bench::cli::HarnessArgs;
-use unit_bench::render::{bucketize, csv, f, spark};
+use unit_bench::render::{bucketize, csv, f, render_event_timeline, spark};
 use unit_bench::row;
-use unit_bench::{default_workload_plan, run_policy, PolicyKind};
+use unit_bench::{default_workload_plan, run_policy, run_policy_observed, PolicyKind};
 use unit_core::usm::UsmWeights;
 use unit_workload::dist::pearson;
 use unit_workload::{UpdateDistribution, UpdateVolume};
@@ -63,7 +63,23 @@ fn main() {
         ("(c) med-neg", UpdateDistribution::NegativeCorrelation),
     ] {
         let bundle = plan.bundle(UpdateVolume::Med, dist);
-        let out = run_policy(&plan, &bundle, PolicyKind::Unit, weights);
+        // The med-unif panel doubles as the --trace-out subject: recording
+        // is digest-neutral, so the observed report serves the figure too.
+        let record = args.trace_out.is_some() && dist == UpdateDistribution::Uniform;
+        let out = if record {
+            let mut rec = unit_obs::RingRecorder::unbounded();
+            let out = run_policy_observed(&plan, &bundle, PolicyKind::Unit, weights, &mut rec);
+            let events = rec.into_events();
+            println!("event timeline (UNIT, med-unif):");
+            print!("{}", render_event_timeline(&events, 64));
+            if let Some(path) = args.write_trace(&events) {
+                println!("event trace written to {path}");
+            }
+            println!();
+            out
+        } else {
+            run_policy(&plan, &bundle, PolicyKind::Unit, weights)
+        };
         let r = &out.report;
 
         if first_access_hist.is_none() {

@@ -4,12 +4,13 @@
 
 use unit_baselines::{ImuPolicy, OduPolicy, QmfPolicy};
 use unit_bench::cli::HarnessArgs;
-use unit_bench::render::{csv, f};
+use unit_bench::render::{csv, f, render_event_timeline};
 use unit_bench::row;
 use unit_bench::{default_workload_plan, PolicyKind};
 use unit_core::unit_policy::UnitPolicy;
 use unit_core::usm::UsmWeights;
-use unit_sim::{run_simulation, SimConfig, SimReport, TimelineSample};
+use unit_obs::{Observer, RingRecorder};
+use unit_sim::{run_simulation, SimConfig, SimReport, Simulator, TimelineSample};
 use unit_workload::{UpdateDistribution, UpdateVolume};
 
 fn downsample(timeline: &[TimelineSample], points: usize) -> Vec<&TimelineSample> {
@@ -24,20 +25,37 @@ fn run(
     plan: &unit_bench::ExperimentPlan,
     bundle: &unit_workload::TraceBundle,
     kind: PolicyKind,
+    observer: Option<&mut dyn Observer>,
 ) -> SimReport {
     let cfg = SimConfig::new(bundle.horizon)
         .with_weights(UsmWeights::naive())
         .with_tick_period(plan.tick_period)
         .with_timeline();
-    match kind {
-        PolicyKind::Imu => run_simulation(&bundle.trace, ImuPolicy::new(), cfg),
-        PolicyKind::Odu => run_simulation(&bundle.trace, OduPolicy::new(), cfg),
-        PolicyKind::Qmf => run_simulation(&bundle.trace, QmfPolicy::default(), cfg),
-        PolicyKind::Unit => run_simulation(
+    match (kind, observer) {
+        (PolicyKind::Imu, None) => run_simulation(&bundle.trace, ImuPolicy::new(), cfg),
+        (PolicyKind::Odu, None) => run_simulation(&bundle.trace, OduPolicy::new(), cfg),
+        (PolicyKind::Qmf, None) => run_simulation(&bundle.trace, QmfPolicy::default(), cfg),
+        (PolicyKind::Unit, None) => run_simulation(
             &bundle.trace,
             UnitPolicy::new(plan.unit_config(UsmWeights::naive())),
             cfg,
         ),
+        (PolicyKind::Imu, Some(o)) => Simulator::new(&bundle.trace, ImuPolicy::new(), cfg)
+            .with_observer(o)
+            .run(),
+        (PolicyKind::Odu, Some(o)) => Simulator::new(&bundle.trace, OduPolicy::new(), cfg)
+            .with_observer(o)
+            .run(),
+        (PolicyKind::Qmf, Some(o)) => Simulator::new(&bundle.trace, QmfPolicy::default(), cfg)
+            .with_observer(o)
+            .run(),
+        (PolicyKind::Unit, Some(o)) => Simulator::new(
+            &bundle.trace,
+            UnitPolicy::new(plan.unit_config(UsmWeights::naive())),
+            cfg,
+        )
+        .with_observer(o)
+        .run(),
     }
 }
 
@@ -52,7 +70,24 @@ fn main() {
 
     let mut csv_rows = Vec::new();
     for kind in PolicyKind::ALL {
-        let report = run(&plan, &bundle, kind);
+        // The UNIT run doubles as the --trace-out subject (observation is
+        // digest-neutral, so the observed report serves the table too).
+        let record = args.trace_out.is_some() && kind == PolicyKind::Unit;
+        let mut rec = RingRecorder::unbounded();
+        let report = if record {
+            run(&plan, &bundle, kind, Some(&mut rec))
+        } else {
+            run(&plan, &bundle, kind, None)
+        };
+        if record {
+            let events = rec.into_events();
+            println!("\nevent timeline (UNIT, med-unif):");
+            print!("{}", render_event_timeline(&events, 64));
+            if let Some(path) = args.write_trace(&events) {
+                println!("event trace written to {path}");
+            }
+            println!();
+        }
         let samples = downsample(&report.timeline, 12);
         print!("{:<5}", kind.name());
         for s in &samples {

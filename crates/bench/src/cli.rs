@@ -8,6 +8,9 @@ pub struct HarnessArgs {
     pub scale: u64,
     /// Directory for CSV output (created if missing); `None` disables CSV.
     pub out_dir: Option<String>,
+    /// Event-trace output file (`--trace-out`); `None` disables recording.
+    /// A `.csv` extension selects the CSV exporter, anything else JSONL.
+    pub trace_out: Option<String>,
 }
 
 impl Default for HarnessArgs {
@@ -15,6 +18,7 @@ impl Default for HarnessArgs {
         HarnessArgs {
             scale: 4,
             out_dir: Some("results".to_string()),
+            trace_out: None,
         }
     }
 }
@@ -42,6 +46,9 @@ impl HarnessArgs {
                     out.out_dir = Some(it.next().ok_or("--out requires a directory")?);
                 }
                 "--no-csv" => out.out_dir = None,
+                "--trace-out" => {
+                    out.trace_out = Some(it.next().ok_or("--trace-out requires a file name")?);
+                }
                 "--help" | "-h" => return Err(Self::usage()),
                 other => return Err(format!("unknown argument: {other}\n{}", Self::usage())),
             }
@@ -62,12 +69,42 @@ impl HarnessArgs {
 
     /// Usage text.
     pub fn usage() -> String {
-        "usage: <bin> [--scale N | --full] [--out DIR | --no-csv]\n\
-         --scale N   divide the paper-scale workload by N (default 4)\n\
-         --full      run at paper scale (110,035 queries / 3,848,104 s)\n\
-         --out DIR   write CSV outputs into DIR (default: results/)\n\
-         --no-csv    skip CSV output"
+        "usage: <bin> [--scale N | --full] [--out DIR | --no-csv] [--trace-out FILE]\n\
+         --scale N        divide the paper-scale workload by N (default 4)\n\
+         --full           run at paper scale (110,035 queries / 3,848,104 s)\n\
+         --out DIR        write CSV outputs into DIR (default: results/)\n\
+         --no-csv         skip CSV output\n\
+         --trace-out FILE record the observability event stream into\n\
+         \u{20}                FILE under the output directory (.csv selects\n\
+         \u{20}                the CSV exporter, anything else JSONL)"
             .to_string()
+    }
+
+    /// Write the recorded event stream if `--trace-out` was given; returns
+    /// the path written. A relative file name lands under the output
+    /// directory (default `results/`); the `.csv` extension selects the
+    /// CSV exporter, anything else JSONL.
+    pub fn write_trace(&self, events: &[unit_obs::ObsEvent]) -> Option<String> {
+        let name = self.trace_out.as_ref()?;
+        let path = match &self.out_dir {
+            Some(dir) if !name.starts_with('/') => format!("{dir}/{name}"),
+            _ => name.clone(),
+        };
+        let result = if std::path::Path::new(&path)
+            .extension()
+            .is_some_and(|e| e == "csv")
+        {
+            unit_obs::write_csv(std::path::Path::new(&path), events)
+        } else {
+            unit_obs::write_jsonl(std::path::Path::new(&path), events)
+        };
+        match result {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: cannot write {path}: {e}");
+                None
+            }
+        }
     }
 
     /// Write a CSV artifact if output is enabled; returns the path written.
@@ -134,6 +171,7 @@ mod tests {
         let args = HarnessArgs {
             scale: 1,
             out_dir: Some(dir.to_string_lossy().into_owned()),
+            trace_out: None,
         };
         let path = args.write_csv("probe.csv", "a,b\n1,2\n").expect("written");
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
@@ -141,10 +179,58 @@ mod tests {
     }
 
     #[test]
+    fn trace_out_flag() {
+        assert_eq!(parse(&[]).unwrap().trace_out, None);
+        assert_eq!(
+            parse(&["--trace-out", "t.jsonl"])
+                .unwrap()
+                .trace_out
+                .as_deref(),
+            Some("t.jsonl")
+        );
+        assert!(parse(&["--trace-out"]).is_err());
+    }
+
+    #[test]
+    fn write_trace_places_files_under_the_out_dir() {
+        use unit_core::time::SimTime;
+        use unit_core::types::{Outcome, QueryId};
+        let events = vec![unit_obs::ObsEvent::QueryOutcome {
+            time: SimTime::from_secs(1),
+            query: QueryId(0),
+            outcome: Outcome::Success,
+        }];
+        let dir = std::env::temp_dir().join(format!("unit-trace-test-{}", std::process::id()));
+        let args = HarnessArgs {
+            scale: 1,
+            out_dir: Some(dir.to_string_lossy().into_owned()),
+            trace_out: Some("events.jsonl".to_string()),
+        };
+        let path = args.write_trace(&events).expect("written");
+        assert!(path.ends_with("events.jsonl"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"kind\":\"outcome\""));
+        let csv_args = HarnessArgs {
+            trace_out: Some("events.csv".to_string()),
+            ..args
+        };
+        let path = csv_args.write_trace(&events).expect("written");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("kind,time"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_trace_is_disabled_without_the_flag() {
+        assert!(HarnessArgs::default().write_trace(&[]).is_none());
+    }
+
+    #[test]
     fn write_csv_is_disabled_without_an_out_dir() {
         let args = HarnessArgs {
             scale: 1,
             out_dir: None,
+            trace_out: None,
         };
         assert!(args.write_csv("x.csv", "data").is_none());
     }

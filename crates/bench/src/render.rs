@@ -89,6 +89,59 @@ pub fn spark(values: &[u64]) -> String {
         .collect()
 }
 
+/// Render an ASCII timeline of a recorded event stream: one sparkline row
+/// per event family (admissions, rejections, completions, misses/stale,
+/// refresh-period modulations), bucketed over the stream's time span.
+/// Cluster streams are flattened first ([`unit_obs::ObsEvent::Shard`]
+/// wrappers contribute their inner event).
+pub fn render_event_timeline(events: &[unit_obs::ObsEvent], buckets: usize) -> String {
+    use unit_core::types::Outcome;
+    use unit_obs::ObsEvent;
+    assert!(buckets > 0);
+    if events.is_empty() {
+        return "  (no events recorded)\n".to_string();
+    }
+    let span_start = events.iter().map(|e| e.time().0).min().unwrap_or(0);
+    let span_end = events.iter().map(|e| e.time().0).max().unwrap_or(0);
+    let width = (span_end - span_start).max(1);
+    let mut rows: Vec<(&str, Vec<u64>)> =
+        ["admitted", "rejected", "success", "miss/stale", "modulated"]
+            .iter()
+            .map(|&name| (name, vec![0u64; buckets]))
+            .collect();
+    for ev in events {
+        let inner = match ev {
+            ObsEvent::Shard { event, .. } => event.as_ref(),
+            other => other,
+        };
+        let row = match inner {
+            ObsEvent::Admission { decision, .. } => {
+                if decision.is_admit() {
+                    0
+                } else {
+                    1
+                }
+            }
+            ObsEvent::DispatcherReject { .. } => 1,
+            ObsEvent::QueryOutcome { outcome, .. } => match outcome {
+                Outcome::Success => 2,
+                Outcome::DeadlineMiss | Outcome::DataStale => 3,
+                Outcome::Rejected => 1,
+            },
+            ObsEvent::TicketMass { .. } => 4,
+            _ => continue,
+        };
+        let b = ((inner.time().0 - span_start) * buckets as u64 / width).min(buckets as u64 - 1);
+        rows[row].1[b as usize] += 1;
+    }
+    let mut out = String::new();
+    for (name, counts) in &rows {
+        let total: u64 = counts.iter().sum();
+        let _ = writeln!(out, "  {name:<10} {} ({total})", spark(counts));
+    }
+    out
+}
+
 /// Format a float with fixed precision, for table cells.
 pub fn f(v: f64, digits: usize) -> String {
     format!("{v:.digits$}")
@@ -158,6 +211,39 @@ mod tests {
         assert_eq!(chars[0], '▁');
         assert_eq!(chars[2], '█');
         assert_eq!(spark(&[0, 0]), "▁▁");
+    }
+
+    #[test]
+    fn event_timeline_buckets_by_family() {
+        use unit_core::time::SimTime;
+        use unit_core::types::{Outcome, QueryId};
+        use unit_obs::ObsEvent;
+        let events = vec![
+            ObsEvent::QueryOutcome {
+                time: SimTime::from_secs(1),
+                query: QueryId(0),
+                outcome: Outcome::Success,
+            },
+            ObsEvent::Shard {
+                shard: 1,
+                seq: 0,
+                event: Box::new(ObsEvent::QueryOutcome {
+                    time: SimTime::from_secs(9),
+                    query: QueryId(1),
+                    outcome: Outcome::DeadlineMiss,
+                }),
+            },
+        ];
+        let out = render_event_timeline(&events, 8);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(out.contains("success"));
+        assert!(out.contains("miss/stale"));
+        // One success, one miss — counts rendered per family.
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("success") && l.contains("(1)")));
+        assert_eq!(render_event_timeline(&[], 8), "  (no events recorded)\n");
     }
 
     #[test]

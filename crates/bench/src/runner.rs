@@ -136,6 +136,44 @@ pub fn run_policy(
     }
 }
 
+/// Run one policy over one bundle with an observer installed (the
+/// `--trace-out` path). The report is bit-identical to [`run_policy`]'s —
+/// observation is digest-neutral by construction; the obs differential
+/// suite pins this — so binaries can record without re-running quiet.
+pub fn run_policy_observed(
+    plan: &ExperimentPlan,
+    bundle: &TraceBundle,
+    policy: PolicyKind,
+    weights: UsmWeights,
+    observer: &mut dyn unit_obs::Observer,
+) -> RunOutcome {
+    use unit_sim::Simulator;
+    let cfg = plan.sim_config(weights);
+    let report = match policy {
+        PolicyKind::Imu => Simulator::new(&bundle.trace, ImuPolicy::new(), cfg)
+            .with_observer(observer)
+            .run(),
+        PolicyKind::Odu => Simulator::new(&bundle.trace, OduPolicy::new(), cfg)
+            .with_observer(observer)
+            .run(),
+        PolicyKind::Qmf => Simulator::new(&bundle.trace, QmfPolicy::default(), cfg)
+            .with_observer(observer)
+            .run(),
+        PolicyKind::Unit => Simulator::new(
+            &bundle.trace,
+            UnitPolicy::new(plan.unit_config(weights)),
+            cfg,
+        )
+        .with_observer(observer)
+        .run(),
+    };
+    RunOutcome {
+        trace_name: bundle.name.clone(),
+        policy,
+        report,
+    }
+}
+
 /// Size a worker pool: `min(jobs, parallelism)`, but always at least one
 /// thread. `parallelism` is the raw host value — callers pass `0` (or `1`)
 /// when `available_parallelism()` errored, and the floor absorbs it. Pure so

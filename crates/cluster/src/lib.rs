@@ -40,16 +40,13 @@
 pub mod failover;
 pub mod merge;
 pub mod routing;
+pub mod run;
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use unit_core::policy::Policy;
-use unit_core::split_seed;
 use unit_core::types::Trace;
-use unit_core::unit_policy::UnitPolicy;
 use unit_core::UnitConfig;
-use unit_faults::{FaultPlan, ScheduleError, ShardFaults};
-use unit_sim::{SimConfig, SimReport, Simulator};
-use unit_workload::{slice_trace, ItemPartition};
+use unit_faults::{FaultPlan, ScheduleError};
+use unit_sim::SimConfig;
 
 pub use failover::{
     check_health_consistency, route_with_faults, BackoffConfig, FailoverPolicy, FaultClusterReport,
@@ -57,6 +54,7 @@ pub use failover::{
 };
 pub use merge::{check_cluster_identity, ClusterReport, MergedOutcome};
 pub use routing::{assign, RoutingPolicy};
+pub use run::{ClusterRun, ClusterRunReport};
 
 /// Upper bound on the worker-thread knob; values past this are a typo, not
 /// a throughput request.
@@ -153,18 +151,21 @@ impl ClusterConfig {
     }
 
     /// Set the routing policy.
+    #[must_use]
     pub fn with_routing(mut self, routing: RoutingPolicy) -> ClusterConfig {
         self.routing = routing;
         self
     }
 
     /// Set the run seed.
+    #[must_use]
     pub fn with_seed(mut self, seed: u64) -> ClusterConfig {
         self.seed = seed;
         self
     }
 
     /// Cap the worker threads (`0` = one per shard).
+    #[must_use]
     pub fn with_workers(mut self, workers: usize) -> ClusterConfig {
         self.workers = workers;
         self
@@ -184,9 +185,9 @@ impl ClusterConfig {
         })
     }
 
-    /// Check the run-entry invariants. Every `run_*` entry point calls
-    /// this first, so a malformed config is a typed error, not a panic
-    /// deep in a worker thread.
+    /// Check the run-entry invariants. [`ClusterRun::run`] calls this
+    /// first, so a malformed config is a typed error, not a panic deep in
+    /// a worker thread.
     pub fn validate(&self) -> Result<(), ClusterConfigError> {
         if self.n_shards == 0 {
             return Err(ClusterConfigError::ZeroShards);
@@ -201,83 +202,7 @@ impl ClusterConfig {
     }
 }
 
-/// Execute every shard on a worker pool and return the reports indexed by
-/// shard id.
-///
-/// Interleaving-independence: workers claim shard indices from an atomic
-/// counter, run them without any shared mutable state, and return
-/// (shard_id, report) pairs; results are then placed into slots keyed by
-/// shard id, so neither claim order nor finish order is observable. With
-/// `hooks`, shard `i` runs with `hooks[i]` installed as its fault hook.
-fn execute_shards<P, F>(
-    shard_traces: &[Trace],
-    seeds: &[u64],
-    shard_cfg: SimConfig,
-    workers: usize,
-    hooks: Option<&[ShardFaults]>,
-    make_policy: &F,
-) -> Vec<SimReport>
-where
-    P: Policy + Send,
-    F: Fn(usize, u64) -> P + Sync,
-{
-    let n = shard_traces.len();
-    let workers = if workers == 0 { n } else { workers.min(n) };
-    let mut slots: Vec<Option<SimReport>> = (0..n).map(|_| None).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        let next = &next;
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut finished: Vec<(usize, SimReport)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let policy = make_policy(i, seeds[i]);
-                        let mut sim = Simulator::new(&shard_traces[i], policy, shard_cfg);
-                        if let Some(hooks) = hooks {
-                            sim = sim.with_faults(Box::new(hooks[i].clone()));
-                        }
-                        finished.push((i, sim.run()));
-                    }
-                    finished
-                })
-            })
-            .collect();
-        for h in handles {
-            // lint: allow(panic) — a worker panic is a shard-engine bug;
-            // propagate it instead of reporting a partial cluster
-            let finished = match h.join() {
-                Ok(f) => f,
-                Err(e) => std::panic::resume_unwind(e),
-            };
-            for (i, report) in finished {
-                slots[i] = Some(report);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, s)| match s {
-            Some(r) => r,
-            // lint: allow(panic) — every index < n is claimed exactly once
-            None => panic!("shard {i} produced no report"),
-        })
-        .collect()
-}
-
 /// Run a cluster: route, slice, execute every shard, merge.
-///
-/// `make_policy(shard_id, seed)` builds each shard's policy instance;
-/// `seed` is already split from the run seed, so implementations just
-/// thread it into their config (or ignore it for seedless baselines).
-/// The engine-level outcome log is forced on — the merge layer needs it —
-/// which does not change engine behaviour (the log is excluded from
-/// [`unit_sim::report_digest`]).
 ///
 /// # Errors
 /// Returns [`ClusterConfigError`] when `cluster` fails
@@ -285,7 +210,11 @@ where
 ///
 /// # Panics
 /// Panics if `trace` is malformed (same contract as
-/// [`Simulator::new`]) or a worker thread panics.
+/// [`unit_sim::Simulator::new`]) or a worker thread panics.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `cluster.build().run(trace, sim, make_policy)`"
+)]
 pub fn run_cluster<P, F>(
     trace: &Trace,
     sim: SimConfig,
@@ -296,60 +225,42 @@ where
     P: Policy + Send,
     F: Fn(usize, u64) -> P + Sync,
 {
-    cluster.validate()?;
-    let n = cluster.n_shards;
-    let partition = ItemPartition::new(n);
-    let assignment = routing::assign(trace, &partition, cluster.routing);
-    let shard_traces = match slice_trace(trace, &assignment, &partition) {
-        Ok(t) => t,
-        // lint: allow(panic) — the dispatcher produced the assignment; a bad one is a routing bug, not caller input
-        Err(e) => panic!("internal routing error: {e}"),
-    };
-    let seeds: Vec<u64> = (0..n).map(|i| split_seed(cluster.seed, i as u64)).collect();
-    let shard_reports = execute_shards(
-        &shard_traces,
-        &seeds,
-        sim.with_outcome_log(),
-        cluster.workers,
-        None,
-        &make_policy,
-    );
-
-    let report = ClusterReport::merge(cluster.routing, sim.weights, assignment, shard_reports);
-    unit_core::validate_check!(
-        "cluster-usm-identity",
-        merge::check_cluster_identity(&report)
-    );
-    Ok(report)
+    cluster.build().run(trace, sim, make_policy).map(|r| {
+        match r.into_plain() {
+            Some(r) => r,
+            // lint: allow(panic) — a fault-free run always yields a plain report
+            None => unreachable!("a fault-free run always yields a plain report"),
+        }
+    })
 }
 
-/// Run a UNIT cluster: one [`UnitPolicy`] per shard, each configured from
-/// `base` with its own split seed. The common case for benches.
+/// Run a UNIT cluster: one [`unit_core::unit_policy::UnitPolicy`] per shard, each configured from
+/// `base` with its own split seed.
 ///
 /// # Errors
 /// Returns [`ClusterConfigError`] when `cluster` fails
 /// [`ClusterConfig::validate`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `cluster.build().run_unit(trace, sim, base)`"
+)]
 pub fn run_unit_cluster(
     trace: &Trace,
     sim: SimConfig,
     cluster: &ClusterConfig,
     base: &UnitConfig,
 ) -> Result<ClusterReport, ClusterConfigError> {
-    run_cluster(trace, sim, cluster, |_, seed| {
-        UnitPolicy::new(base.clone().with_seed(seed))
+    cluster.build().run_unit(trace, sim, base).map(|r| {
+        match r.into_plain() {
+            Some(r) => r,
+            // lint: allow(panic) — a fault-free run always yields a plain report
+            None => unreachable!("a fault-free run always yields a plain report"),
+        }
     })
 }
 
 /// Run a cluster under a fault plan: fault-aware routing, per-shard fault
 /// hooks, dispatcher rejections folded into the USM.
-///
-/// The dispatcher runs [`route_with_faults`] (still a sequential
-/// prologue — the plan is declarative), routed queries execute on shards
-/// with their [`ShardFaults`] hook installed, and dispatcher rejections
-/// join the merged history under a pseudo-shard id. With
-/// [`FaultPlan::quiet`] schedules the report's shard-level content is
-/// bit-identical to [`run_cluster`] — the fault differential suite pins
-/// this digest-for-digest.
 ///
 /// # Errors
 /// Returns [`ClusterConfigError`] when `cluster` fails validation, the
@@ -357,7 +268,11 @@ pub fn run_unit_cluster(
 ///
 /// # Panics
 /// Panics if `trace` is malformed (same contract as
-/// [`Simulator::new`]) or a worker thread panics.
+/// [`unit_sim::Simulator::new`]) or a worker thread panics.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `cluster.build().with_faults(plan, failover).run(trace, sim, make_policy)`"
+)]
 pub fn run_fault_cluster<P, F>(
     trace: &Trace,
     sim: SimConfig,
@@ -370,61 +285,28 @@ where
     P: Policy + Send,
     F: Fn(usize, u64) -> P + Sync,
 {
-    cluster.validate()?;
-    let n = cluster.n_shards;
-    if plan.shards.len() != n {
-        return Err(ClusterConfigError::PlanShardMismatch {
-            plan_shards: plan.shards.len(),
-            n_shards: n,
-        });
-    }
-    let hooks: Vec<ShardFaults> = plan
-        .shards
-        .iter()
-        .enumerate()
-        .map(|(shard, s)| {
-            ShardFaults::new(s.clone())
-                .map_err(|error| ClusterConfigError::FaultSchedule { shard, error })
+    cluster
+        .build()
+        .with_faults(plan, *failover)
+        .run(trace, sim, make_policy)
+        .map(|r| {
+            match r.into_faulty() {
+                Some(r) => r,
+                // lint: allow(panic) — a run with faults installed always yields a faulty report
+                None => unreachable!("a run with faults installed always yields a faulty report"),
+            }
         })
-        .collect::<Result<_, _>>()?;
-
-    let partition = ItemPartition::new(n);
-    let decisions = failover::route_with_faults(trace, &partition, cluster.routing, plan, failover);
-    let (routed, assignment) = failover::routed_trace(trace, &decisions);
-    let shard_traces = match slice_trace(&routed, &assignment, &partition) {
-        Ok(t) => t,
-        // lint: allow(panic) — the dispatcher produced the assignment; a bad one is a routing bug, not caller input
-        Err(e) => panic!("internal routing error: {e}"),
-    };
-    let seeds: Vec<u64> = (0..n).map(|i| split_seed(cluster.seed, i as u64)).collect();
-    let shard_reports = execute_shards(
-        &shard_traces,
-        &seeds,
-        sim.with_outcome_log(),
-        cluster.workers,
-        Some(&hooks),
-        &make_policy,
-    );
-
-    let cluster_report =
-        ClusterReport::merge(cluster.routing, sim.weights, assignment, shard_reports);
-    unit_core::validate_check!(
-        "cluster-usm-identity",
-        merge::check_cluster_identity(&cluster_report)
-    );
-    let report = FaultClusterReport::assemble(trace, cluster_report, decisions);
-    unit_core::validate_check!(
-        "health-consistency",
-        failover::check_health_consistency(&report, plan, failover)
-    );
-    Ok(report)
 }
 
-/// Run a UNIT cluster under a fault plan: one [`UnitPolicy`] per shard,
+/// Run a UNIT cluster under a fault plan: one [`unit_core::unit_policy::UnitPolicy`] per shard,
 /// each configured from `base` with its own split seed.
 ///
 /// # Errors
-/// Same contract as [`run_fault_cluster`].
+/// Same contract as [`ClusterRun::run`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `cluster.build().with_faults(plan, failover).run_unit(trace, sim, base)`"
+)]
 pub fn run_unit_fault_cluster(
     trace: &Trace,
     sim: SimConfig,
@@ -433,9 +315,17 @@ pub fn run_unit_fault_cluster(
     failover: &FailoverPolicy,
     base: &UnitConfig,
 ) -> Result<FaultClusterReport, ClusterConfigError> {
-    run_fault_cluster(trace, sim, cluster, plan, failover, |_, seed| {
-        UnitPolicy::new(base.clone().with_seed(seed))
-    })
+    cluster
+        .build()
+        .with_faults(plan, *failover)
+        .run_unit(trace, sim, base)
+        .map(|r| {
+            match r.into_faulty() {
+                Some(r) => r,
+                // lint: allow(panic) — a run with faults installed always yields a faulty report
+                None => unreachable!("a run with faults installed always yields a faulty report"),
+            }
+        })
 }
 
 #[cfg(test)]
@@ -480,13 +370,21 @@ mod tests {
             .with_tick_period(SimDuration::from_secs(5))
     }
 
+    fn run_plain(trace: &Trace, cluster: ClusterConfig) -> ClusterReport {
+        cluster
+            .build()
+            .run_unit(trace, sim_cfg(), &UnitConfig::default())
+            .unwrap()
+            .into_plain()
+            .unwrap()
+    }
+
     #[test]
     fn cluster_runs_and_accounts_for_every_query() {
         let trace = tiny_trace();
         for n in [1, 2, 4] {
             let cluster = ClusterConfig::new(n).with_seed(7);
-            let report =
-                run_unit_cluster(&trace, sim_cfg(), &cluster, &UnitConfig::default()).unwrap();
+            let report = run_plain(&trace, cluster);
             assert_eq!(report.n_shards, n);
             assert_eq!(report.counts.total(), 40, "n={n}");
             assert_eq!(report.log.len(), 40, "n={n}");
@@ -500,14 +398,8 @@ mod tests {
         let trace = tiny_trace();
         for routing in RoutingPolicy::ALL {
             let base = ClusterConfig::new(4).with_seed(11).with_routing(routing);
-            let a = run_unit_cluster(&trace, sim_cfg(), &base, &UnitConfig::default()).unwrap();
-            let b = run_unit_cluster(
-                &trace,
-                sim_cfg(),
-                &base.with_workers(1),
-                &UnitConfig::default(),
-            )
-            .unwrap();
+            let a = run_plain(&trace, base);
+            let b = run_plain(&trace, base.with_workers(1));
             assert_eq!(a.assignment, b.assignment);
             assert_eq!(a.log, b.log);
             assert_eq!(a.counts, b.counts);
@@ -524,12 +416,17 @@ mod tests {
         let mut zero = ClusterConfig::new(2);
         zero.n_shards = 0;
         assert_eq!(
-            run_unit_cluster(&trace, sim_cfg(), &zero, &UnitConfig::default()).unwrap_err(),
+            zero.build()
+                .run_unit(&trace, sim_cfg(), &UnitConfig::default())
+                .unwrap_err(),
             ClusterConfigError::ZeroShards
         );
         let greedy = ClusterConfig::new(2).with_workers(MAX_WORKERS + 1);
         assert_eq!(
-            run_unit_cluster(&trace, sim_cfg(), &greedy, &UnitConfig::default()).unwrap_err(),
+            greedy
+                .build()
+                .run_unit(&trace, sim_cfg(), &UnitConfig::default())
+                .unwrap_err(),
             ClusterConfigError::TooManyWorkers {
                 workers: MAX_WORKERS + 1,
                 max: MAX_WORKERS
@@ -537,7 +434,10 @@ mod tests {
         );
         // A capped-but-legal worker count is fine.
         let ok = ClusterConfig::try_new(2).unwrap().with_workers(MAX_WORKERS);
-        assert!(run_unit_cluster(&trace, sim_cfg(), &ok, &UnitConfig::default()).is_ok());
+        assert!(ok
+            .build()
+            .run_unit(&trace, sim_cfg(), &UnitConfig::default())
+            .is_ok());
     }
 
     #[test]
@@ -546,15 +446,11 @@ mod tests {
         let cluster = ClusterConfig::new(2).with_seed(7);
         let short = FaultPlan::quiet(1);
         assert_eq!(
-            run_unit_fault_cluster(
-                &trace,
-                sim_cfg(),
-                &cluster,
-                &short,
-                &FailoverPolicy::NoRetry,
-                &UnitConfig::default()
-            )
-            .unwrap_err(),
+            cluster
+                .build()
+                .with_faults(&short, FailoverPolicy::NoRetry)
+                .run_unit(&trace, sim_cfg(), &UnitConfig::default())
+                .unwrap_err(),
             ClusterConfigError::PlanShardMismatch {
                 plan_shards: 1,
                 n_shards: 2
@@ -566,15 +462,11 @@ mod tests {
             end: unit_core::time::SimTime::from_secs(5),
             mode: unit_faults::FaultMode::Pause,
         });
-        let err = run_unit_fault_cluster(
-            &trace,
-            sim_cfg(),
-            &cluster,
-            &bad,
-            &FailoverPolicy::NoRetry,
-            &UnitConfig::default(),
-        )
-        .unwrap_err();
+        let err = cluster
+            .build()
+            .with_faults(&bad, FailoverPolicy::NoRetry)
+            .run_unit(&trace, sim_cfg(), &UnitConfig::default())
+            .unwrap_err();
         assert!(matches!(
             err,
             ClusterConfigError::FaultSchedule { shard: 1, .. }
@@ -584,23 +476,21 @@ mod tests {
     #[test]
     fn quiet_fault_cluster_matches_the_plain_cluster() {
         let trace = tiny_trace();
+        let quiet = FaultPlan::quiet(4);
         for routing in RoutingPolicy::ALL {
             let cluster = ClusterConfig::new(4).with_seed(11).with_routing(routing);
-            let plain =
-                run_unit_cluster(&trace, sim_cfg(), &cluster, &UnitConfig::default()).unwrap();
+            let plain = run_plain(&trace, cluster);
             for failover in [
                 FailoverPolicy::NoRetry,
                 FailoverPolicy::Backoff(BackoffConfig::default()),
             ] {
-                let faulty = run_unit_fault_cluster(
-                    &trace,
-                    sim_cfg(),
-                    &cluster,
-                    &FaultPlan::quiet(4),
-                    &failover,
-                    &UnitConfig::default(),
-                )
-                .unwrap();
+                let faulty = cluster
+                    .build()
+                    .with_faults(&quiet, failover)
+                    .run_unit(&trace, sim_cfg(), &UnitConfig::default())
+                    .unwrap()
+                    .into_faulty()
+                    .unwrap();
                 assert_eq!(faulty.cluster.assignment, plain.assignment);
                 assert_eq!(faulty.cluster.log, plain.log);
                 assert_eq!(faulty.counts, plain.counts);
@@ -625,29 +515,26 @@ mod tests {
         assert!(!plan.is_empty());
         let cluster = ClusterConfig::new(2).with_seed(7);
         let failover = FailoverPolicy::Backoff(BackoffConfig::default());
-        let report = run_unit_fault_cluster(
-            &trace,
-            sim_cfg(),
-            &cluster,
-            &plan,
-            &failover,
-            &UnitConfig::default(),
-        )
-        .unwrap();
+        let report = cluster
+            .build()
+            .with_faults(&plan, failover)
+            .run_unit(&trace, sim_cfg(), &UnitConfig::default())
+            .unwrap()
+            .into_faulty()
+            .unwrap();
         // Every query decided exactly once, dispatcher rejections included.
         assert_eq!(report.counts.total(), 40);
         assert_eq!(report.log.len(), 40);
         check_health_consistency(&report, &plan, &failover).unwrap();
         // Bit-reproducible, for any worker count.
-        let again = run_unit_fault_cluster(
-            &trace,
-            sim_cfg(),
-            &cluster.with_workers(1),
-            &plan,
-            &failover,
-            &UnitConfig::default(),
-        )
-        .unwrap();
+        let again = cluster
+            .with_workers(1)
+            .build()
+            .with_faults(&plan, failover)
+            .run_unit(&trace, sim_cfg(), &UnitConfig::default())
+            .unwrap()
+            .into_faulty()
+            .unwrap();
         assert_eq!(report.log, again.log);
         assert_eq!(report.counts, again.counts);
         assert_eq!(report.decisions, again.decisions);

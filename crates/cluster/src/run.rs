@@ -1,0 +1,451 @@
+//! The unified cluster entry point: [`ClusterRun`], built from a
+//! [`ClusterConfig`].
+//!
+//! One builder replaces the former four `run_*` free functions (kept as
+//! thin deprecated wrappers): a plain cluster is `cfg.build().run(...)`,
+//! faults are layered with [`ClusterRun::with_faults`], and observability
+//! with [`ClusterRun::with_observer`] — so telemetry is wired once, here,
+//! instead of once per entry point. Future shard/batching features extend
+//! this builder rather than growing new top-level functions.
+//!
+//! ## Observation model
+//!
+//! Each shard engine records into its own private unbounded
+//! [`RingRecorder`] on its worker thread (no shared state, no locks), and
+//! after the merge the streams are **replayed** to the installed observer
+//! as [`ObsEvent::Shard`]-wrapped events, interleaved with the
+//! cluster-level dispatcher events (routes, rejections, shard-health
+//! transitions) in `(time, lane, seq)` order — lane 0 is the dispatcher,
+//! lane `s + 1` is shard `s`. The replay is a pure function of the run
+//! inputs, so the observed stream is bit-identical for any worker count,
+//! and observation never touches the engines' decision paths: every
+//! `report_digest` matches the observer-free run exactly.
+
+use crate::failover::{self, FailoverPolicy, FaultClusterReport, RouteDecision};
+use crate::merge::ClusterReport;
+use crate::routing;
+use crate::{ClusterConfig, ClusterConfigError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use unit_core::policy::Policy;
+use unit_core::split_seed;
+use unit_core::time::SimTime;
+use unit_core::types::Trace;
+use unit_core::unit_policy::UnitPolicy;
+use unit_core::UnitConfig;
+use unit_faults::{FaultPlan, ShardFaults};
+use unit_obs::{FaultPhase, ObsEvent, Observer, RingRecorder};
+use unit_sim::{HealthState, SimConfig, SimReport, Simulator};
+use unit_workload::{slice_trace, ItemPartition};
+
+/// A configured cluster run: faults and observation are layered onto the
+/// shape described by the [`ClusterConfig`] it was built from, mirroring
+/// the single-server `Simulator::with_faults`/`with_observer` builders.
+pub struct ClusterRun<'a> {
+    cluster: ClusterConfig,
+    faults: Option<(&'a FaultPlan, FailoverPolicy)>,
+    obs: Option<&'a mut dyn Observer>,
+}
+
+/// What a [`ClusterRun`] produced: the plain shard-level report, or the
+/// fault-extended one when a plan was installed. The variant is decided by
+/// the builder's configuration, never by what happened during the run, so
+/// callers can match structurally.
+#[derive(Debug, Clone)]
+pub enum ClusterRunReport {
+    /// A fault-free run ([`ClusterRun::with_faults`] absent).
+    Plain(ClusterReport),
+    /// A fault-injected run, dispatcher verdicts included.
+    Faulty(FaultClusterReport),
+}
+
+impl ClusterRunReport {
+    /// The shard-level report, whichever variant this is. O(1).
+    pub fn cluster(&self) -> &ClusterReport {
+        match self {
+            ClusterRunReport::Plain(r) => r,
+            ClusterRunReport::Faulty(r) => &r.cluster,
+        }
+    }
+
+    /// The plain report, if this was a fault-free run. O(1).
+    pub fn into_plain(self) -> Option<ClusterReport> {
+        match self {
+            ClusterRunReport::Plain(r) => Some(r),
+            ClusterRunReport::Faulty(_) => None,
+        }
+    }
+
+    /// The fault-extended report, if a plan was installed. O(1).
+    pub fn into_faulty(self) -> Option<FaultClusterReport> {
+        match self {
+            ClusterRunReport::Plain(_) => None,
+            ClusterRunReport::Faulty(r) => Some(r),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Start building a run from this shape. Layer options with
+    /// [`ClusterRun::with_faults`] / [`ClusterRun::with_observer`], then
+    /// execute with [`ClusterRun::run`] (or [`ClusterRun::run_unit`]).
+    #[must_use]
+    pub fn build<'a>(self) -> ClusterRun<'a> {
+        ClusterRun {
+            cluster: self,
+            faults: None,
+            obs: None,
+        }
+    }
+}
+
+impl<'a> ClusterRun<'a> {
+    /// Install a fault plan and the dispatcher's failover policy. The run
+    /// then uses fault-aware routing, executes each shard with its
+    /// [`ShardFaults`] hook, and returns
+    /// [`ClusterRunReport::Faulty`].
+    #[must_use]
+    pub fn with_faults(mut self, plan: &'a FaultPlan, failover: FailoverPolicy) -> ClusterRun<'a> {
+        self.faults = Some((plan, failover));
+        self
+    }
+
+    /// Install an observability sink. Shard event streams are recorded
+    /// per-worker and replayed to `observer` after the merge (see the
+    /// module docs for the deterministic interleave); dispatcher routes,
+    /// rejections, and shard-health transitions are emitted at cluster
+    /// level. Passive: the run's reports are bit-identical either way.
+    #[must_use]
+    pub fn with_observer(mut self, observer: &'a mut dyn Observer) -> ClusterRun<'a> {
+        self.obs = Some(observer);
+        self
+    }
+
+    /// Execute the run: route, slice, execute every shard, merge, and (with
+    /// an observer installed) replay the recorded event streams.
+    ///
+    /// `make_policy(shard_id, seed)` builds each shard's policy instance;
+    /// `seed` is already split from the run seed. The engine-level outcome
+    /// log is forced on — the merge layer needs it — which does not change
+    /// engine behaviour (the log is excluded from
+    /// [`unit_sim::report_digest`]).
+    ///
+    /// # Errors
+    /// Returns [`ClusterConfigError`] when the config fails
+    /// [`ClusterConfig::validate`], or — with faults installed — when the
+    /// plan does not cover every shard or a shard schedule is malformed.
+    ///
+    /// # Panics
+    /// Panics if `trace` is malformed (same contract as
+    /// [`Simulator::new`]) or a worker thread panics.
+    pub fn run<P, F>(
+        self,
+        trace: &Trace,
+        sim: SimConfig,
+        make_policy: F,
+    ) -> Result<ClusterRunReport, ClusterConfigError>
+    where
+        P: Policy + Send,
+        F: Fn(usize, u64) -> P + Sync,
+    {
+        let ClusterRun {
+            cluster,
+            faults,
+            obs,
+        } = self;
+        cluster.validate()?;
+        let n = cluster.n_shards;
+        let partition = ItemPartition::new(n);
+
+        // Dispatch prologue: fault-aware when a plan is installed, the
+        // plain assigner otherwise. Both are sequential and pure.
+        let (hooks, decisions, routed_storage, assignment) = match faults {
+            Some((plan, failover)) => {
+                if plan.shards.len() != n {
+                    return Err(ClusterConfigError::PlanShardMismatch {
+                        plan_shards: plan.shards.len(),
+                        n_shards: n,
+                    });
+                }
+                let hooks: Vec<ShardFaults> = plan
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .map(|(shard, s)| {
+                        ShardFaults::new(s.clone())
+                            .map_err(|error| ClusterConfigError::FaultSchedule { shard, error })
+                    })
+                    .collect::<Result<_, _>>()?;
+                let decisions = failover::route_with_faults(
+                    trace,
+                    &partition,
+                    cluster.routing,
+                    plan,
+                    &failover,
+                );
+                let (routed, assignment) = failover::routed_trace(trace, &decisions);
+                (Some(hooks), Some(decisions), Some(routed), assignment)
+            }
+            None => {
+                let assignment = routing::assign(trace, &partition, cluster.routing);
+                (None, None, None, assignment)
+            }
+        };
+        let exec_trace = routed_storage.as_ref().unwrap_or(trace);
+        let shard_traces = match slice_trace(exec_trace, &assignment, &partition) {
+            Ok(t) => t,
+            // lint: allow(panic) — the dispatcher produced the assignment; a bad one is a routing bug, not caller input
+            Err(e) => panic!("internal routing error: {e}"),
+        };
+        let seeds: Vec<u64> = (0..n).map(|i| split_seed(cluster.seed, i as u64)).collect();
+        let results = execute_shards(
+            &shard_traces,
+            &seeds,
+            sim.with_outcome_log(),
+            cluster.workers,
+            hooks.as_deref(),
+            obs.is_some(),
+            &make_policy,
+        );
+        let mut recorders: Vec<Option<RingRecorder>> = Vec::with_capacity(n);
+        let mut shard_reports: Vec<SimReport> = Vec::with_capacity(n);
+        for (report, rec) in results {
+            shard_reports.push(report);
+            recorders.push(rec);
+        }
+
+        let cluster_report =
+            ClusterReport::merge(cluster.routing, sim.weights, assignment, shard_reports);
+        unit_core::validate_check!(
+            "cluster-usm-identity",
+            crate::merge::check_cluster_identity(&cluster_report)
+        );
+
+        if let Some(observer) = obs {
+            replay_events(
+                observer,
+                trace,
+                recorders,
+                decisions.as_deref(),
+                hooks.as_deref(),
+                cluster_report.assignment.as_slice(),
+                exec_trace,
+            );
+        }
+
+        match decisions {
+            Some(decisions) => {
+                let report = FaultClusterReport::assemble(trace, cluster_report, decisions);
+                #[cfg(feature = "validate")]
+                if let Some((plan, failover)) = faults {
+                    unit_core::validate_check!(
+                        "health-consistency",
+                        failover::check_health_consistency(&report, plan, &failover)
+                    );
+                }
+                Ok(ClusterRunReport::Faulty(report))
+            }
+            None => Ok(ClusterRunReport::Plain(cluster_report)),
+        }
+    }
+
+    /// Execute a UNIT run: one [`UnitPolicy`] per shard, each configured
+    /// from `base` with its own split seed. The common case for benches.
+    ///
+    /// # Errors
+    /// Same contract as [`ClusterRun::run`].
+    pub fn run_unit(
+        self,
+        trace: &Trace,
+        sim: SimConfig,
+        base: &UnitConfig,
+    ) -> Result<ClusterRunReport, ClusterConfigError> {
+        self.run(trace, sim, |_, seed| {
+            UnitPolicy::new(base.clone().with_seed(seed))
+        })
+    }
+}
+
+/// Execute every shard on a worker pool and return `(report, recorder)`
+/// pairs indexed by shard id (`recorder` is `Some` iff `record`).
+///
+/// Interleaving-independence: workers claim shard indices from an atomic
+/// counter, run them without any shared mutable state — each shard's
+/// recorder lives on its worker's stack — and return indexed results;
+/// results are then placed into slots keyed by shard id, so neither claim
+/// order nor finish order is observable. With `hooks`, shard `i` runs with
+/// `hooks[i]` installed as its fault hook.
+fn execute_shards<P, F>(
+    shard_traces: &[Trace],
+    seeds: &[u64],
+    shard_cfg: SimConfig,
+    workers: usize,
+    hooks: Option<&[ShardFaults]>,
+    record: bool,
+    make_policy: &F,
+) -> Vec<(SimReport, Option<RingRecorder>)>
+where
+    P: Policy + Send,
+    F: Fn(usize, u64) -> P + Sync,
+{
+    let n = shard_traces.len();
+    let workers = if workers == 0 { n } else { workers.min(n) };
+    let mut slots: Vec<Option<(SimReport, Option<RingRecorder>)>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let next = &next;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut finished: Vec<(usize, SimReport, Option<RingRecorder>)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let policy = make_policy(i, seeds[i]);
+                        let mut rec = record.then(RingRecorder::unbounded);
+                        let report = {
+                            let mut sim = Simulator::new(&shard_traces[i], policy, shard_cfg);
+                            if let Some(hooks) = hooks {
+                                sim = sim.with_faults(Box::new(hooks[i].clone()));
+                            }
+                            if let Some(r) = rec.as_mut() {
+                                sim = sim.with_observer(r);
+                            }
+                            sim.run()
+                        };
+                        finished.push((i, report, rec));
+                    }
+                    finished
+                })
+            })
+            .collect();
+        for h in handles {
+            // lint: allow(panic) — a worker panic is a shard-engine bug;
+            // propagate it instead of reporting a partial cluster
+            let finished = match h.join() {
+                Ok(f) => f,
+                Err(e) => std::panic::resume_unwind(e),
+            };
+            for (i, report, rec) in finished {
+                slots[i] = Some((report, rec));
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| match s {
+            Some(r) => r,
+            // lint: allow(panic) — every index < n is claimed exactly once
+            None => panic!("shard {i} produced no report"),
+        })
+        .collect()
+}
+
+/// Replay the run's event streams to the observer in `(time, lane, seq)`
+/// order: lane 0 carries the dispatcher (shard-health transitions first,
+/// then routing verdicts, each in construction order at equal instants),
+/// lane `s + 1` carries shard `s`'s own stream wrapped as
+/// [`ObsEvent::Shard`]. Pure function of the run inputs — worker count and
+/// finish order are invisible. O(E log E) in the total event count.
+#[allow(clippy::too_many_arguments)]
+fn replay_events(
+    observer: &mut dyn Observer,
+    trace: &Trace,
+    recorders: Vec<Option<RingRecorder>>,
+    decisions: Option<&[RouteDecision]>,
+    hooks: Option<&[ShardFaults]>,
+    plain_assignment: &[usize],
+    exec_trace: &Trace,
+) {
+    let mut all: Vec<(SimTime, u32, u64, ObsEvent)> = Vec::new();
+    let mut seq0 = 0u64;
+    let mut lane0 = |all: &mut Vec<(SimTime, u32, u64, ObsEvent)>, ev: ObsEvent| {
+        all.push((ev.time(), 0, seq0, ev));
+        seq0 += 1;
+    };
+
+    // Shard-health transitions, as the dispatcher sees the plan.
+    if let Some(hooks) = hooks {
+        for (s, hook) in hooks.iter().enumerate() {
+            use unit_sim::FaultHook as _;
+            let mut times = hook.transition_times();
+            times.sort_unstable();
+            times.dedup();
+            for t in times {
+                let (phase, until) = match hook.health(t) {
+                    HealthState::Up => (FaultPhase::Up, None),
+                    HealthState::Degraded { until } => (FaultPhase::Degraded, Some(until)),
+                    HealthState::Down { until } => (FaultPhase::Down, Some(until)),
+                };
+                lane0(
+                    &mut all,
+                    ObsEvent::ShardHealth {
+                        time: t,
+                        shard: s as u32,
+                        phase,
+                        until,
+                    },
+                );
+            }
+        }
+    }
+
+    // Routing verdicts: fault-aware decisions when present, otherwise the
+    // plain assignment (every query routed at its arrival, zero retries).
+    match decisions {
+        Some(decisions) => {
+            for (q, d) in trace.queries.iter().zip(decisions) {
+                let ev = match *d {
+                    RouteDecision::Routed { shard, at, retries } => ObsEvent::DispatcherRoute {
+                        time: at,
+                        query: q.id,
+                        shard: shard as u32,
+                        retries,
+                    },
+                    RouteDecision::Rejected { at, retries } => ObsEvent::DispatcherReject {
+                        time: at,
+                        query: q.id,
+                        retries,
+                    },
+                };
+                lane0(&mut all, ev);
+            }
+        }
+        None => {
+            for (q, &shard) in exec_trace.queries.iter().zip(plain_assignment) {
+                lane0(
+                    &mut all,
+                    ObsEvent::DispatcherRoute {
+                        time: q.arrival,
+                        query: q.id,
+                        shard: shard as u32,
+                        retries: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    for (s, rec) in recorders.into_iter().enumerate() {
+        let Some(rec) = rec else { continue };
+        for (seq, event) in rec.into_events().into_iter().enumerate() {
+            all.push((
+                event.time(),
+                s as u32 + 1,
+                seq as u64,
+                ObsEvent::Shard {
+                    shard: s as u32,
+                    seq: seq as u64,
+                    event: Box::new(event),
+                },
+            ));
+        }
+    }
+
+    all.sort_by_key(|&(time, lane, seq, _)| (time, lane, seq));
+    for (_, _, _, ev) in all {
+        observer.on_event(&ev);
+    }
+}

@@ -1,0 +1,123 @@
+//! The deprecated `run_*` wrappers are thin: each must produce reports
+//! bit-identical to the [`unit_cluster::ClusterRun`] builder it forwards
+//! to. This pins the migration path — callers can switch entry points in
+//! either direction without a digest moving.
+
+#![allow(deprecated)]
+
+use unit_cluster::{BackoffConfig, ClusterConfig, FailoverPolicy, RoutingPolicy};
+use unit_core::config::UnitConfig;
+use unit_core::time::SimDuration;
+use unit_core::unit_policy::UnitPolicy;
+use unit_core::usm::UsmWeights;
+use unit_faults::{FaultConfig, FaultMode, FaultPlan};
+use unit_sim::{report_digest, SimConfig};
+use unit_workload::{
+    QueryTraceConfig, TraceBundle, UpdateDistribution, UpdateTraceConfig, UpdateVolume,
+};
+
+const SCALE: u64 = 16;
+const SEED: u64 = 0x5EED_0005;
+
+fn bundle() -> TraceBundle {
+    let qcfg = QueryTraceConfig::default().scaled_down(SCALE);
+    let ucfg = UpdateTraceConfig::table1(UpdateVolume::Med, UpdateDistribution::Uniform)
+        .with_total((UpdateVolume::Med.total_updates() / SCALE).max(1));
+    TraceBundle::generate(&qcfg, &ucfg)
+}
+
+fn sim_cfg(horizon: SimDuration) -> SimConfig {
+    SimConfig::new(horizon)
+        .with_weights(UsmWeights::low_high_cfm())
+        .with_tick_period(SimDuration::from_secs(10))
+}
+
+fn unit_base() -> UnitConfig {
+    UnitConfig::with_weights(UsmWeights::low_high_cfm())
+}
+
+#[test]
+fn run_cluster_wrappers_match_the_builder() {
+    let bundle = bundle();
+    let cfg = sim_cfg(bundle.horizon);
+    for routing in RoutingPolicy::ALL {
+        let cluster = ClusterConfig::new(3).with_routing(routing).with_seed(SEED);
+
+        let wrapped =
+            unit_cluster::run_unit_cluster(&bundle.trace, cfg, &cluster, &unit_base()).unwrap();
+        let built = cluster
+            .build()
+            .run_unit(&bundle.trace, cfg, &unit_base())
+            .unwrap()
+            .into_plain()
+            .unwrap();
+        assert_eq!(wrapped.assignment, built.assignment);
+        assert_eq!(wrapped.log, built.log);
+        assert_eq!(wrapped.counts, built.counts);
+        for (w, b) in wrapped.shard_reports.iter().zip(&built.shard_reports) {
+            assert_eq!(report_digest(w), report_digest(b));
+        }
+
+        let generic = unit_cluster::run_cluster(&bundle.trace, cfg, &cluster, |_, seed| {
+            UnitPolicy::new(unit_base().with_seed(seed))
+        })
+        .unwrap();
+        assert_eq!(generic.log, built.log);
+        assert_eq!(generic.counts, built.counts);
+    }
+}
+
+#[test]
+fn run_fault_cluster_wrappers_match_the_builder() {
+    let bundle = bundle();
+    let cfg = sim_cfg(bundle.horizon);
+    let fcfg = FaultConfig::quiet(bundle.horizon, 100).with_crashes(
+        0.2,
+        SimDuration::from_secs(40),
+        FaultMode::Pause,
+    );
+    let plan = FaultPlan::generate(0xFA_17, 3, &fcfg);
+    let failover = FailoverPolicy::Backoff(BackoffConfig::default());
+    let cluster = ClusterConfig::new(3).with_seed(SEED);
+
+    let wrapped = unit_cluster::run_unit_fault_cluster(
+        &bundle.trace,
+        cfg,
+        &cluster,
+        &plan,
+        &failover,
+        &unit_base(),
+    )
+    .unwrap();
+    let built = cluster
+        .build()
+        .with_faults(&plan, failover)
+        .run_unit(&bundle.trace, cfg, &unit_base())
+        .unwrap()
+        .into_faulty()
+        .unwrap();
+    assert_eq!(wrapped.decisions, built.decisions);
+    assert_eq!(wrapped.log, built.log);
+    assert_eq!(wrapped.counts, built.counts);
+    for (w, b) in wrapped
+        .cluster
+        .shard_reports
+        .iter()
+        .zip(&built.cluster.shard_reports)
+    {
+        assert_eq!(report_digest(w), report_digest(b));
+    }
+
+    let generic = unit_cluster::run_fault_cluster(
+        &bundle.trace,
+        cfg,
+        &cluster,
+        &plan,
+        &failover,
+        |_, seed| UnitPolicy::new(unit_base().with_seed(seed)),
+    )
+    .unwrap();
+    assert_eq!(generic.decisions, built.decisions);
+    assert_eq!(generic.log, built.log);
+    assert_eq!(generic.counts, built.counts);
+}

@@ -11,7 +11,7 @@
 //! at scale=8.
 
 use unit_baselines::{ImuPolicy, OduPolicy, QmfPolicy};
-use unit_cluster::{run_cluster, ClusterConfig, RoutingPolicy};
+use unit_cluster::{ClusterConfig, RoutingPolicy};
 use unit_core::config::UnitConfig;
 use unit_core::policy::Policy;
 use unit_core::split_seed;
@@ -62,8 +62,12 @@ fn differential<P: Policy + Send>(policy_name: &str, make: impl Fn(u64) -> P + S
         let single_digest = report_digest(&single);
         for routing in RoutingPolicy::ALL {
             let cluster_cfg = ClusterConfig::new(1).with_routing(routing).with_seed(SEED);
-            let report = run_cluster(&bundle.trace, cfg, &cluster_cfg, |_, seed| make(seed))
-                .expect("valid cluster config");
+            let report = cluster_cfg
+                .build()
+                .run(&bundle.trace, cfg, |_, seed| make(seed))
+                .expect("valid cluster config")
+                .into_plain()
+                .expect("fault-free run");
             let shard_digest = report_digest(&report.shard_reports[0]);
             if shard_digest != single_digest {
                 failures.push(format!(
@@ -121,10 +125,16 @@ fn eight_shard_fig3_scale_run_completes() {
     let cfg = sim_config(bundle.horizon, SchedulingDiscipline::DualPriorityEdf);
     for routing in RoutingPolicy::ALL {
         let cluster_cfg = ClusterConfig::new(8).with_routing(routing).with_seed(SEED);
-        let report = run_cluster(&bundle.trace, cfg, &cluster_cfg, |_, seed| {
-            UnitPolicy::new(UnitConfig::with_weights(UsmWeights::low_high_cfm()).with_seed(seed))
-        })
-        .expect("valid cluster config");
+        let report = cluster_cfg
+            .build()
+            .run(&bundle.trace, cfg, |_, seed| {
+                UnitPolicy::new(
+                    UnitConfig::with_weights(UsmWeights::low_high_cfm()).with_seed(seed),
+                )
+            })
+            .expect("valid cluster config")
+            .into_plain()
+            .expect("fault-free run");
         assert_eq!(
             report.counts.total() as usize,
             bundle.trace.queries.len(),

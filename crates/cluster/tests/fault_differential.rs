@@ -1,19 +1,17 @@
 //! Fault differential suite: the empty fault schedule is provably inert.
 //!
-//! [`unit_cluster::run_fault_cluster`] with a [`FaultPlan::quiet`] plan
+//! A [`unit_cluster::ClusterRun`] with a [`FaultPlan::quiet`] plan
 //! installs a fault hook on every shard and routes through the fault-aware
 //! dispatcher — yet must produce **digest-bit-identical** shard reports,
 //! the same assignment, the same merged log and the same tallies as the
-//! plain [`unit_cluster::run_cluster`], for all 4 policies × 3 scheduling
+//! plain fault-free run, for all 4 policies × 3 scheduling
 //! disciplines × 3 routing policies on the golden fig3-style workload at
 //! scale=8, under either failover policy and any worker count. This is the
 //! contract that lets the fault machinery ship inside the main cluster
 //! path without perturbing a single golden digest.
 
 use unit_baselines::{ImuPolicy, OduPolicy, QmfPolicy};
-use unit_cluster::{
-    run_cluster, run_fault_cluster, BackoffConfig, ClusterConfig, FailoverPolicy, RoutingPolicy,
-};
+use unit_cluster::{BackoffConfig, ClusterConfig, FailoverPolicy, RoutingPolicy};
 use unit_core::config::UnitConfig;
 use unit_core::policy::Policy;
 use unit_core::time::SimDuration;
@@ -68,17 +66,19 @@ fn quiet_differential<P: Policy + Send>(
                 .with_routing(routing)
                 .with_seed(SEED)
                 .with_workers(workers);
-            let plain = run_cluster(&bundle.trace, cfg, &cluster_cfg, |_, seed| make(seed))
-                .expect("valid cluster config");
-            let faulty = run_fault_cluster(
-                &bundle.trace,
-                cfg,
-                &cluster_cfg,
-                &plan,
-                failover,
-                |_, seed| make(seed),
-            )
-            .expect("valid fault cluster config");
+            let plain = cluster_cfg
+                .build()
+                .run(&bundle.trace, cfg, |_, seed| make(seed))
+                .expect("valid cluster config")
+                .into_plain()
+                .expect("fault-free run");
+            let faulty = cluster_cfg
+                .build()
+                .with_faults(&plan, *failover)
+                .run(&bundle.trace, cfg, |_, seed| make(seed))
+                .expect("valid fault cluster config")
+                .into_faulty()
+                .expect("fault run");
             for shard in 0..N_SHARDS {
                 let p = report_digest(&plain.shard_reports[shard]);
                 let f = report_digest(&faulty.cluster.shard_reports[shard]);

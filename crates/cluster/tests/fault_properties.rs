@@ -12,8 +12,8 @@
 
 use proptest::prelude::*;
 use unit_cluster::{
-    check_health_consistency, run_unit_fault_cluster, BackoffConfig, ClusterConfig, FailoverPolicy,
-    FaultClusterReport, RoutingPolicy,
+    check_health_consistency, BackoffConfig, ClusterConfig, FailoverPolicy, FaultClusterReport,
+    RoutingPolicy,
 };
 use unit_core::config::UnitConfig;
 use unit_core::time::SimDuration;
@@ -117,15 +117,17 @@ fn run(s: &Scenario, workers: usize) -> FaultClusterReport {
         .with_routing(s.routing)
         .with_seed(s.seed)
         .with_workers(workers);
-    run_unit_fault_cluster(
-        &s.bundle.trace,
-        sim,
-        &cluster,
-        &s.plan,
-        &s.failover,
-        &UnitConfig::with_weights(UsmWeights::low_high_cfm()),
-    )
-    .expect("valid fault cluster config")
+    cluster
+        .build()
+        .with_faults(&s.plan, s.failover)
+        .run_unit(
+            &s.bundle.trace,
+            sim,
+            &UnitConfig::with_weights(UsmWeights::low_high_cfm()),
+        )
+        .expect("valid fault cluster config")
+        .into_faulty()
+        .expect("fault run")
 }
 
 proptest! {

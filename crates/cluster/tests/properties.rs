@@ -12,7 +12,7 @@
 //!     round-off (the integer tallies underneath are exact).
 
 use proptest::prelude::*;
-use unit_cluster::{check_cluster_identity, run_unit_cluster, ClusterConfig, RoutingPolicy};
+use unit_cluster::{check_cluster_identity, ClusterConfig, RoutingPolicy};
 use unit_core::config::UnitConfig;
 use unit_core::time::SimDuration;
 use unit_core::usm::{OutcomeCounts, UsmWeights};
@@ -75,13 +75,16 @@ fn run(s: &Scenario, workers: usize) -> unit_cluster::ClusterReport {
         .with_routing(s.routing)
         .with_seed(s.seed)
         .with_workers(workers);
-    run_unit_cluster(
-        &s.bundle.trace,
-        sim,
-        &cluster,
-        &UnitConfig::with_weights(UsmWeights::low_high_cfm()),
-    )
-    .expect("valid cluster config")
+    cluster
+        .build()
+        .run_unit(
+            &s.bundle.trace,
+            sim,
+            &UnitConfig::with_weights(UsmWeights::low_high_cfm()),
+        )
+        .expect("valid cluster config")
+        .into_plain()
+        .expect("fault-free run")
 }
 
 proptest! {

@@ -64,6 +64,7 @@ pub mod freshness;
 pub mod freshness_model;
 pub mod lottery;
 pub mod modulation;
+pub mod observe;
 pub mod policy;
 pub mod seed;
 pub mod snapshot;
@@ -82,6 +83,7 @@ pub use freshness::FreshnessTable;
 pub use freshness_model::FreshnessModel;
 pub use lottery::WeightedSampler;
 pub use modulation::{UpdateModulation, UpgradeRule};
+pub use observe::{AdmissionObs, ControllerObs, ModulationObs};
 pub use policy::{AdmissionDecision, ControlSignal, Policy, UpdateAction};
 pub use seed::split_seed;
 pub use snapshot::{QueueEntryView, QueueSource, SnapshotView, SystemSnapshot};
@@ -101,6 +103,7 @@ pub mod prelude {
     pub use crate::freshness::FreshnessTable;
     pub use crate::freshness_model::FreshnessModel;
     pub use crate::modulation::{UpdateModulation, UpgradeRule};
+    pub use crate::observe::{AdmissionObs, ControllerObs, ModulationObs};
     pub use crate::policy::{AdmissionDecision, ControlSignal, Policy, UpdateAction};
     pub use crate::snapshot::{QueueEntryView, QueueSource, SnapshotView, SystemSnapshot};
     pub use crate::time::{SimDuration, SimTime};

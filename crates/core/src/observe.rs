@@ -1,0 +1,50 @@
+//! Read-only observation records a [`crate::policy::Policy`] can expose.
+//!
+//! The observability layer (`unit-obs`) lives *above* this crate, so the
+//! policy cannot emit events itself. Instead, the policy buffers small
+//! derived records through the optional `Policy` observation hooks
+//! (`set_observed` / `last_admission` / `controller_obs` /
+//! `drain_modulation_obs`), and the engine — the single emitter — translates
+//! them into typed events. Every record is pure derived data: producing one
+//! never mutates decision state, which keeps an observed run bit-identical
+//! to an unobserved one.
+
+use crate::admission::AdmissionVerdict;
+use crate::time::SimDuration;
+use crate::types::DataId;
+
+/// Detail behind the latest admission decision, for policies that run real
+/// admission control (UNIT). Baselines leave this unset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionObs {
+    /// The admission lag ratio `C_flex` at decision time.
+    pub c_flex: f64,
+    /// The staged verdict, including the failed inequality's numbers on a
+    /// rejection.
+    pub verdict: AdmissionVerdict,
+}
+
+/// Controller state snapshot taken right after a control tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerObs {
+    /// `C_flex` after the tick's signals were applied.
+    pub c_flex: f64,
+    /// Items whose update period is currently degraded.
+    pub degraded_items: usize,
+    /// Total lottery-ticket mass across all items.
+    pub ticket_sum: f64,
+}
+
+/// One update-period modulation boundary: a degrade stretch or an upgrade
+/// step applied to one item, with the item's ticket mass at that instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModulationObs {
+    /// The modulated item.
+    pub item: DataId,
+    /// The item's raw ticket value when it was picked.
+    pub ticket: f64,
+    /// Period before the change.
+    pub old_period: SimDuration,
+    /// Period after the change.
+    pub new_period: SimDuration,
+}

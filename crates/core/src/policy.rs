@@ -16,6 +16,7 @@
 //! * **UNIT** applies versions at the modulated period `pc_j ≥ pi_j`
 //!   maintained by update-frequency modulation.
 
+use crate::observe::{AdmissionObs, ControllerObs, ModulationObs};
 use crate::snapshot::SnapshotView;
 use crate::time::{SimDuration, SimTime};
 use crate::types::{DataId, Outcome, QuerySpec, UpdateSpec};
@@ -162,6 +163,44 @@ pub trait Policy {
     fn current_period(&self, item: DataId) -> Option<SimDuration> {
         let _ = item;
         None
+    }
+
+    // ---- Observation hooks (all optional; see `crate::observe`) ---------
+    //
+    // The engine is the sole event emitter; these hooks let it pull derived
+    // records out of the policy without the policy depending on the
+    // observability crate. They must never influence decisions: an observed
+    // run is required to be bit-identical to an unobserved one.
+
+    /// Told once by the server whether an observer is installed, before the
+    /// run starts. Policies may use this to skip buffering observation
+    /// records entirely when nobody is listening. Buffering must never
+    /// change decisions either way. O(1).
+    fn set_observed(&mut self, observed: bool) {
+        let _ = observed;
+    }
+
+    /// Detail behind the most recent [`Policy::on_query_arrival`] decision,
+    /// when the policy runs real admission control and observation is on.
+    /// Read by the server immediately after each arrival. O(1).
+    fn last_admission(&self) -> Option<AdmissionObs> {
+        None
+    }
+
+    /// Controller state right after a [`Policy::on_tick`], for closed-loop
+    /// policies with observation on. Called at tick frequency, never per
+    /// event, so O(N_d) aggregates (e.g. a ticket-mass sum) are acceptable,
+    /// per DESIGN.md §2.1.
+    fn controller_obs(&self) -> Option<ControllerObs> {
+        None
+    }
+
+    /// Drain the modulation boundaries crossed since the last drain
+    /// (buffered only while observation is on). The server calls this after
+    /// each tick and stamps the records with the tick time. O(n) in the
+    /// records drained; O(1) when observation is off.
+    fn drain_modulation_obs(&mut self) -> Vec<ModulationObs> {
+        Vec::new()
     }
 }
 

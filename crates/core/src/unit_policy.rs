@@ -23,6 +23,7 @@ use crate::config::UnitConfig;
 use crate::controller::Lbc;
 use crate::lottery::WeightedSampler;
 use crate::modulation::UpdateModulation;
+use crate::observe::{AdmissionObs, ControllerObs, ModulationObs};
 use crate::policy::{AdmissionDecision, ControlSignal, Policy, UpdateAction};
 use crate::snapshot::SnapshotView;
 use crate::tickets::TicketTable;
@@ -63,6 +64,13 @@ pub struct UnitPolicy {
     cpu_share_count: u64,
     /// Ideal per-item update utilization shares `ue_j / pi_j` (budgeting).
     util_share: Vec<f64>,
+    /// True while an observer is installed on the driving server. Gates the
+    /// observation buffers below; never influences decisions.
+    observed: bool,
+    /// Verdict behind the latest arrival decision (observation only).
+    last_admission: Option<AdmissionObs>,
+    /// Modulation boundaries crossed since the last drain (observation only).
+    modulation_obs: Vec<ModulationObs>,
 }
 
 impl UnitPolicy {
@@ -90,6 +98,9 @@ impl UnitPolicy {
             cpu_share_sum: 0.0,
             cpu_share_count: 0,
             util_share: Vec::new(),
+            observed: false,
+            last_admission: None,
+            modulation_obs: Vec::new(),
             cfg,
         }
     }
@@ -230,9 +241,18 @@ impl UnitPolicy {
             };
             let d = DataId(i as u32);
             let before = self.modulation.survival_fraction(d);
+            let old_period = self.observed.then(|| self.modulation.current_period(d));
             if self.modulation.upgrade_one(d) {
                 let after = self.modulation.survival_fraction(d);
                 restored += self.util_share[i] * (after - before);
+                if let Some(old_period) = old_period {
+                    self.modulation_obs.push(ModulationObs {
+                        item: d,
+                        ticket: self.tickets.raw(i),
+                        old_period,
+                        new_period: self.modulation.current_period(d),
+                    });
+                }
             }
         }
     }
@@ -322,10 +342,19 @@ impl UnitPolicy {
                     self.stats.degrade_draws += 1;
                 } else {
                     let before = self.modulation.survival_fraction(d);
+                    let old_period = self.observed.then(|| self.modulation.current_period(d));
                     self.modulation.degrade(d);
                     let after = self.modulation.survival_fraction(d);
                     shed += self.util_share[victim] * (before - after);
                     self.stats.degrade_draws += 1;
+                    if let Some(old_period) = old_period {
+                        self.modulation_obs.push(ModulationObs {
+                            item: d,
+                            ticket: self.tickets.raw(victim),
+                            old_period,
+                            new_period: self.modulation.current_period(d),
+                        });
+                    }
                     if self.modulation.degrade_is_noop(d) {
                         uncapped -= 1;
                     }
@@ -409,6 +438,7 @@ impl Policy for UnitPolicy {
 
     fn on_query_arrival(&mut self, q: &QuerySpec, sys: &SnapshotView<'_>) -> AdmissionDecision {
         if !self.cfg.admission_enabled {
+            self.last_admission = None;
             return AdmissionDecision::Admit;
         }
         let arr_weights = self.cfg.weights_for(q.pref_class);
@@ -420,6 +450,12 @@ impl Policy for UnitPolicy {
             AdmissionVerdict::NotPromising { .. } => self.stats.rejected_not_promising += 1,
             AdmissionVerdict::EndangersSystem { .. } => self.stats.rejected_endangering += 1,
             AdmissionVerdict::Admitted => {}
+        }
+        if self.observed {
+            self.last_admission = Some(AdmissionObs {
+                c_flex: self.ac.c_flex(),
+                verdict,
+            });
         }
         verdict.decision()
     }
@@ -485,6 +521,34 @@ impl Policy for UnitPolicy {
 
     fn current_period(&self, item: DataId) -> Option<SimDuration> {
         Some(self.modulation.current_period(item))
+    }
+
+    /// O(1): flips the observation flag and clears stale buffers.
+    fn set_observed(&mut self, observed: bool) {
+        self.observed = observed;
+        if !observed {
+            self.last_admission = None;
+            self.modulation_obs.clear();
+        }
+    }
+
+    /// O(1): the buffered verdict behind the latest arrival decision.
+    fn last_admission(&self) -> Option<AdmissionObs> {
+        self.last_admission
+    }
+
+    /// O(N_d) for the ticket-mass sum; called at tick frequency only.
+    fn controller_obs(&self) -> Option<ControllerObs> {
+        Some(ControllerObs {
+            c_flex: self.ac.c_flex(),
+            degraded_items: self.modulation.degraded_count(),
+            ticket_sum: self.tickets.ticket_sum(),
+        })
+    }
+
+    /// O(n) in the drained records; O(1) when observation is off.
+    fn drain_modulation_obs(&mut self) -> Vec<ModulationObs> {
+        std::mem::take(&mut self.modulation_obs)
     }
 }
 
@@ -651,6 +715,49 @@ mod tests {
     fn with_weights_builder_sets_preferences() {
         let p = UnitPolicy::with_weights(UsmWeights::high_high_cfm());
         assert_eq!(p.config().weights, UsmWeights::high_high_cfm());
+    }
+
+    #[test]
+    fn observation_hooks_buffer_only_when_observed() {
+        let sys = SystemSnapshot::empty(SimTime::ZERO);
+
+        // Unobserved: nothing is buffered.
+        let mut quiet = initialized_policy();
+        let _ = quiet.on_query_arrival(&query_spec(1, &[0], 30, 2), &sys.view());
+        assert_eq!(quiet.last_admission(), None);
+        for _ in 0..10 {
+            quiet.apply_signal(ControlSignal::DegradeUpdates);
+        }
+        assert!(quiet.drain_modulation_obs().is_empty());
+
+        // Observed: the same call sequence exposes its derived records.
+        let mut p = initialized_policy();
+        p.set_observed(true);
+        let _ = p.on_query_arrival(&query_spec(1, &[0], 30, 2), &sys.view());
+        let obs = p.last_admission().expect("verdict must be buffered");
+        assert!(matches!(obs.verdict, AdmissionVerdict::NotPromising { .. }));
+        assert!(obs.c_flex > 0.0);
+        for _ in 0..10 {
+            p.apply_signal(ControlSignal::DegradeUpdates);
+        }
+        let boundaries = p.drain_modulation_obs();
+        assert!(!boundaries.is_empty(), "degrades must log boundaries");
+        assert!(boundaries.iter().all(|m| m.new_period > m.old_period));
+        assert!(
+            p.drain_modulation_obs().is_empty(),
+            "drain empties the buffer"
+        );
+
+        let ctl = p.controller_obs().expect("UNIT exposes controller state");
+        assert!(ctl.degraded_items >= 1);
+        assert!(ctl.ticket_sum.is_finite());
+
+        // Observation never changed decisions: stats paths are identical.
+        assert_eq!(p.stats(), quiet.stats());
+
+        // Turning observation off clears the buffers.
+        p.set_observed(false);
+        assert_eq!(p.last_admission(), None);
     }
 
     #[test]

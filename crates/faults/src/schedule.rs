@@ -203,6 +203,7 @@ impl FaultConfig {
     }
 
     /// Set the crash-window parameters.
+    #[must_use]
     pub fn with_crashes(mut self, rate: f64, mean_window: SimDuration, mode: FaultMode) -> Self {
         self.crash_rate = rate;
         self.mean_window = mean_window;
@@ -211,6 +212,7 @@ impl FaultConfig {
     }
 
     /// Set the stream-fault parameters (`delay == ZERO` means drop faults).
+    #[must_use]
     pub fn with_stream_faults(
         mut self,
         count: usize,
@@ -224,6 +226,7 @@ impl FaultConfig {
     }
 
     /// Set the load-burst parameters.
+    #[must_use]
     pub fn with_bursts(mut self, count: usize, loads: u32, exec: SimDuration) -> Self {
         self.bursts = count;
         self.burst_loads = loads;

@@ -1,0 +1,493 @@
+//! JSONL and CSV trace exporters.
+//!
+//! Both formats are hand-rendered with deterministic formatting: times and
+//! periods are raw virtual-time ticks (integers), floats use Rust's
+//! shortest-roundtrip `Display`, and event order is preserved — the same
+//! event stream always produces byte-identical output (the golden-file
+//! tests pin this). JSONL is the full-fidelity format (one object per
+//! line, nested for `Shard`-wrapped events); CSV is a flattened convenience
+//! with one row per event and a fixed column set.
+//!
+//! The bench harness writes both under `results/` via `--trace-out`.
+
+use crate::event::{outcome_name, ObsEvent};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use unit_core::admission::AdmissionVerdict;
+use unit_core::time::SimTime;
+
+/// A float as a JSON value: shortest-roundtrip for finite values, `null`
+/// for the non-finite ones JSON cannot carry. O(1).
+fn jf(x: f64) -> String {
+    if x.is_finite() {
+        let mut s = format!("{x}");
+        if !s.contains('.') && !s.contains('e') {
+            // Keep a float-typed column float-looking ("1.0", not "1").
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An optional instant as a JSON value. O(1).
+fn jt(t: Option<SimTime>) -> String {
+    match t {
+        Some(t) => t.0.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn verdict_json(v: &AdmissionVerdict) -> String {
+    match v {
+        AdmissionVerdict::Admitted => r#"{"type":"admitted"}"#.to_string(),
+        AdmissionVerdict::NotPromising {
+            projected_secs,
+            deadline_secs,
+        } => format!(
+            r#"{{"type":"not_promising","projected_secs":{},"deadline_secs":{}}}"#,
+            jf(*projected_secs),
+            jf(*deadline_secs)
+        ),
+        AdmissionVerdict::EndangersSystem {
+            endangered_cost,
+            rejection_cost,
+        } => format!(
+            r#"{{"type":"endangers_system","endangered_cost":{},"rejection_cost":{}}}"#,
+            jf(*endangered_cost),
+            jf(*rejection_cost)
+        ),
+    }
+}
+
+/// One event as a single-line JSON object. O(size of the event).
+pub fn event_to_json(ev: &ObsEvent) -> String {
+    match ev {
+        ObsEvent::Admission {
+            time,
+            query,
+            decision,
+            verdict,
+            c_flex,
+        } => {
+            let decision = if decision.is_admit() {
+                "admit"
+            } else {
+                "reject"
+            };
+            let verdict = verdict
+                .as_ref()
+                .map_or_else(|| "null".to_string(), verdict_json);
+            let c_flex = c_flex.map_or_else(|| "null".to_string(), jf);
+            format!(
+                r#"{{"kind":"admission","t":{},"query":{},"decision":"{decision}","verdict":{verdict},"c_flex":{c_flex}}}"#,
+                time.0, query.0
+            )
+        }
+        ObsEvent::QueryOutcome {
+            time,
+            query,
+            outcome,
+        } => format!(
+            r#"{{"kind":"outcome","t":{},"query":{},"outcome":"{}"}}"#,
+            time.0,
+            query.0,
+            outcome_name(*outcome)
+        ),
+        ObsEvent::ControlTick {
+            time,
+            ready_queries,
+            query_backlog_secs,
+            update_backlog_secs,
+            utilization,
+            usm,
+        } => format!(
+            r#"{{"kind":"control_tick","t":{},"ready_queries":{ready_queries},"query_backlog_secs":{},"update_backlog_secs":{},"utilization":{},"usm":{}}}"#,
+            time.0,
+            jf(*query_backlog_secs),
+            jf(*update_backlog_secs),
+            jf(*utilization),
+            jf(*usm)
+        ),
+        ObsEvent::ControlStep {
+            time,
+            c_flex,
+            tac,
+            lac,
+            degrade,
+            upgrade,
+            degraded_items,
+            ticket_sum,
+        } => format!(
+            r#"{{"kind":"control_step","t":{},"c_flex":{},"tac":{tac},"lac":{lac},"degrade":{degrade},"upgrade":{upgrade},"degraded_items":{degraded_items},"ticket_sum":{}}}"#,
+            time.0,
+            jf(*c_flex),
+            jf(*ticket_sum)
+        ),
+        ObsEvent::TicketMass {
+            time,
+            item,
+            ticket,
+            old_period,
+            new_period,
+        } => format!(
+            r#"{{"kind":"ticket_mass","t":{},"item":{},"ticket":{},"old_period":{},"new_period":{}}}"#,
+            time.0,
+            item.0,
+            jf(*ticket),
+            old_period.0,
+            new_period.0
+        ),
+        ObsEvent::FaultWindow { time, phase, until } => format!(
+            r#"{{"kind":"fault_window","t":{},"phase":"{}","until":{}}}"#,
+            time.0,
+            phase.name(),
+            jt(*until)
+        ),
+        ObsEvent::ShardHealth {
+            time,
+            shard,
+            phase,
+            until,
+        } => format!(
+            r#"{{"kind":"shard_health","t":{},"shard":{shard},"phase":"{}","until":{}}}"#,
+            time.0,
+            phase.name(),
+            jt(*until)
+        ),
+        ObsEvent::DispatcherRoute {
+            time,
+            query,
+            shard,
+            retries,
+        } => format!(
+            r#"{{"kind":"route","t":{},"query":{},"shard":{shard},"retries":{retries}}}"#,
+            time.0, query.0
+        ),
+        ObsEvent::DispatcherReject {
+            time,
+            query,
+            retries,
+        } => format!(
+            r#"{{"kind":"dispatcher_reject","t":{},"query":{},"retries":{retries}}}"#,
+            time.0, query.0
+        ),
+        ObsEvent::Shard { shard, seq, event } => format!(
+            r#"{{"kind":"shard","shard":{shard},"seq":{seq},"event":{}}}"#,
+            event_to_json(event)
+        ),
+    }
+}
+
+/// Render an event stream as JSONL (one JSON object per line, trailing
+/// newline). O(total event size).
+pub fn to_jsonl(events: &[ObsEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&event_to_json(ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// The CSV header matching [`to_csv`]'s fixed column set.
+pub const CSV_HEADER: &str = "kind,time,shard,seq,query,item,detail,v0,v1,v2,v3,v4,v5";
+
+/// One CSV row: the flattened fields of one event. `Shard`-wrapped events
+/// flatten to the inner event's row with `shard`/`seq` filled. Per-kind
+/// column meanings are documented in DESIGN.md §6. O(size of the event).
+fn event_to_csv_row(ev: &ObsEvent, shard: Option<u32>, seq: Option<u64>) -> String {
+    // Column scratch: detail plus up to six values; unused cells stay empty.
+    let mut detail = String::new();
+    let mut query = String::new();
+    let mut item = String::new();
+    let mut v: [String; 6] = Default::default();
+    let mut shard_col = shard.map_or_else(String::new, |s| s.to_string());
+    match ev {
+        ObsEvent::Admission {
+            query: q,
+            decision,
+            verdict,
+            c_flex,
+            ..
+        } => {
+            query = q.0.to_string();
+            detail = match verdict {
+                Some(AdmissionVerdict::Admitted) => "admitted".to_string(),
+                Some(AdmissionVerdict::NotPromising {
+                    projected_secs,
+                    deadline_secs,
+                }) => {
+                    v[0] = jf(*projected_secs);
+                    v[1] = jf(*deadline_secs);
+                    "not_promising".to_string()
+                }
+                Some(AdmissionVerdict::EndangersSystem {
+                    endangered_cost,
+                    rejection_cost,
+                }) => {
+                    v[0] = jf(*endangered_cost);
+                    v[1] = jf(*rejection_cost);
+                    "endangers_system".to_string()
+                }
+                None => if decision.is_admit() {
+                    "admit"
+                } else {
+                    "reject"
+                }
+                .to_string(),
+            };
+            if let Some(c) = c_flex {
+                v[2] = jf(*c);
+            }
+        }
+        ObsEvent::QueryOutcome {
+            query: q, outcome, ..
+        } => {
+            query = q.0.to_string();
+            detail = outcome_name(*outcome).to_string();
+        }
+        ObsEvent::ControlTick {
+            ready_queries,
+            query_backlog_secs,
+            update_backlog_secs,
+            utilization,
+            usm,
+            ..
+        } => {
+            v[0] = ready_queries.to_string();
+            v[1] = jf(*query_backlog_secs);
+            v[2] = jf(*update_backlog_secs);
+            v[3] = jf(*utilization);
+            v[4] = jf(*usm);
+        }
+        ObsEvent::ControlStep {
+            c_flex,
+            tac,
+            lac,
+            degrade,
+            upgrade,
+            degraded_items,
+            ticket_sum,
+            ..
+        } => {
+            detail = degraded_items.to_string();
+            v[0] = jf(*c_flex);
+            v[1] = tac.to_string();
+            v[2] = lac.to_string();
+            v[3] = degrade.to_string();
+            v[4] = upgrade.to_string();
+            v[5] = jf(*ticket_sum);
+        }
+        ObsEvent::TicketMass {
+            item: d,
+            ticket,
+            old_period,
+            new_period,
+            ..
+        } => {
+            item = d.0.to_string();
+            v[0] = jf(*ticket);
+            v[1] = old_period.0.to_string();
+            v[2] = new_period.0.to_string();
+        }
+        ObsEvent::FaultWindow { phase, until, .. } => {
+            detail = phase.name().to_string();
+            if let Some(u) = until {
+                v[0] = u.0.to_string();
+            }
+        }
+        ObsEvent::ShardHealth {
+            shard: s,
+            phase,
+            until,
+            ..
+        } => {
+            shard_col = s.to_string();
+            detail = phase.name().to_string();
+            if let Some(u) = until {
+                v[0] = u.0.to_string();
+            }
+        }
+        ObsEvent::DispatcherRoute {
+            query: q,
+            shard: s,
+            retries,
+            ..
+        } => {
+            query = q.0.to_string();
+            shard_col = s.to_string();
+            detail = "routed".to_string();
+            v[0] = retries.to_string();
+        }
+        ObsEvent::DispatcherReject {
+            query: q, retries, ..
+        } => {
+            query = q.0.to_string();
+            detail = "rejected".to_string();
+            v[0] = retries.to_string();
+        }
+        ObsEvent::Shard {
+            shard: s,
+            seq: n,
+            event,
+        } => {
+            return event_to_csv_row(event, Some(*s), Some(*n));
+        }
+    }
+    let seq_col = seq.map_or_else(String::new, |s| s.to_string());
+    format!(
+        "{},{},{shard_col},{seq_col},{query},{item},{detail},{},{},{},{},{},{}",
+        ev.kind(),
+        ev.time().0,
+        v[0],
+        v[1],
+        v[2],
+        v[3],
+        v[4],
+        v[5]
+    )
+}
+
+/// Render an event stream as CSV with [`CSV_HEADER`] as the first line.
+/// O(total event size).
+pub fn to_csv(events: &[ObsEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 48 + CSV_HEADER.len() + 1);
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for ev in events {
+        let _ = writeln!(out, "{}", event_to_csv_row(ev, None, None));
+    }
+    out
+}
+
+/// Write the stream as JSONL at `path`, creating parent directories
+/// (conventionally under `results/`).
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_jsonl(path: impl AsRef<Path>, events: &[ObsEvent]) -> io::Result<()> {
+    write_text(path.as_ref(), &to_jsonl(events))
+}
+
+/// Write the stream as CSV at `path`, creating parent directories
+/// (conventionally under `results/`).
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_csv(path: impl AsRef<Path>, events: &[ObsEvent]) -> io::Result<()> {
+    write_text(path.as_ref(), &to_csv(events))
+}
+
+fn write_text(path: &Path, contents: &str) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, contents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FaultPhase;
+    use unit_core::policy::AdmissionDecision;
+    use unit_core::time::SimDuration;
+    use unit_core::types::{DataId, Outcome, QueryId};
+
+    fn sample_events() -> Vec<ObsEvent> {
+        vec![
+            ObsEvent::Admission {
+                time: SimTime::from_secs(1),
+                query: QueryId(10),
+                decision: AdmissionDecision::Reject,
+                verdict: Some(AdmissionVerdict::NotPromising {
+                    projected_secs: 12.5,
+                    deadline_secs: 8.0,
+                }),
+                c_flex: Some(1.1),
+            },
+            ObsEvent::ControlTick {
+                time: SimTime::from_secs(2),
+                ready_queries: 3,
+                query_backlog_secs: 4.5,
+                update_backlog_secs: 0.25,
+                utilization: 0.75,
+                usm: 0.5,
+            },
+            ObsEvent::TicketMass {
+                time: SimTime::from_secs(2),
+                item: DataId(7),
+                ticket: 2.5,
+                old_period: SimDuration::from_secs(10),
+                new_period: SimDuration::from_secs(11),
+            },
+            ObsEvent::Shard {
+                shard: 1,
+                seq: 4,
+                event: Box::new(ObsEvent::QueryOutcome {
+                    time: SimTime::from_secs(3),
+                    query: QueryId(10),
+                    outcome: Outcome::DeadlineMiss,
+                }),
+            },
+            ObsEvent::ShardHealth {
+                time: SimTime::from_secs(4),
+                shard: 0,
+                phase: FaultPhase::Down,
+                until: Some(SimTime::from_secs(9)),
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_golden() {
+        let expected = concat!(
+            r#"{"kind":"admission","t":1000000,"query":10,"decision":"reject","verdict":{"type":"not_promising","projected_secs":12.5,"deadline_secs":8.0},"c_flex":1.1}"#,
+            "\n",
+            r#"{"kind":"control_tick","t":2000000,"ready_queries":3,"query_backlog_secs":4.5,"update_backlog_secs":0.25,"utilization":0.75,"usm":0.5}"#,
+            "\n",
+            r#"{"kind":"ticket_mass","t":2000000,"item":7,"ticket":2.5,"old_period":10000000,"new_period":11000000}"#,
+            "\n",
+            r#"{"kind":"shard","shard":1,"seq":4,"event":{"kind":"outcome","t":3000000,"query":10,"outcome":"deadline_miss"}}"#,
+            "\n",
+            r#"{"kind":"shard_health","t":4000000,"shard":0,"phase":"down","until":9000000}"#,
+            "\n",
+        );
+        assert_eq!(to_jsonl(&sample_events()), expected);
+    }
+
+    #[test]
+    fn csv_golden() {
+        let expected = concat!(
+            "kind,time,shard,seq,query,item,detail,v0,v1,v2,v3,v4,v5\n",
+            "admission,1000000,,,10,,not_promising,12.5,8.0,1.1,,,\n",
+            "control_tick,2000000,,,,,,3,4.5,0.25,0.75,0.5,\n",
+            "ticket_mass,2000000,,,,7,,2.5,10000000,11000000,,,\n",
+            "outcome,3000000,1,4,10,,deadline_miss,,,,,,\n",
+            "shard_health,4000000,0,,,,down,9000000,,,,,\n",
+        );
+        assert_eq!(to_csv(&sample_events()), expected);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(jf(f64::NAN), "null");
+        assert_eq!(jf(f64::INFINITY), "null");
+        assert_eq!(jf(1.0), "1.0");
+        assert_eq!(jf(0.125), "0.125");
+    }
+
+    #[test]
+    fn files_land_under_the_requested_directory() {
+        let dir = std::env::temp_dir().join("unit_obs_export_test");
+        let path = dir.join("nested").join("trace.jsonl");
+        write_jsonl(&path, &sample_events()).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, to_jsonl(&sample_events()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -33,11 +33,12 @@ use std::ops::Bound;
 use unit_core::fenwick::Fenwick;
 use unit_core::freshness::FreshnessTable;
 use unit_core::freshness_model::FreshnessModel;
-use unit_core::policy::Policy;
+use unit_core::policy::{ControlSignal, Policy};
 use unit_core::snapshot::{QueueEntryView, QueueSource, SnapshotView};
 use unit_core::time::{SimDuration, SimTime};
 use unit_core::types::{DataId, Outcome, QueryId, QuerySpec, Trace, TxnClass};
 use unit_core::usm::{OutcomeCounts, UsmWeights};
+use unit_obs::{FaultPhase, ObsEvent, Observer};
 
 /// How the single CPU orders ready transactions.
 ///
@@ -121,24 +122,28 @@ impl SimConfig {
     }
 
     /// Enable per-query outcome logging (see [`SimConfig::record_outcomes`]).
+    #[must_use]
     pub fn with_outcome_log(mut self) -> Self {
         self.record_outcomes = true;
         self
     }
 
     /// Set the reporting/policy weights.
+    #[must_use]
     pub fn with_weights(mut self, weights: UsmWeights) -> Self {
         self.weights = weights;
         self
     }
 
     /// Enable timeline recording.
+    #[must_use]
     pub fn with_timeline(mut self) -> Self {
         self.record_timeline = true;
         self
     }
 
     /// Override the control-tick period.
+    #[must_use]
     pub fn with_tick_period(mut self, period: SimDuration) -> Self {
         assert!(!period.is_zero(), "tick period must be positive");
         self.tick_period = period;
@@ -146,6 +151,7 @@ impl SimConfig {
     }
 
     /// Override the scheduling discipline (for ablations).
+    #[must_use]
     pub fn with_discipline(mut self, discipline: SchedulingDiscipline) -> Self {
         self.discipline = discipline;
         self
@@ -155,6 +161,7 @@ impl SimConfig {
     ///
     /// # Panics
     /// Panics if `n_cpus` is zero.
+    #[must_use]
     pub fn with_cpus(mut self, n_cpus: usize) -> Self {
         assert!(n_cpus >= 1, "need at least one CPU");
         self.n_cpus = n_cpus;
@@ -165,6 +172,7 @@ impl SimConfig {
     ///
     /// # Panics
     /// Panics on degenerate model parameters.
+    #[must_use]
     pub fn with_freshness_model(mut self, model: FreshnessModel) -> Self {
         if let Err(e) = model.validate() {
             // lint: allow(panic) — documented constructor contract, caught at config time
@@ -339,6 +347,11 @@ pub struct Simulator<'a, P: Policy> {
     /// Optional fault-injection hook ([`crate::faults`]). `None` — the
     /// common case — takes exactly the fault-free code paths.
     faults: Option<Box<dyn FaultHook>>,
+    /// Optional observability sink (`unit-obs`). Every emission site is
+    /// gated on `is_some()`, so an absent observer costs one branch and an
+    /// installed one is `report_digest`-bit-neutral (events carry only
+    /// derived data; the differential suite pins both properties).
+    obs: Option<&'a mut dyn Observer>,
 
     // --- accounting -----------------------------------------------------
     counts: OutcomeCounts,
@@ -411,6 +424,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
             work_index,
             view_scratch: RefCell::new(Vec::new()),
             faults: None,
+            obs: None,
             counts: OutcomeCounts::default(),
             class_counts: Vec::new(),
             cpu_busy: SimDuration::ZERO,
@@ -437,10 +451,37 @@ impl<'a, P: Policy> Simulator<'a, P> {
     ///
     /// # Panics
     /// Debug-panics when called after the run has started.
+    #[must_use]
     pub fn with_faults(mut self, hook: Box<dyn FaultHook>) -> Self {
         debug_assert!(!self.started, "install the fault hook before stepping");
         self.faults = Some(hook);
         self
+    }
+
+    /// Install an observability sink (`unit-obs`): typed events for every
+    /// admission decision, outcome, control tick, modulation boundary, and
+    /// fault transition, stamped in virtual time. Must be installed before
+    /// the first [`Simulator::step`] so the policy's observation buffers are
+    /// armed from the start. Observation is passive — the run's
+    /// `report_digest` stays bit-identical.
+    ///
+    /// # Panics
+    /// Debug-panics when called after the run has started.
+    #[must_use]
+    pub fn with_observer(mut self, observer: &'a mut dyn Observer) -> Self {
+        debug_assert!(!self.started, "install the observer before stepping");
+        self.obs = Some(observer);
+        self
+    }
+
+    /// Forward one event to the installed observer, if any. O(1) plus the
+    /// observer's own cost; callers gate event *construction* on
+    /// [`Option::is_some`] so the uninstalled path stays one branch.
+    #[inline]
+    fn emit(&mut self, event: ObsEvent) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.on_event(&event);
+        }
     }
 
     /// Execute the whole run: process every trace arrival, drain in-flight
@@ -462,6 +503,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
     fn start(&mut self) {
         debug_assert!(!self.started);
         self.started = true;
+        self.policy.set_observed(self.obs.is_some());
         self.policy.init(self.trace.n_items, &self.trace.updates);
 
         for (i, q) in self.trace.queries.iter().enumerate() {
@@ -625,6 +667,19 @@ impl<'a, P: Policy> Simulator<'a, P> {
             return;
         }
         let decision = self.with_view(|policy, view| policy.on_query_arrival(spec, view));
+        if self.obs.is_some() {
+            let (verdict, c_flex) = match self.policy.last_admission() {
+                Some(a) => (Some(a.verdict), Some(a.c_flex)),
+                None => (None, None),
+            };
+            self.emit(ObsEvent::Admission {
+                time: self.clock,
+                query: spec.id,
+                decision,
+                verdict,
+                c_flex,
+            });
+        }
         if !decision.is_admit() {
             self.record_outcome(spec_idx, Outcome::Rejected);
             return;
@@ -882,17 +937,58 @@ impl<'a, P: Policy> Simulator<'a, P> {
         }
         // One view serves both the policy tick and the timeline sample, so
         // the sample reflects pre-tick state exactly as the policy saw it.
-        let (signals, ready_queries, update_backlog_secs, utilization) =
-            self.with_view(|policy, view| {
+        let observing = self.obs.is_some();
+        let (signals, ready_queries, update_backlog_secs, utilization, query_backlog_secs) = self
+            .with_view(|policy, view| {
+                let query_backlog_secs = if observing {
+                    view.query_backlog().as_secs_f64()
+                } else {
+                    0.0
+                };
                 (
                     policy.on_tick(view.now, view),
                     view.ready_queue_len(),
                     view.update_backlog.as_secs_f64(),
                     view.recent_utilization,
+                    query_backlog_secs,
                 )
             });
         for &s in &signals {
             self.signals.record(s);
+        }
+        if observing {
+            self.emit(ObsEvent::ControlTick {
+                time: self.clock,
+                ready_queries,
+                query_backlog_secs,
+                update_backlog_secs,
+                utilization,
+                usm: self.counts.average_usm(&self.cfg.weights),
+            });
+            if let Some(ctl) = self.policy.controller_obs() {
+                let count =
+                    |sig: ControlSignal| signals.iter().filter(|&&s| s == sig).count() as u32;
+                self.emit(ObsEvent::ControlStep {
+                    time: self.clock,
+                    c_flex: ctl.c_flex,
+                    tac: count(ControlSignal::TightenAdmission),
+                    lac: count(ControlSignal::LoosenAdmission),
+                    degrade: count(ControlSignal::DegradeUpdates),
+                    upgrade: count(ControlSignal::UpgradeUpdates),
+                    degraded_items: ctl.degraded_items,
+                    ticket_sum: ctl.ticket_sum,
+                });
+            }
+            let now = self.clock;
+            for m in self.policy.drain_modulation_obs() {
+                self.emit(ObsEvent::TicketMass {
+                    time: now,
+                    item: m.item,
+                    ticket: m.ticket,
+                    old_period: m.old_period,
+                    new_period: m.new_period,
+                });
+            }
         }
         // Time-triggered refreshes (deferrable-update style policies).
         let wanted = {
@@ -949,6 +1045,18 @@ impl<'a, P: Policy> Simulator<'a, P> {
             debug_assert!(false, "FaultTransition scheduled without a hook");
             return;
         };
+        if self.obs.is_some() {
+            let (phase, until) = match health {
+                HealthState::Up => (FaultPhase::Up, None),
+                HealthState::Degraded { until } => (FaultPhase::Degraded, Some(until)),
+                HealthState::Down { until } => (FaultPhase::Down, Some(until)),
+            };
+            self.emit(ObsEvent::FaultWindow {
+                time: self.clock,
+                phase,
+                until,
+            });
+        }
         if health.queries_paused() {
             while !self.running.is_empty() {
                 self.preempt_running(0);
@@ -1332,6 +1440,13 @@ impl<'a, P: Policy> Simulator<'a, P> {
         }
         self.class_counts[class].record(outcome);
         self.policy.on_query_outcome(spec, outcome);
+        if self.obs.is_some() {
+            self.emit(ObsEvent::QueryOutcome {
+                time: self.clock,
+                query: spec.id,
+                outcome,
+            });
+        }
     }
 
     // --- policy views ----------------------------------------------------

@@ -56,3 +56,19 @@ pub use faults::{BackgroundLoad, FaultHook, HealthState, NoFaults, UpdateFault};
 pub use stats::{
     report_digest, FaultCounts, OutcomeRecord, SignalCounts, SimReport, TimelineSample,
 };
+
+/// Convenient glob-import of the common entry types: the engine
+/// ([`Simulator`], [`SimConfig`], [`run_simulation`]), its report
+/// ([`SimReport`], [`report_digest`]), fault injection, the observability
+/// sinks from `unit-obs`, and the whole `unit_core` prelude.
+///
+/// ```
+/// use unit_sim::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::engine::{run_simulation, SchedulingDiscipline, SimConfig, Simulator};
+    pub use crate::faults::{BackgroundLoad, FaultHook, HealthState, NoFaults, UpdateFault};
+    pub use crate::stats::{report_digest, OutcomeRecord, SimReport, TimelineSample};
+    pub use unit_core::prelude::*;
+    pub use unit_obs::{NullObserver, ObsEvent, Observer, RingRecorder};
+}

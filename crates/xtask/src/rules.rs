@@ -3,11 +3,11 @@
 //!
 //! | Rule | What it forbids | Where |
 //! |------|-----------------|-------|
-//! | `D1` | `HashMap`/`HashSet` (iteration-order nondeterminism) | `core`, `sim`, `baselines`, `cluster`, `faults` |
+//! | `D1` | `HashMap`/`HashSet` (iteration-order nondeterminism) | `core`, `sim`, `baselines`, `cluster`, `faults`, `obs` |
 //! | `D2` | wall clocks & unseeded RNGs (`Instant::now`, `SystemTime::now`, `thread_rng`, `rand::random`) | everywhere but `bench` |
-//! | `D3` | `unwrap()`/`expect()`/`panic!`-family in non-test library code | `core`, `sim`, `workload`, `baselines`, `cluster`, `faults` |
+//! | `D3` | `unwrap()`/`expect()`/`panic!`-family in non-test library code | `core`, `sim`, `workload`, `baselines`, `cluster`, `faults`, `obs` |
 //! | `D4` | direct `f64` `==`/`!=` against float literals; `as`-cast truncation of simulated-time values | library crates, except `core/src/time.rs` |
-//! | `P1` | `Policy`/`FaultHook`-surface / event-loop functions without a `/// O(...)` complexity doc | `core/src/policy.rs`, `sim/src/engine.rs`, `sim/src/faults.rs` |
+//! | `P1` | `Policy`/`FaultHook`/`Observer`-surface / event-loop functions without a `/// O(...)` complexity doc | `core/src/policy.rs`, `sim/src/engine.rs`, `sim/src/faults.rs`, `obs/src/recorder.rs` |
 //!
 //! Suppression:
 //!
@@ -22,13 +22,29 @@ use crate::lexer::{scan, Comment, Tok, TokKind};
 use std::collections::BTreeMap;
 
 /// Crates where iteration-order nondeterminism can reach simulator state.
-const D1_CRATES: &[&str] = &["core", "sim", "baselines", "cluster", "faults"];
+const D1_CRATES: &[&str] = &["core", "sim", "baselines", "cluster", "faults", "obs"];
 /// Crates that must stay wall-clock- and entropy-free (all but `bench`).
 const D2_EXEMPT_CRATES: &[&str] = &["bench"];
 /// Library crates where panics must be annotated.
-const D3_CRATES: &[&str] = &["core", "sim", "workload", "baselines", "cluster", "faults"];
+const D3_CRATES: &[&str] = &[
+    "core",
+    "sim",
+    "workload",
+    "baselines",
+    "cluster",
+    "faults",
+    "obs",
+];
 /// Library crates where float-equality / time-cast hygiene applies.
-const D4_CRATES: &[&str] = &["core", "sim", "workload", "baselines", "cluster", "faults"];
+const D4_CRATES: &[&str] = &[
+    "core",
+    "sim",
+    "workload",
+    "baselines",
+    "cluster",
+    "faults",
+    "obs",
+];
 /// The one file allowed to truncate simulated-time floats: the tick
 /// conversion boundary itself.
 const D4_EXEMPT_FILES: &[&str] = &["crates/core/src/time.rs"];
@@ -356,6 +372,7 @@ fn rule_p1(toks: &[Tok], comments: &[Comment], ctx: &FileCtx, findings: &mut Vec
     let scope = match ctx.rel_path.as_str() {
         "crates/core/src/policy.rs" => Scope::TraitSurface("Policy"),
         "crates/sim/src/faults.rs" => Scope::TraitSurface("FaultHook"),
+        "crates/obs/src/recorder.rs" => Scope::TraitSurface("Observer"),
         "crates/sim/src/engine.rs" => Scope::EngineHooks,
         _ => return,
     };

@@ -1,0 +1,22 @@
+//! Obs-crate fixture: one deliberate violation per determinism rule.
+use std::collections::HashMap;
+
+pub fn counts_by_kind() -> HashMap<u64, u64> {
+    HashMap::new()
+}
+
+pub fn stamp() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}
+
+pub fn first_time(events: &[u64]) -> u64 {
+    *events.first().unwrap()
+}
+
+pub fn at_origin(usm: f64) -> bool {
+    usm == 0.0
+}
+
+pub fn bucket(secs: f64) -> u64 {
+    (secs * TICKS_PER_SEC as f64) as u64
+}

@@ -1,0 +1,16 @@
+//! P1 fixture: Observer trait fns must document a complexity bound.
+pub trait Observer {
+    /// Documented sink. O(1) amortized.
+    fn on_event(&mut self);
+
+    /// Missing a complexity bound.
+    fn flush(&mut self);
+
+    fn drained(&self);
+}
+
+pub struct RingRecorder;
+
+impl RingRecorder {
+    pub fn outside_the_trait(&self) {}
+}

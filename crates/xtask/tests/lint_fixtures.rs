@@ -145,6 +145,50 @@ fn faults_crate_fixture_trips_every_determinism_rule() {
 }
 
 #[test]
+fn obs_crate_fixture_trips_every_determinism_rule() {
+    // The obs crate sits on the engine's hot path and its streams feed
+    // replay/export goldens, so every D-rule covers it too.
+    let fs = check_source(
+        &fixture("obs_crate.rs"),
+        &ctx("obs", "crates/obs/src/fixture.rs"),
+    );
+    assert_eq!(
+        rule_lines(&fs),
+        vec![
+            ("D1", 2),
+            ("D1", 4),
+            ("D1", 5),
+            ("D2", 9),
+            ("D3", 13),
+            ("D4", 17),
+            ("D4", 21)
+        ]
+    );
+}
+
+#[test]
+fn p1_covers_the_observer_surface() {
+    let fs = check_source(
+        &fixture("p1_observer.rs"),
+        &ctx("obs", "crates/obs/src/recorder.rs"),
+    );
+    assert_eq!(rule_lines(&fs), vec![("P1", 7), ("P1", 9)]);
+    assert!(fs[0].message.contains("fn flush"), "{}", fs[0].message);
+    // Only the Observer trait body is in scope: the documented `on_event`
+    // and the inherent `RingRecorder` method produce nothing.
+    assert!(fs.iter().all(|f| f.line != 4 && f.line != 15), "{fs:?}");
+}
+
+#[test]
+fn p1_observer_fixture_is_ignored_elsewhere() {
+    let fs = check_source(
+        &fixture("p1_observer.rs"),
+        &ctx("obs", "crates/obs/src/event.rs"),
+    );
+    assert!(fs.is_empty(), "{fs:?}");
+}
+
+#[test]
 fn p1_covers_the_fault_hook_surface() {
     let fs = check_source(
         &fixture("p1_fault_hook.rs"),
