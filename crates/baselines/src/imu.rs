@@ -42,6 +42,12 @@ impl Policy for ImuPolicy {
     ) -> UpdateAction {
         UpdateAction::Apply
     }
+
+    /// IMU is open-loop: every control tick is a no-op, so the engine may
+    /// always take its idle-tick fast path.
+    fn tick_idle_until(&self) -> SimTime {
+        SimTime::MAX
+    }
 }
 
 #[cfg(test)]

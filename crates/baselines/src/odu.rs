@@ -72,6 +72,12 @@ impl Policy for OduPolicy {
         self.refreshes_requested += stale.len() as u64;
         stale
     }
+
+    /// ODU refreshes on demand, never on the tick: every control tick is a
+    /// no-op, so the engine may always take its idle-tick fast path.
+    fn tick_idle_until(&self) -> SimTime {
+        SimTime::MAX
+    }
 }
 
 #[cfg(test)]

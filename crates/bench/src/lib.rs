@@ -25,6 +25,6 @@ pub mod render;
 pub mod runner;
 
 pub use runner::{
-    default_workload_plan, run_matrix, run_policy, run_policy_observed, worker_pool_size,
-    ExperimentPlan, PolicyKind, RunOutcome,
+    default_workload_plan, run_matrix, run_policy, run_policy_observed, run_unit_streamed,
+    worker_pool_size, ExperimentPlan, PolicyKind, RunOutcome,
 };

@@ -77,11 +77,32 @@ pub fn default_workload_plan(scale: u64) -> ExperimentPlan {
 }
 
 impl ExperimentPlan {
+    /// Multiply the plan's query count by `k` at a fixed horizon (via
+    /// [`QueryTraceConfig::scaled_up`]): update volumes stay put, offered
+    /// query load rises `k`-fold. The throughput-stress complement of the
+    /// divisor in [`default_workload_plan`].
+    #[must_use]
+    pub fn scaled_up(mut self, k: u64) -> ExperimentPlan {
+        self.query_cfg = self.query_cfg.scaled_up(k);
+        self
+    }
+
+    /// The update-trace configuration for one Table 1 cell at this plan's
+    /// scale. Exposed so streaming callers can regenerate the update streams
+    /// (which need only the popularity profile) without materializing a
+    /// whole [`TraceBundle`].
+    pub fn update_config(
+        &self,
+        volume: UpdateVolume,
+        dist: UpdateDistribution,
+    ) -> UpdateTraceConfig {
+        let total = volume.total_updates() / self.scale;
+        UpdateTraceConfig::table1(volume, dist).with_total(total.max(1))
+    }
+
     /// Generate the workload bundle for one Table 1 cell.
     pub fn bundle(&self, volume: UpdateVolume, dist: UpdateDistribution) -> TraceBundle {
-        let total = volume.total_updates() / self.scale;
-        let ucfg = UpdateTraceConfig::table1(volume, dist).with_total(total.max(1));
-        TraceBundle::generate(&self.query_cfg, &ucfg)
+        TraceBundle::generate(&self.query_cfg, &self.update_config(volume, dist))
     }
 
     /// Simulator configuration for this plan.
@@ -132,6 +153,34 @@ pub fn run_policy(
     RunOutcome {
         trace_name: bundle.name.clone(),
         policy,
+        report,
+    }
+}
+
+/// Run UNIT over one bundle through the streaming feed: queries are
+/// regenerated lazily from the plan's [`QueryTraceConfig`] (bit-identical
+/// to `bundle.trace.queries` — the stream-identity property suite pins
+/// this) and fed in `chunk`-sized lookahead windows, so the engine's peak
+/// spec residency is O(in-flight + chunk) instead of O(N_q). The report is
+/// bit-identical to [`run_policy`] with [`PolicyKind::Unit`]; only the
+/// wall-clock and memory profiles differ.
+pub fn run_unit_streamed(
+    plan: &ExperimentPlan,
+    bundle: &TraceBundle,
+    weights: UsmWeights,
+    chunk: usize,
+) -> RunOutcome {
+    let cfg = plan.sim_config(weights);
+    let report = unit_sim::Simulator::new_streaming(
+        bundle.trace.n_items,
+        &bundle.trace.updates,
+        UnitPolicy::new(plan.unit_config(weights)),
+        cfg,
+    )
+    .run_streamed(unit_workload::stream_queries(&plan.query_cfg), chunk);
+    RunOutcome {
+        trace_name: bundle.name.clone(),
+        policy: PolicyKind::Unit,
         report,
     }
 }

@@ -60,6 +60,27 @@ pub use run::{ClusterRun, ClusterRunReport};
 /// a throughput request.
 pub const MAX_WORKERS: usize = 4096;
 
+/// How the worker pool drives the shard engines. Purely a wall-clock knob:
+/// both modes produce bit-identical reports (shards share no mutable
+/// state, and pausing an engine at a virtual-time boundary reorders
+/// nothing — see [`unit_sim::Simulator::step_until`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Each worker runs a claimed shard start-to-finish before claiming the
+    /// next. Minimal synchronization; a straggler shard serializes its
+    /// worker for the whole run.
+    WholeShard,
+    /// All shards advance in lockstep through virtual-time epochs: every
+    /// worker steps its statically owned shards (`shard % workers`) to the
+    /// epoch boundary, a barrier closes the round, and the cluster repeats
+    /// until every shard drains. Bounds per-round skew and keeps every
+    /// worker busy while any shard is live.
+    EpochParallel {
+        /// Virtual-time length of one stepping round (must be non-zero).
+        epoch: unit_core::time::SimDuration,
+    },
+}
+
 /// A malformed cluster or fault configuration, rejected before any shard
 /// runs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,6 +94,9 @@ pub enum ClusterConfigError {
         /// The cap.
         max: usize,
     },
+    /// [`ExecutionMode::EpochParallel`] with a zero-length epoch: the
+    /// stepping rounds would never advance virtual time.
+    ZeroEpoch,
     /// The fault plan does not cover exactly one schedule per shard.
     PlanShardMismatch {
         /// Schedules in the plan.
@@ -95,6 +119,9 @@ impl std::fmt::Display for ClusterConfigError {
             ClusterConfigError::ZeroShards => write!(f, "a cluster needs at least one shard"),
             ClusterConfigError::TooManyWorkers { workers, max } => {
                 write!(f, "{workers} worker threads requested, the cap is {max}")
+            }
+            ClusterConfigError::ZeroEpoch => {
+                write!(f, "epoch-parallel stepping needs a non-zero epoch")
             }
             ClusterConfigError::PlanShardMismatch {
                 plan_shards,
@@ -128,14 +155,24 @@ pub struct ClusterConfig {
     pub routing: RoutingPolicy,
     /// Run seed; shard `i`'s policy seed is `split_seed(seed, i)`.
     pub seed: u64,
-    /// Worker threads driving the shards; `0` means one thread per shard.
-    /// Purely a throughput knob — results are bit-identical for any value.
+    /// Worker threads driving the shards; `0` means auto — one thread per
+    /// shard, capped at the host's available parallelism. Purely a
+    /// throughput knob — results are bit-identical for any value.
     pub workers: usize,
+    /// How the worker pool schedules shard execution. Also purely a
+    /// wall-clock knob; see [`ExecutionMode`].
+    pub mode: ExecutionMode,
+    /// Demand-filter update streams during slicing
+    /// ([`unit_workload::slice_trace_filtered`]): streams whose owner shard
+    /// serves no reader of the item are dropped. **Changes per-shard
+    /// digests** (dropped streams no longer contend for CPU) — off by
+    /// default; the differential suites pin the unfiltered slicing.
+    pub filter_updates: bool,
 }
 
 impl ClusterConfig {
     /// A cluster of `n_shards` round-robin-routed shards with the default
-    /// seed and one worker thread per shard.
+    /// seed and the auto worker count.
     ///
     /// # Panics
     /// Panics if `n_shards` is zero.
@@ -147,6 +184,8 @@ impl ClusterConfig {
             routing: RoutingPolicy::RoundRobin,
             seed: unit_core::config::DEFAULT_SEED,
             workers: 0,
+            mode: ExecutionMode::WholeShard,
+            filter_updates: false,
         }
     }
 
@@ -157,6 +196,28 @@ impl ClusterConfig {
         self
     }
 
+    /// Set the execution mode (see [`ExecutionMode`]).
+    #[must_use]
+    pub fn with_mode(mut self, mode: ExecutionMode) -> ClusterConfig {
+        self.mode = mode;
+        self
+    }
+
+    /// Shorthand for [`ExecutionMode::EpochParallel`] with the given epoch.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: unit_core::time::SimDuration) -> ClusterConfig {
+        self.mode = ExecutionMode::EpochParallel { epoch };
+        self
+    }
+
+    /// Enable demand filtering of update streams (see
+    /// [`ClusterConfig::filter_updates`] for the digest caveat).
+    #[must_use]
+    pub fn with_filtered_updates(mut self) -> ClusterConfig {
+        self.filter_updates = true;
+        self
+    }
+
     /// Set the run seed.
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> ClusterConfig {
@@ -164,7 +225,8 @@ impl ClusterConfig {
         self
     }
 
-    /// Cap the worker threads (`0` = one per shard).
+    /// Cap the worker threads (`0` = auto: one per shard, capped at the
+    /// host's available parallelism).
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> ClusterConfig {
         self.workers = workers;
@@ -182,6 +244,8 @@ impl ClusterConfig {
             routing: RoutingPolicy::RoundRobin,
             seed: unit_core::config::DEFAULT_SEED,
             workers: 0,
+            mode: ExecutionMode::WholeShard,
+            filter_updates: false,
         })
     }
 
@@ -197,6 +261,11 @@ impl ClusterConfig {
                 workers: self.workers,
                 max: MAX_WORKERS,
             });
+        }
+        if let ExecutionMode::EpochParallel { epoch } = self.mode {
+            if epoch.is_zero() {
+                return Err(ClusterConfigError::ZeroEpoch);
+            }
         }
         Ok(())
     }

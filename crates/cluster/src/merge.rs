@@ -54,6 +54,20 @@ pub struct ClusterReport {
     pub counts: OutcomeCounts,
     /// All shard outcome logs merged by `(time, shard, seq)`.
     pub log: Vec<MergedOutcome>,
+    /// Host wall-clock seconds each shard spent being built, stepped, and
+    /// finished on its worker (index = shard id), excluding barrier waits.
+    /// The maximum is the run's critical path — the wall-clock a host with
+    /// at least one core per shard would see. Diagnostic only: timing is
+    /// nondeterministic and never feeds a digest or a decision.
+    /// [`ClusterReport::merge`] leaves it empty; [`crate::ClusterRun::run`]
+    /// fills it in.
+    pub shard_walls: Vec<f64>,
+    /// Update streams each shard's slice carried (index = shard id). With
+    /// plain slicing every shard replays all streams; with
+    /// [`crate::ClusterConfig::with_filtered_updates`] each carries only
+    /// the streams for items its queries read. Empty until
+    /// [`crate::ClusterRun::run`] fills it in.
+    pub update_streams_per_shard: Vec<usize>,
 }
 
 impl ClusterReport {
@@ -98,7 +112,17 @@ impl ClusterReport {
             shard_reports,
             counts,
             log,
+            shard_walls: Vec::new(),
+            update_streams_per_shard: Vec::new(),
         }
+    }
+
+    /// The run's critical path: the slowest shard's wall (see
+    /// [`ClusterReport::shard_walls`]) — what the whole run would cost on a
+    /// host with one core per shard. `None` until the walls are filled in.
+    /// O(n_shards).
+    pub fn critical_path_secs(&self) -> Option<f64> {
+        self.shard_walls.iter().copied().reduce(f64::max)
     }
 
     /// Cluster-level average USM (Eq. 5 over the summed tallies).

@@ -24,18 +24,19 @@
 use crate::failover::{self, FailoverPolicy, FaultClusterReport, RouteDecision};
 use crate::merge::ClusterReport;
 use crate::routing;
-use crate::{ClusterConfig, ClusterConfigError};
+use crate::{ClusterConfig, ClusterConfigError, ExecutionMode};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
 use unit_core::policy::Policy;
 use unit_core::split_seed;
-use unit_core::time::SimTime;
+use unit_core::time::{SimDuration, SimTime};
 use unit_core::types::Trace;
 use unit_core::unit_policy::UnitPolicy;
 use unit_core::UnitConfig;
 use unit_faults::{FaultPlan, ShardFaults};
 use unit_obs::{FaultPhase, ObsEvent, Observer, RingRecorder};
 use unit_sim::{HealthState, SimConfig, SimReport, Simulator};
-use unit_workload::{slice_trace, ItemPartition};
+use unit_workload::{slice_trace, slice_trace_filtered, ItemPartition};
 
 /// A configured cluster run: faults and observation are layered onto the
 /// shape described by the [`ClusterConfig`] it was built from, mirroring
@@ -191,7 +192,12 @@ impl<'a> ClusterRun<'a> {
             }
         };
         let exec_trace = routed_storage.as_ref().unwrap_or(trace);
-        let shard_traces = match slice_trace(exec_trace, &assignment, &partition) {
+        let sliced = if cluster.filter_updates {
+            slice_trace_filtered(exec_trace, &assignment, &partition).map(|(t, _)| t)
+        } else {
+            slice_trace(exec_trace, &assignment, &partition)
+        };
+        let shard_traces = match sliced {
             Ok(t) => t,
             // lint: allow(panic) — the dispatcher produced the assignment; a bad one is a routing bug, not caller input
             Err(e) => panic!("internal routing error: {e}"),
@@ -202,19 +208,25 @@ impl<'a> ClusterRun<'a> {
             &seeds,
             sim.with_outcome_log(),
             cluster.workers,
+            cluster.mode,
             hooks.as_deref(),
             obs.is_some(),
             &make_policy,
         );
         let mut recorders: Vec<Option<RingRecorder>> = Vec::with_capacity(n);
         let mut shard_reports: Vec<SimReport> = Vec::with_capacity(n);
-        for (report, rec) in results {
+        let mut shard_walls: Vec<f64> = Vec::with_capacity(n);
+        for (report, rec, wall) in results {
             shard_reports.push(report);
             recorders.push(rec);
+            shard_walls.push(wall);
         }
 
-        let cluster_report =
+        let mut cluster_report =
             ClusterReport::merge(cluster.routing, sim.weights, assignment, shard_reports);
+        cluster_report.shard_walls = shard_walls;
+        cluster_report.update_streams_per_shard =
+            shard_traces.iter().map(|t| t.updates.len()).collect();
         unit_core::validate_check!(
             "cluster-usm-identity",
             crate::merge::check_cluster_identity(&cluster_report)
@@ -265,43 +277,102 @@ impl<'a> ClusterRun<'a> {
     }
 }
 
-/// Execute every shard on a worker pool and return `(report, recorder)`
-/// pairs indexed by shard id (`recorder` is `Some` iff `record`).
+/// Execute every shard on a worker pool and return
+/// `(report, recorder, wall_secs)` triples indexed by shard id
+/// (`recorder` is `Some` iff `record`; `wall_secs` is the host time the
+/// shard spent being built, stepped, and finished, excluding barrier
+/// waits).
 ///
-/// Interleaving-independence: workers claim shard indices from an atomic
-/// counter, run them without any shared mutable state — each shard's
-/// recorder lives on its worker's stack — and return indexed results;
-/// results are then placed into slots keyed by shard id, so neither claim
-/// order nor finish order is observable. With `hooks`, shard `i` runs with
+/// Interleaving-independence: shards share no mutable state — each
+/// consumes its own trace slice, seed, and (when recording) a recorder
+/// private to its worker — and results land in slots keyed by shard id, so
+/// neither claim order, finish order, worker count, nor the execution
+/// `mode` is observable in the output. With `hooks`, shard `i` runs with
 /// `hooks[i]` installed as its fault hook.
+#[allow(clippy::too_many_arguments)]
 fn execute_shards<P, F>(
     shard_traces: &[Trace],
     seeds: &[u64],
     shard_cfg: SimConfig,
     workers: usize,
+    mode: ExecutionMode,
     hooks: Option<&[ShardFaults]>,
     record: bool,
     make_policy: &F,
-) -> Vec<(SimReport, Option<RingRecorder>)>
+) -> Vec<(SimReport, Option<RingRecorder>, f64)>
 where
     P: Policy + Send,
     F: Fn(usize, u64) -> P + Sync,
 {
     let n = shard_traces.len();
-    let workers = if workers == 0 { n } else { workers.min(n) };
-    let mut slots: Vec<Option<(SimReport, Option<RingRecorder>)>> = (0..n).map(|_| None).collect();
+    // `0` = auto: one worker per shard, capped at the host's actual
+    // parallelism — extra threads on a smaller machine only add scheduling
+    // and barrier overhead. Purely a wall-clock decision: results are
+    // worker-count-invariant (pinned by the differential suites), so the
+    // cap can never change a report.
+    let workers = if workers == 0 {
+        let cap = std::thread::available_parallelism().map_or(n, std::num::NonZeroUsize::get);
+        n.min(cap)
+    } else {
+        workers.min(n)
+    };
+    if workers == 1 {
+        // One worker: epoch lockstep and whole-shard claiming both
+        // degenerate to serial execution, and the output is mode- and
+        // worker-invariant (pinned by the differential suites) — so run
+        // the shards inline on this thread, skipping the spawn, the
+        // barriers, and the per-epoch engine round-robin entirely.
+        return shard_traces
+            .iter()
+            .enumerate()
+            .map(|(i, shard_trace)| {
+                // lint: allow(D2) — diagnostic shard-wall timing, never enters sim state or digests
+                let started = std::time::Instant::now();
+                let policy = make_policy(i, seeds[i]);
+                let mut rec = record.then(RingRecorder::unbounded);
+                let report = {
+                    let mut sim = Simulator::new(shard_trace, policy, shard_cfg);
+                    if let Some(hooks) = hooks {
+                        sim = sim.with_faults(Box::new(hooks[i].clone()));
+                    }
+                    if let Some(r) = rec.as_mut() {
+                        sim = sim.with_observer(r);
+                    }
+                    sim.run()
+                };
+                (report, rec, started.elapsed().as_secs_f64())
+            })
+            .collect();
+    }
+    if let ExecutionMode::EpochParallel { epoch } = mode {
+        return execute_shards_epoch(
+            shard_traces,
+            seeds,
+            shard_cfg,
+            workers,
+            epoch,
+            hooks,
+            record,
+            make_policy,
+        );
+    }
+    let mut slots: Vec<Option<(SimReport, Option<RingRecorder>, f64)>> =
+        (0..n).map(|_| None).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         let next = &next;
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(move || {
-                    let mut finished: Vec<(usize, SimReport, Option<RingRecorder>)> = Vec::new();
+                    let mut finished: Vec<(usize, SimReport, Option<RingRecorder>, f64)> =
+                        Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
+                        // lint: allow(D2) — diagnostic shard-wall timing, never enters sim state or digests
+                        let started = std::time::Instant::now();
                         let policy = make_policy(i, seeds[i]);
                         let mut rec = record.then(RingRecorder::unbounded);
                         let report = {
@@ -314,7 +385,7 @@ where
                             }
                             sim.run()
                         };
-                        finished.push((i, report, rec));
+                        finished.push((i, report, rec, started.elapsed().as_secs_f64()));
                     }
                     finished
                 })
@@ -327,8 +398,8 @@ where
                 Ok(f) => f,
                 Err(e) => std::panic::resume_unwind(e),
             };
-            for (i, report, rec) in finished {
-                slots[i] = Some((report, rec));
+            for (i, report, rec, wall) in finished {
+                slots[i] = Some((report, rec, wall));
             }
         }
     });
@@ -338,6 +409,141 @@ where
         .map(|(i, s)| match s {
             Some(r) => r,
             // lint: allow(panic) — every index < n is claimed exactly once
+            None => panic!("shard {i} produced no report"),
+        })
+        .collect()
+}
+
+/// Epoch-parallel execution: worker `w` statically owns shards
+/// `w, w + W, w + 2W, …` (each shard is built, stepped, and finished on
+/// exactly one thread), and all live shards advance in lockstep through
+/// virtual-time windows `(k·ε, (k+1)·ε]`. Two barriers close each round: one
+/// publishes the round's drain count, one makes sure every worker has read
+/// it before the next round's decrements start — the counter is monotone,
+/// so all workers agree on the exit round and nobody strands a peer at a
+/// barrier. Shards share no mutable state, and pausing an engine at an
+/// epoch boundary reorders nothing ([`Simulator::step_until`]), so the
+/// output is bit-identical to [`ExecutionMode::WholeShard`] for any worker
+/// count or epoch. O(E log N_ev + R·W) for R rounds.
+#[allow(clippy::too_many_arguments)]
+fn execute_shards_epoch<P, F>(
+    shard_traces: &[Trace],
+    seeds: &[u64],
+    shard_cfg: SimConfig,
+    workers: usize,
+    epoch: SimDuration,
+    hooks: Option<&[ShardFaults]>,
+    record: bool,
+    make_policy: &F,
+) -> Vec<(SimReport, Option<RingRecorder>, f64)>
+where
+    P: Policy + Send,
+    F: Fn(usize, u64) -> P + Sync,
+{
+    let n = shard_traces.len();
+    debug_assert!(workers >= 1 && workers <= n);
+    debug_assert!(!epoch.is_zero(), "validate() rejects zero epochs");
+    let barrier = Barrier::new(workers);
+    let live_total = AtomicUsize::new(n);
+    let mut slots: Vec<Option<(SimReport, Option<RingRecorder>, f64)>> =
+        (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let barrier = &barrier;
+        let live_total = &live_total;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let owned: Vec<usize> = (w..n).step_by(workers).collect();
+                    let mut recs: Vec<Option<RingRecorder>> = owned
+                        .iter()
+                        .map(|_| record.then(RingRecorder::unbounded))
+                        .collect();
+                    // Engines borrow their recorders element-wise; `recs`
+                    // stays mutably borrowed until every engine is finished.
+                    // Walls accumulate each shard's build + stepping time,
+                    // never the barrier waits below.
+                    let (mut sims, mut walls): (Vec<Option<Simulator<'_, P>>>, Vec<f64>) = owned
+                        .iter()
+                        .zip(recs.iter_mut())
+                        .map(|(&i, rec)| {
+                            // lint: allow(D2) — diagnostic shard-wall timing, never enters sim state or digests
+                            let started = std::time::Instant::now();
+                            let mut sim = Simulator::new(
+                                &shard_traces[i],
+                                make_policy(i, seeds[i]),
+                                shard_cfg,
+                            );
+                            if let Some(hooks) = hooks {
+                                sim = sim.with_faults(Box::new(hooks[i].clone()));
+                            }
+                            if let Some(r) = rec.as_mut() {
+                                sim = sim.with_observer(r);
+                            }
+                            (Some(sim), started.elapsed().as_secs_f64())
+                        })
+                        .unzip();
+                    let mut reports: Vec<Option<SimReport>> = owned.iter().map(|_| None).collect();
+                    let mut limit = SimTime::ZERO;
+                    loop {
+                        limit += epoch;
+                        for (j, slot) in sims.iter_mut().enumerate() {
+                            let Some(sim) = slot.as_mut() else { continue };
+                            // lint: allow(D2) — diagnostic shard-wall timing, never enters sim state or digests
+                            let started = std::time::Instant::now();
+                            if !sim.step_until(limit) {
+                                // Drained: harvest now so the report is
+                                // ready the moment the cluster converges.
+                                if let Some(sim) = slot.take() {
+                                    reports[j] = Some(sim.finish().0);
+                                }
+                                // Relaxed is enough: the barriers below
+                                // order this store against every reader.
+                                live_total.fetch_sub(1, Ordering::Relaxed);
+                            }
+                            walls[j] += started.elapsed().as_secs_f64();
+                        }
+                        barrier.wait(); // round's drains are published
+                        let done = live_total.load(Ordering::Relaxed) == 0;
+                        barrier.wait(); // everyone has read before round k+1
+                        if done {
+                            break;
+                        }
+                    }
+                    drop(sims); // ends the recorder borrows
+                    owned
+                        .into_iter()
+                        .zip(reports)
+                        .zip(recs)
+                        .zip(walls)
+                        .map(|(((i, report), rec), wall)| {
+                            let Some(report) = report else {
+                                // lint: allow(panic) — the loop only exits once every shard drained
+                                panic!("shard {i} exited the epoch loop unfinished")
+                            };
+                            (i, report, rec, wall)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            // lint: allow(panic) — a worker panic is a shard-engine bug;
+            // propagate it instead of reporting a partial cluster
+            let finished = match h.join() {
+                Ok(f) => f,
+                Err(e) => std::panic::resume_unwind(e),
+            };
+            for (i, report, rec, wall) in finished {
+                slots[i] = Some((report, rec, wall));
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| match s {
+            Some(r) => r,
+            // lint: allow(panic) — static ownership covers every shard exactly once
             None => panic!("shard {i} produced no report"),
         })
         .collect()

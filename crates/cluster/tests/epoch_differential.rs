@@ -1,0 +1,214 @@
+//! Differential suite for the epoch-parallel execution mode.
+//!
+//! [`ExecutionMode::EpochParallel`] is documented as a pure wall-clock
+//! knob: shards share no mutable state and pausing an engine at a
+//! virtual-time boundary reorders nothing, so its output must be
+//! bit-identical to [`ExecutionMode::WholeShard`] — for any worker count,
+//! any epoch length, with faults installed, and with an observer watching.
+//! This suite pins each of those claims on the golden fig3-style workload,
+//! and re-pins the 1-shard ≡ single-server identity on the parallel path.
+
+use unit_cluster::{BackoffConfig, ClusterConfig, ClusterReport, FailoverPolicy, RoutingPolicy};
+use unit_core::config::UnitConfig;
+use unit_core::split_seed;
+use unit_core::time::SimDuration;
+use unit_core::unit_policy::UnitPolicy;
+use unit_core::usm::UsmWeights;
+use unit_faults::{FaultConfig, FaultMode, FaultPlan};
+use unit_obs::Observer;
+use unit_sim::{report_digest, run_simulation, SimConfig};
+use unit_workload::{
+    QueryTraceConfig, TraceBundle, UpdateDistribution, UpdateTraceConfig, UpdateVolume,
+};
+
+const SCALE: u64 = 8;
+const SEED: u64 = 0x5EED_0002;
+
+fn golden_bundle() -> TraceBundle {
+    let qcfg = QueryTraceConfig::default().scaled_down(SCALE);
+    let ucfg = UpdateTraceConfig::table1(UpdateVolume::Med, UpdateDistribution::Uniform)
+        .with_total((UpdateVolume::Med.total_updates() / SCALE).max(1));
+    TraceBundle::generate(&qcfg, &ucfg)
+}
+
+fn sim_config(horizon: SimDuration) -> SimConfig {
+    SimConfig::new(horizon)
+        .with_weights(UsmWeights::low_high_cfm())
+        .with_tick_period(SimDuration::from_secs(10))
+}
+
+fn unit_cfg() -> UnitConfig {
+    UnitConfig::with_weights(UsmWeights::low_high_cfm())
+}
+
+fn run_mode(bundle: &TraceBundle, cluster: ClusterConfig) -> ClusterReport {
+    cluster
+        .build()
+        .run_unit(&bundle.trace, sim_config(bundle.horizon), &unit_cfg())
+        .expect("valid cluster config")
+        .into_plain()
+        .expect("fault-free run")
+}
+
+fn assert_reports_identical(a: &ClusterReport, b: &ClusterReport, what: &str) {
+    assert_eq!(a.assignment, b.assignment, "{what}: assignment diverged");
+    assert_eq!(a.counts, b.counts, "{what}: outcome tally diverged");
+    assert_eq!(a.log, b.log, "{what}: merged log diverged");
+    for (s, (ra, rb)) in a.shard_reports.iter().zip(&b.shard_reports).enumerate() {
+        assert_eq!(
+            report_digest(ra),
+            report_digest(rb),
+            "{what}: shard {s} digest diverged"
+        );
+    }
+}
+
+#[test]
+fn epoch_parallel_is_bit_identical_to_whole_shard() {
+    let bundle = golden_bundle();
+    let epochs = [
+        SimDuration::from_secs(10),    // one control tick per round
+        SimDuration::from_secs(1_000), // many events per round
+        bundle.horizon,                // degenerate: one round runs everything
+    ];
+    for routing in RoutingPolicy::ALL {
+        for n_shards in [1usize, 4] {
+            let base = ClusterConfig::new(n_shards)
+                .with_routing(routing)
+                .with_seed(SEED);
+            let whole = run_mode(&bundle, base);
+            for epoch in epochs {
+                for workers in [1usize, 2, 0] {
+                    let report = run_mode(&bundle, base.with_workers(workers).with_epoch(epoch));
+                    assert_reports_identical(
+                        &whole,
+                        &report,
+                        &format!(
+                            "{}/{n_shards} shards/epoch {}s/{workers} workers",
+                            routing.name(),
+                            epoch.as_secs_f64()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn one_shard_epoch_parallel_matches_single_server() {
+    let bundle = golden_bundle();
+    let cfg = sim_config(bundle.horizon);
+    let single = run_simulation(
+        &bundle.trace,
+        UnitPolicy::new(unit_cfg().with_seed(split_seed(SEED, 0))),
+        cfg,
+    );
+    let report = run_mode(
+        &bundle,
+        ClusterConfig::new(1)
+            .with_seed(SEED)
+            .with_epoch(SimDuration::from_secs(50)),
+    );
+    assert_eq!(
+        report_digest(&report.shard_reports[0]),
+        report_digest(&single),
+        "1-shard epoch-parallel cluster diverged from the single-server engine"
+    );
+}
+
+#[test]
+fn epoch_parallel_with_faults_matches_whole_shard() {
+    let bundle = golden_bundle();
+    let fault_cfg = FaultConfig::quiet(bundle.horizon, bundle.trace.n_items).with_crashes(
+        0.2,
+        SimDuration::from_secs(2_000),
+        FaultMode::Pause,
+    );
+    let plan = FaultPlan::generate(0xFA_17, 4, &fault_cfg);
+    let failover = FailoverPolicy::Backoff(BackoffConfig::default());
+    let base = ClusterConfig::new(4).with_seed(SEED);
+    let run_with = |cluster: ClusterConfig| {
+        cluster
+            .build()
+            .with_faults(&plan, failover)
+            .run_unit(&bundle.trace, sim_config(bundle.horizon), &unit_cfg())
+            .expect("valid cluster config")
+            .into_faulty()
+            .expect("faults installed")
+    };
+    let whole = run_with(base);
+    for workers in [1usize, 0] {
+        let epoch = run_with(
+            base.with_workers(workers)
+                .with_epoch(SimDuration::from_secs(100)),
+        );
+        assert_eq!(whole.decisions, epoch.decisions, "{workers} workers");
+        assert_eq!(whole.counts, epoch.counts, "{workers} workers");
+        assert_reports_identical(
+            &whole.cluster,
+            &epoch.cluster,
+            &format!("faulty/{workers} workers"),
+        );
+    }
+}
+
+#[test]
+fn epoch_parallel_observation_is_neutral_and_identical() {
+    struct Collect(Vec<unit_obs::ObsEvent>);
+    impl Observer for Collect {
+        fn on_event(&mut self, event: &unit_obs::ObsEvent) {
+            self.0.push(event.clone());
+        }
+    }
+    let bundle = golden_bundle();
+    let base = ClusterConfig::new(4).with_seed(SEED);
+    let observed_run = |cluster: ClusterConfig| {
+        let mut sink = Collect(Vec::new());
+        let report = cluster
+            .build()
+            .with_observer(&mut sink)
+            .run_unit(&bundle.trace, sim_config(bundle.horizon), &unit_cfg())
+            .expect("valid cluster config")
+            .into_plain()
+            .expect("fault-free run");
+        (report, sink.0)
+    };
+    let (whole, whole_events) = observed_run(base);
+    let (epoch, epoch_events) = observed_run(base.with_epoch(SimDuration::from_secs(100)));
+    assert_reports_identical(&whole, &epoch, "observed");
+    assert_eq!(
+        whole_events, epoch_events,
+        "replayed observation streams diverged between execution modes"
+    );
+    // Observation stays passive on the parallel path too.
+    let bare = run_mode(&bundle, base.with_epoch(SimDuration::from_secs(100)));
+    assert_reports_identical(&bare, &epoch, "observer neutrality");
+}
+
+#[test]
+fn filtered_updates_conserve_queries_but_change_digests() {
+    let bundle = golden_bundle();
+    let base = ClusterConfig::new(8).with_seed(SEED);
+    let plain = run_mode(&bundle, base);
+    let filtered = run_mode(&bundle, base.with_filtered_updates());
+    // Same queries, same routing, every query still decided exactly once.
+    assert_eq!(plain.assignment, filtered.assignment);
+    assert_eq!(
+        plain.counts.total(),
+        filtered.counts.total(),
+        "filtering must never drop queries"
+    );
+    unit_cluster::check_cluster_identity(&filtered).unwrap();
+    // And the documented caveat holds: dropping unread streams changes at
+    // least one shard's digest (less CPU contention on that shard).
+    let diverged = plain
+        .shard_reports
+        .iter()
+        .zip(&filtered.shard_reports)
+        .any(|(a, b)| report_digest(a) != report_digest(b));
+    assert!(
+        diverged,
+        "expected demand filtering to drop streams (and digests to move) at 8 shards"
+    );
+}

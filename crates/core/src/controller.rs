@@ -156,6 +156,38 @@ impl Lbc {
         }
     }
 
+    /// Earliest instant at which [`Lbc::should_activate`] could first return
+    /// true, assuming **no further outcomes are recorded** before then. Between
+    /// two server events the window is frozen, so this bound is exact:
+    ///
+    /// * fewer than `min_window_samples` outcomes — activation is impossible
+    ///   at any time ([`SimTime::MAX`]);
+    /// * the USM-drop trigger currently holds — activation is already due
+    ///   ([`SimTime::ZERO`]);
+    /// * otherwise only the grace timer can fire, at
+    ///   `last_activation + grace_period`.
+    ///
+    /// The engine uses this to skip runs of guaranteed-idle control ticks in
+    /// bulk; any recorded outcome comes from a heap event, which re-bounds the
+    /// skip. O(1).
+    pub fn idle_until(&self) -> SimTime {
+        if self.window.counts().total() < self.cfg.min_window_samples {
+            return SimTime::MAX;
+        }
+        let drop_due = match self.prev_window_usm {
+            None => false,
+            Some(prev) => {
+                let current = self.window.average_usm();
+                let threshold = self.cfg.threshold_fraction * self.prefs.max_range_span();
+                prev - current > threshold
+            }
+        };
+        if drop_due {
+            return SimTime::ZERO;
+        }
+        self.last_activation + self.cfg.grace_period
+    }
+
     /// Run the Adaptive Allocation Algorithm if the trigger condition holds;
     /// returns the emitted signals (empty when not activated or when the
     /// window was empty and clean-loosening is disabled). `utilization` is

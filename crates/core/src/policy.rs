@@ -157,6 +157,31 @@ pub trait Policy {
         Vec::new()
     }
 
+    /// Instant strictly before which every control tick is a guaranteed
+    /// no-op for this policy, **assuming no other hook fires in between**:
+    /// for any tick at `t < tick_idle_until()`, [`Policy::on_tick`] would
+    /// return no signals and mutate no state, and [`Policy::tick_refreshes`]
+    /// would return no items. The engine uses this to skip whole runs of
+    /// idle ticks between consecutive server events — any event that lands
+    /// re-queries the bound, so the "no hook in between" premise holds by
+    /// construction.
+    ///
+    /// This is an *optimization contract*, never a behavior switch: return
+    /// a bound only when the skipped calls are provably side-effect-free,
+    /// so a run taking the fast path stays bit-identical to one that does
+    /// not (the differential suites pin this). [`SimTime::MAX`] means ticks
+    /// are always no-ops; the default [`SimTime::ZERO`] means "cannot
+    /// certify anything — run every tick". O(1).
+    fn tick_idle_until(&self) -> SimTime {
+        SimTime::ZERO
+    }
+
+    /// When true, the single upcoming tick at `now` is a guaranteed no-op
+    /// (see [`Policy::tick_idle_until`], from which this is derived). O(1).
+    fn tick_idle(&self, now: SimTime) -> bool {
+        now < self.tick_idle_until()
+    }
+
     /// The server's current modulated period for `item`'s updates, if the
     /// policy modulates periods (used by Fig. 3 instrumentation). `None`
     /// means "the ideal period". O(1).

@@ -519,6 +519,14 @@ impl Policy for UnitPolicy {
         signals
     }
 
+    /// O(1): a tick is a no-op exactly when the LBC will not activate, and
+    /// until an outcome lands only the grace timer can change that — so the
+    /// LBC's [`Lbc::idle_until`] bound is exact. UNIT schedules no
+    /// time-triggered refreshes.
+    fn tick_idle_until(&self) -> SimTime {
+        self.lbc.idle_until()
+    }
+
     fn current_period(&self, item: DataId) -> Option<SimDuration> {
         Some(self.modulation.current_period(item))
     }

@@ -27,6 +27,7 @@ use crate::faults::{FaultHook, HealthState, UpdateFault};
 use crate::locks::{LockManager, ReadAcquire, WriteAcquire};
 use crate::stats::{FaultCounts, SignalCounts, SimReport, TimelineSample};
 use crate::txn::{Txn, TxnId, TxnKind, TxnState};
+use crate::worktreap::WorkTreap;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Bound;
@@ -36,7 +37,7 @@ use unit_core::freshness_model::FreshnessModel;
 use unit_core::policy::{ControlSignal, Policy};
 use unit_core::snapshot::{QueueEntryView, QueueSource, SnapshotView};
 use unit_core::time::{SimDuration, SimTime};
-use unit_core::types::{DataId, Outcome, QueryId, QuerySpec, Trace, TxnClass};
+use unit_core::types::{DataId, Outcome, QueryId, QuerySpec, Trace, TxnClass, UpdateSpec};
 use unit_core::usm::{OutcomeCounts, UsmWeights};
 use unit_obs::{FaultPhase, ObsEvent, Observer};
 
@@ -211,14 +212,155 @@ struct AdmittedEntry {
     pref_class: u32,
 }
 
-/// Borrowed, Fenwick-indexed [`QueueSource`] over the simulator's admitted
+/// Where the engine's query specs live.
+///
+/// The materialized variant borrows the trace's query list (the classic
+/// path). The streamed variant owns a small slab holding only *in-flight*
+/// specs — interned by [`Simulator::feed_query`], released the moment the
+/// query's outcome is recorded — so a run over tens of millions of queries
+/// keeps O(in-flight + lookahead) specs resident instead of O(N_q).
+enum QueryStore<'a> {
+    /// All specs up front, borrowed from the trace.
+    Materialized(&'a [QuerySpec]),
+    /// Slab of in-flight specs; `spec_idx` is a slot index.
+    Streamed {
+        /// In-flight (and recycled) spec slots.
+        slab: Vec<QuerySpec>,
+        /// Slots whose outcome has been recorded, free for reuse.
+        free: Vec<usize>,
+    },
+}
+
+impl QueryStore<'_> {
+    /// The spec behind `spec_idx` (a trace index when materialized, a slab
+    /// slot when streamed). O(1).
+    fn get(&self, idx: usize) -> &QuerySpec {
+        match self {
+            QueryStore::Materialized(qs) => &qs[idx],
+            QueryStore::Streamed { slab, .. } => &slab[idx],
+        }
+    }
+
+    /// Intern a streamed spec, recycling a freed slot when one exists.
+    /// Returns the slot index. O(1) amortized.
+    fn intern(&mut self, spec: QuerySpec) -> usize {
+        match self {
+            QueryStore::Materialized(_) => {
+                // lint: allow(panic) — feed_query is only reachable on streaming runs
+                unreachable!("cannot intern into a materialized store")
+            }
+            QueryStore::Streamed { slab, free } => match free.pop() {
+                Some(slot) => {
+                    slab[slot] = spec;
+                    slot
+                }
+                None => {
+                    slab.push(spec);
+                    slab.len() - 1
+                }
+            },
+        }
+    }
+
+    /// Release a streamed slot once its outcome is recorded; no-op when
+    /// materialized. O(1).
+    fn release(&mut self, idx: usize) {
+        if let QueryStore::Streamed { free, .. } = self {
+            free.push(idx);
+        }
+    }
+}
+
+/// Remaining admitted-query work bucketed by deadline — the structure
+/// behind every `query_work_at_or_before` probe.
+///
+/// The static variant spans the sorted, deduplicated deadlines of the whole
+/// trace (known up front) and answers probes in O(log N) through a Fenwick
+/// tree. The dynamic variant — used by streaming runs, where deadlines are
+/// only discovered as queries are fed — keeps a [`WorkTreap`] over the
+/// deadlines of *currently admitted* queries, with O(log A) expected
+/// probes in the admitted-deadline count. Both answer with exact integer
+/// tick sums, so a probe's result never depends on which variant served
+/// it.
+enum WorkIndex {
+    /// Fenwick tree over the trace's full deadline coordinate space.
+    Static {
+        /// Sorted, deduplicated deadlines of every trace query.
+        coords: Vec<SimTime>,
+        /// Remaining work (ticks) per coordinate.
+        fenwick: Fenwick<u64>,
+    },
+    /// Order-statistic treap over currently admitted deadlines.
+    Dynamic {
+        /// Remaining work (ticks) per admitted deadline; nodes are
+        /// removed at zero so the tree tracks the live admitted set.
+        index: WorkTreap,
+    },
+}
+
+impl WorkIndex {
+    /// Add `ticks` of remaining work at `deadline`. O(log N) / O(log A).
+    fn add(&mut self, deadline: SimTime, ticks: u64) {
+        if ticks == 0 {
+            return;
+        }
+        match self {
+            WorkIndex::Static { coords, fenwick } => {
+                let coord = coords
+                    .binary_search(&deadline)
+                    // lint: allow(panic) — coords are built from all trace deadlines up front
+                    .expect("every admitted deadline is a trace coordinate");
+                fenwick.add(coord, ticks);
+            }
+            WorkIndex::Dynamic { index } => index.add(deadline, ticks),
+        }
+    }
+
+    /// Remove `ticks` of remaining work at `deadline`. O(log N) / O(log A).
+    fn sub(&mut self, deadline: SimTime, ticks: u64) {
+        if ticks == 0 {
+            return;
+        }
+        match self {
+            WorkIndex::Static { coords, fenwick } => {
+                let coord = coords
+                    .binary_search(&deadline)
+                    // lint: allow(panic) — coords are built from all trace deadlines up front
+                    .expect("every admitted deadline is a trace coordinate");
+                fenwick.sub(coord, ticks);
+            }
+            WorkIndex::Dynamic { index } => index.sub(deadline, ticks),
+        }
+    }
+
+    /// Total remaining admitted work, in ticks. O(1).
+    fn total(&self) -> u64 {
+        match self {
+            WorkIndex::Static { fenwick, .. } => fenwick.total(),
+            WorkIndex::Dynamic { index } => index.total(),
+        }
+    }
+
+    /// Remaining admitted work with deadline `<= deadline`, in ticks.
+    /// O(log N) static, O(A) dynamic.
+    fn at_or_before(&self, deadline: SimTime) -> u64 {
+        match self {
+            WorkIndex::Static { coords, fenwick } => {
+                let count = coords.partition_point(|&d| d <= deadline);
+                fenwick.prefix_sum(count)
+            }
+            WorkIndex::Dynamic { index } => index.at_or_before(deadline),
+        }
+    }
+}
+
+/// Borrowed, work-indexed [`QueueSource`] over the simulator's admitted
 /// queries: `O(log N_rq)` work probes, `O(N_rq)` materialization only when a
 /// policy explicitly asks for the whole list.
 struct EngineQueue<'b> {
     clock: SimTime,
     admitted: &'b BTreeMap<(SimTime, QueryId), AdmittedEntry>,
-    deadline_coords: &'b [SimTime],
-    work_index: &'b Fenwick<u64>,
+    work: &'b WorkIndex,
     running: &'b [RunningTxn],
     txns: &'b [Txn],
     scratch: &'b RefCell<Vec<QueueEntryView>>,
@@ -265,13 +407,12 @@ impl QueueSource for EngineQueue<'_> {
     }
 
     fn total_query_work(&self) -> SimDuration {
-        SimDuration(self.work_index.total())
+        SimDuration(self.work.total())
             .saturating_sub(self.running_query_elapsed_before(SimTime::MAX))
     }
 
     fn query_work_at_or_before(&self, deadline: SimTime) -> SimDuration {
-        let count = self.deadline_coords.partition_point(|&d| d <= deadline);
-        SimDuration(self.work_index.prefix_sum(count))
+        SimDuration(self.work.at_or_before(deadline))
             .saturating_sub(self.running_query_elapsed_before(deadline))
     }
 
@@ -308,7 +449,13 @@ enum DispatchResult {
 
 /// The discrete-event server. Most users want [`run_simulation`].
 pub struct Simulator<'a, P: Policy> {
-    trace: &'a Trace,
+    /// Query specs: the whole trace (materialized runs) or an in-flight
+    /// slab (streaming runs; see [`Simulator::new_streaming`]).
+    queries: QueryStore<'a>,
+    /// Update-stream specs (always known up front).
+    updates: &'a [UpdateSpec],
+    /// Database size.
+    n_items: usize,
     policy: P,
     cfg: SimConfig,
 
@@ -317,6 +464,32 @@ pub struct Simulator<'a, P: Policy> {
     /// initialized). Flipped by the first [`Simulator::step`].
     started: bool,
     events: EventQueue,
+    /// The next control tick as `(time, seq)`, kept *out* of the event heap:
+    /// ticks are strictly periodic and there is at most one pending, so a
+    /// tracked slot saves one heap push+pop per tick — the dominant event
+    /// class on replicated cluster shards. The seq is claimed from the
+    /// runtime counter at exactly the point the heap push used to happen,
+    /// so same-instant tie-breaking is bit-identical to the heap-resident
+    /// scheme. Fault windows fall back to the heap (a deferred tick is an
+    /// ordinary event again).
+    next_tick: Option<(SimTime, u64)>,
+    /// Queries submitted so far: the trace length on materialized runs, the
+    /// fed count on streaming runs (each outcome is checked against it at
+    /// drain).
+    submitted: u64,
+    /// Per-item access histogram accumulated at feed time (streaming runs
+    /// only; materialized runs recompute it from the trace at report time).
+    streamed_accesses: Vec<u64>,
+    /// Arrival of the most recently fed query (streamed monotonicity check).
+    last_fed_arrival: SimTime,
+    /// Trace arrivals currently sitting in the event heap (seeded or fed,
+    /// not yet handled). The streamed feeder uses it to cap its lookahead
+    /// at `chunk` *buffered* arrivals, which is what keeps the heap — and
+    /// peak memory — small on a million-query stream.
+    arrivals_in_flight: u64,
+    /// Streamed runs: the feeder promised no further [`Simulator::feed_query`]
+    /// calls, so the idle-tick skip no longer needs the feed cap.
+    stream_exhausted: bool,
     txns: Vec<Txn>,
     ready: BTreeSet<PriorityKey>,
     blocked: Vec<TxnId>,
@@ -336,12 +509,9 @@ pub struct Simulator<'a, P: Policy> {
     /// Admitted, unfinished queries keyed by `(deadline, trace id)` — the
     /// exact ascending order [`QueueSource`] iteration must follow.
     admitted: BTreeMap<(SimTime, QueryId), AdmittedEntry>,
-    /// Sorted, deduplicated deadlines of every trace query: the coordinate
-    /// space of `work_index`.
-    deadline_coords: Vec<SimTime>,
-    /// Remaining admitted-query work (ticks) per deadline coordinate, so
-    /// `work_ahead_of(deadline)` probes are O(log N) instead of a walk.
-    work_index: Fenwick<u64>,
+    /// Remaining admitted-query work bucketed by deadline, so
+    /// `work_ahead_of(deadline)` probes are cheap instead of a walk.
+    work: WorkIndex,
     /// Reusable buffer behind `QueueSource::with_queries`.
     view_scratch: RefCell<Vec<QueueEntryView>>,
     /// Optional fault-injection hook ([`crate::faults`]). `None` — the
@@ -389,39 +559,115 @@ impl<'a, P: Policy> Simulator<'a, P> {
             // lint: allow(panic) — documented constructor contract, caught before the run
             panic!("invalid trace: {e}");
         }
-        let n = trace.n_items;
-        let mut item_update_exec = vec![None; n];
-        for u in &trace.updates {
+        let mut deadline_coords: Vec<SimTime> =
+            trace.queries.iter().map(QuerySpec::deadline).collect();
+        deadline_coords.sort_unstable();
+        deadline_coords.dedup();
+        let fenwick = Fenwick::new(deadline_coords.len());
+        Self::from_parts(
+            QueryStore::Materialized(&trace.queries),
+            &trace.updates,
+            trace.n_items,
+            WorkIndex::Static {
+                coords: deadline_coords,
+                fenwick,
+            },
+            trace.queries.len() as u64,
+            Vec::new(),
+            policy,
+            cfg,
+        )
+    }
+
+    /// Build a simulator with **no up-front query list**: queries are fed
+    /// one at a time through [`Simulator::feed_query`] (or wholesale through
+    /// [`Simulator::run_streamed`]) while the run progresses, so a
+    /// million-user trace never materializes as a `Vec`. Update streams and
+    /// the database size are still fixed up front — they define the server,
+    /// not the load.
+    ///
+    /// # Panics
+    /// Panics if any update spec is malformed (same contract as
+    /// [`Simulator::new`]).
+    pub fn new_streaming(
+        n_items: usize,
+        updates: &'a [UpdateSpec],
+        policy: P,
+        cfg: SimConfig,
+    ) -> Self {
+        // Reuse the trace validator on an empty-query trace so the update
+        // checks stay in one place.
+        let probe = Trace {
+            n_items,
+            queries: Vec::new(),
+            updates: updates.to_vec(),
+        };
+        if let Err(e) = probe.validate() {
+            // lint: allow(panic) — documented constructor contract, caught before the run
+            panic!("invalid update streams: {e}");
+        }
+        Self::from_parts(
+            QueryStore::Streamed {
+                slab: Vec::new(),
+                free: Vec::new(),
+            },
+            updates,
+            n_items,
+            WorkIndex::Dynamic {
+                index: WorkTreap::new(),
+            },
+            0,
+            vec![0u64; n_items],
+            policy,
+            cfg,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn from_parts(
+        queries: QueryStore<'a>,
+        updates: &'a [UpdateSpec],
+        n_items: usize,
+        work: WorkIndex,
+        submitted: u64,
+        streamed_accesses: Vec<u64>,
+        policy: P,
+        cfg: SimConfig,
+    ) -> Self {
+        let mut item_update_exec = vec![None; n_items];
+        for u in updates {
             let slot = &mut item_update_exec[u.item.index()];
             if slot.is_none() {
                 *slot = Some(u.exec_time);
             }
         }
-        let mut deadline_coords: Vec<SimTime> =
-            trace.queries.iter().map(QuerySpec::deadline).collect();
-        deadline_coords.sort_unstable();
-        deadline_coords.dedup();
-        let work_index = Fenwick::new(deadline_coords.len());
         Simulator {
-            trace,
+            queries,
+            updates,
+            n_items,
             policy,
             cfg,
             clock: SimTime::ZERO,
             started: false,
             events: EventQueue::new(),
+            next_tick: None,
+            submitted,
+            streamed_accesses,
+            last_fed_arrival: SimTime::ZERO,
+            arrivals_in_flight: 0,
+            stream_exhausted: false,
             txns: Vec::new(),
             ready: BTreeSet::new(),
             blocked: Vec::new(),
             running: Vec::new(),
             next_generation: 0,
-            locks: LockManager::new(n),
-            freshness: FreshnessTable::new(n),
+            locks: LockManager::new(n_items),
+            freshness: FreshnessTable::new(n_items),
             item_update_exec,
-            pending_ondemand: vec![false; n],
+            pending_ondemand: vec![false; n_items],
             outstanding_update_work: SimDuration::ZERO,
             admitted: BTreeMap::new(),
-            deadline_coords,
-            work_index,
+            work,
             view_scratch: RefCell::new(Vec::new()),
             faults: None,
             obs: None,
@@ -504,20 +750,33 @@ impl<'a, P: Policy> Simulator<'a, P> {
         debug_assert!(!self.started);
         self.started = true;
         self.policy.set_observed(self.obs.is_some());
-        self.policy.init(self.trace.n_items, &self.trace.updates);
+        self.policy.init(self.n_items, self.updates);
 
-        for (i, q) in self.trace.queries.iter().enumerate() {
-            self.events
-                .push(q.arrival, Event::QueryArrival { spec_idx: i });
+        // Arrivals carry their trace index as an explicit sequence number
+        // (below the runtime class), so a streamed feed that pushes the same
+        // arrival later lands on the identical heap key. Streaming runs seed
+        // nothing here — feed_query does it one spec at a time.
+        if let QueryStore::Materialized(qs) = &self.queries {
+            for (i, q) in qs.iter().enumerate() {
+                self.events
+                    .push_arrival(q.arrival, Event::QueryArrival { spec_idx: i }, i as u64);
+            }
+            self.arrivals_in_flight = qs.len() as u64;
         }
-        for (j, u) in self.trace.updates.iter().enumerate() {
+        for (j, u) in self.updates.iter().enumerate() {
             if u.first_arrival.0 <= self.cfg.horizon.0 {
                 self.events
                     .push(u.first_arrival, Event::VersionArrival { stream_idx: j });
             }
         }
-        self.events
-            .push(SimTime::ZERO + self.cfg.tick_period, Event::ControlTick);
+        // The first control tick claims its runtime sequence slot here —
+        // between the update seeding and the fault transitions, exactly
+        // where the heap-resident tick used to be pushed — but lives in
+        // `next_tick`, not the heap (see the field docs).
+        self.next_tick = Some((
+            SimTime::ZERO + self.cfg.tick_period,
+            self.events.alloc_seq(),
+        ));
 
         // Fault transitions: every crash-window boundary and burst instant,
         // sorted and deduplicated so the event-seq assignment (and thus
@@ -543,6 +802,30 @@ impl<'a, P: Policy> Simulator<'a, P> {
         if !self.started {
             self.start();
         }
+        // Fast-forward past any run of certifiably idle ticks before the
+        // race, so a sparse stretch costs one heap pop per real event
+        // instead of one extra step per tick-train segment. The skipped
+        // ticks are accounted (clock, seqs, events_processed, window roll)
+        // exactly as if each had been stepped — see the method docs.
+        self.fast_forward_idle_ticks();
+        // The tracked control tick races the heap head on the same
+        // `(time, seq)` key the heap itself orders by, so the winner is
+        // exactly the event the all-heap scheme would have popped.
+        let take_tick = match (self.next_tick, self.events.peek_key()) {
+            (Some(tick), Some(head)) => tick <= head,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if take_tick {
+            let Some((t, _)) = self.next_tick.take() else {
+                return false; // unreachable: take_tick implies Some
+            };
+            debug_assert!(t >= self.clock, "time went backwards");
+            self.clock = t;
+            self.events_processed += 1;
+            self.on_control_tick();
+            return true;
+        }
         let Some((t, ev)) = self.events.pop() else {
             return false;
         };
@@ -565,6 +848,163 @@ impl<'a, P: Policy> Simulator<'a, P> {
         true
     }
 
+    /// Timestamp of the next pending event — the earlier of the tracked
+    /// control tick and the heap head — without advancing anything. `None`
+    /// once the run has drained. Before the first step this reflects only
+    /// what has been seeded or fed so far. O(1).
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        let heap = self.events.peek_time();
+        let tick = self.next_tick.map(|(t, _)| t);
+        match (tick, heap) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Step every pending event with `time <= limit`, lazily starting the
+    /// run. Returns `true` while events remain beyond `limit`, `false` once
+    /// the run has drained. The event sequence is exactly what repeated
+    /// [`Simulator::step`] calls would process — pausing at epoch
+    /// boundaries reorders nothing, which is what makes epoch-parallel
+    /// cluster stepping bit-identical to whole-shard stepping.
+    /// O(E≤limit · log N_ev).
+    pub fn step_until(&mut self, limit: SimTime) -> bool {
+        if !self.started {
+            self.start();
+        }
+        loop {
+            match self.next_event_time() {
+                Some(t) if t <= limit => {
+                    self.step();
+                }
+                Some(_) => return true,
+                None => return false,
+            }
+        }
+    }
+
+    /// Feed one query into a streaming run (see
+    /// [`Simulator::new_streaming`]). Queries must be fed in trace order
+    /// (`id` equals the number already fed, arrivals non-decreasing) and
+    /// before the clock passes their arrival; [`Simulator::run_streamed`]
+    /// upholds all three automatically. The arrival event carries the
+    /// query's global index as its sequence number, so event order — and
+    /// therefore the digest — is independent of how far ahead of the clock
+    /// the feed runs. O(|items| + log N_ev).
+    ///
+    /// # Panics
+    /// Panics on a malformed spec, an out-of-order feed, or when the run
+    /// was built from a materialized trace.
+    pub fn feed_query(&mut self, spec: QuerySpec) {
+        if !self.started {
+            self.start();
+        }
+        // lint: allow(panic) — documented contract, mirrors Simulator::new
+        assert!(
+            matches!(self.queries, QueryStore::Streamed { .. }),
+            "feed_query on a materialized run (arrivals were seeded up front)"
+        );
+        if let Err(e) = spec.validate(self.n_items) {
+            // lint: allow(panic) — documented contract, mirrors Simulator::new
+            panic!("invalid streamed query: {e}");
+        }
+        // lint: allow(panic) — trace order is what keeps arrival seqs global
+        assert_eq!(
+            spec.id,
+            QueryId(self.submitted),
+            "streamed queries must be fed in trace order"
+        );
+        // lint: allow(panic) — documented contract
+        assert!(
+            spec.arrival >= self.last_fed_arrival,
+            "streamed arrivals must be non-decreasing"
+        );
+        debug_assert!(
+            spec.arrival >= self.clock,
+            "fed an arrival the clock already passed"
+        );
+        debug_assert!(!self.stream_exhausted, "feed_query after end_stream()");
+        self.last_fed_arrival = spec.arrival;
+        for d in &spec.items {
+            self.streamed_accesses[d.index()] += 1;
+        }
+        let seq = self.submitted;
+        self.submitted += 1;
+        self.arrivals_in_flight += 1;
+        let arrival = spec.arrival;
+        let slot = self.queries.intern(spec);
+        self.events
+            .push_arrival(arrival, Event::QueryArrival { spec_idx: slot }, seq);
+    }
+
+    /// Promise that no further [`Simulator::feed_query`] call will follow.
+    /// Purely an optimization hint: it lifts the idle-tick skip's feed cap
+    /// (see [`Policy::tick_idle_until`]) so the post-stream tail of the run
+    /// can jump idle ticks in bulk. Calling it is never required and never
+    /// changes results; feeding after it is a contract violation (checked in
+    /// debug builds). O(1).
+    pub fn end_stream(&mut self) {
+        self.stream_exhausted = true;
+    }
+
+    /// Drive a streaming run to completion: feed `queries` in order —
+    /// every arrival the next event forces, plus enough lookahead to keep
+    /// up to `chunk` future arrivals buffered in the heap — and return the
+    /// report. For the same query sequence the result is bit-identical to
+    /// [`Simulator::run`] over the materialized trace, for *any* `chunk`:
+    /// heap order depends only on `(time, global index)`, never on push
+    /// timing. Because the buffer cap is on arrivals *in flight* (not a
+    /// per-step feed count), the event heap and the spec slab both stay
+    /// O(in-flight + chunk) instead of O(N_q) — a million-query trace
+    /// never exists in memory, and every heap operation works on a small,
+    /// cache-resident heap. O(N_ev log(in-flight + chunk)) total.
+    pub fn run_streamed<I>(self, queries: I, chunk: usize) -> SimReport
+    where
+        I: IntoIterator<Item = QuerySpec>,
+    {
+        self.run_streamed_with_policy(queries, chunk).0
+    }
+
+    /// Like [`Simulator::run_streamed`], but also hands back the policy.
+    pub fn run_streamed_with_policy<I>(mut self, queries: I, chunk: usize) -> (SimReport, P)
+    where
+        I: IntoIterator<Item = QuerySpec>,
+    {
+        let mut it = queries.into_iter();
+        let mut pending = it.next();
+        if pending.is_none() {
+            self.end_stream();
+        }
+        loop {
+            // Mandatory feeds first: an arrival at or before the next
+            // event's instant must be queued before that event pops. Beyond
+            // that, feed lookahead only while fewer than `chunk` arrivals
+            // are buffered — the cap is on arrivals in flight, so the heap
+            // stays small for the whole run instead of swallowing the
+            // stream a chunk per step.
+            while let Some(spec) = pending.take() {
+                let due = match self.next_event_time() {
+                    None => true,
+                    Some(t) => spec.arrival <= t,
+                };
+                if !due && self.arrivals_in_flight >= chunk as u64 {
+                    pending = Some(spec);
+                    break;
+                }
+                self.feed_query(spec);
+                pending = it.next();
+                if pending.is_none() {
+                    self.end_stream();
+                }
+            }
+            if !self.step() {
+                break;
+            }
+        }
+        debug_assert!(pending.is_none(), "stream not exhausted at drain");
+        self.finish()
+    }
+
     /// The current virtual clock (the timestamp of the last processed
     /// event). O(1).
     pub fn now(&self) -> SimTime {
@@ -581,10 +1021,10 @@ impl<'a, P: Policy> Simulator<'a, P> {
         debug_assert!(self.ready.is_empty(), "ready transactions left behind");
         debug_assert!(self.running.is_empty(), "running transactions left behind");
         debug_assert!(self.admitted.is_empty(), "admitted queries left behind");
-        debug_assert_eq!(self.work_index.total(), 0, "work index must drain to zero");
+        debug_assert_eq!(self.work.total(), 0, "work index must drain to zero");
         debug_assert_eq!(
-            self.counts.total() as usize,
-            self.trace.queries.len(),
+            self.counts.total(),
+            self.submitted,
             "every submitted query must have exactly one outcome"
         );
         #[cfg(feature = "validate")]
@@ -597,7 +1037,20 @@ impl<'a, P: Policy> Simulator<'a, P> {
     /// Assemble the final report, moving the accumulated histograms and
     /// timeline out of the simulator instead of cloning them.
     fn report(&mut self) -> SimReport {
-        let query_accesses = self.trace.query_access_histogram();
+        // Same histogram `Trace::query_access_histogram` computes; streaming
+        // runs accumulated it at feed time (the specs are long gone).
+        let query_accesses = match &self.queries {
+            QueryStore::Materialized(qs) => {
+                let mut h = vec![0u64; self.n_items];
+                for q in *qs {
+                    for d in &q.items {
+                        h[d.index()] += 1;
+                    }
+                }
+                h
+            }
+            QueryStore::Streamed { .. } => std::mem::take(&mut self.streamed_accesses),
+        };
         let freshness = std::mem::replace(&mut self.freshness, FreshnessTable::new(0));
         let (versions_arrived, updates_applied) = freshness.into_histograms();
         SimReport {
@@ -655,18 +1108,23 @@ impl<'a, P: Policy> Simulator<'a, P> {
             // to the recovery instant.
             self.fault_counts.deferred_events += 1;
             self.events.push(until, Event::QueryArrival { spec_idx });
-            return;
+            return; // still in flight: the arrival went back into the heap
         }
-        let trace = self.trace;
-        let spec = &trace.queries[spec_idx];
-        if self.faults.is_some() && spec.deadline() <= self.clock {
+        self.arrivals_in_flight -= 1;
+        let (spec_deadline, spec_exec, spec_id) = {
+            let spec = self.queries.get(spec_idx);
+            (spec.deadline(), spec.exec_time, spec.id)
+        };
+        if self.faults.is_some() && spec_deadline <= self.clock {
             // Dead on arrival: the firm deadline expired while the arrival
             // sat deferred through a crash window. Unreachable fault-free
             // (relative deadlines are strictly positive).
             self.record_outcome(spec_idx, Outcome::DeadlineMiss);
             return;
         }
-        let decision = self.with_view(|policy, view| policy.on_query_arrival(spec, view));
+        let decision = self.with_view_spec(spec_idx, |policy, spec, view| {
+            policy.on_query_arrival(spec, view)
+        });
         if self.obs.is_some() {
             let (verdict, c_flex) = match self.policy.last_admission() {
                 Some(a) => (Some(a.verdict), Some(a.c_flex)),
@@ -674,7 +1132,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
             };
             self.emit(ObsEvent::Admission {
                 time: self.clock,
-                query: spec.id,
+                query: spec_id,
                 decision,
                 verdict,
                 c_flex,
@@ -688,9 +1146,9 @@ impl<'a, P: Policy> Simulator<'a, P> {
         let txn = Txn {
             id,
             class: TxnClass::Query,
-            edf_deadline: spec.deadline(),
-            exec_time: spec.exec_time,
-            remaining: spec.exec_time,
+            edf_deadline: spec_deadline,
+            exec_time: spec_exec,
+            remaining: spec_exec,
             state: TxnState::Ready,
             holds_locks: false,
             blocked_on: None,
@@ -716,12 +1174,16 @@ impl<'a, P: Policy> Simulator<'a, P> {
     /// Ask the policy which of `spec`'s items need an on-demand refresh and
     /// spawn update transactions for them. Returns true if any were spawned.
     fn spawn_demand_refreshes(&mut self, spec_idx: usize) -> bool {
-        let trace = self.trace;
-        let spec = &trace.queries[spec_idx];
-        let freshness = &self.freshness;
-        let wanted = self
-            .policy
-            .demand_refresh(spec, &|d: DataId| freshness.udrop(d));
+        let wanted = {
+            let Simulator {
+                queries,
+                policy,
+                freshness,
+                ..
+            } = self;
+            let spec = queries.get(spec_idx);
+            policy.demand_refresh(spec, &|d: DataId| freshness.udrop(d))
+        };
         let mut spawned = false;
         for d in wanted {
             if self.pending_ondemand[d.index()] {
@@ -745,7 +1207,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
     /// O(log N_ev) for the event pushes; the policy callback is O(1) for
     /// every shipped policy.
     fn on_version_arrival(&mut self, stream_idx: usize) {
-        let u = &self.trace.updates[stream_idx];
+        let u = &self.updates[stream_idx];
         let item = u.item;
         let period = u.period;
         let exec = u.exec_time;
@@ -829,7 +1291,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
                     freshness_at_dispatch,
                     ..
                 } => {
-                    let spec = &self.trace.queries[spec_idx];
+                    let spec = self.queries.get(spec_idx);
                     debug_assert!(self.clock <= spec.deadline(), "firm deadline violated");
                     // Freshness verdict: the data the query actually *read*,
                     // i.e. the strict-minimum freshness captured when its
@@ -935,6 +1397,24 @@ impl<'a, P: Policy> Simulator<'a, P> {
             self.events.push(until, Event::ControlTick);
             return;
         }
+        // Idle-tick fast path: when the policy certifies this tick as a
+        // no-op (`Policy::tick_idle`) and nobody is watching, only the
+        // utilization-window roll and the re-arm have observable effects —
+        // the snapshot view, the `on_tick` call, and the refresh sweep are
+        // skipped wholesale. Bit-identical to the full path by the
+        // `tick_idle` contract (pinned by the differential suites);
+        // disabled under the `validate` feature so debug builds still
+        // cross-check invariants at every tick.
+        let idle = !cfg!(feature = "validate")
+            && self.obs.is_none()
+            && !self.cfg.record_timeline
+            && self.policy.tick_idle(self.clock);
+        if idle {
+            self.window_busy = SimDuration::ZERO;
+            self.window_start = self.clock;
+            self.rearm_tick();
+            return;
+        }
         // One view serves both the policy tick and the timeline sample, so
         // the sample reflects pre-tick state exactly as the policy saw it.
         let observing = self.obs.is_some();
@@ -1028,9 +1508,94 @@ impl<'a, P: Policy> Simulator<'a, P> {
         #[cfg(feature = "validate")]
         self.validate_invariants();
 
+        self.rearm_tick();
+    }
+
+    /// Idle-tick fast-forward: when the policy certifies a run of pending
+    /// ticks as no-ops ([`Policy::tick_idle_until`]), consume every
+    /// certifiably idle tick strictly before the next heap event *without
+    /// spending a step on any of them* — the enclosing [`Simulator::step`]
+    /// then pops the real event directly. A sparse stretch of the run costs
+    /// one step per heap event instead of one extra step per tick-train
+    /// segment, making per-shard tick cost O(events) rather than
+    /// O(horizon / tick_period) — crucial for many-shard cluster runs,
+    /// where each shard replays the full tick train over a sparse slice of
+    /// the trace.
+    ///
+    /// Sound because the certification premise — "no other hook fires in
+    /// between" — holds by construction: every outcome, arrival, version,
+    /// completion, and fault transition is a heap event, and the skip stops
+    /// strictly before the heap head. Per consumed tick the only observable
+    /// effects are the utilization-window roll (collapsed to the final
+    /// roll: each roll just resets the window), the processed-event count,
+    /// and one re-arm sequence number (burned via
+    /// [`EventQueue::alloc_seqs`]), so the run stays bit-identical to the
+    /// stepped one — the differential suites pin this. Disabled while
+    /// observed, while recording a timeline, during a fault pause, and
+    /// under the `validate` feature (debug builds cross-check invariants at
+    /// every tick). O(1).
+    fn fast_forward_idle_ticks(&mut self) {
+        if cfg!(feature = "validate")
+            || self.obs.is_some()
+            || self.cfg.record_timeline
+            || self.paused_until().is_some()
+        {
+            return;
+        }
+        let Some((t, _)) = self.next_tick else {
+            return;
+        };
+        let period = self.cfg.tick_period.0;
+        if period == 0 {
+            return;
+        }
+        // Ticks strictly before `limit` are no-ops: below the policy bound,
+        // and no heap event can interleave. (A tick *tying* the heap head
+        // must go through the normal race, hence strict `<`.)
+        let bound = self.policy.tick_idle_until();
+        let mut limit = match self.events.peek_time() {
+            Some(h) => bound.min(h),
+            None => bound,
+        };
+        // Streaming runs: arrivals not yet fed are invisible to the heap,
+        // but the feed contract bounds them — every future arrival lands at
+        // or after `last_fed_arrival` (and an arrival ties below a tick at
+        // the same instant). Cap the skip there until the feeder signals
+        // end-of-stream.
+        if matches!(self.queries, QueryStore::Streamed { .. }) && !self.stream_exhausted {
+            limit = limit.min(self.last_fed_arrival);
+        }
+        if t >= limit {
+            return;
+        }
+        // The first tick may sit past the horizon (it is armed
+        // unconditionally at start); leave that edge to the normal handler.
+        let Some(horizon_room) = self.cfg.horizon.0.checked_sub(t.0) else {
+            return;
+        };
+        // Consume the armed tick plus `extra` idle successors.
+        let extra = ((limit.0 - t.0 - 1) / period).min(horizon_room / period);
+        let t_last = SimTime(t.0 + extra * period);
+        debug_assert!(t >= self.clock, "time went backwards");
+        self.next_tick = None;
+        self.clock = t_last;
+        self.events_processed += extra + 1;
+        // Each consumed tick's re-arm claimed one runtime sequence slot:
+        // `extra` burned here, the last taken by `rearm_tick` below.
+        self.events.alloc_seqs(extra);
+        self.window_busy = SimDuration::ZERO;
+        self.window_start = t_last;
+        self.rearm_tick();
+    }
+
+    /// Claim the next tick's runtime sequence slot at exactly the point the
+    /// heap push used to happen, but keep it tracked (see the `next_tick`
+    /// field docs). Both tick paths (full and idle) end here, so the
+    /// sequence-number tape is identical either way.
+    fn rearm_tick(&mut self) {
         let next = self.clock + self.cfg.tick_period;
         if next.0 <= self.cfg.horizon.0 {
-            self.events.push(next, Event::ControlTick);
+            self.next_tick = Some((next, self.events.alloc_seq()));
         }
     }
 
@@ -1113,16 +1678,41 @@ impl<'a, P: Policy> Simulator<'a, P> {
     /// outcome log. Runs at every control tick and once at end of run.
     #[cfg(feature = "validate")]
     fn validate_invariants(&self) {
-        unit_core::validate_check!(
-            "work-index",
-            crate::validate::check_work_index(
-                &self.work_index,
-                &self.deadline_coords,
-                self.admitted
-                    .iter()
-                    .map(|(&(deadline, _), e)| (deadline, e.remaining.0)),
-            )
-        );
+        match &self.work {
+            WorkIndex::Static { coords, fenwick } => {
+                unit_core::validate_check!(
+                    "work-index",
+                    crate::validate::check_work_index(
+                        fenwick,
+                        coords,
+                        self.admitted
+                            .iter()
+                            .map(|(&(deadline, _), e)| (deadline, e.remaining.0)),
+                    )
+                );
+            }
+            WorkIndex::Dynamic { index } => {
+                let mut naive: BTreeMap<SimTime, u64> = BTreeMap::new();
+                for (&(deadline, _), e) in &self.admitted {
+                    if e.remaining.0 > 0 {
+                        *naive.entry(deadline).or_insert(0) += e.remaining.0;
+                    }
+                }
+                let naive_total: u64 = naive.values().sum();
+                let entries: Vec<(SimTime, u64)> = naive.into_iter().collect();
+                let total = index.total();
+                unit_core::validate_check!(
+                    "work-index-dynamic",
+                    if entries == index.entries() && naive_total == total {
+                        Ok(())
+                    } else {
+                        Err(format!(
+                            "dynamic work index diverged: recount total {naive_total}, index total {total}"
+                        ))
+                    }
+                );
+            }
+        }
         unit_core::validate_check!(
             "usm-identity",
             crate::validate::check_usm_identity(&self.counts, &self.outcome_log, &self.cfg.weights)
@@ -1201,11 +1791,6 @@ impl<'a, P: Policy> Simulator<'a, P> {
     }
 
     fn try_dispatch_query(&mut self, id: TxnId, spec_idx: usize) -> DispatchResult {
-        // Copy the `&'a Trace` reference out of `self` so `spec` does not
-        // keep `self` borrowed across the mutating calls below.
-        let trace = self.trace;
-        let spec = &trace.queries[spec_idx];
-
         // On-demand refreshes (ODU): before the query touches data, the
         // policy may demand update transactions for its stale items. Those
         // are update-class, so they will run first.
@@ -1222,13 +1807,28 @@ impl<'a, P: Policy> Simulator<'a, P> {
         }
 
         if !self.txns[id.index()].holds_locks {
-            match self.locks.acquire_read(id, &spec.items) {
+            // Field-precise destructures: the spec lives in `queries`,
+            // disjoint from every structure touched alongside it.
+            let acquire = {
+                let Simulator { queries, locks, .. } = self;
+                locks.acquire_read(id, &queries.get(spec_idx).items)
+            };
+            match acquire {
                 ReadAcquire::Granted => {
-                    let f = self.cfg.freshness_model.read_set_freshness(
-                        &self.freshness,
-                        &spec.items,
-                        self.clock,
-                    );
+                    let f = {
+                        let Simulator {
+                            queries,
+                            freshness,
+                            cfg,
+                            clock,
+                            ..
+                        } = self;
+                        cfg.freshness_model.read_set_freshness(
+                            freshness,
+                            &queries.get(spec_idx).items,
+                            *clock,
+                        )
+                    };
                     self.dispatch_freshness_sum += f;
                     self.dispatch_freshness_n += 1;
                     {
@@ -1242,7 +1842,12 @@ impl<'a, P: Policy> Simulator<'a, P> {
                             *freshness_at_dispatch = Some(f);
                         }
                     }
-                    self.policy.on_query_dispatch(spec, f);
+                    {
+                        let Simulator {
+                            policy, queries, ..
+                        } = self;
+                        policy.on_query_dispatch(queries.get(spec_idx), f);
+                    }
                 }
                 ReadAcquire::BlockedOn(d) => {
                     let txn = &mut self.txns[id.index()];
@@ -1424,29 +2029,39 @@ impl<'a, P: Policy> Simulator<'a, P> {
         self.counts.record(outcome);
         #[cfg(feature = "validate")]
         self.outcome_log.push(outcome);
+        let (spec_id, class) = {
+            let spec = self.queries.get(spec_idx);
+            (spec.id, spec.pref_class as usize)
+        };
         if self.cfg.record_outcomes {
             self.outcome_records.push(crate::stats::OutcomeRecord {
                 seq: self.outcome_records.len() as u64,
                 time: self.clock,
-                query: self.trace.queries[spec_idx].id,
+                query: spec_id,
                 outcome,
             });
         }
-        let spec = &self.trace.queries[spec_idx];
-        let class = spec.pref_class as usize;
         if self.class_counts.len() <= class {
             self.class_counts
                 .resize(class + 1, OutcomeCounts::default());
         }
         self.class_counts[class].record(outcome);
-        self.policy.on_query_outcome(spec, outcome);
+        {
+            let Simulator {
+                policy, queries, ..
+            } = self;
+            policy.on_query_outcome(queries.get(spec_idx), outcome);
+        }
         if self.obs.is_some() {
             self.emit(ObsEvent::QueryOutcome {
                 time: self.clock,
-                query: spec.id,
+                query: spec_id,
                 outcome,
             });
         }
+        // The outcome is the spec's last use: a streamed slot is recycled
+        // here, bounding slab growth by the in-flight query count.
+        self.queries.release(spec_idx);
     }
 
     // --- policy views ----------------------------------------------------
@@ -1487,8 +2102,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
             policy,
             clock,
             admitted,
-            deadline_coords,
-            work_index,
+            work,
             running,
             txns,
             view_scratch,
@@ -1497,8 +2111,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
         let source = EngineQueue {
             clock: *clock,
             admitted: &*admitted,
-            deadline_coords: &*deadline_coords,
-            work_index: &*work_index,
+            work: &*work,
             running: &*running,
             txns: &*txns,
             scratch: &*view_scratch,
@@ -1507,31 +2120,55 @@ impl<'a, P: Policy> Simulator<'a, P> {
         f(policy, &view)
     }
 
-    // --- admitted-query index maintenance --------------------------------
-
-    /// Coordinate of `deadline` in the work index.
-    fn coord_of(&self, deadline: SimTime) -> usize {
-        self.deadline_coords
-            .binary_search(&deadline)
-            // lint: allow(panic) — coords are built from all trace deadlines up front
-            .expect("every admitted deadline is a trace coordinate")
+    /// Like [`Simulator::with_view`], but also hands the closure the spec
+    /// behind `spec_idx` (the query store is disjoint from every view
+    /// input, so the extra borrow is free).
+    fn with_view_spec<R>(
+        &mut self,
+        spec_idx: usize,
+        f: impl FnOnce(&mut P, &QuerySpec, &SnapshotView<'_>) -> R,
+    ) -> R {
+        let (update_backlog, recent_utilization) = self.view_scalars();
+        let Simulator {
+            policy,
+            queries,
+            clock,
+            admitted,
+            work,
+            running,
+            txns,
+            view_scratch,
+            ..
+        } = self;
+        let source = EngineQueue {
+            clock: *clock,
+            admitted: &*admitted,
+            work: &*work,
+            running: &*running,
+            txns: &*txns,
+            scratch: &*view_scratch,
+        };
+        let view = SnapshotView::new(*clock, update_backlog, recent_utilization, &source);
+        f(policy, queries.get(spec_idx), &view)
     }
 
+    // --- admitted-query index maintenance --------------------------------
+
     fn insert_admitted(&mut self, spec_idx: usize, txn: TxnId) {
-        let trace = self.trace;
-        let spec = &trace.queries[spec_idx];
-        let deadline = spec.deadline();
-        let coord = self.coord_of(deadline);
+        let (deadline, spec_id, exec, pref_class) = {
+            let spec = self.queries.get(spec_idx);
+            (spec.deadline(), spec.id, spec.exec_time, spec.pref_class)
+        };
         let prev = self.admitted.insert(
-            (deadline, spec.id),
+            (deadline, spec_id),
             AdmittedEntry {
                 txn,
-                remaining: spec.exec_time,
-                pref_class: spec.pref_class,
+                remaining: exec,
+                pref_class,
             },
         );
         debug_assert!(prev.is_none(), "query admitted twice");
-        self.work_index.add(coord, spec.exec_time.0);
+        self.work.add(deadline, exec.0);
     }
 
     /// Re-sync the stored remaining of an admitted query after its
@@ -1542,8 +2179,8 @@ impl<'a, P: Policy> Simulator<'a, P> {
         let TxnKind::Query { spec_idx, .. } = txn.kind else {
             return;
         };
-        let key = (txn.edf_deadline, self.trace.queries[spec_idx].id);
-        let coord = self.coord_of(txn.edf_deadline);
+        let deadline = txn.edf_deadline;
+        let key = (deadline, self.queries.get(spec_idx).id);
         let new = txn.remaining;
         let entry = self
             .admitted
@@ -1553,9 +2190,9 @@ impl<'a, P: Policy> Simulator<'a, P> {
         let old = entry.remaining;
         entry.remaining = new;
         if new >= old {
-            self.work_index.add(coord, new.0 - old.0);
+            self.work.add(deadline, new.0 - old.0);
         } else {
-            self.work_index.sub(coord, old.0 - new.0);
+            self.work.sub(deadline, old.0 - new.0);
         }
     }
 
@@ -1565,13 +2202,13 @@ impl<'a, P: Policy> Simulator<'a, P> {
             // lint: allow(panic) — callers pass ids from the admitted index
             unreachable!("only queries enter the admitted index");
         };
-        let key = (txn.edf_deadline, self.trace.queries[spec_idx].id);
-        let coord = self.coord_of(txn.edf_deadline);
+        let deadline = txn.edf_deadline;
+        let key = (deadline, self.queries.get(spec_idx).id);
         let entry = self
             .admitted
             .remove(&key)
             // lint: allow(panic) — insert/remove are paired with txn lifecycle
             .expect("unfinished query must be admitted");
-        self.work_index.sub(coord, entry.remaining.0);
+        self.work.sub(deadline, entry.remaining.0);
     }
 }

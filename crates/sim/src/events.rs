@@ -61,8 +61,18 @@ pub enum Event {
     },
 }
 
+/// First sequence number of the *runtime* class. Sequence numbers below this
+/// are reserved for trace arrivals (one per query, `seq == global query
+/// index`), so an arrival pushed mid-run by the streaming feed sorts exactly
+/// where the materialized seeding loop would have placed it: before every
+/// runtime event at the same instant, and in trace order among arrivals. The
+/// split keeps same-instant tie-breaking a pure function of the trace — not
+/// of *when* events were pushed — which is what makes the chunked feed path
+/// bit-identical to the all-up-front path for any chunk size.
+pub const ARRIVAL_SEQ_BASE: u64 = 1 << 48;
+
 /// Min-heap event queue with deterministic same-time ordering.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EventQueue {
     /// Keys only: payloads never participate in sifting or ordering.
     heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
@@ -71,6 +81,19 @@ pub struct EventQueue {
     /// Recycled slab slots.
     free: Vec<u32>,
     next_seq: u64,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            // Runtime events start above the arrival class (see
+            // [`ARRIVAL_SEQ_BASE`]).
+            next_seq: ARRIVAL_SEQ_BASE,
+        }
+    }
 }
 
 impl EventQueue {
@@ -89,10 +112,44 @@ impl EventQueue {
         self.heap.is_empty()
     }
 
-    /// Schedule `event` at `time`.
+    /// Schedule `event` at `time` in the runtime sequence class (insertion
+    /// order among runtime events).
     pub fn push(&mut self, time: SimTime, event: Event) {
+        let seq = self.alloc_seq();
+        self.push_with_seq(time, event, seq);
+    }
+
+    /// Schedule a trace arrival with its explicit sequence number (the
+    /// query's global index). Arrival sequences sort *below* every runtime
+    /// sequence, reproducing the materialized seeding order no matter when
+    /// the arrival is fed. O(log N_ev).
+    pub fn push_arrival(&mut self, time: SimTime, event: Event, seq: u64) {
+        debug_assert!(
+            seq < ARRIVAL_SEQ_BASE,
+            "arrival seq {seq} collides with the runtime class"
+        );
+        self.push_with_seq(time, event, seq);
+    }
+
+    /// Claim the next runtime sequence number without pushing anything —
+    /// used by the engine's tracked control tick, which keeps the tick out
+    /// of the heap but must still occupy exactly the sequence slot the
+    /// heap-resident tick would have taken. O(1).
+    pub fn alloc_seq(&mut self) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
+        seq
+    }
+
+    /// Claim `n` consecutive runtime sequence numbers at once, discarding
+    /// them — the bulk counterpart of [`EventQueue::alloc_seq`] for the
+    /// engine's idle-tick skip, which must burn exactly the sequence slots
+    /// the skipped tick re-arms would have taken. O(1).
+    pub fn alloc_seqs(&mut self, n: u64) {
+        self.next_seq += n;
+    }
+
+    fn push_with_seq(&mut self, time: SimTime, event: Event, seq: u64) {
         let slot = match self.free.pop() {
             Some(s) => {
                 self.slab[s as usize] = event;
@@ -120,6 +177,12 @@ impl EventQueue {
     /// Time of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// `(time, seq)` key of the next event without popping it — what the
+    /// engine compares its tracked control tick against. O(1).
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|Reverse((t, s, _))| (*t, *s))
     }
 }
 
@@ -167,6 +230,33 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn arrival_class_outranks_runtime_class_at_equal_times() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(7);
+        // Runtime event pushed FIRST, arrivals fed later (out of order, as a
+        // streamed feed might): arrivals still pop first, in trace order.
+        q.push(t, Event::ControlTick);
+        q.push_arrival(t, Event::QueryArrival { spec_idx: 3 }, 3);
+        q.push_arrival(t, Event::QueryArrival { spec_idx: 1 }, 1);
+        assert_eq!(q.pop().unwrap().1, Event::QueryArrival { spec_idx: 1 });
+        assert_eq!(q.pop().unwrap().1, Event::QueryArrival { spec_idx: 3 });
+        assert_eq!(q.pop().unwrap().1, Event::ControlTick);
+    }
+
+    #[test]
+    fn alloc_seq_reserves_a_runtime_slot() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.push(t, Event::QueryArrival { spec_idx: 0 }); // seq BASE
+        let skipped = q.alloc_seq(); // seq BASE+1, never pushed
+        q.push(t, Event::QueryArrival { spec_idx: 2 }); // seq BASE+2
+        assert_eq!(skipped, ARRIVAL_SEQ_BASE + 1);
+        assert_eq!(q.peek_key(), Some((t, ARRIVAL_SEQ_BASE)));
+        assert_eq!(q.pop().unwrap().1, Event::QueryArrival { spec_idx: 0 });
+        assert_eq!(q.pop().unwrap().1, Event::QueryArrival { spec_idx: 2 });
     }
 
     #[test]

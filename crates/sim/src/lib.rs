@@ -50,6 +50,7 @@ pub mod stats;
 pub mod txn;
 #[cfg(feature = "validate")]
 pub mod validate;
+pub mod worktreap;
 
 pub use engine::{run_simulation, SchedulingDiscipline, SimConfig, Simulator};
 pub use faults::{BackgroundLoad, FaultHook, HealthState, NoFaults, UpdateFault};

@@ -1,0 +1,160 @@
+//! Streaming-feed differential suite: the chunked feed path must be
+//! bit-identical to the materialized path, for every policy, any chunk
+//! size, and any `step_until` pause schedule.
+//!
+//! The engine keeps same-instant tie-breaking a pure function of the trace
+//! by giving arrivals their global query index as the heap sequence number
+//! (below every runtime event's); these tests pin the consequence — when a
+//! query is *pushed* is unobservable, only when it *arrives* matters.
+
+use unit_baselines::{ImuPolicy, OduPolicy, QmfPolicy};
+use unit_core::config::UnitConfig;
+use unit_core::policy::Policy;
+use unit_core::time::{SimDuration, SimTime};
+use unit_core::unit_policy::UnitPolicy;
+use unit_core::usm::UsmWeights;
+use unit_sim::{report_digest, run_simulation, SchedulingDiscipline, SimConfig, Simulator};
+use unit_workload::{
+    stream_queries, QueryTraceConfig, TraceBundle, UpdateDistribution, UpdateTraceConfig,
+    UpdateVolume,
+};
+
+const SCALE: u64 = 32;
+const SEED: u64 = 0x57EA_0001;
+
+fn bundle() -> TraceBundle {
+    let qcfg = QueryTraceConfig {
+        seed: SEED,
+        ..QueryTraceConfig::default().scaled_down(SCALE)
+    };
+    let ucfg = UpdateTraceConfig::table1(UpdateVolume::Med, UpdateDistribution::Uniform)
+        .with_total((UpdateVolume::Med.total_updates() / SCALE).max(1));
+    TraceBundle::generate(&qcfg, &ucfg)
+}
+
+fn sim_config(horizon: SimDuration, discipline: SchedulingDiscipline) -> SimConfig {
+    SimConfig::new(horizon)
+        .with_weights(UsmWeights::low_high_cfm())
+        .with_tick_period(SimDuration::from_secs(10))
+        .with_discipline(discipline)
+}
+
+const DISCIPLINES: [SchedulingDiscipline; 3] = [
+    SchedulingDiscipline::DualPriorityEdf,
+    SchedulingDiscipline::GlobalEdf,
+    SchedulingDiscipline::QueryFirst,
+];
+
+fn assert_streamed_matches<P: Policy>(make: impl Fn() -> P, name: &str) {
+    let b = bundle();
+    for discipline in DISCIPLINES {
+        let cfg = sim_config(b.horizon, discipline);
+        let materialized = run_simulation(&b.trace, make(), cfg);
+        let streamed = Simulator::new_streaming(b.trace.n_items, &b.trace.updates, make(), cfg)
+            .run_streamed(b.trace.queries.iter().cloned(), 16);
+        assert_eq!(
+            report_digest(&streamed),
+            report_digest(&materialized),
+            "{name}/{discipline:?}: streamed feed diverged from materialized run"
+        );
+        assert_eq!(streamed.query_accesses, materialized.query_accesses);
+        assert_eq!(streamed.events_processed, materialized.events_processed);
+    }
+}
+
+#[test]
+fn streamed_feed_matches_materialized_unit() {
+    assert_streamed_matches(
+        || UnitPolicy::new(UnitConfig::with_weights(UsmWeights::low_high_cfm()).with_seed(SEED)),
+        "UNIT",
+    );
+}
+
+#[test]
+fn streamed_feed_matches_materialized_imu() {
+    assert_streamed_matches(ImuPolicy::new, "IMU");
+}
+
+#[test]
+fn streamed_feed_matches_materialized_odu() {
+    assert_streamed_matches(OduPolicy::new, "ODU");
+}
+
+#[test]
+fn streamed_feed_matches_materialized_qmf() {
+    assert_streamed_matches(QmfPolicy::default, "QMF");
+}
+
+#[test]
+fn chunk_size_is_unobservable() {
+    let b = bundle();
+    let cfg = sim_config(b.horizon, SchedulingDiscipline::DualPriorityEdf);
+    let make =
+        || UnitPolicy::new(UnitConfig::with_weights(UsmWeights::low_high_cfm()).with_seed(SEED));
+    let baseline = report_digest(&run_simulation(&b.trace, make(), cfg));
+    for chunk in [0usize, 1, 3, 64, 10_000] {
+        let streamed = Simulator::new_streaming(b.trace.n_items, &b.trace.updates, make(), cfg)
+            .run_streamed(b.trace.queries.iter().cloned(), chunk);
+        assert_eq!(
+            report_digest(&streamed),
+            baseline,
+            "chunk {chunk} changed the digest"
+        );
+    }
+}
+
+#[test]
+fn generation_stream_feeds_the_engine_without_materializing() {
+    // End-to-end: workload generation streams straight into the engine —
+    // the full query Vec never exists — and the digest still matches the
+    // all-materialized pipeline.
+    let b = bundle();
+    let qcfg = QueryTraceConfig {
+        seed: SEED,
+        ..QueryTraceConfig::default().scaled_down(SCALE)
+    };
+    let cfg = sim_config(b.horizon, SchedulingDiscipline::DualPriorityEdf);
+    let make =
+        || UnitPolicy::new(UnitConfig::with_weights(UsmWeights::low_high_cfm()).with_seed(SEED));
+    let materialized = run_simulation(&b.trace, make(), cfg);
+    let streamed = Simulator::new_streaming(b.trace.n_items, &b.trace.updates, make(), cfg)
+        .run_streamed(stream_queries(&qcfg), 32);
+    assert_eq!(report_digest(&streamed), report_digest(&materialized));
+}
+
+#[test]
+fn step_until_pauses_reorder_nothing() {
+    let b = bundle();
+    let cfg = sim_config(b.horizon, SchedulingDiscipline::DualPriorityEdf);
+    let make =
+        || UnitPolicy::new(UnitConfig::with_weights(UsmWeights::low_high_cfm()).with_seed(SEED));
+    let baseline = report_digest(&run_simulation(&b.trace, make(), cfg));
+    for epoch_s in [1u64, 37, 1_000] {
+        let mut sim = Simulator::new(&b.trace, make(), cfg);
+        let epoch = SimDuration::from_secs(epoch_s);
+        let mut limit = SimTime::ZERO;
+        loop {
+            limit += epoch;
+            if !sim.step_until(limit) {
+                break;
+            }
+        }
+        let (report, _policy) = sim.finish();
+        assert_eq!(
+            report_digest(&report),
+            baseline,
+            "epoch {epoch_s}s changed the digest"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "trace order")]
+fn out_of_order_feed_is_rejected() {
+    let b = bundle();
+    let cfg = sim_config(b.horizon, SchedulingDiscipline::DualPriorityEdf);
+    let policy = UnitPolicy::new(UnitConfig::default());
+    let mut sim = Simulator::new_streaming(b.trace.n_items, &b.trace.updates, policy, cfg);
+    // Feeding query #1 first violates the id == fed-count contract.
+    sim.feed_query(b.trace.queries[1].clone());
+}

@@ -110,6 +110,18 @@ impl QueryTraceConfig {
         self
     }
 
+    /// A scaled-up config for throughput benchmarking: `scale` multiplies
+    /// the query count at a *fixed* horizon, so offered load rises with
+    /// `scale` (the complement of [`QueryTraceConfig::scaled_down`], which
+    /// shrinks both and keeps load constant). Pair with
+    /// [`crate::stream::stream_queries`] — at scale 1000 the materialized
+    /// trace would hold ~110M heap-allocated read sets.
+    pub fn scaled_up(mut self, scale: u64) -> Self {
+        assert!(scale >= 1);
+        self.n_queries = self.n_queries.saturating_mul(scale as usize);
+        self
+    }
+
     /// Offered query-class utilization of the configured trace.
     pub fn offered_utilization(&self) -> f64 {
         self.n_queries as f64 * self.mean_exec_secs / self.horizon.as_secs_f64()
@@ -210,7 +222,7 @@ pub fn generate_queries(cfg: &QueryTraceConfig) -> QueryTrace {
 /// Arrival instants: `burst_query_fraction` of queries land uniformly inside
 /// randomly placed flash-crowd windows; the rest follow a Poisson process
 /// over the whole horizon. Sorted ascending.
-fn generate_arrivals(cfg: &QueryTraceConfig, rng: &mut StdRng) -> Vec<SimTime> {
+pub(crate) fn generate_arrivals(cfg: &QueryTraceConfig, rng: &mut StdRng) -> Vec<SimTime> {
     let horizon = cfg.horizon.as_secs_f64();
     let burst_len = cfg.burst_duration.as_secs_f64();
 

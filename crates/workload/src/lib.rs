@@ -49,14 +49,20 @@ pub mod correlate;
 pub mod dist;
 pub mod partition;
 pub mod stats;
+pub mod stream;
 pub mod trace;
 pub mod updates;
 
 pub use builder::TraceBuilder;
 pub use cello::{generate_queries, QueryTrace, QueryTraceConfig};
 pub use correlate::{apportion_counts, correlated_weights, CorrelatedWeights, UpdateDistribution};
-pub use partition::{slice_trace, ItemPartition, PartitionError};
+pub use partition::{
+    slice_trace, slice_trace_filtered, ItemPartition, PartitionError, UpdateFanout,
+};
 pub use stats::TraceStats;
+pub use stream::{
+    read_queries_jsonl, stream_queries, write_queries_jsonl, JsonlError, QueryStream,
+};
 pub use trace::TraceBundle;
 pub use updates::{generate_updates, UpdateTrace, UpdateTraceConfig, UpdateVolume};
 
@@ -65,6 +71,7 @@ pub mod prelude {
     pub use crate::builder::TraceBuilder;
     pub use crate::cello::{generate_queries, QueryTrace, QueryTraceConfig};
     pub use crate::correlate::UpdateDistribution;
+    pub use crate::stream::{stream_queries, QueryStream};
     pub use crate::trace::TraceBundle;
     pub use crate::updates::{generate_updates, UpdateTrace, UpdateTraceConfig, UpdateVolume};
 }

@@ -116,27 +116,8 @@ pub fn slice_trace(
     assignment: &[usize],
     partition: &ItemPartition,
 ) -> Result<Vec<Trace>, PartitionError> {
-    if assignment.len() != trace.queries.len() {
-        return Err(PartitionError::AssignmentLength {
-            queries: trace.queries.len(),
-            assigned: assignment.len(),
-        });
-    }
-    let n = partition.n_shards();
-    if let Some((query_index, &shard)) = assignment.iter().enumerate().find(|&(_, &s)| s >= n) {
-        return Err(PartitionError::ShardOutOfRange {
-            query_index,
-            shard,
-            n_shards: n,
-        });
-    }
-    let mut shards: Vec<Trace> = (0..n)
-        .map(|_| Trace {
-            n_items: trace.n_items,
-            queries: Vec::new(),
-            updates: Vec::new(),
-        })
-        .collect();
+    check_assignment(trace, assignment, partition.n_shards())?;
+    let mut shards = empty_slices(trace, partition.n_shards());
     for (q, &s) in trace.queries.iter().zip(assignment) {
         shards[s].queries.push(q.clone());
     }
@@ -144,6 +125,107 @@ pub fn slice_trace(
         shards[partition.owner(u.item)].updates.push(u.clone());
     }
     Ok(shards)
+}
+
+/// Update-stream routing statistics reported by [`slice_trace_filtered`],
+/// surfaced in BENCH_cluster.json so routing regressions are visible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateFanout {
+    /// Update streams in the global trace.
+    pub total_streams: usize,
+    /// Streams each shard received after filtering.
+    pub kept_per_shard: Vec<usize>,
+    /// Streams dropped cluster-wide: their owner shard serves no query
+    /// that reads the item, so the stream could only burn CPU there.
+    pub dropped_streams: usize,
+}
+
+impl UpdateFanout {
+    /// Streams that survived filtering, across all shards.
+    pub fn kept(&self) -> usize {
+        self.kept_per_shard.iter().sum()
+    }
+}
+
+/// [`slice_trace`] plus *demand filtering* of update streams: an update
+/// stream for item `d` is routed to `owner(d)` only if some query assigned
+/// to that shard reads `d`. Streams nobody co-located reads are dropped —
+/// on their owner shard they would only spawn update transactions that
+/// compete with queries for CPU, and no other shard ever sees them under
+/// ownership routing anyway.
+///
+/// **This is a lossy optimization**: dropped streams change the owner
+/// shard's CPU contention, `versions_arrived`/`updates_applied` histograms
+/// and `cpu_busy`, so per-shard `report_digest`s differ from the unfiltered
+/// slicing even at one shard. Use it for throughput experiments
+/// (`ClusterConfig::filter_updates`), never for differential pinning.
+/// O(N_q·r + N_u + n_shards·S) where `r` is the mean read-set size.
+pub fn slice_trace_filtered(
+    trace: &Trace,
+    assignment: &[usize],
+    partition: &ItemPartition,
+) -> Result<(Vec<Trace>, UpdateFanout), PartitionError> {
+    check_assignment(trace, assignment, partition.n_shards())?;
+    let n = partition.n_shards();
+    // Which items each shard actually reads.
+    let mut read = vec![false; n * trace.n_items];
+    for (q, &s) in trace.queries.iter().zip(assignment) {
+        for &d in &q.items {
+            read[s * trace.n_items + d.index()] = true;
+        }
+    }
+    let mut shards = empty_slices(trace, n);
+    let mut fanout = UpdateFanout {
+        total_streams: trace.updates.len(),
+        kept_per_shard: vec![0; n],
+        dropped_streams: 0,
+    };
+    for (q, &s) in trace.queries.iter().zip(assignment) {
+        shards[s].queries.push(q.clone());
+    }
+    for u in &trace.updates {
+        let s = partition.owner(u.item);
+        if read[s * trace.n_items + u.item.index()] {
+            shards[s].updates.push(u.clone());
+            fanout.kept_per_shard[s] += 1;
+        } else {
+            fanout.dropped_streams += 1;
+        }
+    }
+    Ok((shards, fanout))
+}
+
+fn check_assignment(
+    trace: &Trace,
+    assignment: &[usize],
+    n_shards: usize,
+) -> Result<(), PartitionError> {
+    if assignment.len() != trace.queries.len() {
+        return Err(PartitionError::AssignmentLength {
+            queries: trace.queries.len(),
+            assigned: assignment.len(),
+        });
+    }
+    if let Some((query_index, &shard)) =
+        assignment.iter().enumerate().find(|&(_, &s)| s >= n_shards)
+    {
+        return Err(PartitionError::ShardOutOfRange {
+            query_index,
+            shard,
+            n_shards,
+        });
+    }
+    Ok(())
+}
+
+fn empty_slices(trace: &Trace, n_shards: usize) -> Vec<Trace> {
+    (0..n_shards)
+        .map(|_| Trace {
+            n_items: trace.n_items,
+            queries: Vec::new(),
+            updates: Vec::new(),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -242,6 +324,57 @@ mod tests {
         let shards = slice_trace(&t, &[0, 0, 0, 0], &p).unwrap();
         assert_eq!(shards.len(), 1);
         assert_eq!(shards[0], t);
+    }
+
+    #[test]
+    fn filtered_slices_drop_unread_streams() {
+        let t = trace();
+        let p = ItemPartition::new(2);
+        // Queries 0,2 -> shard 0 read {0,1,3,5}; queries 1,3 -> shard 1
+        // read {2,6}. Stream owners (item mod 2): 0,6 -> shard 0; 1,5 ->
+        // shard 1. Only item 0 is read *on its owner*: item 6's reader runs
+        // on shard 1 (which never sees shard-0 updates), and items 1/5 are
+        // read only on shard 0 while their streams land on shard 1.
+        let (shards, fanout) = slice_trace_filtered(&t, &[0, 1, 0, 1], &p).unwrap();
+        let u0: Vec<u32> = shards[0].updates.iter().map(|u| u.item.0).collect();
+        let u1: Vec<u32> = shards[1].updates.iter().map(|u| u.item.0).collect();
+        assert_eq!(u0, vec![0]);
+        assert_eq!(u1, Vec::<u32>::new());
+        assert_eq!(fanout.total_streams, 4);
+        assert_eq!(fanout.kept_per_shard, vec![1, 0]);
+        assert_eq!(fanout.dropped_streams, 3);
+        assert_eq!(fanout.kept(), 1);
+        // Queries are routed exactly as in the unfiltered slicing.
+        let plain = slice_trace(&t, &[0, 1, 0, 1], &p).unwrap();
+        for (f, u) in shards.iter().zip(&plain) {
+            assert_eq!(f.queries, u.queries);
+            f.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn filtered_one_shard_keeps_exactly_the_read_streams() {
+        let t = trace();
+        let p = ItemPartition::new(1);
+        // The single shard reads {0,1,2,3,5,6}; every update item (0,1,5,6)
+        // is read, so filtering is the identity here.
+        let (shards, fanout) = slice_trace_filtered(&t, &[0, 0, 0, 0], &p).unwrap();
+        assert_eq!(shards[0], t);
+        assert_eq!(fanout.dropped_streams, 0);
+    }
+
+    #[test]
+    fn filtered_rejects_malformed_assignments_like_plain() {
+        let t = trace();
+        let p = ItemPartition::new(2);
+        assert!(matches!(
+            slice_trace_filtered(&t, &[0, 1], &p),
+            Err(PartitionError::AssignmentLength { .. })
+        ));
+        assert!(matches!(
+            slice_trace_filtered(&t, &[0, 1, 2, 0], &p),
+            Err(PartitionError::ShardOutOfRange { shard: 2, .. })
+        ));
     }
 
     #[test]

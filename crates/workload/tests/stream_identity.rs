@@ -1,0 +1,117 @@
+//! Property suite: streamed query generation is bit-identical to the
+//! materialized path across seeds × scales × workload families, and the
+//! JSONL persistence round-trips losslessly.
+//!
+//! (`chunk`-size invariance of the *feed* path is pinned on the engine
+//! side, in `unit-sim`'s `streaming` suite — the stream itself has no
+//! chunking; it yields specs one at a time.)
+
+use proptest::prelude::*;
+use unit_core::time::SimDuration;
+use unit_workload::{generate_queries, read_queries_jsonl, stream_queries, write_queries_jsonl};
+use unit_workload::{QueryTraceConfig, UpdateVolume};
+
+/// A family of generator configurations spanning the knobs that change the
+/// RNG draw sequence: bursts on/off, multi-item read sets on/off,
+/// preference classes, and popularity skew.
+fn config_family(
+    family: u8,
+    seed: u64,
+    n_items: usize,
+    n_queries: usize,
+    horizon_s: u64,
+) -> QueryTraceConfig {
+    let base = QueryTraceConfig {
+        n_items,
+        n_queries,
+        horizon: SimDuration::from_secs(horizon_s),
+        seed,
+        ..QueryTraceConfig::default()
+    };
+    match family % 4 {
+        0 => base, // the paper's cello-like defaults
+        1 => QueryTraceConfig {
+            burst_count: 0,
+            burst_query_fraction: 0.0,
+            ..base
+        }, // pure Poisson
+        2 => QueryTraceConfig {
+            max_items_per_query: 1,
+            pref_class_count: 4,
+            ..base
+        }, // single-item reads, multi-class
+        _ => QueryTraceConfig {
+            zipf_exponent: 0.8,
+            multi_item_p: 0.7,
+            burst_query_fraction: 0.5,
+            ..base
+        }, // mild skew, fat read sets, heavy bursts
+    }
+}
+
+proptest! {
+    /// The streamed generator yields exactly the materialized query list —
+    /// same ids, arrivals, read sets, deadlines, classes — for any seed,
+    /// scale, and family, and reports the same popularity profile.
+    #[test]
+    fn stream_is_bit_identical_to_materialized(
+        seed in any::<u64>(),
+        family in 0u8..4,
+        n_items in 4usize..128,
+        n_queries in 1usize..600,
+        horizon_s in 100u64..10_000,
+    ) {
+        let cfg = config_family(family, seed, n_items, n_queries, horizon_s);
+        let eager = generate_queries(&cfg);
+        let stream = stream_queries(&cfg);
+        prop_assert_eq!(stream.item_weights(), eager.item_weights.as_slice());
+        prop_assert_eq!(stream.len(), eager.queries.len());
+        let lazy: Vec<_> = stream.collect();
+        prop_assert_eq!(lazy, eager.queries);
+    }
+
+    /// JSONL persistence is lossless: write the streamed specs, read them
+    /// back, get the identical list.
+    #[test]
+    fn jsonl_round_trip_is_lossless(
+        seed in any::<u64>(),
+        family in 0u8..4,
+        n_queries in 1usize..200,
+    ) {
+        let cfg = config_family(family, seed, 32, n_queries, 2_000);
+        let mut buf = Vec::new();
+        write_queries_jsonl(&mut buf, stream_queries(&cfg)).expect("write");
+        let back: Vec<_> = read_queries_jsonl(buf.as_slice())
+            .collect::<Result<_, _>>()
+            .expect("parse");
+        prop_assert_eq!(back, generate_queries(&cfg).queries);
+    }
+}
+
+#[test]
+fn scaled_up_multiplies_queries_at_fixed_horizon() {
+    let base = QueryTraceConfig {
+        n_items: 32,
+        n_queries: 50,
+        horizon: SimDuration::from_secs(1_000),
+        seed: 3,
+        ..QueryTraceConfig::default()
+    };
+    let up = base.scaled_up(8);
+    assert_eq!(up.n_queries, 400);
+    assert_eq!(up.horizon, base.horizon);
+    // Offered load scales with the multiplier.
+    assert!((up.offered_utilization() / base.offered_utilization() - 8.0).abs() < 1e-9);
+    // And the scaled-up stream still matches its materialized twin.
+    let lazy: Vec<_> = stream_queries(&up).collect();
+    assert_eq!(lazy, generate_queries(&up).queries);
+}
+
+#[test]
+fn table1_scales_remain_available_for_the_bench_recipe() {
+    // EXPERIMENTS.md's scale-256 recipe leans on these two knobs together:
+    // scaled_down shrinks the paper trace, scaled_up multiplies load.
+    let cfg = QueryTraceConfig::default().scaled_down(8).scaled_up(256);
+    assert_eq!(cfg.n_queries, 110_035 / 8 * 256);
+    assert!(UpdateVolume::Med.total_updates() > 0);
+}

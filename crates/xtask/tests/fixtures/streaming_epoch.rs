@@ -1,0 +1,29 @@
+//! Fixture shaped like the streaming/epoch code paths (chunked trace
+//! ingestion + epoch-parallel shard stepping), carrying exactly ONE
+//! violation of each determinism rule D1–D4. Exercised by
+//! `lint_fixtures.rs` under both the `sim` and `cluster` crate contexts —
+//! the crates the streaming engine and the epoch executor live in.
+//! (Never compiled; only `check_source` reads it.)
+use std::collections::HashMap; // D1: hash order would scramble the feed
+
+fn feed_chunk(pending: &mut Vec<u64>, chunk: usize) -> usize {
+    let started = std::time::Instant::now(); // D2: wall clock in sim code
+    let mut fed = 0usize;
+    while fed < chunk {
+        let spec = pending.pop().unwrap(); // D3: unannotated panic path
+        let _ = spec;
+        fed += 1;
+    }
+    let _ = started;
+    fed
+}
+
+fn epoch_limit(epoch: std::time::Duration) -> u64 {
+    epoch.as_secs_f64() as u64 // D4: sim-time truncation cast
+}
+
+fn main() {
+    let mut q = vec![1, 2, 3];
+    let _ = feed_chunk(&mut q, 2);
+    let _ = epoch_limit(std::time::Duration::from_secs(1));
+}

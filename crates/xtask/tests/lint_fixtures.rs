@@ -43,9 +43,23 @@ fn d1_fixture_reports_every_hash_container() {
 fn d1_fixture_is_ignored_outside_deterministic_crates() {
     let fs = check_source(
         &fixture("d1_hashmap.rs"),
-        &ctx("workload", "crates/workload/src/fixture.rs"),
+        &ctx("bench", "crates/bench/src/fixture.rs"),
     );
     assert!(fs.is_empty(), "{fs:?}");
+}
+
+#[test]
+fn d1_fixture_fires_in_workload() {
+    // The streaming generators feed the engine in trace order, so
+    // `workload` joined the D1 crates when streaming ingestion landed.
+    let fs = check_source(
+        &fixture("d1_hashmap.rs"),
+        &ctx("workload", "crates/workload/src/fixture.rs"),
+    );
+    assert!(
+        fs.iter().all(|f| f.rule == "D1") && !fs.is_empty(),
+        "{fs:?}"
+    );
 }
 
 #[test]
@@ -264,6 +278,36 @@ fn lint_binary_exits_zero_on_a_clean_tree() {
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("unit-lint: clean"), "{stdout}");
     std::fs::remove_dir_all(&root).ok();
+}
+
+/// The streaming/epoch fixture carries exactly one violation of each
+/// determinism rule, at a known line — the shape of a bug slipping into
+/// the chunked-ingestion or epoch-stepping code. It must report all four
+/// (and only those four) in both crates those modules live in.
+#[test]
+fn streaming_epoch_fixture_reports_one_violation_per_rule() {
+    for (krate, rel) in [
+        ("sim", "crates/sim/src/engine.rs"),
+        ("cluster", "crates/cluster/src/run.rs"),
+    ] {
+        let fs = check_source(&fixture("streaming_epoch.rs"), &ctx(krate, rel));
+        assert_eq!(
+            rule_lines(&fs),
+            vec![("D1", 7), ("D2", 10), ("D3", 13), ("D4", 22)],
+            "crate {krate}: {fs:?}"
+        );
+    }
+}
+
+/// The same source is inert in `bench`, the one crate allowed to touch
+/// wall clocks (and exempt from the library-hygiene rules).
+#[test]
+fn streaming_epoch_fixture_is_inert_in_bench() {
+    let fs = check_source(
+        &fixture("streaming_epoch.rs"),
+        &ctx("bench", "crates/bench/src/fixture.rs"),
+    );
+    assert!(fs.is_empty(), "{fs:?}");
 }
 
 #[test]
