@@ -42,11 +42,7 @@ pub mod merge;
 pub mod routing;
 pub mod run;
 
-use unit_core::policy::Policy;
-use unit_core::types::Trace;
-use unit_core::UnitConfig;
-use unit_faults::{FaultPlan, ScheduleError};
-use unit_sim::SimConfig;
+use unit_faults::ScheduleError;
 
 pub use failover::{
     check_health_consistency, route_with_faults, BackoffConfig, FailoverPolicy, FaultClusterReport,
@@ -177,7 +173,6 @@ impl ClusterConfig {
     /// # Panics
     /// Panics if `n_shards` is zero.
     pub fn new(n_shards: usize) -> ClusterConfig {
-        // lint: allow(assert) — documented constructor contract
         assert!(n_shards > 0, "a cluster needs at least one shard");
         ClusterConfig {
             n_shards,
@@ -271,138 +266,15 @@ impl ClusterConfig {
     }
 }
 
-/// Run a cluster: route, slice, execute every shard, merge.
-///
-/// # Errors
-/// Returns [`ClusterConfigError`] when `cluster` fails
-/// [`ClusterConfig::validate`].
-///
-/// # Panics
-/// Panics if `trace` is malformed (same contract as
-/// [`unit_sim::Simulator::new`]) or a worker thread panics.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `cluster.build().run(trace, sim, make_policy)`"
-)]
-pub fn run_cluster<P, F>(
-    trace: &Trace,
-    sim: SimConfig,
-    cluster: &ClusterConfig,
-    make_policy: F,
-) -> Result<ClusterReport, ClusterConfigError>
-where
-    P: Policy + Send,
-    F: Fn(usize, u64) -> P + Sync,
-{
-    cluster.build().run(trace, sim, make_policy).map(|r| {
-        match r.into_plain() {
-            Some(r) => r,
-            // lint: allow(panic) — a fault-free run always yields a plain report
-            None => unreachable!("a fault-free run always yields a plain report"),
-        }
-    })
-}
-
-/// Run a UNIT cluster: one [`unit_core::unit_policy::UnitPolicy`] per shard, each configured from
-/// `base` with its own split seed.
-///
-/// # Errors
-/// Returns [`ClusterConfigError`] when `cluster` fails
-/// [`ClusterConfig::validate`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `cluster.build().run_unit(trace, sim, base)`"
-)]
-pub fn run_unit_cluster(
-    trace: &Trace,
-    sim: SimConfig,
-    cluster: &ClusterConfig,
-    base: &UnitConfig,
-) -> Result<ClusterReport, ClusterConfigError> {
-    cluster.build().run_unit(trace, sim, base).map(|r| {
-        match r.into_plain() {
-            Some(r) => r,
-            // lint: allow(panic) — a fault-free run always yields a plain report
-            None => unreachable!("a fault-free run always yields a plain report"),
-        }
-    })
-}
-
-/// Run a cluster under a fault plan: fault-aware routing, per-shard fault
-/// hooks, dispatcher rejections folded into the USM.
-///
-/// # Errors
-/// Returns [`ClusterConfigError`] when `cluster` fails validation, the
-/// plan does not cover every shard, or a shard schedule is malformed.
-///
-/// # Panics
-/// Panics if `trace` is malformed (same contract as
-/// [`unit_sim::Simulator::new`]) or a worker thread panics.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `cluster.build().with_faults(plan, failover).run(trace, sim, make_policy)`"
-)]
-pub fn run_fault_cluster<P, F>(
-    trace: &Trace,
-    sim: SimConfig,
-    cluster: &ClusterConfig,
-    plan: &FaultPlan,
-    failover: &FailoverPolicy,
-    make_policy: F,
-) -> Result<FaultClusterReport, ClusterConfigError>
-where
-    P: Policy + Send,
-    F: Fn(usize, u64) -> P + Sync,
-{
-    cluster
-        .build()
-        .with_faults(plan, *failover)
-        .run(trace, sim, make_policy)
-        .map(|r| {
-            match r.into_faulty() {
-                Some(r) => r,
-                // lint: allow(panic) — a run with faults installed always yields a faulty report
-                None => unreachable!("a run with faults installed always yields a faulty report"),
-            }
-        })
-}
-
-/// Run a UNIT cluster under a fault plan: one [`unit_core::unit_policy::UnitPolicy`] per shard,
-/// each configured from `base` with its own split seed.
-///
-/// # Errors
-/// Same contract as [`ClusterRun::run`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `cluster.build().with_faults(plan, failover).run_unit(trace, sim, base)`"
-)]
-pub fn run_unit_fault_cluster(
-    trace: &Trace,
-    sim: SimConfig,
-    cluster: &ClusterConfig,
-    plan: &FaultPlan,
-    failover: &FailoverPolicy,
-    base: &UnitConfig,
-) -> Result<FaultClusterReport, ClusterConfigError> {
-    cluster
-        .build()
-        .with_faults(plan, *failover)
-        .run_unit(trace, sim, base)
-        .map(|r| {
-            match r.into_faulty() {
-                Some(r) => r,
-                // lint: allow(panic) — a run with faults installed always yields a faulty report
-                None => unreachable!("a run with faults installed always yields a faulty report"),
-            }
-        })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use unit_core::time::{SimDuration, SimTime};
-    use unit_core::types::{DataId, QueryId, QuerySpec, UpdateSpec, UpdateStreamId};
+    use unit_core::types::{DataId, QueryId, QuerySpec, Trace, UpdateSpec, UpdateStreamId};
     use unit_core::usm::UsmWeights;
+    use unit_core::UnitConfig;
+    use unit_faults::FaultPlan;
+    use unit_sim::SimConfig;
 
     fn tiny_trace() -> Trace {
         let mut queries = Vec::new();

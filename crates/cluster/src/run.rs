@@ -1,8 +1,8 @@
 //! The unified cluster entry point: [`ClusterRun`], built from a
 //! [`ClusterConfig`].
 //!
-//! One builder replaces the former four `run_*` free functions (kept as
-//! thin deprecated wrappers): a plain cluster is `cfg.build().run(...)`,
+//! One builder replaces the former four `run_*` free functions (removed
+//! after a deprecation cycle): a plain cluster is `cfg.build().run(...)`,
 //! faults are layered with [`ClusterRun::with_faults`], and observability
 //! with [`ClusterRun::with_observer`] — so telemetry is wired once, here,
 //! instead of once per entry point. Future shard/batching features extend

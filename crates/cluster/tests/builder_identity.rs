@@ -1,9 +1,10 @@
-//! The deprecated `run_*` wrappers are thin: each must produce reports
-//! bit-identical to the [`unit_cluster::ClusterRun`] builder it forwards
-//! to. This pins the migration path — callers can switch entry points in
-//! either direction without a digest moving.
-
-#![allow(deprecated)]
+//! The [`unit_cluster::ClusterRun`] builder's convenience entry points are
+//! thin: `run_unit(base)` must produce reports bit-identical to the
+//! generic `run(|_, seed| UnitPolicy::new(base.with_seed(seed)))` it is
+//! sugar for, with and without a fault plan installed. This pins the
+//! equivalence the old `run_*` free functions used to witness before
+//! they were removed — callers can switch between the generic and the
+//! UNIT-specific entry point without a digest moving.
 
 use unit_cluster::{BackoffConfig, ClusterConfig, FailoverPolicy, RoutingPolicy};
 use unit_core::config::UnitConfig;
@@ -37,38 +38,37 @@ fn unit_base() -> UnitConfig {
 }
 
 #[test]
-fn run_cluster_wrappers_match_the_builder() {
+fn run_unit_matches_the_generic_entry_point() {
     let bundle = bundle();
     let cfg = sim_cfg(bundle.horizon);
     for routing in RoutingPolicy::ALL {
         let cluster = ClusterConfig::new(3).with_routing(routing).with_seed(SEED);
 
-        let wrapped =
-            unit_cluster::run_unit_cluster(&bundle.trace, cfg, &cluster, &unit_base()).unwrap();
-        let built = cluster
+        let sugar = cluster
             .build()
             .run_unit(&bundle.trace, cfg, &unit_base())
             .unwrap()
             .into_plain()
             .unwrap();
-        assert_eq!(wrapped.assignment, built.assignment);
-        assert_eq!(wrapped.log, built.log);
-        assert_eq!(wrapped.counts, built.counts);
-        for (w, b) in wrapped.shard_reports.iter().zip(&built.shard_reports) {
-            assert_eq!(report_digest(w), report_digest(b));
+        let generic = cluster
+            .build()
+            .run(&bundle.trace, cfg, |_, seed| {
+                UnitPolicy::new(unit_base().with_seed(seed))
+            })
+            .unwrap()
+            .into_plain()
+            .unwrap();
+        assert_eq!(sugar.assignment, generic.assignment);
+        assert_eq!(sugar.log, generic.log);
+        assert_eq!(sugar.counts, generic.counts);
+        for (s, g) in sugar.shard_reports.iter().zip(&generic.shard_reports) {
+            assert_eq!(report_digest(s), report_digest(g));
         }
-
-        let generic = unit_cluster::run_cluster(&bundle.trace, cfg, &cluster, |_, seed| {
-            UnitPolicy::new(unit_base().with_seed(seed))
-        })
-        .unwrap();
-        assert_eq!(generic.log, built.log);
-        assert_eq!(generic.counts, built.counts);
     }
 }
 
 #[test]
-fn run_fault_cluster_wrappers_match_the_builder() {
+fn run_unit_matches_the_generic_entry_point_under_faults() {
     let bundle = bundle();
     let cfg = sim_cfg(bundle.horizon);
     let fcfg = FaultConfig::quiet(bundle.horizon, 100).with_crashes(
@@ -80,44 +80,31 @@ fn run_fault_cluster_wrappers_match_the_builder() {
     let failover = FailoverPolicy::Backoff(BackoffConfig::default());
     let cluster = ClusterConfig::new(3).with_seed(SEED);
 
-    let wrapped = unit_cluster::run_unit_fault_cluster(
-        &bundle.trace,
-        cfg,
-        &cluster,
-        &plan,
-        &failover,
-        &unit_base(),
-    )
-    .unwrap();
-    let built = cluster
+    let sugar = cluster
         .build()
         .with_faults(&plan, failover)
         .run_unit(&bundle.trace, cfg, &unit_base())
         .unwrap()
         .into_faulty()
         .unwrap();
-    assert_eq!(wrapped.decisions, built.decisions);
-    assert_eq!(wrapped.log, built.log);
-    assert_eq!(wrapped.counts, built.counts);
-    for (w, b) in wrapped
+    let generic = cluster
+        .build()
+        .with_faults(&plan, failover)
+        .run(&bundle.trace, cfg, |_, seed| {
+            UnitPolicy::new(unit_base().with_seed(seed))
+        })
+        .unwrap()
+        .into_faulty()
+        .unwrap();
+    assert_eq!(sugar.decisions, generic.decisions);
+    assert_eq!(sugar.log, generic.log);
+    assert_eq!(sugar.counts, generic.counts);
+    for (s, g) in sugar
         .cluster
         .shard_reports
         .iter()
-        .zip(&built.cluster.shard_reports)
+        .zip(&generic.cluster.shard_reports)
     {
-        assert_eq!(report_digest(w), report_digest(b));
+        assert_eq!(report_digest(s), report_digest(g));
     }
-
-    let generic = unit_cluster::run_fault_cluster(
-        &bundle.trace,
-        cfg,
-        &cluster,
-        &plan,
-        &failover,
-        |_, seed| UnitPolicy::new(unit_base().with_seed(seed)),
-    )
-    .unwrap();
-    assert_eq!(generic.decisions, built.decisions);
-    assert_eq!(generic.log, built.log);
-    assert_eq!(generic.counts, built.counts);
 }

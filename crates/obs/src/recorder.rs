@@ -50,7 +50,6 @@ impl RingRecorder {
     /// # Panics
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> RingRecorder {
-        // lint: allow(assert) — documented constructor contract
         assert!(capacity > 0, "a recorder needs room for at least one event");
         RingRecorder {
             capacity,

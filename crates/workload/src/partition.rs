@@ -30,7 +30,6 @@ impl ItemPartition {
     /// # Panics
     /// Panics if `n_shards` is zero.
     pub fn new(n_shards: usize) -> ItemPartition {
-        // lint: allow(assert) — documented constructor contract
         assert!(n_shards > 0, "a cluster needs at least one shard");
         ItemPartition { n_shards }
     }

@@ -1,0 +1,393 @@
+//! Stable fingerprints and the `xtask-baseline.json` ratchet.
+//!
+//! A fingerprint identifies a finding by *what* it is, not *where* it
+//! currently sits: FNV-1a 64 over `rule|file|symbol|kind|occurrence`,
+//! where `occurrence` is the finding's index among same-keyed findings in
+//! source order. Line numbers are deliberately excluded, so editing an
+//! unrelated part of a file never churns the baseline; moving a function
+//! to another file does (the file is part of the identity — a fresh look
+//! at relocated debt is intended).
+//!
+//! Ratchet semantics:
+//!
+//! * a finding whose fingerprint is **in** the baseline is accepted debt —
+//!   reported in `--format text` as baselined, never a failure;
+//! * a finding **not** in the baseline fails the run (exit 1);
+//! * a baseline entry that no longer fires is **stale** — reported so it
+//!   can be removed (shrinking the baseline is the point of the ratchet),
+//!   but never a failure, so fixing debt can't break the build.
+//!
+//! `cargo xtask analyze --update-baseline` rewrites the file from the
+//! current findings; review the diff like any other code change.
+
+use crate::rules::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// FNV-1a 64-bit over `bytes`.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Assign a stable fingerprint to every finding. Callers must pass the
+/// findings already in final (file, line, rule) order so occurrence
+/// indices are deterministic.
+pub fn assign_fingerprints(findings: &mut [Finding]) {
+    let mut occ: BTreeMap<(String, String, String, String), u32> = BTreeMap::new();
+    for f in findings.iter_mut() {
+        let key = (
+            f.rule.to_string(),
+            f.file.clone(),
+            f.symbol.clone(),
+            f.kind.clone(),
+        );
+        let n = occ.entry(key).or_insert(0);
+        let id = format!("{}|{}|{}|{}|{}", f.rule, f.file, f.symbol, f.kind, n);
+        *n += 1;
+        f.fingerprint = format!("{:016x}", fnv64(id.as_bytes()));
+    }
+}
+
+/// A parsed baseline: accepted fingerprints with their human-readable
+/// descriptions.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// fingerprint → `"<rule> <file> <symbol or kind>"` description.
+    pub entries: BTreeMap<String, String>,
+}
+
+/// The outcome of checking findings against a baseline.
+#[derive(Debug)]
+pub struct Ratchet {
+    /// Findings not covered by the baseline — these fail the run.
+    pub new: Vec<Finding>,
+    /// Findings covered by the baseline — accepted debt.
+    pub baselined: Vec<Finding>,
+    /// Baseline entries that no longer fire, as `(fingerprint, description)`.
+    pub stale: Vec<(String, String)>,
+}
+
+impl Baseline {
+    /// Split `findings` into new vs. baselined and collect stale entries.
+    pub fn ratchet(&self, findings: Vec<Finding>) -> Ratchet {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut new = Vec::new();
+        let mut baselined = Vec::new();
+        for f in findings {
+            if self.entries.contains_key(&f.fingerprint) {
+                baselined.push(f);
+            } else {
+                new.push(f);
+            }
+        }
+        for f in &baselined {
+            seen.insert(f.fingerprint.as_str());
+        }
+        let stale = self
+            .entries
+            .iter()
+            .filter(|(fp, _)| !seen.contains(fp.as_str()))
+            .map(|(fp, d)| (fp.clone(), d.clone()))
+            .collect();
+        Ratchet {
+            new,
+            baselined,
+            stale,
+        }
+    }
+}
+
+/// Serialize a baseline from the current findings (sorted by fingerprint).
+pub fn render_baseline(findings: &[Finding]) -> String {
+    let mut entries: BTreeMap<&str, String> = BTreeMap::new();
+    for f in findings {
+        let what = if f.symbol.is_empty() {
+            f.kind.clone()
+        } else {
+            format!("{} {}", f.symbol, f.kind)
+        };
+        entries.insert(
+            &f.fingerprint,
+            format!("{} {} {}", f.rule, f.file, what.trim()),
+        );
+    }
+    let mut out = String::from("{\n  \"version\": 1,\n  \"fingerprints\": {\n");
+    for (i, (fp, desc)) in entries.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {}: {}{}",
+            crate::json_str(fp),
+            crate::json_str(desc),
+            if i + 1 < entries.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Parse a baseline file. A minimal JSON reader (xtask has no deps): it
+/// understands exactly the shape [`render_baseline`] writes — an object
+/// with a `"fingerprints"` object of string→string entries — and
+/// tolerates whitespace/ordering differences from hand edits.
+///
+/// # Errors
+/// Fails on malformed JSON or a missing `fingerprints` object.
+pub fn parse_baseline(src: &str) -> Result<Baseline, String> {
+    let mut p = Parser {
+        b: src.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    p.expect(b'{')?;
+    let mut entries = BTreeMap::new();
+    let mut first = true;
+    loop {
+        p.ws();
+        if p.peek() == Some(b'}') {
+            break;
+        }
+        if !first {
+            p.expect(b',')?;
+            p.ws();
+        }
+        first = false;
+        let key = p.string()?;
+        p.ws();
+        p.expect(b':')?;
+        p.ws();
+        if key == "fingerprints" {
+            p.expect(b'{')?;
+            let mut inner_first = true;
+            loop {
+                p.ws();
+                if p.peek() == Some(b'}') {
+                    p.i += 1;
+                    break;
+                }
+                if !inner_first {
+                    p.expect(b',')?;
+                    p.ws();
+                }
+                inner_first = false;
+                let fp = p.string()?;
+                p.ws();
+                p.expect(b':')?;
+                p.ws();
+                let desc = p.string()?;
+                entries.insert(fp, desc);
+            }
+        } else {
+            p.skip_value()?;
+        }
+    }
+    Ok(Baseline { entries })
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn ws(&mut self) {
+        while self
+            .peek()
+            .is_some_and(|c| matches!(c, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "baseline parse error at byte {}: expected `{}`",
+                self.i, c as char
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = self.peek().ok_or("baseline: truncated escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .ok_or("baseline: truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        other => {
+                            return Err(format!("baseline: unknown escape \\{}", other as char))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Copy one UTF-8 char.
+                    let start = self.i;
+                    self.i += 1;
+                    while self.i < self.b.len() && (self.b[self.i] & 0xc0) == 0x80 {
+                        self.i += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.b[start..self.i]).map_err(|e| e.to_string())?,
+                    );
+                }
+                None => return Err("baseline: unterminated string".to_string()),
+            }
+        }
+    }
+
+    /// Skip any JSON value (for unknown top-level keys like `version`).
+    fn skip_value(&mut self) -> Result<(), String> {
+        self.ws();
+        match self.peek() {
+            Some(b'"') => {
+                self.string()?;
+            }
+            Some(b'{' | b'[') => {
+                let open = self.peek().unwrap();
+                let close = if open == b'{' { b'}' } else { b']' };
+                self.i += 1;
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match self.peek() {
+                        Some(b'"') => {
+                            self.string()?;
+                        }
+                        Some(c) if c == open => {
+                            depth += 1;
+                            self.i += 1;
+                        }
+                        Some(c) if c == close => {
+                            depth -= 1;
+                            self.i += 1;
+                        }
+                        Some(_) => self.i += 1,
+                        None => return Err("baseline: unterminated value".to_string()),
+                    }
+                }
+            }
+            Some(_) => {
+                while self
+                    .peek()
+                    .is_some_and(|c| !matches!(c, b',' | b'}' | b']'))
+                {
+                    self.i += 1;
+                }
+            }
+            None => return Err("baseline: missing value".to_string()),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, symbol: &str, kind: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line: 1,
+            rule,
+            message: String::new(),
+            hint: String::new(),
+            symbol: symbol.to_string(),
+            kind: kind.to_string(),
+            fingerprint: String::new(),
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_occurrence_indexed() {
+        let mut a = vec![
+            finding("D6", "crates/sim/src/x.rs", "sim::f", "call:unwrap"),
+            finding("D6", "crates/sim/src/x.rs", "sim::f", "call:unwrap"),
+        ];
+        assign_fingerprints(&mut a);
+        assert_ne!(a[0].fingerprint, a[1].fingerprint);
+        // Re-running on the same logical findings reproduces them exactly.
+        let mut b = vec![
+            finding("D6", "crates/sim/src/x.rs", "sim::f", "call:unwrap"),
+            finding("D6", "crates/sim/src/x.rs", "sim::f", "call:unwrap"),
+        ];
+        b[0].line = 99; // lines don't matter
+        assign_fingerprints(&mut b);
+        assert_eq!(a[0].fingerprint, b[0].fingerprint);
+        assert_eq!(a[1].fingerprint, b[1].fingerprint);
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_ratchet() {
+        let mut old = vec![
+            finding("D6", "crates/sim/src/x.rs", "sim::f", "call:unwrap"),
+            finding("P2", "crates/sim/src/p.rs", "sim::U::on_q", "alloc:format!"),
+        ];
+        assign_fingerprints(&mut old);
+        let baseline = parse_baseline(&render_baseline(&old)).unwrap();
+        assert_eq!(baseline.entries.len(), 2);
+
+        // Current run: the D6 still fires, the P2 was fixed, a D5 is new.
+        let mut now = vec![
+            finding("D6", "crates/sim/src/x.rs", "sim::f", "call:unwrap"),
+            finding("D5", "crates/sim/src/s.rs", "sim::g", "taint:Instant::now"),
+        ];
+        assign_fingerprints(&mut now);
+        let r = baseline.ratchet(now);
+        assert_eq!(r.new.len(), 1);
+        assert_eq!(r.new[0].rule, "D5");
+        assert_eq!(r.baselined.len(), 1);
+        assert_eq!(r.stale.len(), 1);
+        assert!(r.stale[0].1.contains("P2"), "{:?}", r.stale);
+    }
+
+    #[test]
+    fn parser_tolerates_unknown_keys_and_escapes() {
+        let src = "{ \"version\": 1, \"note\": \"hand \\\"edited\\\"\",
+                    \"fingerprints\": { \"00ff\": \"D1 a \\u2014 b\" } }";
+        let b = parse_baseline(src).unwrap();
+        assert_eq!(b.entries.get("00ff").unwrap(), "D1 a \u{2014} b");
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        let b = parse_baseline("{\n  \"version\": 1,\n  \"fingerprints\": {}\n}\n").unwrap();
+        assert!(b.entries.is_empty());
+    }
+}

@@ -45,6 +45,11 @@ pub struct Tok {
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
+    /// Byte range `[start, end)` of the lexeme in the source. Always on
+    /// char boundaries, `start <= end <= src.len()`, and starts are
+    /// monotone across the token stream (pinned by a workspace-wide
+    /// property test).
+    pub span: (usize, usize),
     /// True when the token sits inside a `#[cfg(test)]` / `#[test]` item.
     pub in_test: bool,
 }
@@ -88,16 +93,26 @@ fn is_ident_continue(c: char) -> bool {
 fn lex(src: &str) -> Scan {
     let b: Vec<char> = src.chars().collect();
     let n = b.len();
+    // Byte offset of each char index (plus the end sentinel), so token
+    // spans can be reported in byte coordinates against the original src.
+    let mut byte_of = Vec::with_capacity(n + 1);
+    let mut o = 0usize;
+    for c in &b {
+        byte_of.push(o);
+        o += c.len_utf8();
+    }
+    byte_of.push(o);
     let mut i = 0usize;
     let mut line = 1u32;
     let mut out = Scan::default();
 
     macro_rules! push {
-        ($kind:expr, $text:expr, $line:expr) => {
+        ($kind:expr, $text:expr, $line:expr, $start:expr, $end:expr) => {
             out.toks.push(Tok {
                 kind: $kind,
                 text: $text,
                 line: $line,
+                span: (byte_of[$start], byte_of[($end).min(n)]),
                 in_test: false,
             })
         };
@@ -156,6 +171,7 @@ fn lex(src: &str) -> Scan {
             }
             '"' => {
                 let start_line = line;
+                let start = i;
                 i += 1;
                 while i < n {
                     match b[i] {
@@ -171,7 +187,7 @@ fn lex(src: &str) -> Scan {
                         _ => i += 1,
                     }
                 }
-                push!(TokKind::Str, String::new(), start_line);
+                push!(TokKind::Str, String::new(), start_line, start, i);
             }
             '\'' => {
                 // Char literal vs. lifetime.
@@ -185,6 +201,7 @@ fn lex(src: &str) -> Scan {
                 };
                 if is_char {
                     let start_line = line;
+                    let start = i;
                     i += 1;
                     while i < n {
                         match b[i] {
@@ -196,14 +213,14 @@ fn lex(src: &str) -> Scan {
                             _ => i += 1,
                         }
                     }
-                    push!(TokKind::Char, String::new(), start_line);
+                    push!(TokKind::Char, String::new(), start_line, start, i);
                 } else {
                     let start = i + 1;
                     let mut j = start;
                     while j < n && is_ident_continue(b[j]) {
                         j += 1;
                     }
-                    push!(TokKind::Lifetime, b[start..j].iter().collect(), line);
+                    push!(TokKind::Lifetime, b[start..j].iter().collect(), line, i, j);
                     i = j;
                 }
             }
@@ -219,7 +236,7 @@ fn lex(src: &str) -> Scan {
                     && j < n
                     && (b[j] == '"' || b[j] == '#');
                 if is_raw_prefix && consume_raw_string(&b, &mut j, &mut line, text.contains('r')) {
-                    push!(TokKind::Str, String::new(), line);
+                    push!(TokKind::Str, String::new(), line, start, j);
                     i = j;
                 } else if text == "b" && j < n && b[j] == '\'' {
                     // Byte literal b'x'.
@@ -234,16 +251,16 @@ fn lex(src: &str) -> Scan {
                             _ => k += 1,
                         }
                     }
-                    push!(TokKind::Char, String::new(), line);
+                    push!(TokKind::Char, String::new(), line, start, k);
                     i = k;
                 } else {
-                    push!(TokKind::Ident, text, line);
+                    push!(TokKind::Ident, text, line, start, j);
                     i = j;
                 }
             }
             c if c.is_ascii_digit() => {
                 let (kind, j) = lex_number(&b, i);
-                push!(kind, b[i..j].iter().collect(), line);
+                push!(kind, b[i..j].iter().collect(), line, i, j);
                 i = j;
             }
             _ => {
@@ -252,8 +269,9 @@ fn lex(src: &str) -> Scan {
                     "::" | "==" | "!=" | "->" | "=>" => two,
                     _ => c.to_string(),
                 };
+                let start = i;
                 i += tok.chars().count();
-                push!(TokKind::Punct, tok, line);
+                push!(TokKind::Punct, tok, line, start, i);
             }
         }
     }
@@ -428,6 +446,8 @@ fn mark_test_items(toks: &mut [Tok]) {
             k = m + 1;
         }
         // Find the item's extent: first `{ … }` block, or a `;` before it.
+        // A stray `}` with no open block (malformed input) ends the item
+        // too — the lexer must never panic on non-Rust soup.
         let mut brace = 0usize;
         let mut end = k;
         while end < toks.len() {
@@ -436,10 +456,10 @@ fn mark_test_items(toks: &mut [Tok]) {
                 match t.text.as_str() {
                     "{" => brace += 1,
                     "}" => {
-                        brace -= 1;
-                        if brace == 0 {
+                        if brace <= 1 {
                             break;
                         }
+                        brace -= 1;
                     }
                     ";" if brace == 0 => break,
                     _ => {}

@@ -1,10 +1,19 @@
 //! # xtask — workspace automation for the UNIT repro
 //!
-//! The only subcommand today is `lint`: a zero-dependency static-analysis
-//! pass (`cargo xtask lint`) that walks every `.rs` file under `crates/`
-//! and enforces the determinism and invariant rules the golden-digest test
-//! relies on. See [`rules`] for the rule table and the allow-annotation
-//! syntax, and DESIGN.md §2.2 for the invariant each rule guards.
+//! Two subcommands, both zero-dependency static analysis:
+//!
+//! * `cargo xtask lint` — the fast per-file pass: walks every `.rs` file
+//!   under `crates/` and enforces the line-level determinism and
+//!   invariant rules (D1–D4, P1, A1) the golden-digest test relies on.
+//! * `cargo xtask analyze` — everything `lint` does, plus the
+//!   interprocedural passes over an approximate workspace call graph:
+//!   D5 digest taint ([`taint`]), D6 panic reachability ([`reach`]),
+//!   and P2 hot-path allocation ([`hotpath`]) — gated by the
+//!   `xtask-baseline.json` ratchet ([`baseline`]) and emitted as text,
+//!   JSON, or SARIF ([`sarif`]) for code-scanning annotations.
+//!
+//! See [`rules`] for the rule table and the allow-annotation syntax, and
+//! DESIGN.md §2.2 / §7 for the invariant each rule guards.
 //!
 //! Test code is exempt by construction: files under `tests/`, `benches/`,
 //! `examples/`, and `fixtures/` directories are skipped by the walker, and
@@ -12,8 +21,15 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod graph;
+pub mod hotpath;
 pub mod lexer;
+pub mod parser;
+pub mod reach;
 pub mod rules;
+pub mod sarif;
+pub mod taint;
 
 pub use rules::{check_source, FileCtx, Finding};
 
@@ -94,6 +110,52 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
     Ok(findings)
 }
 
+/// Crates included in the interprocedural call graph: the library crates
+/// whose code can reach simulator state. `bench` (wall-clock measurement
+/// by design) and `xtask` itself stay out.
+pub const GRAPH_CRATES: &[&str] = &[
+    "core",
+    "sim",
+    "workload",
+    "baselines",
+    "cluster",
+    "faults",
+    "obs",
+];
+
+/// Run the full analysis — per-file rules plus the D5/D6/P2 graph passes —
+/// over the workspace rooted at `root`. Findings come back sorted by
+/// (file, line, rule) with fingerprints assigned; baseline gating is the
+/// caller's job (see [`baseline::Baseline::ratchet`]).
+///
+/// # Errors
+/// Fails when the tree cannot be walked or a source file cannot be read.
+pub fn analyze_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    let mut parsed: Vec<graph::ParsedFile> = Vec::new();
+    for path in workspace_rs_files(root)? {
+        let Some(ctx) = file_ctx(root, &path) else {
+            continue;
+        };
+        let src =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        findings.extend(check_source(&src, &ctx));
+        if GRAPH_CRATES.contains(&ctx.crate_name.as_str()) {
+            parsed.push(graph::parse_file(&src, ctx));
+        }
+    }
+    let g = graph::Graph::build(&parsed);
+    taint::rule_d5(&parsed, &g, &mut findings);
+    reach::rule_d6(&parsed, &g, &mut findings);
+    hotpath::rule_p2(&parsed, &mut findings);
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings.dedup_by(|a, b| {
+        a.file == b.file && a.line == b.line && a.rule == b.rule && a.kind == b.kind
+    });
+    baseline::assign_fingerprints(&mut findings);
+    Ok(findings)
+}
+
 /// Render findings as human-readable text, one violation per paragraph.
 pub fn render_text(findings: &[Finding]) -> String {
     let mut out = String::new();
@@ -118,13 +180,20 @@ pub fn render_json(findings: &[Finding]) -> String {
         }
         let _ = write!(
             out,
-            "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{},\"hint\":{}}}",
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{},\"hint\":{}",
             json_str(&f.file),
             f.line,
             json_str(f.rule),
             json_str(&f.message),
             json_str(&f.hint)
         );
+        if !f.symbol.is_empty() {
+            let _ = write!(out, ",\"symbol\":{}", json_str(&f.symbol));
+        }
+        if !f.fingerprint.is_empty() {
+            let _ = write!(out, ",\"fingerprint\":{}", json_str(&f.fingerprint));
+        }
+        out.push('}');
     }
     out.push_str("]\n");
     out
@@ -170,13 +239,13 @@ mod tests {
 
     #[test]
     fn render_text_mentions_rule_and_line() {
-        let f = Finding {
-            file: "crates/sim/src/x.rs".into(),
-            line: 7,
-            rule: "D1",
-            message: "m".into(),
-            hint: "h".into(),
-        };
+        let f = Finding::new(
+            "crates/sim/src/x.rs".into(),
+            7,
+            "D1",
+            "m".into(),
+            "h".into(),
+        );
         let text = render_text(&[f]);
         assert!(text.contains("crates/sim/src/x.rs:7: D1 m"));
         assert!(text.contains("fix: h"));

@@ -1,0 +1,578 @@
+//! A lightweight item/signature parser on top of [`crate::lexer`].
+//!
+//! This is *not* a Rust parser — it recovers exactly the structure the
+//! interprocedural passes need from the token stream:
+//!
+//! * every `fn` item, with its name, 1-based line, visibility, the
+//!   `impl`/`trait` block it sits in (one level — nested items keep the
+//!   innermost owner), whether it is test code, and the token range of its
+//!   body;
+//! * every call site inside a body: free calls (`helper(…)`), method
+//!   calls (`x.helper(…)`), qualified calls (`Type::helper(…)`), and
+//!   macro invocations (`format!(…)`);
+//! * every slice/array indexing site (`xs[i]` — a potential panic).
+//!
+//! Everything downstream ([`crate::graph`] and the passes built on it) is
+//! an over-approximation by design: a call that cannot be resolved
+//! precisely resolves to every same-named candidate, never to none.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Keywords that can be followed by `(`/`[` without being a call or an
+/// index expression.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "break", "continue", "in", "as",
+    "let", "mut", "ref", "move", "where", "impl", "dyn", "fn", "pub", "use", "mod", "struct",
+    "enum", "trait", "type", "const", "static", "unsafe", "async", "await", "self", "Self",
+    "super", "crate", "box", "yield",
+];
+
+/// Is this identifier a Rust keyword (for call/index disambiguation)?
+pub fn is_keyword(text: &str) -> bool {
+    KEYWORDS.contains(&text)
+}
+
+/// How a call site names its target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `helper(…)` — a free function (or tuple-struct constructor).
+    Free,
+    /// `x.helper(…)` — a method on some receiver.
+    Method,
+    /// `Type::helper(…)` — the qualifier is the last path segment before
+    /// the method (`Instant` in `std::time::Instant::now`).
+    Qualified(String),
+    /// `helper!(…)` — a macro invocation.
+    Macro,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// How the target is named.
+    pub kind: CallKind,
+    /// The called name (`now`, `clone`, `format`, …).
+    pub name: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One slice/array indexing site (`xs[i]` — can panic on out-of-bounds).
+#[derive(Debug, Clone)]
+pub struct IndexSite {
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// The `impl`/`trait` type or trait the fn is declared in, if any
+    /// (`Simulator` for `impl Simulator`, `Policy` for `trait Policy` and
+    /// for `impl Policy for UnitPolicy` methods the *type* is the owner).
+    pub owner: Option<String>,
+    /// For `impl Trait for Type` methods, the implemented trait's name.
+    pub trait_impl: Option<String>,
+    /// True when declared directly inside a `trait … { }` block.
+    pub in_trait_decl: bool,
+    /// True for unrestricted `pub` (not `pub(crate)`/`pub(super)`).
+    pub is_pub: bool,
+    /// True when the `fn` token sits inside `#[cfg(test)]`/`#[test]` code.
+    pub in_test: bool,
+    /// 1-based line of the `fn` token.
+    pub line: u32,
+    /// Token-index range `(open, close)` of the body braces, inclusive of
+    /// both brace tokens; `None` for bodyless trait declarations.
+    pub body: Option<(usize, usize)>,
+    /// Call sites inside the body, in source order.
+    pub calls: Vec<Call>,
+    /// Indexing sites inside the body, in source order.
+    pub index_sites: Vec<IndexSite>,
+}
+
+impl FnDef {
+    /// Display name: `Owner::name` or bare `name`.
+    pub fn qual_name(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Parse every `fn` item out of a token stream.
+pub fn parse_fns(toks: &[Tok]) -> Vec<FnDef> {
+    let mut out = Vec::new();
+    parse_range(toks, 0, toks.len(), None, &mut out);
+    out
+}
+
+/// The owner context handed down while recursing into `impl`/`trait`
+/// blocks.
+#[derive(Debug, Clone)]
+struct Owner {
+    name: String,
+    trait_impl: Option<String>,
+    is_trait_decl: bool,
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token when the
+/// stream is truncated — the parser never panics on malformed input).
+fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct {
+            match toks[i].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Skip a `<…>` generics group starting at `i` (which points at `<`).
+/// Returns the index just past the matching `>`.
+fn skip_generics(toks: &[Tok], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < toks.len() {
+        if toks[j].kind == TokKind::Punct {
+            match toks[j].text.as_str() {
+                "<" => depth += 1,
+                ">" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                // A `->` inside generics would only appear in `Fn(..) -> T`
+                // bounds; it carries no angle brackets of its own.
+                ";" | "{" => return j, // malformed — bail out
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Parse one type path starting at `i`: returns the last path-segment
+/// identifier (the type's name) and the index just past the path
+/// (generics skipped). `&`, `mut`, and leading `::` are tolerated.
+fn parse_type_path(toks: &[Tok], mut i: usize, hi: usize) -> (Option<String>, usize) {
+    let mut last = None;
+    while i < hi {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct if matches!(t.text.as_str(), "&" | "::") => i += 1,
+            TokKind::Lifetime => i += 1,
+            TokKind::Ident if t.text == "mut" || t.text == "dyn" => i += 1,
+            TokKind::Ident if t.text == "for" || t.text == "where" => break,
+            TokKind::Ident => {
+                last = Some(t.text.clone());
+                i += 1;
+                if i < hi && toks[i].kind == TokKind::Punct && toks[i].text == "<" {
+                    i = skip_generics(toks, i);
+                }
+                // A path continues through `::`; anything else ends it.
+                if !(i < hi && toks[i].kind == TokKind::Punct && toks[i].text == "::") {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    (last, i)
+}
+
+fn parse_range(toks: &[Tok], lo: usize, hi: usize, owner: Option<&Owner>, out: &mut Vec<FnDef>) {
+    let mut i = lo;
+    while i < hi {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "impl" => {
+                // `impl<G> TraitOrType<…> [for Type<…>] [where …] {`
+                let mut j = i + 1;
+                if j < hi && toks[j].kind == TokKind::Punct && toks[j].text == "<" {
+                    j = skip_generics(toks, j);
+                }
+                let (first, after) = parse_type_path(toks, j, hi);
+                let mut trait_impl = None;
+                let mut name = first.clone();
+                let mut k = after;
+                if k < hi && toks[k].kind == TokKind::Ident && toks[k].text == "for" {
+                    trait_impl = first;
+                    let (ty, after_ty) = parse_type_path(toks, k + 1, hi);
+                    name = ty;
+                    k = after_ty;
+                }
+                // Find the block (skipping any `where` clause).
+                while k < hi && !(toks[k].kind == TokKind::Punct && toks[k].text == "{") {
+                    k += 1;
+                }
+                if k >= hi {
+                    i = hi;
+                    continue;
+                }
+                let close = matching_brace(toks, k).min(hi.saturating_sub(1));
+                let ctx = name.map(|name| Owner {
+                    name,
+                    trait_impl,
+                    is_trait_decl: false,
+                });
+                parse_range(toks, k + 1, close, ctx.as_ref().or(owner), out);
+                i = close + 1;
+            }
+            "trait" => {
+                let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+                    i += 1;
+                    continue;
+                };
+                let mut k = i + 2;
+                while k < hi && !(toks[k].kind == TokKind::Punct && toks[k].text == "{") {
+                    // `trait X: Bound;`-style aliases end without a block.
+                    if toks[k].kind == TokKind::Punct && toks[k].text == ";" {
+                        break;
+                    }
+                    k += 1;
+                }
+                if k >= hi || toks[k].text != "{" {
+                    i = k + 1;
+                    continue;
+                }
+                let close = matching_brace(toks, k).min(hi.saturating_sub(1));
+                let ctx = Owner {
+                    name: name_tok.text.clone(),
+                    trait_impl: None,
+                    is_trait_decl: true,
+                };
+                parse_range(toks, k + 1, close, Some(&ctx), out);
+                i = close + 1;
+            }
+            "fn" => {
+                // A real item, not a `fn(..)` pointer type.
+                let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+                    i += 1;
+                    continue;
+                };
+                // Visibility: scan back over qualifiers for a bare `pub`.
+                let is_pub = {
+                    let mut k = i;
+                    let mut found = false;
+                    while k > lo {
+                        let p = &toks[k - 1];
+                        let qualifier = p.kind == TokKind::Ident
+                            && matches!(
+                                p.text.as_str(),
+                                "const" | "unsafe" | "async" | "extern" | "default"
+                            )
+                            || p.kind == TokKind::Str; // extern "C"
+                        if p.kind == TokKind::Ident && p.text == "pub" {
+                            found = true;
+                            break;
+                        }
+                        if !qualifier {
+                            break;
+                        }
+                        k -= 1;
+                    }
+                    // `pub(crate)` / `pub(super)`: the token after `pub` is `(`.
+                    found
+                        && !(toks.get(i).is_some() && {
+                            // Find the pub token again and peek past it.
+                            let mut k = i;
+                            let mut restricted = false;
+                            while k > lo {
+                                let p = &toks[k - 1];
+                                if p.kind == TokKind::Ident && p.text == "pub" {
+                                    restricted = toks
+                                        .get(k)
+                                        .is_some_and(|n| n.kind == TokKind::Punct && n.text == "(");
+                                    break;
+                                }
+                                k -= 1;
+                            }
+                            restricted
+                        })
+                };
+                // Signature: scan to the body `{` or a bodyless `;`,
+                // ignoring separators nested in `(…)`, `[…]`, `<…>`.
+                let mut k = i + 2;
+                let (mut paren, mut bracket, mut angle) = (0i32, 0i32, 0i32);
+                let mut body = None;
+                while k < hi {
+                    let s = &toks[k];
+                    if s.kind == TokKind::Punct {
+                        match s.text.as_str() {
+                            "(" => paren += 1,
+                            ")" => paren -= 1,
+                            "[" => bracket += 1,
+                            "]" => bracket -= 1,
+                            "<" => angle += 1,
+                            ">" => angle = (angle - 1).max(0),
+                            "->" => angle = angle.max(0),
+                            "{" if paren == 0 && bracket == 0 => {
+                                body = Some((k, matching_brace(toks, k).min(hi)));
+                                break;
+                            }
+                            ";" if paren == 0 && bracket == 0 && angle == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    k += 1;
+                }
+                let (calls, index_sites) = match body {
+                    Some((open, close)) => extract_sites(toks, open + 1, close),
+                    None => (Vec::new(), Vec::new()),
+                };
+                out.push(FnDef {
+                    name: name_tok.text.clone(),
+                    owner: owner.map(|o| o.name.clone()),
+                    trait_impl: owner.and_then(|o| o.trait_impl.clone()),
+                    in_trait_decl: owner.is_some_and(|o| o.is_trait_decl),
+                    is_pub,
+                    in_test: t.in_test,
+                    line: t.line,
+                    body,
+                    calls,
+                    index_sites,
+                });
+                match body {
+                    Some((open, close)) => {
+                        // Recurse for nested fns (attributed to the same
+                        // owner; their calls are also in the outer body —
+                        // an intentional over-approximation).
+                        parse_range(toks, open + 1, close, owner, out);
+                        i = close + 1;
+                    }
+                    None => i = k + 1,
+                }
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Collect call and indexing sites in a body token range.
+fn extract_sites(toks: &[Tok], lo: usize, hi: usize) -> (Vec<Call>, Vec<IndexSite>) {
+    let mut calls = Vec::new();
+    let mut index_sites = Vec::new();
+    let mut j = lo;
+    while j < hi.min(toks.len()) {
+        let t = &toks[j];
+        // Indexing: `xs[…]`, `f(..)[…]`, `xs[i][j]` — `[` after a value.
+        if t.kind == TokKind::Punct && t.text == "[" {
+            if let Some(p) = j.checked_sub(1).map(|k| &toks[k]) {
+                let value_before = (p.kind == TokKind::Ident && !is_keyword(&p.text))
+                    || (p.kind == TokKind::Punct && matches!(p.text.as_str(), ")" | "]" | "?"));
+                if value_before {
+                    index_sites.push(IndexSite { line: t.line });
+                }
+            }
+            j += 1;
+            continue;
+        }
+        if t.kind != TokKind::Ident || is_keyword(&t.text) {
+            j += 1;
+            continue;
+        }
+        let next = toks.get(j + 1);
+        // Macro invocation: `name!(…)` / `name![…]` / `name!{…}`.
+        if next.is_some_and(|n| n.kind == TokKind::Punct && n.text == "!")
+            && toks.get(j + 2).is_some_and(|n| {
+                n.kind == TokKind::Punct && matches!(n.text.as_str(), "(" | "[" | "{")
+            })
+        {
+            calls.push(Call {
+                kind: CallKind::Macro,
+                name: t.text.clone(),
+                line: t.line,
+            });
+            j += 2;
+            continue;
+        }
+        if next.is_some_and(|n| n.kind == TokKind::Punct && n.text == "(") {
+            let prev = j.checked_sub(1).map(|k| &toks[k]);
+            let kind = match prev {
+                Some(p) if p.kind == TokKind::Ident && p.text == "fn" => None, // nested def
+                Some(p) if p.kind == TokKind::Punct && p.text == "." => Some(CallKind::Method),
+                Some(p) if p.kind == TokKind::Punct && p.text == "::" => {
+                    let qualifier = j
+                        .checked_sub(2)
+                        .map(|k| &toks[k])
+                        .filter(|q| q.kind == TokKind::Ident)
+                        .map(|q| q.text.clone());
+                    Some(match qualifier {
+                        Some(q) => CallKind::Qualified(q),
+                        None => CallKind::Free, // `Foo::<T>::new` and friends
+                    })
+                }
+                _ => Some(CallKind::Free),
+            };
+            if let Some(kind) = kind {
+                calls.push(Call {
+                    kind,
+                    name: t.text.clone(),
+                    line: t.line,
+                });
+            }
+        }
+        j += 1;
+    }
+    (calls, index_sites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn fns(src: &str) -> Vec<FnDef> {
+        parse_fns(&scan(src).toks)
+    }
+
+    #[test]
+    fn free_and_impl_fns_are_attributed() {
+        let src = "
+            pub fn free() { helper(1); }
+            struct S;
+            impl S {
+                pub fn method(&self) { self.other(); }
+                fn private(&self) {}
+            }
+        ";
+        let fs = fns(src);
+        assert_eq!(fs.len(), 3);
+        assert_eq!(fs[0].qual_name(), "free");
+        assert!(fs[0].is_pub);
+        assert_eq!(fs[1].qual_name(), "S::method");
+        assert_eq!(fs[2].qual_name(), "S::private");
+        assert!(!fs[2].is_pub);
+        assert_eq!(fs[0].calls.len(), 1);
+        assert_eq!(fs[0].calls[0].kind, CallKind::Free);
+        assert_eq!(fs[1].calls[0].kind, CallKind::Method);
+    }
+
+    #[test]
+    fn trait_impls_record_the_trait() {
+        let src = "
+            pub trait Hook { fn fire(&self); fn armed(&self) -> bool { true } }
+            impl Hook for Gun { fn fire(&self) { bang(); } }
+        ";
+        let fs = fns(src);
+        assert_eq!(fs.len(), 3);
+        assert_eq!(fs[0].qual_name(), "Hook::fire");
+        assert!(fs[0].in_trait_decl);
+        assert!(fs[0].body.is_none());
+        assert_eq!(fs[1].qual_name(), "Hook::armed");
+        assert!(fs[1].body.is_some());
+        assert_eq!(fs[2].qual_name(), "Gun::fire");
+        assert_eq!(fs[2].trait_impl.as_deref(), Some("Hook"));
+    }
+
+    #[test]
+    fn generic_impls_resolve_the_type_name() {
+        let src = "
+            impl<'a, P: Policy + Send> Simulator<'a, P> {
+                fn step(&mut self) { self.heap.pop(); Instant::now(); }
+            }
+            impl std::fmt::Display for Err2 { fn fmt(&self) -> F { write!(f, \"x\") } }
+        ";
+        let fs = fns(src);
+        assert_eq!(fs[0].qual_name(), "Simulator::step");
+        let quals: Vec<_> = fs[0]
+            .calls
+            .iter()
+            .filter_map(|c| match &c.kind {
+                CallKind::Qualified(q) => Some((q.as_str(), c.name.as_str())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(quals, vec![("Instant", "now")]);
+        assert_eq!(fs[1].qual_name(), "Err2::fmt");
+        assert_eq!(fs[1].trait_impl.as_deref(), Some("Display"));
+        assert_eq!(fs[1].calls[0].kind, CallKind::Macro);
+        assert_eq!(fs[1].calls[0].name, "write");
+    }
+
+    #[test]
+    fn indexing_sites_are_found_and_types_are_not() {
+        let src = "
+            fn f(xs: &[u64], m: [u8; 4]) -> [f64; 2] {
+                let a = xs[0];
+                let b = vec![1, 2];
+                let c = m[a as usize];
+                [0.0, 1.0]
+            }
+        ";
+        let fs = fns(src);
+        assert_eq!(fs[0].index_sites.len(), 2);
+        assert_eq!(fs[0].index_sites[0].line, 3);
+        assert_eq!(fs[0].index_sites[1].line, 5);
+    }
+
+    #[test]
+    fn test_code_is_marked() {
+        let src = "
+            #[cfg(test)]
+            mod tests {
+                fn t() { x.unwrap(); }
+            }
+            fn live() {}
+        ";
+        let fs = fns(src);
+        assert_eq!(fs.len(), 2);
+        assert!(fs[0].in_test);
+        assert!(!fs[1].in_test);
+    }
+
+    #[test]
+    fn pub_crate_is_not_public() {
+        let src = "pub(crate) fn a() {} pub fn b() {} pub const unsafe fn c() {}";
+        let fs = fns(src);
+        assert!(!fs[0].is_pub);
+        assert!(fs[1].is_pub);
+        assert!(fs[2].is_pub);
+    }
+
+    #[test]
+    fn array_semicolon_in_signature_does_not_truncate() {
+        let src = "fn f(x: [u8; 4]) -> u8 { g(x[0]); x[1] }";
+        let fs = fns(src);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].body.is_some());
+        assert_eq!(fs[0].calls.len(), 1);
+        assert_eq!(fs[0].index_sites.len(), 2);
+    }
+
+    #[test]
+    fn closures_attribute_calls_to_the_enclosing_fn() {
+        let src = "
+            fn outer() {
+                scope.spawn(move || {
+                    inner(1);
+                    xs[0]
+                });
+            }
+        ";
+        let fs = fns(src);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].calls.iter().any(|c| c.name == "inner"));
+        assert_eq!(fs[0].index_sites.len(), 1);
+    }
+}

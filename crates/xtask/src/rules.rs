@@ -8,6 +8,12 @@
 //! | `D3` | `unwrap()`/`expect()`/`panic!`-family in non-test library code | `core`, `sim`, `workload`, `baselines`, `cluster`, `faults`, `obs` |
 //! | `D4` | direct `f64` `==`/`!=` against float literals; `as`-cast truncation of simulated-time values | library crates, except `core/src/time.rs` |
 //! | `P1` | `Policy`/`FaultHook`/`Observer`-surface / event-loop functions without a `/// O(...)` complexity doc | `core/src/policy.rs`, `sim/src/engine.rs`, `sim/src/faults.rs`, `obs/src/recorder.rs` |
+//! | `A1` | malformed `lint: allow` annotations (unknown rule id, or no reason clause) | everywhere |
+//!
+//! The interprocedural rules `D5` (digest taint), `D6` (panic
+//! reachability), and `P2` (hot-path allocation) run only under
+//! `cargo xtask analyze`; see [`crate::taint`], [`crate::reach`], and
+//! [`crate::hotpath`]. Their allow annotations share this syntax.
 //!
 //! Suppression:
 //!
@@ -15,8 +21,8 @@
 //!   the line directly above it (`panic` is an alias for `D3`);
 //! * file-scoped — `// lint: allow-file(D1) — reason` anywhere in the file.
 //!
-//! Annotations without a reason are ignored, so every exemption in the tree
-//! carries its own justification.
+//! Annotations without a reason are ignored (and reported as `A1`), so
+//! every exemption in the tree carries its own justification.
 
 use crate::lexer::{scan, Comment, Tok, TokKind};
 use std::collections::BTreeMap;
@@ -66,12 +72,39 @@ pub struct Finding {
     pub file: String,
     /// 1-based line number.
     pub line: u32,
-    /// Rule id (`D1` … `D4`, `P1`).
+    /// Rule id (`D1` … `D6`, `P1`, `P2`, `A1`).
     pub rule: &'static str,
     /// What went wrong.
     pub message: String,
     /// How to fix it (or how to annotate an intentional exemption).
     pub hint: String,
+    /// Qualified name of the function the finding is anchored to
+    /// (empty for per-file rules — fingerprints fall back to the file).
+    pub symbol: String,
+    /// Short site tag used for fingerprint stability (`call:unwrap`,
+    /// `taint:Instant::now`, …); empty for per-file rules.
+    pub kind: String,
+    /// Stable fingerprint, assigned by [`crate::baseline::assign_fingerprints`]
+    /// over (rule, file, symbol, kind, occurrence index) — line numbers are
+    /// deliberately excluded so unrelated edits don't churn the baseline.
+    pub fingerprint: String,
+}
+
+impl Finding {
+    /// A finding with only the per-file fields set (symbol/kind/fingerprint
+    /// empty until fingerprint assignment).
+    pub fn new(file: String, line: u32, rule: &'static str, message: String, hint: String) -> Self {
+        Finding {
+            file,
+            line,
+            rule,
+            message,
+            hint,
+            symbol: String::new(),
+            kind: String::new(),
+            fingerprint: String::new(),
+        }
+    }
 }
 
 /// Where a file sits in the workspace, for rule scoping.
@@ -86,7 +119,7 @@ pub struct FileCtx {
 
 /// Parsed allow annotations for one file.
 #[derive(Debug, Default)]
-struct Allows {
+pub struct Allows {
     /// rule -> lines carrying a line-scoped allow.
     lines: BTreeMap<String, Vec<u32>>,
     /// rules allowed for the whole file.
@@ -94,7 +127,9 @@ struct Allows {
 }
 
 impl Allows {
-    fn suppresses(&self, rule: &str, line: u32) -> bool {
+    /// Is `rule` suppressed at `line` (same line, the line above, or a
+    /// file-scoped allow)?
+    pub fn suppresses(&self, rule: &str, line: u32) -> bool {
         if self.file.iter().any(|r| r == rule) {
             return true;
         }
@@ -104,13 +139,18 @@ impl Allows {
     }
 }
 
+/// Map an annotation rule name to its canonical id. `A1` is deliberately
+/// absent: annotation hygiene cannot be allowed away.
 fn canonical_rule(name: &str) -> Option<&'static str> {
     match name.trim() {
         "D1" => Some("D1"),
         "D2" => Some("D2"),
         "D3" | "panic" => Some("D3"),
         "D4" => Some("D4"),
+        "D5" => Some("D5"),
+        "D6" => Some("D6"),
         "P1" => Some("P1"),
+        "P2" => Some("P2"),
         _ => None,
     }
 }
@@ -118,7 +158,7 @@ fn canonical_rule(name: &str) -> Option<&'static str> {
 /// Parse `lint: allow(...)` / `lint: allow-file(...)` annotations out of the
 /// file's comments. An annotation must carry a non-empty reason after the
 /// closing parenthesis to take effect.
-fn parse_allows(comments: &[Comment]) -> Allows {
+pub fn parse_allows(comments: &[Comment]) -> Allows {
     let mut allows = Allows::default();
     for c in comments {
         let text = c.text.trim();
@@ -171,6 +211,7 @@ pub fn check_source(src: &str, ctx: &FileCtx) -> Vec<Finding> {
     rule_d3(&s.toks, ctx, &mut findings);
     rule_d4(&s.toks, ctx, &mut findings);
     rule_p1(&s.toks, &s.comments, ctx, &mut findings);
+    rule_a1(&s.comments, ctx, &mut findings);
 
     findings.retain(|f| !allows.suppresses(f.rule, f.line));
     findings.sort_by_key(|f| (f.line, f.rule));
@@ -192,13 +233,80 @@ fn push(
     message: String,
     hint: String,
 ) {
-    findings.push(Finding {
-        file: ctx.rel_path.clone(),
+    findings.push(Finding::new(
+        ctx.rel_path.clone(),
         line,
         rule,
         message,
         hint,
-    });
+    ));
+}
+
+/// A1 — allow-annotation hygiene: every `lint: allow(...)` must name a
+/// known rule and carry a non-empty reason clause. Malformed annotations
+/// are dead weight (they suppress nothing) and, worse, they *look* like
+/// an audit trail — so they are findings in their own right.
+fn rule_a1(comments: &[Comment], ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for c in comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let rest = if let Some(r) = rest.strip_prefix("allow-file(") {
+            r
+        } else if let Some(r) = rest.strip_prefix("allow(") {
+            r
+        } else {
+            push(
+                findings,
+                ctx,
+                c.line,
+                "A1",
+                format!("unrecognized lint annotation `lint:{rest}`"),
+                "use `// lint: allow(RULE) — reason` or `// lint: allow-file(RULE) — reason`"
+                    .to_string(),
+            );
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            push(
+                findings,
+                ctx,
+                c.line,
+                "A1",
+                "allow annotation is missing its closing parenthesis".to_string(),
+                "write `// lint: allow(RULE) — reason`".to_string(),
+            );
+            continue;
+        };
+        for name in rest[..close].split(',') {
+            if canonical_rule(name).is_none() {
+                push(
+                    findings,
+                    ctx,
+                    c.line,
+                    "A1",
+                    format!("allow annotation names unknown rule id `{}`", name.trim()),
+                    "valid ids: D1–D6, P1, P2 (alias `panic` for D3); delete the annotation if the rule no longer exists".to_string(),
+                );
+            }
+        }
+        let reason = rest[close + 1..]
+            .trim_start_matches([' ', '\u{2014}', '\u{2013}', '-', ':', '\t'])
+            .trim();
+        if reason.is_empty() {
+            push(
+                findings,
+                ctx,
+                c.line,
+                "A1",
+                "allow annotation has no reason clause, so it suppresses nothing".to_string(),
+                "append `— <why this exemption is sound>` after the closing parenthesis"
+                    .to_string(),
+            );
+        }
+    }
 }
 
 /// D1 — `HashMap`/`HashSet` in deterministic crates.

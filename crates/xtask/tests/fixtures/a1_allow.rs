@@ -1,0 +1,9 @@
+// Fixture: malformed allow annotations — each is dead weight (suppresses
+// nothing) and must be reported as A1.
+fn validated(x: Option<u64>, y: Option<u64>) -> u64 {
+    // lint: allow(panic)
+    let a = x.unwrap();
+    // lint: allow(Q9) — there is no rule Q9
+    let b = y.unwrap();
+    a + b
+}

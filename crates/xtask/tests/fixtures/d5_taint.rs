@@ -1,0 +1,16 @@
+// Fixture: a wall clock smuggled into the digest closure through two
+// hops of private helpers — the exact shape no per-line rule can see.
+pub struct SimReport;
+
+pub fn report_digest(_r: &SimReport) -> u64 {
+    fold(_r)
+}
+
+fn fold(_r: &SimReport) -> u64 {
+    stamp_nanos()
+}
+
+fn stamp_nanos() -> u64 {
+    let _t = Instant::now();
+    0
+}

@@ -1,0 +1,13 @@
+// Fixture: panic sites buried in a private helper that the public API
+// reaches — one unwrap, one raw index, plus an annotated site that must
+// stay quiet.
+pub fn lookup(xs: &[u64], i: usize) -> u64 {
+    pick(xs, i)
+}
+
+fn pick(xs: &[u64], i: usize) -> u64 {
+    let head = xs.first().unwrap();
+    // lint: allow(D6) — fixture: bounds-checked by the caller
+    let tail = xs[xs.len() - 1];
+    head + tail + xs[i]
+}

@@ -1,0 +1,179 @@
+//! Lexer robustness over real-world syntax (ISSUE 7, satellite 3):
+//!
+//! (a) **workspace sweep** — the lexer processes every `.rs` file in the
+//!     repository (including test/bench/fixture files the lint walker
+//!     skips, and the vendored crates) without panicking, and every
+//!     token satisfies the span contract;
+//! (b) **fuzz** — random near-Rust soup built from a token palette and
+//!     raw random chars upholds the same contract.
+//!
+//! The span contract (documented on [`xtask::lexer::Tok::span`], relied
+//! on by the item parser and the fingerprinting layer):
+//! `start <= end <= src.len()`, both on char boundaries, token starts
+//! monotone non-decreasing in stream order, and for ident/number tokens
+//! the span slices back to exactly the token text.
+
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use xtask::lexer::{scan, TokKind};
+
+/// Every `.rs` file under `dir`, with no skip list — unlike the lint
+/// walker, this sweep wants the weird files too.
+fn all_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            all_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Assert the span contract for one source string. Returns the token
+/// count so callers can sanity-check coverage.
+fn check_span_contract(src: &str, origin: &str) -> usize {
+    let s = scan(src);
+    let mut prev_start = 0usize;
+    for (i, t) in s.toks.iter().enumerate() {
+        let (lo, hi) = t.span;
+        assert!(lo <= hi, "{origin}: token {i} has span {lo}..{hi}");
+        assert!(
+            hi <= src.len(),
+            "{origin}: token {i} span end {hi} > len {}",
+            src.len()
+        );
+        assert!(
+            src.is_char_boundary(lo) && src.is_char_boundary(hi),
+            "{origin}: token {i} span {lo}..{hi} not on char boundaries"
+        );
+        assert!(
+            lo >= prev_start,
+            "{origin}: token {i} start {lo} went backwards (prev {prev_start})"
+        );
+        prev_start = lo;
+        // Idents, numbers, and lifetimes carry their text; the span must
+        // slice back to it (lifetimes include the leading tick).
+        match t.kind {
+            TokKind::Ident | TokKind::Int | TokKind::Float => {
+                assert_eq!(
+                    &src[lo..hi],
+                    t.text,
+                    "{origin}: token {i} span text mismatch"
+                );
+            }
+            TokKind::Lifetime => {
+                assert_eq!(
+                    &src[lo..hi],
+                    format!("'{}", t.text),
+                    "{origin}: token {i} lifetime span mismatch"
+                );
+            }
+            _ => {}
+        }
+    }
+    s.toks.len()
+}
+
+#[test]
+fn every_workspace_rs_file_lexes_with_valid_spans() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut files = Vec::new();
+    all_rs_files(&root.join("crates"), &mut files);
+    all_rs_files(&root.join("vendor"), &mut files);
+    assert!(
+        files.len() > 50,
+        "workspace sweep found only {} files — walker broken?",
+        files.len()
+    );
+    let mut total = 0usize;
+    for path in &files {
+        let src = std::fs::read_to_string(path).unwrap();
+        total += check_span_contract(&src, &path.display().to_string());
+    }
+    assert!(total > 100_000, "only {total} tokens swept — suspicious");
+}
+
+/// Fragments that exercise every lexer mode, for recombination.
+const PALETTE: &[&str] = &[
+    "fn",
+    "pub",
+    "impl",
+    "for",
+    "where",
+    "'a",
+    "'\\n'",
+    "r#\"raw \" str\"#",
+    "b'\\x7f'",
+    "\"str \\\" esc\"",
+    "//! doc\n",
+    "/* block /* nested */ */",
+    "1.5e-6",
+    "0xff_u32",
+    "1..2",
+    "::",
+    "==",
+    "=>",
+    "->",
+    "#[cfg(test)]",
+    "mod",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    "…",
+    "🦀",
+    "r#fn",
+    "b\"bytes\"",
+    "1.",
+    "'b",
+    "x.unwrap()",
+    "№",
+    "\\",
+    "\"unterminated",
+    "/* open",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn palette_soup_upholds_the_span_contract(
+        picks in proptest::collection::vec(0usize..37, 0..64),
+        seps in proptest::collection::vec(0u8..4, 0..64),
+    ) {
+        let mut src = String::new();
+        for (i, &p) in picks.iter().enumerate() {
+            src.push_str(PALETTE[p % PALETTE.len()]);
+            match seps.get(i).copied().unwrap_or(0) {
+                0 => src.push(' '),
+                1 => src.push('\n'),
+                2 => {}
+                _ => src.push('\t'),
+            }
+        }
+        check_span_contract(&src, "palette-soup");
+    }
+
+    #[test]
+    fn random_char_soup_never_panics(
+        codes in proptest::collection::vec(any::<u32>(), 0..256),
+    ) {
+        let src: String = codes
+            .iter()
+            .filter_map(|&c| char::from_u32(c % 0x11_0000))
+            .collect();
+        check_span_contract(&src, "char-soup");
+    }
+}
