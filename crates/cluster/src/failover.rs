@@ -32,8 +32,9 @@
 //! the underlying policy as if every shard were healthy, letting queries
 //! stall into crash windows — the thing the fault bench compares against.
 
-use crate::merge::{ClusterReport, MergedOutcome};
-use crate::routing::{FreshnessEstimate, RoutingPolicy, ShardLoad};
+use crate::merge::{ClusterReport, MergedOutcome, PromotionRecord, ReplicaRouteRecord};
+use crate::replication::ReplicaSets;
+use crate::routing::{replica_route_record, RouterState, RoutingPolicy};
 use unit_core::time::{SimDuration, SimTime};
 use unit_core::types::{Outcome, QuerySpec, Trace};
 use unit_core::usm::OutcomeCounts;
@@ -133,89 +134,6 @@ impl RouteDecision {
     }
 }
 
-/// The underlying routing policy's mutable state, factored so the
-/// fault-aware dispatcher reuses the exact decision logic of
-/// [`assign`](crate::routing::assign) — restricted to a candidate pool —
-/// and is bit-identical to it when every shard is healthy.
-enum RouterState {
-    RoundRobin { counter: usize },
-    LeastLoad { loads: Vec<ShardLoad> },
-    FreshnessAware { est: FreshnessEstimate },
-}
-
-impl RouterState {
-    fn new(routing: RoutingPolicy, trace: &Trace, n_shards: usize) -> RouterState {
-        match routing {
-            RoutingPolicy::RoundRobin => RouterState::RoundRobin { counter: 0 },
-            RoutingPolicy::LeastLoad => RouterState::LeastLoad {
-                loads: (0..n_shards).map(|_| ShardLoad::new()).collect(),
-            },
-            RoutingPolicy::FreshnessAware => RouterState::FreshnessAware {
-                est: FreshnessEstimate::new(trace),
-            },
-        }
-    }
-
-    /// Pick a shard from the non-empty `pool` (ascending shard ids) for a
-    /// query being dispatched at `now`. Mirrors the fault-free assigners:
-    /// same counters, same ledgers, same lowest-id tie-breaks.
-    fn pick(
-        &mut self,
-        q: &QuerySpec,
-        pool: &[usize],
-        now: SimTime,
-        partition: &ItemPartition,
-    ) -> usize {
-        match self {
-            RouterState::RoundRobin { counter } => {
-                let shard = pool[*counter % pool.len()];
-                *counter += 1;
-                shard
-            }
-            RouterState::LeastLoad { loads } => pool
-                .iter()
-                .copied()
-                .map(|s| {
-                    loads[s].expire(now);
-                    (loads[s].outstanding, s)
-                })
-                .min()
-                .map_or(0, |(_, s)| s),
-            RouterState::FreshnessAware { est } => pool
-                .iter()
-                .copied()
-                .map(|s| {
-                    let staleness: u64 = q
-                        .items
-                        .iter()
-                        .filter(|&&d| partition.owner(d) == s)
-                        .map(|&d| est.udrop(d.index(), now))
-                        .max()
-                        .unwrap_or(0);
-                    (staleness, s)
-                })
-                .min()
-                .map_or(0, |(_, s)| s),
-        }
-    }
-
-    /// Account for a routed query, mirroring the fault-free assigners'
-    /// post-pick bookkeeping.
-    fn commit(&mut self, q: &QuerySpec, shard: usize, now: SimTime, partition: &ItemPartition) {
-        match self {
-            RouterState::RoundRobin { .. } => {}
-            RouterState::LeastLoad { loads } => loads[shard].admit(q.deadline(), q.exec_time),
-            RouterState::FreshnessAware { est } => {
-                for &d in &q.items {
-                    if partition.owner(d) == shard {
-                        est.reset(d.index(), now);
-                    }
-                }
-            }
-        }
-    }
-}
-
 /// Compute the fault-aware routing decision for every query in `trace`.
 ///
 /// Sequential and pure: one walk over the queries in arrival order,
@@ -257,6 +175,7 @@ pub fn route_with_faults(
                 let up: Vec<usize> = eligible
                     .iter()
                     .copied()
+                    // lint: allow(D6) — plan length == n_shards, checked by the caller
                     .filter(|&s| plan.shards[s].health_at(now) == HealthState::Up)
                     .collect();
                 // Prefer fully-up shards; fall back to degraded ones (their
@@ -266,6 +185,7 @@ pub fn route_with_faults(
                     eligible
                         .iter()
                         .copied()
+                        // lint: allow(D6) — plan length == n_shards, checked by the caller
                         .filter(|&s| !plan.shards[s].health_at(now).queries_paused())
                         .collect()
                 } else {
@@ -298,6 +218,119 @@ pub fn route_with_faults(
             }
         })
         .collect()
+}
+
+/// The replicated dispatcher's output: per-query decisions plus the
+/// replica-layer bookkeeping the [`crate::ReplicationReport`] carries.
+pub(crate) struct ReplicatedDecisions {
+    /// Per-query routing decisions, in original trace order.
+    pub(crate) decisions: Vec<RouteDecision>,
+    /// Routes that landed on a follower, in dispatch order.
+    pub(crate) routes: Vec<ReplicaRouteRecord>,
+    /// Leader promotions, deduplicated to target changes per item.
+    pub(crate) promotions: Vec<PromotionRecord>,
+}
+
+/// [`route_with_faults`] under replication: candidate pools come from
+/// [`ReplicaSets`] (leaders plus `Qu`-admissible followers, with crashed
+/// leaders deterministically promoting their freshest live follower)
+/// instead of the eligible-owner sets, and the replica-layer routes and
+/// promotions are recorded alongside the decisions.
+///
+/// Same sequential-prologue purity as [`route_with_faults`], and with
+/// `factor == 1` the pools — and therefore the decisions — are
+/// bit-identical to it. A promotion is recorded only when an item's
+/// promoted target *changes* (and the slate is wiped when its leader is
+/// healthy again at a later dispatch), so the promotion log is a compact,
+/// deterministic function of `(placement, lag schedule, plan, trace)`.
+pub(crate) fn route_with_faults_replicated(
+    trace: &Trace,
+    sets: &ReplicaSets,
+    routing: RoutingPolicy,
+    plan: &FaultPlan,
+    failover: &FailoverPolicy,
+) -> ReplicatedDecisions {
+    let mut router = RouterState::new(routing, trace, sets.map().n_shards());
+    let mut routes = Vec::new();
+    let mut promotions = Vec::new();
+    let mut last_promo: Vec<Option<usize>> = vec![None; trace.n_items];
+    let decisions = trace
+        .queries
+        .iter()
+        .map(|q| {
+            let cfg = match failover {
+                FailoverPolicy::NoRetry => {
+                    // Health-blind, like the plain NoRetry baseline: the Qu
+                    // gate still applies, promotions never happen.
+                    let pool = sets.candidate_pool(q, q.arrival);
+                    let shard = router.pick(q, &pool, q.arrival, sets);
+                    router.commit(q, shard, q.arrival, sets);
+                    if let Some(r) = replica_route_record(sets, q, shard, q.arrival) {
+                        routes.push(r);
+                    }
+                    return RouteDecision::Routed {
+                        shard,
+                        at: q.arrival,
+                        retries: 0,
+                    };
+                }
+                FailoverPolicy::Backoff(cfg) => cfg,
+            };
+            let deadline = q.deadline();
+            let mut now = q.arrival;
+            let mut retries = 0u32;
+            loop {
+                let (pool, promos) =
+                    sets.pool_with_health(q, now, |s| plan.shards[s].health_at(now));
+                if !pool.is_empty() {
+                    let shard = router.pick(q, &pool, now, sets);
+                    router.commit(q, shard, now, sets);
+                    for p in promos {
+                        if last_promo[p.item.index()] != Some(p.to) {
+                            last_promo[p.item.index()] = Some(p.to);
+                            promotions.push(p);
+                        }
+                    }
+                    for &d in &q.items {
+                        if !plan.shards[sets.map().leader(d)]
+                            .health_at(now)
+                            .queries_paused()
+                        {
+                            last_promo[d.index()] = None;
+                        }
+                    }
+                    if let Some(r) = replica_route_record(sets, q, shard, now) {
+                        routes.push(r);
+                    }
+                    return RouteDecision::Routed {
+                        shard,
+                        at: now,
+                        retries,
+                    };
+                }
+                if retries >= cfg.max_retries {
+                    return RouteDecision::Rejected { at: now, retries };
+                }
+                let delay = cfg.delay(retries);
+                retries += 1;
+                let Some(next) = now.0.checked_add(delay.0) else {
+                    return RouteDecision::Rejected { at: now, retries };
+                };
+                now = SimTime(next);
+                if now >= deadline {
+                    return RouteDecision::Rejected {
+                        at: deadline,
+                        retries,
+                    };
+                }
+            }
+        })
+        .collect();
+    ReplicatedDecisions {
+        decisions,
+        routes,
+        promotions,
+    }
 }
 
 /// Routed queries with their effective specs, plus the assignment aligned
@@ -440,6 +473,7 @@ pub fn check_health_consistency(
         if r.shard >= n {
             continue; // dispatcher entries are not shard outcomes
         }
+        // lint: allow(D6) — r.shard < n == plan.shards.len(), both checked above
         for w in &plan.shards[r.shard].crashes {
             if w.mode == FaultMode::Pause && w.start < r.time && r.time < w.end {
                 return Err(format!(

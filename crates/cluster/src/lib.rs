@@ -39,6 +39,7 @@
 
 pub mod failover;
 pub mod merge;
+pub mod replication;
 pub mod routing;
 pub mod run;
 
@@ -48,7 +49,13 @@ pub use failover::{
     check_health_consistency, route_with_faults, BackoffConfig, FailoverPolicy, FaultClusterReport,
     RouteDecision,
 };
-pub use merge::{check_cluster_identity, ClusterReport, MergedOutcome};
+pub use merge::{
+    check_cluster_identity, ClusterLane, ClusterReport, MergedOutcome, PromotionRecord,
+    PropagationRecord, ReplicaRouteRecord, ReplicationReport,
+};
+pub use replication::{
+    check_replication_consistency, PropagationLag, ReplicaPlacement, ReplicaSets, ReplicationConfig,
+};
 pub use routing::{assign, RoutingPolicy};
 pub use run::{ClusterRun, ClusterRunReport};
 
@@ -107,6 +114,38 @@ pub enum ClusterConfigError {
         /// The underlying schedule error.
         error: ScheduleError,
     },
+    /// `replication.factor == 0`: every item needs at least its leader.
+    ZeroReplicationFactor,
+    /// More replicas per item than shards to place them on.
+    ReplicationFactorExceedsShards {
+        /// The requested replication factor.
+        factor: usize,
+        /// Shards in the cluster.
+        n_shards: usize,
+    },
+    /// The strided placement revisits a shard within one item's replica
+    /// set, so two replicas of the item would share a shard.
+    ReplicaPlacementCollision {
+        /// The first follower slot (`1..factor`) that collides.
+        slot: usize,
+        /// The stride that produced the collision.
+        stride: usize,
+        /// Shards in the cluster.
+        n_shards: usize,
+    },
+    /// `replication.lag.windows == 0`: the propagation schedule needs at
+    /// least one jitter window.
+    ZeroPropagationWindows,
+    /// A user fault plan injects a stream fault for an item on a shard
+    /// that *follows* the item: the propagation schedule already owns that
+    /// item's delay intervals there, and the two schedules cannot be
+    /// merged without changing one of them.
+    ReplicationFaultConflict {
+        /// The shard whose user schedule collides.
+        shard: usize,
+        /// The contested item id.
+        item: u32,
+    },
 }
 
 impl std::fmt::Display for ClusterConfigError {
@@ -129,6 +168,32 @@ impl std::fmt::Display for ClusterConfigError {
             ClusterConfigError::FaultSchedule { shard, error } => {
                 write!(f, "shard {shard} fault schedule: {error}")
             }
+            ClusterConfigError::ZeroReplicationFactor => {
+                write!(f, "replication factor must be at least 1 (the leader)")
+            }
+            ClusterConfigError::ReplicationFactorExceedsShards { factor, n_shards } => {
+                write!(
+                    f,
+                    "replication factor {factor} exceeds the {n_shards}-shard cluster"
+                )
+            }
+            ClusterConfigError::ReplicaPlacementCollision {
+                slot,
+                stride,
+                n_shards,
+            } => write!(
+                f,
+                "replica placement collides at follower slot {slot}: stride {stride} \
+                 revisits a shard on a {n_shards}-shard ring"
+            ),
+            ClusterConfigError::ZeroPropagationWindows => {
+                write!(f, "propagation lag needs at least one jitter window")
+            }
+            ClusterConfigError::ReplicationFaultConflict { shard, item } => write!(
+                f,
+                "shard {shard} follows item {item} but the fault plan also injects a \
+                 stream fault for it there; propagation owns followed items' schedules"
+            ),
         }
     }
 }
@@ -164,6 +229,10 @@ pub struct ClusterConfig {
     /// digests** (dropped streams no longer contend for CPU) — off by
     /// default; the differential suites pin the unfiltered slicing.
     pub filter_updates: bool,
+    /// Leader/follower replication of data items (see [`replication`]).
+    /// `None` — and, bit-for-bit, `Some` with `factor == 1` — is today's
+    /// partition-only cluster.
+    pub replication: Option<ReplicationConfig>,
 }
 
 impl ClusterConfig {
@@ -181,6 +250,7 @@ impl ClusterConfig {
             workers: 0,
             mode: ExecutionMode::WholeShard,
             filter_updates: false,
+            replication: None,
         }
     }
 
@@ -228,6 +298,14 @@ impl ClusterConfig {
         self
     }
 
+    /// Replicate every item onto `replication.factor` shards with
+    /// freshness-aware read routing (see [`replication`]).
+    #[must_use]
+    pub fn with_replication(mut self, replication: ReplicationConfig) -> ClusterConfig {
+        self.replication = Some(replication);
+        self
+    }
+
     /// Like [`ClusterConfig::new`], returning the error instead of
     /// panicking.
     pub fn try_new(n_shards: usize) -> Result<ClusterConfig, ClusterConfigError> {
@@ -241,6 +319,7 @@ impl ClusterConfig {
             workers: 0,
             mode: ExecutionMode::WholeShard,
             filter_updates: false,
+            replication: None,
         })
     }
 
@@ -261,6 +340,9 @@ impl ClusterConfig {
             if epoch.is_zero() {
                 return Err(ClusterConfigError::ZeroEpoch);
             }
+        }
+        if let Some(rep) = &self.replication {
+            rep.validate(self.n_shards)?;
         }
         Ok(())
     }
@@ -377,6 +459,102 @@ mod tests {
         let ok = ClusterConfig::try_new(2).unwrap().with_workers(MAX_WORKERS);
         assert!(ok
             .build()
+            .run_unit(&trace, sim_cfg(), &UnitConfig::default())
+            .is_ok());
+    }
+
+    #[test]
+    fn malformed_replication_configs_are_typed_errors() {
+        let trace = tiny_trace();
+        let run = |cluster: ClusterConfig| {
+            cluster
+                .build()
+                .run_unit(&trace, sim_cfg(), &UnitConfig::default())
+        };
+        assert_eq!(
+            run(ClusterConfig::new(2).with_replication(ReplicationConfig::new(0))).unwrap_err(),
+            ClusterConfigError::ZeroReplicationFactor
+        );
+        assert_eq!(
+            run(ClusterConfig::new(2).with_replication(ReplicationConfig::new(3))).unwrap_err(),
+            ClusterConfigError::ReplicationFactorExceedsShards {
+                factor: 3,
+                n_shards: 2
+            }
+        );
+        // Stride 2 on a 4-shard ring revisits the leader at slot 2.
+        let colliding =
+            ReplicationConfig::new(3).with_placement(ReplicaPlacement::Strided { stride: 2 });
+        assert_eq!(
+            run(ClusterConfig::new(4).with_replication(colliding)).unwrap_err(),
+            ClusterConfigError::ReplicaPlacementCollision {
+                slot: 2,
+                stride: 2,
+                n_shards: 4
+            }
+        );
+        let windowless = ReplicationConfig::new(2).with_lag(PropagationLag::jittered(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(1),
+            0,
+        ));
+        assert_eq!(
+            run(ClusterConfig::new(2).with_replication(windowless)).unwrap_err(),
+            ClusterConfigError::ZeroPropagationWindows
+        );
+        // The same checks fire through validate() without running anything.
+        assert_eq!(
+            ClusterConfig::new(2)
+                .with_replication(ReplicationConfig::new(0))
+                .validate()
+                .unwrap_err(),
+            ClusterConfigError::ZeroReplicationFactor
+        );
+        // And a well-formed replicated config passes.
+        assert!(run(ClusterConfig::new(2).with_replication(ReplicationConfig::new(2))).is_ok());
+    }
+
+    #[test]
+    fn replication_fault_conflicts_are_typed_errors() {
+        // Item 0's leader is shard 0; its ring follower is shard 1. A user
+        // stream fault for item 0 on shard 1 collides with the propagation
+        // schedule that owns followed items there.
+        let trace = tiny_trace();
+        let mut plan = FaultPlan::quiet(2);
+        plan.shards[1].stream_faults.push(unit_faults::StreamFault {
+            item: DataId(0),
+            start: SimTime::from_secs(5),
+            end: SimTime::from_secs(10),
+            kind: unit_faults::StreamFaultKind::Drop,
+        });
+        let rep =
+            ReplicationConfig::new(2).with_lag(PropagationLag::fixed(SimDuration::from_secs(3)));
+        assert_eq!(
+            ClusterConfig::new(2)
+                .with_seed(7)
+                .with_replication(rep)
+                .build()
+                .with_faults(&plan, FailoverPolicy::NoRetry)
+                .run_unit(&trace, sim_cfg(), &UnitConfig::default())
+                .unwrap_err(),
+            ClusterConfigError::ReplicationFaultConflict { shard: 1, item: 0 }
+        );
+        // The same fault on the item's *leader* shard is legal: only
+        // follower-side schedules belong to the propagation layer.
+        let mut leader_side = FaultPlan::quiet(2);
+        leader_side.shards[0]
+            .stream_faults
+            .push(unit_faults::StreamFault {
+                item: DataId(0),
+                start: SimTime::from_secs(5),
+                end: SimTime::from_secs(10),
+                kind: unit_faults::StreamFaultKind::Drop,
+            });
+        assert!(ClusterConfig::new(2)
+            .with_seed(7)
+            .with_replication(rep)
+            .build()
+            .with_faults(&leader_side, FailoverPolicy::NoRetry)
             .run_unit(&trace, sim_cfg(), &UnitConfig::default())
             .is_ok());
     }

@@ -17,7 +17,7 @@
 
 use crate::routing::RoutingPolicy;
 use unit_core::time::SimTime;
-use unit_core::types::{Outcome, QueryId};
+use unit_core::types::{DataId, Outcome, QueryId};
 use unit_core::usm::{OutcomeCounts, UsmWeights};
 use unit_sim::{OutcomeRecord, SimReport};
 
@@ -35,6 +35,101 @@ pub struct MergedOutcome {
     pub query: QueryId,
     /// How it ended.
     pub outcome: Outcome,
+}
+
+/// One lane in the cluster's totally ordered event history.
+///
+/// The merged order (and the obs replay built on it) keys every record by
+/// `(time, lane, seq)`. Replication adds **replica pseudo-lanes**: each
+/// shard gets a second lane carrying its follower-side propagation
+/// deliveries, ordered after every real shard lane so replication events
+/// at an instant sort after the execution events that caused them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ClusterLane {
+    /// The dispatcher's sequential prologue (routes, rejections, health
+    /// transitions, promotions, replica-route records).
+    Dispatcher,
+    /// Shard `s`'s engine outcomes and events.
+    Shard(usize),
+    /// Shard `s`'s replica (propagation) lane: versions landing on `s` in
+    /// its follower role.
+    Replica(usize),
+}
+
+impl ClusterLane {
+    /// The lane's position in the total order, for a cluster of
+    /// `n_shards`: dispatcher 0, shard `s` at `1 + s`, replica lane of `s`
+    /// at `1 + n_shards + s`. O(1).
+    pub fn index(&self, n_shards: usize) -> u64 {
+        match *self {
+            ClusterLane::Dispatcher => 0,
+            ClusterLane::Shard(s) => 1 + s as u64,
+            ClusterLane::Replica(s) => 1 + n_shards as u64 + s as u64,
+        }
+    }
+}
+
+/// One propagated version landing on a follower replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PropagationRecord {
+    /// Delivery instant at the follower (emission + windowed delay).
+    pub time: SimTime,
+    /// The replicated item.
+    pub item: DataId,
+    /// The item's leader shard.
+    pub leader: usize,
+    /// The follower shard the version landed on.
+    pub follower: usize,
+    /// 1-based version ordinal among the item's emissions within the
+    /// horizon.
+    pub version: u64,
+    /// Leader-side emission instant.
+    pub emitted: SimTime,
+}
+
+/// One leader promotion: a crashed leader's freshest live follower taking
+/// over an item at routing time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromotionRecord {
+    /// Dispatch instant the promotion took effect.
+    pub time: SimTime,
+    /// The item whose leader was down.
+    pub item: DataId,
+    /// The paused leader.
+    pub from: usize,
+    /// The promoted follower (minimal claimed in-transit versions, ties to
+    /// the lowest shard id).
+    pub to: usize,
+}
+
+/// One query route that landed on a follower replica under a `Qu` bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaRouteRecord {
+    /// Effective dispatch instant.
+    pub time: SimTime,
+    /// The routed query.
+    pub query: QueryId,
+    /// The shard the query went to.
+    pub shard: usize,
+    /// Read-set items the shard serves as a follower.
+    pub follower_items: u32,
+    /// The worst claimed in-transit version count among those items — the
+    /// `Udrop` bound behind the advertised `Qu`.
+    pub claimed_transit: u64,
+}
+
+/// The replica layer's contribution to a cluster report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicationReport {
+    /// Replicas per item, leader included.
+    pub factor: usize,
+    /// Every propagated version delivery, ordered by
+    /// `(time, follower lane, per-lane seq)`.
+    pub propagation: Vec<PropagationRecord>,
+    /// Routes that landed on a follower, in dispatch order.
+    pub routes: Vec<ReplicaRouteRecord>,
+    /// Leader promotions, deduplicated to target changes per item.
+    pub promotions: Vec<PromotionRecord>,
 }
 
 /// The result of one cluster run.
@@ -68,6 +163,10 @@ pub struct ClusterReport {
     /// the streams for items its queries read. Empty until
     /// [`crate::ClusterRun::run`] fills it in.
     pub update_streams_per_shard: Vec<usize>,
+    /// The replica layer's records when the run was replicated
+    /// ([`crate::ClusterConfig::with_replication`]). `None` from
+    /// [`ClusterReport::merge`]; [`crate::ClusterRun::run`] fills it in.
+    pub replication: Option<ReplicationReport>,
 }
 
 impl ClusterReport {
@@ -114,6 +213,7 @@ impl ClusterReport {
             log,
             shard_walls: Vec::new(),
             update_streams_per_shard: Vec::new(),
+            replication: None,
         }
     }
 
@@ -135,6 +235,7 @@ impl ClusterReport {
     pub fn queries_per_shard(&self) -> Vec<u64> {
         let mut per = vec![0u64; self.n_shards];
         for &s in &self.assignment {
+            // lint: allow(D6) — assignment entries are < n_shards (merge checks)
             per[s] += 1;
         }
         per
@@ -213,10 +314,12 @@ pub fn check_cluster_identity(report: &ClusterReport) -> Result<(), String> {
         ));
     }
     for w in report.log.windows(2) {
+        // lint: allow(D6) — windows(2) yields exactly-2-element slices
         if (w[0].time, w[0].shard, w[0].seq) >= (w[1].time, w[1].shard, w[1].seq) {
+            let r = &w[1]; // lint: allow(D6) — same 2-element window
             return Err(format!(
                 "merged log out of order at t={:?} shard={} seq={}",
-                w[1].time, w[1].shard, w[1].seq
+                r.time, r.shard, r.seq
             ));
         }
     }
@@ -395,6 +498,22 @@ mod tests {
             vec![2, 0, 3, 1]
         );
         check_cluster_identity(&r).unwrap();
+    }
+
+    #[test]
+    fn replica_lanes_sort_after_every_shard_lane() {
+        let n = 4;
+        let mut lanes = vec![ClusterLane::Dispatcher];
+        lanes.extend((0..n).map(ClusterLane::Shard));
+        lanes.extend((0..n).map(ClusterLane::Replica));
+        let indices: Vec<u64> = lanes.iter().map(|l| l.index(n)).collect();
+        // Strictly increasing: dispatcher, shards, then replica lanes — the
+        // lane extension of the (time, shard, seq) merge key.
+        assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(ClusterLane::Dispatcher.index(n), 0);
+        assert_eq!(ClusterLane::Shard(3).index(n), 4);
+        assert_eq!(ClusterLane::Replica(0).index(n), 5);
+        assert_eq!(ClusterLane::Replica(3).index(n), 8);
     }
 
     #[test]

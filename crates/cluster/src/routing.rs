@@ -16,11 +16,13 @@
 //! version) but pointless; restricting to eligible shards keeps every read
 //! observable by the update traffic that invalidates it.
 
+use crate::merge::ReplicaRouteRecord;
+use crate::replication::ReplicaSets;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use unit_core::time::{SimDuration, SimTime};
-use unit_core::types::Trace;
+use unit_core::types::{DataId, QuerySpec, Trace};
 use unit_workload::ItemPartition;
 
 /// How the dispatcher spreads queries over their eligible shards.
@@ -79,6 +81,7 @@ fn assign_round_robin(trace: &Trace, partition: &ItemPartition) -> Vec<usize> {
         .iter()
         .map(|q| {
             let eligible = partition.eligible_shards(&q.items);
+            // lint: allow(D6) — eligible is non-empty for a valid trace; the modulo keeps the cursor in range
             let shard = eligible[counter % eligible.len()];
             counter += 1;
             shard
@@ -134,13 +137,15 @@ fn assign_least_load(trace: &Trace, partition: &ItemPartition) -> Vec<usize> {
                 .iter()
                 .copied()
                 .map(|s| {
+                    // lint: allow(D6) — eligible shard ids are < n_shards
                     loads[s].expire(q.arrival);
                     // Ties break to the lowest shard id: min_by_key keeps
                     // the first minimum and `eligible` is ascending.
-                    (loads[s].outstanding, s)
+                    (loads[s].outstanding, s) // lint: allow(D6) — s < n_shards
                 })
                 .min()
                 .map_or(0, |(_, s)| s); // eligible is never empty for a valid trace
+                                        // lint: allow(D6) — the picked shard came from `eligible`
             loads[shard].admit(q.deadline(), q.exec_time);
             shard
         })
@@ -169,6 +174,7 @@ impl FreshnessEstimate {
     pub(crate) fn new(trace: &Trace) -> FreshnessEstimate {
         let mut streams = vec![Vec::new(); trace.n_items];
         for u in &trace.updates {
+            // lint: allow(D6) — trace invariant: update items index < n_items
             streams[u.item.index()].push((u.first_arrival, u.period));
         }
         FreshnessEstimate {
@@ -179,6 +185,7 @@ impl FreshnessEstimate {
 
     /// Versions emitted for `item` up to and including `now`.
     pub(crate) fn versions(&self, item: usize, now: SimTime) -> u64 {
+        // lint: allow(D6) — every caller passes item indices < n_items
         self.streams[item]
             .iter()
             .map(|&(first, period)| {
@@ -193,14 +200,198 @@ impl FreshnessEstimate {
 
     /// Estimated unapplied versions of `item` at `now`.
     pub(crate) fn udrop(&self, item: usize, now: SimTime) -> u64 {
+        // lint: allow(D6) — every caller passes item indices < n_items
         self.versions(item, now).saturating_sub(self.baseline[item])
     }
 
     /// A query reading `item` was routed to its owner: assume the owner
     /// refreshes it for the read.
     pub(crate) fn reset(&mut self, item: usize, now: SimTime) {
+        // lint: allow(D6) — every caller passes item indices < n_items
         self.baseline[item] = self.versions(item, now);
     }
+}
+
+/// What the dispatcher knows about which shards can serve which items —
+/// the one seam between partition-only and replicated routing.
+///
+/// `FreshnessAware` needs two capabilities from the placement: a
+/// staleness estimate for "item `d` as served by shard `s`" (`None` when
+/// `s` hosts no replica of `d`), and whether routing a read of `d` to `s`
+/// refreshes the dispatcher's estimate. For [`ItemPartition`] the answers
+/// are the classic owner checks, so [`RouterState`] backed by a partition
+/// is bit-identical to the fault-free assigners; [`ReplicaSets`] widens
+/// both answers to followers without touching the decision logic.
+pub(crate) trait HostView {
+    /// Dispatcher-side staleness estimate of `d` as served by `s`, or
+    /// `None` when `s` hosts no replica of `d`.
+    fn staleness(&self, est: &FreshnessEstimate, d: DataId, s: usize, now: SimTime) -> Option<u64>;
+
+    /// True when routing a read of `d` to `s` refreshes the dispatcher's
+    /// estimate for `d` (only an authoritative — leader — read does).
+    fn refreshes(&self, s: usize, d: DataId) -> bool;
+}
+
+impl HostView for ItemPartition {
+    fn staleness(&self, est: &FreshnessEstimate, d: DataId, s: usize, now: SimTime) -> Option<u64> {
+        (self.owner(d) == s).then(|| est.udrop(d.index(), now))
+    }
+
+    fn refreshes(&self, s: usize, d: DataId) -> bool {
+        self.owner(d) == s
+    }
+}
+
+/// The underlying routing policy's mutable state, factored so the
+/// fault-aware and replicated dispatchers reuse the exact decision logic
+/// of [`assign`] — restricted to a candidate pool — and are bit-identical
+/// to it when the pool equals the eligible set.
+pub(crate) enum RouterState {
+    RoundRobin { counter: usize },
+    LeastLoad { loads: Vec<ShardLoad> },
+    FreshnessAware { est: FreshnessEstimate },
+}
+
+impl RouterState {
+    pub(crate) fn new(routing: RoutingPolicy, trace: &Trace, n_shards: usize) -> RouterState {
+        match routing {
+            RoutingPolicy::RoundRobin => RouterState::RoundRobin { counter: 0 },
+            RoutingPolicy::LeastLoad => RouterState::LeastLoad {
+                loads: (0..n_shards).map(|_| ShardLoad::new()).collect(),
+            },
+            RoutingPolicy::FreshnessAware => RouterState::FreshnessAware {
+                est: FreshnessEstimate::new(trace),
+            },
+        }
+    }
+
+    /// Pick a shard from the non-empty `pool` (ascending shard ids) for a
+    /// query being dispatched at `now`. Mirrors the fault-free assigners:
+    /// same counters, same ledgers, same lowest-id tie-breaks.
+    pub(crate) fn pick(
+        &mut self,
+        q: &QuerySpec,
+        pool: &[usize],
+        now: SimTime,
+        view: &impl HostView,
+    ) -> usize {
+        match self {
+            RouterState::RoundRobin { counter } => {
+                // lint: allow(D6) — callers pass a non-empty pool; modulo
+                let shard = pool[*counter % pool.len()];
+                *counter += 1;
+                shard
+            }
+            RouterState::LeastLoad { loads } => pool
+                .iter()
+                .copied()
+                .map(|s| {
+                    // lint: allow(D6) — pool shard ids are < n_shards
+                    loads[s].expire(now);
+                    (loads[s].outstanding, s) // lint: allow(D6) — s < n_shards
+                })
+                .min()
+                .map_or(0, |(_, s)| s),
+            RouterState::FreshnessAware { est } => pool
+                .iter()
+                .copied()
+                .map(|s| {
+                    let staleness: u64 = q
+                        .items
+                        .iter()
+                        .filter_map(|&d| view.staleness(est, d, s, now))
+                        .max()
+                        .unwrap_or(0);
+                    (staleness, s)
+                })
+                .min()
+                .map_or(0, |(_, s)| s),
+        }
+    }
+
+    /// Account for a routed query, mirroring the fault-free assigners'
+    /// post-pick bookkeeping.
+    pub(crate) fn commit(
+        &mut self,
+        q: &QuerySpec,
+        shard: usize,
+        now: SimTime,
+        view: &impl HostView,
+    ) {
+        match self {
+            RouterState::RoundRobin { .. } => {}
+            // lint: allow(D6) — the committed shard came from the pool
+            RouterState::LeastLoad { loads } => loads[shard].admit(q.deadline(), q.exec_time),
+            RouterState::FreshnessAware { est } => {
+                for &d in &q.items {
+                    if view.refreshes(shard, d) {
+                        est.reset(d.index(), now);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The [`ReplicaRouteRecord`] for routing `q` to `shard` at `now`, or
+/// `None` when the shard leads every read-set item (a leader-only route
+/// needs no replica bookkeeping). O(A · streams).
+pub(crate) fn replica_route_record(
+    sets: &ReplicaSets,
+    q: &QuerySpec,
+    shard: usize,
+    now: SimTime,
+) -> Option<ReplicaRouteRecord> {
+    let followed: Vec<DataId> = q
+        .items
+        .iter()
+        .copied()
+        .filter(|&d| sets.map().follows(shard, d))
+        .collect();
+    if followed.is_empty() {
+        return None;
+    }
+    Some(ReplicaRouteRecord {
+        time: now,
+        query: q.id,
+        shard,
+        follower_items: followed.len() as u32,
+        claimed_transit: followed
+            .iter()
+            .map(|&d| sets.claimed_transit(d, now))
+            .max()
+            .unwrap_or(0),
+    })
+}
+
+/// Compute the query-to-shard assignment under replication: like
+/// [`assign`], but each query's pool is its [`ReplicaSets::candidate_pool`]
+/// — leaders plus `Qu`-admissible followers — and the returned records
+/// name every route that landed on a follower. With `factor == 1` the
+/// pools equal the eligible sets and the assignment is bit-identical to
+/// [`assign`] (the replication differential suite pins this), with no
+/// records. Pure and sequential, same complexity envelope as [`assign`].
+pub(crate) fn assign_replicated(
+    trace: &Trace,
+    sets: &ReplicaSets,
+    routing: RoutingPolicy,
+) -> (Vec<usize>, Vec<ReplicaRouteRecord>) {
+    let mut router = RouterState::new(routing, trace, sets.map().n_shards());
+    let mut routes = Vec::new();
+    let assignment = trace
+        .queries
+        .iter()
+        .map(|q| {
+            let pool = sets.candidate_pool(q, q.arrival);
+            let shard = router.pick(q, &pool, q.arrival, sets);
+            router.commit(q, shard, q.arrival, sets);
+            if let Some(r) = replica_route_record(sets, q, shard, q.arrival) {
+                routes.push(r);
+            }
+            shard
+        })
+        .collect();
+    (assignment, routes)
 }
 
 fn assign_freshness_aware(trace: &Trace, partition: &ItemPartition) -> Vec<usize> {

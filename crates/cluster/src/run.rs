@@ -22,7 +22,8 @@
 //! `report_digest` matches the observer-free run exactly.
 
 use crate::failover::{self, FailoverPolicy, FaultClusterReport, RouteDecision};
-use crate::merge::ClusterReport;
+use crate::merge::{ClusterReport, ReplicationReport};
+use crate::replication::{ReplicaSets, ReplicationConfig};
 use crate::routing;
 use crate::{ClusterConfig, ClusterConfigError, ExecutionMode};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -33,10 +34,10 @@ use unit_core::time::{SimDuration, SimTime};
 use unit_core::types::Trace;
 use unit_core::unit_policy::UnitPolicy;
 use unit_core::UnitConfig;
-use unit_faults::{FaultPlan, ShardFaults};
+use unit_faults::{FaultPlan, FaultSchedule, ShardFaults};
 use unit_obs::{FaultPhase, ObsEvent, Observer, RingRecorder};
 use unit_sim::{HealthState, SimConfig, SimReport, Simulator};
-use unit_workload::{slice_trace, slice_trace_filtered, ItemPartition};
+use unit_workload::{slice_trace, slice_trace_filtered, slice_trace_replicated, ItemPartition};
 
 /// A configured cluster run: faults and observation are layered onto the
 /// shape described by the [`ClusterConfig`] it was built from, mirroring
@@ -110,6 +111,19 @@ impl<'a> ClusterRun<'a> {
         self
     }
 
+    /// Install per-item leader/follower replication (equivalent to setting
+    /// it on the [`ClusterConfig`] with
+    /// [`ClusterConfig::with_replication`]): updates fan out to follower
+    /// shards under the configured propagation lag, and reads may be
+    /// served by any replica whose dispatcher-side `Qu` bound clears the
+    /// query's freshness requirement. `factor == 1` is bit-identical to a
+    /// non-replicated run (the replication differential suite pins this).
+    #[must_use]
+    pub fn with_replication(mut self, replication: ReplicationConfig) -> ClusterRun<'a> {
+        self.cluster.replication = Some(replication);
+        self
+    }
+
     /// Install an observability sink. Shard event streams are recorded
     /// per-worker and replayed to `observer` after the merge (see the
     /// module docs for the deterministic interleave); dispatcher routes,
@@ -156,9 +170,16 @@ impl<'a> ClusterRun<'a> {
         cluster.validate()?;
         let n = cluster.n_shards;
         let partition = ItemPartition::new(n);
+        let sets = cluster
+            .replication
+            .as_ref()
+            .map(|rep| ReplicaSets::new(trace, n, rep, cluster.seed, sim.horizon));
 
         // Dispatch prologue: fault-aware when a plan is installed, the
-        // plain assigner otherwise. Both are sequential and pure.
+        // plain assigner otherwise; with replication, pools widen to
+        // Qu-admissible followers. All four paths are sequential and pure.
+        let mut routes = Vec::new();
+        let mut promotions = Vec::new();
         let (hooks, decisions, routed_storage, assignment) = match faults {
             Some((plan, failover)) => {
                 if plan.shards.len() != n {
@@ -167,35 +188,69 @@ impl<'a> ClusterRun<'a> {
                         n_shards: n,
                     });
                 }
-                let hooks: Vec<ShardFaults> = plan
-                    .shards
-                    .iter()
-                    .enumerate()
-                    .map(|(shard, s)| {
-                        ShardFaults::new(s.clone())
-                            .map_err(|error| ClusterConfigError::FaultSchedule { shard, error })
-                    })
-                    .collect::<Result<_, _>>()?;
-                let decisions = failover::route_with_faults(
-                    trace,
-                    &partition,
-                    cluster.routing,
-                    plan,
-                    &failover,
-                );
+                if let Some(sets) = &sets {
+                    // Propagation owns the full horizon of every followed
+                    // item's streams; a user fault there would overlap it.
+                    for (shard, sched) in plan.shards.iter().enumerate() {
+                        for f in &sched.stream_faults {
+                            if sets.map().follows(shard, f.item) {
+                                return Err(ClusterConfigError::ReplicationFaultConflict {
+                                    shard,
+                                    item: f.item.0,
+                                });
+                            }
+                        }
+                    }
+                }
+                let hooks = build_shard_hooks(n, Some(plan), sets.as_ref())?;
+                let decisions = match &sets {
+                    Some(sets) => {
+                        let replicated = failover::route_with_faults_replicated(
+                            trace,
+                            sets,
+                            cluster.routing,
+                            plan,
+                            &failover,
+                        );
+                        routes = replicated.routes;
+                        promotions = replicated.promotions;
+                        replicated.decisions
+                    }
+                    None => failover::route_with_faults(
+                        trace,
+                        &partition,
+                        cluster.routing,
+                        plan,
+                        &failover,
+                    ),
+                };
                 let (routed, assignment) = failover::routed_trace(trace, &decisions);
-                (Some(hooks), Some(decisions), Some(routed), assignment)
+                (hooks, Some(decisions), Some(routed), assignment)
             }
             None => {
-                let assignment = routing::assign(trace, &partition, cluster.routing);
-                (None, None, None, assignment)
+                let assignment = match &sets {
+                    Some(sets) => {
+                        let (assignment, r) =
+                            routing::assign_replicated(trace, sets, cluster.routing);
+                        routes = r;
+                        assignment
+                    }
+                    None => routing::assign(trace, &partition, cluster.routing),
+                };
+                let hooks = build_shard_hooks(n, None, sets.as_ref())?;
+                (hooks, None, None, assignment)
             }
         };
         let exec_trace = routed_storage.as_ref().unwrap_or(trace);
-        let sliced = if cluster.filter_updates {
-            slice_trace_filtered(exec_trace, &assignment, &partition).map(|(t, _)| t)
-        } else {
-            slice_trace(exec_trace, &assignment, &partition)
+        let sliced = match &sets {
+            Some(sets) => {
+                slice_trace_replicated(exec_trace, &assignment, sets.map(), cluster.filter_updates)
+                    .map(|(t, _)| t)
+            }
+            None if cluster.filter_updates => {
+                slice_trace_filtered(exec_trace, &assignment, &partition).map(|(t, _)| t)
+            }
+            None => slice_trace(exec_trace, &assignment, &partition),
         };
         let shard_traces = match sliced {
             Ok(t) => t,
@@ -231,6 +286,24 @@ impl<'a> ClusterRun<'a> {
             "cluster-usm-identity",
             crate::merge::check_cluster_identity(&cluster_report)
         );
+        if let Some(sets) = &sets {
+            let replication = ReplicationReport {
+                factor: sets.factor(),
+                propagation: sets.propagation_log(),
+                routes,
+                promotions,
+            };
+            unit_core::validate_check!(
+                "replication-consistency",
+                crate::replication::check_replication_consistency(
+                    sets,
+                    &replication,
+                    sim.tick_period,
+                    sim.horizon
+                )
+            );
+            cluster_report.replication = Some(replication);
+        }
 
         if let Some(observer) = obs {
             replay_events(
@@ -241,6 +314,7 @@ impl<'a> ClusterRun<'a> {
                 hooks.as_deref(),
                 cluster_report.assignment.as_slice(),
                 exec_trace,
+                cluster_report.replication.as_ref(),
             );
         }
 
@@ -275,6 +349,50 @@ impl<'a> ClusterRun<'a> {
             UnitPolicy::new(base.clone().with_seed(seed))
         })
     }
+}
+
+/// Build each shard's fault hook by merging the user plan (if any) with
+/// the replication layer's propagation schedules (if any): every followed
+/// item's streams run under the seeded windowed delays on that shard.
+///
+/// Returns `None` when there is nothing to install — no plan and every
+/// propagation schedule empty (factor 1 or zero lag) — so a degenerate
+/// replicated run executes its shards byte-identically to an unhooked
+/// plain run. The conflict check in [`ClusterRun::run`] guarantees user
+/// stream faults and propagation faults touch disjoint items per shard,
+/// so the merged list stays valid (sorted, non-overlapping per item).
+fn build_shard_hooks(
+    n: usize,
+    plan: Option<&FaultPlan>,
+    sets: Option<&ReplicaSets>,
+) -> Result<Option<Vec<ShardFaults>>, ClusterConfigError> {
+    let mut schedules: Vec<FaultSchedule> = match plan {
+        Some(p) => p.shards.clone(),
+        None => vec![FaultSchedule::empty(); n],
+    };
+    let mut any = plan.is_some();
+    if let Some(sets) = sets {
+        for (s, sched) in schedules.iter_mut().enumerate() {
+            let props = sets.propagation_faults(s);
+            if props.is_empty() {
+                continue;
+            }
+            any = true;
+            sched.stream_faults.extend(props);
+            sched.stream_faults.sort_by_key(|f| (f.item.0, f.start));
+        }
+    }
+    if !any {
+        return Ok(None);
+    }
+    let hooks = schedules
+        .into_iter()
+        .enumerate()
+        .map(|(shard, s)| {
+            ShardFaults::new(s).map_err(|error| ClusterConfigError::FaultSchedule { shard, error })
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(Some(hooks))
 }
 
 /// Execute every shard on a worker pool and return
@@ -328,11 +446,13 @@ where
             .map(|(i, shard_trace)| {
                 // lint: allow(D2) — diagnostic shard-wall timing, never enters sim state or digests
                 let started = std::time::Instant::now();
+                // lint: allow(D6) — i < n == seeds.len() (caller invariant)
                 let policy = make_policy(i, seeds[i]);
                 let mut rec = record.then(RingRecorder::unbounded);
                 let report = {
                     let mut sim = Simulator::new(shard_trace, policy, shard_cfg);
                     if let Some(hooks) = hooks {
+                        // lint: allow(D6) — hooks, when present, has n entries
                         sim = sim.with_faults(Box::new(hooks[i].clone()));
                     }
                     if let Some(r) = rec.as_mut() {
@@ -373,11 +493,14 @@ where
                         }
                         // lint: allow(D2) — diagnostic shard-wall timing, never enters sim state or digests
                         let started = std::time::Instant::now();
+                        // lint: allow(D6) — i < n == seeds.len() (caller invariant)
                         let policy = make_policy(i, seeds[i]);
                         let mut rec = record.then(RingRecorder::unbounded);
                         let report = {
+                            // lint: allow(D6) — i < n == shard_traces.len()
                             let mut sim = Simulator::new(&shard_traces[i], policy, shard_cfg);
                             if let Some(hooks) = hooks {
+                                // lint: allow(D6) — hooks, when present, has n entries
                                 sim = sim.with_faults(Box::new(hooks[i].clone()));
                             }
                             if let Some(r) = rec.as_mut() {
@@ -399,6 +522,7 @@ where
                 Err(e) => std::panic::resume_unwind(e),
             };
             for (i, report, rec, wall) in finished {
+                // lint: allow(D6) — workers only claim indices i < n
                 slots[i] = Some((report, rec, wall));
             }
         }
@@ -469,11 +593,13 @@ where
                             // lint: allow(D2) — diagnostic shard-wall timing, never enters sim state or digests
                             let started = std::time::Instant::now();
                             let mut sim = Simulator::new(
-                                &shard_traces[i],
-                                make_policy(i, seeds[i]),
+                                &shard_traces[i],         // lint: allow(D6) — i < n == shard_traces.len()
+                                make_policy(i, seeds[i]), // lint: allow(D6) — i < n
                                 shard_cfg,
                             );
                             if let Some(hooks) = hooks {
+                                // Setup, not stepping: one clone per shard per run.
+                                // lint: allow(D6,P2) — hooks has n entries; runs once per shard
                                 sim = sim.with_faults(Box::new(hooks[i].clone()));
                             }
                             if let Some(r) = rec.as_mut() {
@@ -494,12 +620,14 @@ where
                                 // Drained: harvest now so the report is
                                 // ready the moment the cluster converges.
                                 if let Some(sim) = slot.take() {
+                                    // lint: allow(D6) — j indexes sims, same length
                                     reports[j] = Some(sim.finish().0);
                                 }
                                 // Relaxed is enough: the barriers below
                                 // order this store against every reader.
                                 live_total.fetch_sub(1, Ordering::Relaxed);
                             }
+                            // lint: allow(D6) — j indexes sims, same length
                             walls[j] += started.elapsed().as_secs_f64();
                         }
                         barrier.wait(); // round's drains are published
@@ -534,6 +662,7 @@ where
                 Err(e) => std::panic::resume_unwind(e),
             };
             for (i, report, rec, wall) in finished {
+                // lint: allow(D6) — workers only claim indices i < n
                 slots[i] = Some((report, rec, wall));
             }
         }
@@ -551,10 +680,13 @@ where
 
 /// Replay the run's event streams to the observer in `(time, lane, seq)`
 /// order: lane 0 carries the dispatcher (shard-health transitions first,
-/// then routing verdicts, each in construction order at equal instants),
-/// lane `s + 1` carries shard `s`'s own stream wrapped as
-/// [`ObsEvent::Shard`]. Pure function of the run inputs — worker count and
-/// finish order are invisible. O(E log E) in the total event count.
+/// then routing verdicts, then replica routes and promotions, each in
+/// construction order at equal instants), lane `s + 1` carries shard `s`'s
+/// own stream wrapped as [`ObsEvent::Shard`], and lane
+/// `1 + n_shards + s` is shard `s`'s replica pseudo-lane carrying its
+/// follower-side propagation deliveries ([`crate::ClusterLane`]). Pure
+/// function of the run inputs — worker count and finish order are
+/// invisible. O(E log E) in the total event count.
 #[allow(clippy::too_many_arguments)]
 fn replay_events(
     observer: &mut dyn Observer,
@@ -564,6 +696,7 @@ fn replay_events(
     hooks: Option<&[ShardFaults]>,
     plain_assignment: &[usize],
     exec_trace: &Trace,
+    replication: Option<&ReplicationReport>,
 ) {
     let mut all: Vec<(SimTime, u32, u64, ObsEvent)> = Vec::new();
     let mut seq0 = 0u64;
@@ -631,6 +764,56 @@ fn replay_events(
                     },
                 );
             }
+        }
+    }
+
+    // Replica-layer events: follower routes and promotions on the
+    // dispatcher lane (after the verdicts, in construction order), and
+    // propagation deliveries on per-shard replica pseudo-lanes ordered
+    // after every real shard lane.
+    let n_shards = recorders.len();
+    if let Some(rep) = replication {
+        for r in &rep.routes {
+            lane0(
+                &mut all,
+                ObsEvent::ReplicaRoute {
+                    time: r.time,
+                    query: r.query,
+                    shard: r.shard as u32,
+                    follower_items: r.follower_items,
+                    claimed_transit: r.claimed_transit,
+                },
+            );
+        }
+        for p in &rep.promotions {
+            lane0(
+                &mut all,
+                ObsEvent::ReplicaPromote {
+                    time: p.time,
+                    item: p.item,
+                    from: p.from as u32,
+                    to: p.to as u32,
+                },
+            );
+        }
+        let mut seqs = vec![0u64; n_shards];
+        for r in &rep.propagation {
+            // lint: allow(D6) — record followers are < n_shards (placement edge)
+            let seq = seqs[r.follower];
+            seqs[r.follower] += 1; // lint: allow(D6) — same bound as above
+            all.push((
+                r.time,
+                1 + (n_shards + r.follower) as u32,
+                seq,
+                ObsEvent::ReplicaPropagate {
+                    time: r.time,
+                    item: r.item,
+                    leader: r.leader as u32,
+                    follower: r.follower as u32,
+                    version: r.version,
+                    emitted: r.emitted,
+                },
+            ));
         }
     }
 

@@ -300,8 +300,10 @@ impl FaultSchedule {
             }
         }
         for pair in self.crashes.windows(2) {
+            // lint: allow(D6) — windows(2) yields exactly-2-element slices
             if pair[1].start < pair[0].end {
                 return Err(ScheduleError::CrashWindowsOverlap {
+                    // lint: allow(D6) — same 2-element window as above
                     start: pair[1].start,
                 });
             }
@@ -315,6 +317,7 @@ impl FaultSchedule {
             }
         }
         for pair in self.stream_faults.windows(2) {
+            // lint: allow(D6) — windows(2) yields exactly-2-element slices
             let (a, b) = (&pair[0], &pair[1]);
             if (b.item.0, b.start) < (a.item.0, a.start) {
                 return Err(ScheduleError::StreamFaultsUnsorted);
@@ -332,6 +335,7 @@ impl FaultSchedule {
             }
         }
         for pair in self.bursts.windows(2) {
+            // lint: allow(D6) — windows(2) yields exactly-2-element slices
             if pair[1].at < pair[0].at {
                 return Err(ScheduleError::BurstsUnsorted);
             }
@@ -445,6 +449,7 @@ impl FaultSchedule {
         if i == 0 {
             return HealthState::Up;
         }
+        // lint: allow(D6) — i > 0 was just checked, so i - 1 is in range
         let w = &self.crashes[i - 1];
         if w.contains(now) {
             match w.mode {
@@ -465,6 +470,7 @@ impl FaultSchedule {
         if i == 0 {
             return UpdateFault::Apply;
         }
+        // lint: allow(D6) — i > 0 was just checked, so i - 1 is in range
         let s = &self.stream_faults[i - 1];
         if s.item == item && s.start <= now && now < s.end {
             match s.kind {
@@ -481,6 +487,7 @@ impl FaultSchedule {
         let lo = self.bursts.partition_point(|b| b.at < now);
         let hi = self.bursts.partition_point(|b| b.at <= now);
         let mut loads = Vec::new();
+        // lint: allow(D6) — partition_point gives lo <= hi <= len
         for b in &self.bursts[lo..hi] {
             for _ in 0..b.loads {
                 loads.push(BackgroundLoad { exec: b.exec });

@@ -162,6 +162,49 @@ pub enum ObsEvent {
         /// Backoff steps taken before giving up.
         retries: u32,
     },
+    /// A propagated version landed on a follower replica (replayed on the
+    /// follower's replica pseudo-lane).
+    ReplicaPropagate {
+        /// Delivery instant at the follower.
+        time: SimTime,
+        /// The replicated item.
+        item: DataId,
+        /// The item's leader shard.
+        leader: u32,
+        /// The follower shard the version landed on.
+        follower: u32,
+        /// 1-based version ordinal among the item's emissions within the
+        /// horizon.
+        version: u64,
+        /// Leader-side emission instant.
+        emitted: SimTime,
+    },
+    /// The dispatcher routed a query to a shard serving part of its read
+    /// set as a *follower*, under a claimed `Qu` staleness bound.
+    ReplicaRoute {
+        /// Effective dispatch instant.
+        time: SimTime,
+        /// The routed query.
+        query: QueryId,
+        /// Target shard.
+        shard: u32,
+        /// Read-set items the shard serves as a follower.
+        follower_items: u32,
+        /// Worst claimed in-transit version count among those items.
+        claimed_transit: u64,
+    },
+    /// A crashed leader's freshest live follower took over an item at
+    /// routing time (deterministic promotion).
+    ReplicaPromote {
+        /// Dispatch instant the promotion took effect.
+        time: SimTime,
+        /// The item whose leader was down.
+        item: DataId,
+        /// The paused leader shard.
+        from: u32,
+        /// The promoted follower shard.
+        to: u32,
+    },
     /// A shard engine's event, replayed at cluster level: `seq` is the
     /// event's position in that shard's own stream, making the cluster
     /// merge key `(time, shard, seq)` unique and deterministic.
@@ -188,7 +231,10 @@ impl ObsEvent {
             | ObsEvent::FaultWindow { time, .. }
             | ObsEvent::ShardHealth { time, .. }
             | ObsEvent::DispatcherRoute { time, .. }
-            | ObsEvent::DispatcherReject { time, .. } => *time,
+            | ObsEvent::DispatcherReject { time, .. }
+            | ObsEvent::ReplicaPropagate { time, .. }
+            | ObsEvent::ReplicaRoute { time, .. }
+            | ObsEvent::ReplicaPromote { time, .. } => *time,
             ObsEvent::Shard { event, .. } => event.time(),
         }
     }
@@ -205,6 +251,9 @@ impl ObsEvent {
             ObsEvent::ShardHealth { .. } => "shard_health",
             ObsEvent::DispatcherRoute { .. } => "route",
             ObsEvent::DispatcherReject { .. } => "dispatcher_reject",
+            ObsEvent::ReplicaPropagate { .. } => "replica_propagate",
+            ObsEvent::ReplicaRoute { .. } => "replica_route",
+            ObsEvent::ReplicaPromote { .. } => "replica_promote",
             ObsEvent::Shard { .. } => "shard",
         }
     }

@@ -174,6 +174,36 @@ pub fn event_to_json(ev: &ObsEvent) -> String {
             r#"{{"kind":"dispatcher_reject","t":{},"query":{},"retries":{retries}}}"#,
             time.0, query.0
         ),
+        ObsEvent::ReplicaPropagate {
+            time,
+            item,
+            leader,
+            follower,
+            version,
+            emitted,
+        } => format!(
+            r#"{{"kind":"replica_propagate","t":{},"item":{},"leader":{leader},"follower":{follower},"version":{version},"emitted":{}}}"#,
+            time.0, item.0, emitted.0
+        ),
+        ObsEvent::ReplicaRoute {
+            time,
+            query,
+            shard,
+            follower_items,
+            claimed_transit,
+        } => format!(
+            r#"{{"kind":"replica_route","t":{},"query":{},"shard":{shard},"follower_items":{follower_items},"claimed_transit":{claimed_transit}}}"#,
+            time.0, query.0
+        ),
+        ObsEvent::ReplicaPromote {
+            time,
+            item,
+            from,
+            to,
+        } => format!(
+            r#"{{"kind":"replica_promote","t":{},"item":{},"from":{from},"to":{to}}}"#,
+            time.0, item.0
+        ),
         ObsEvent::Shard { shard, seq, event } => format!(
             r#"{{"kind":"shard","shard":{shard},"seq":{seq},"event":{}}}"#,
             event_to_json(event)
@@ -203,7 +233,12 @@ fn event_to_csv_row(ev: &ObsEvent, shard: Option<u32>, seq: Option<u64>) -> Stri
     let mut detail = String::new();
     let mut query = String::new();
     let mut item = String::new();
-    let mut v: [String; 6] = Default::default();
+    let mut v0 = String::new();
+    let mut v1 = String::new();
+    let mut v2 = String::new();
+    let mut v3 = String::new();
+    let mut v4 = String::new();
+    let mut v5 = String::new();
     let mut shard_col = shard.map_or_else(String::new, |s| s.to_string());
     match ev {
         ObsEvent::Admission {
@@ -220,16 +255,16 @@ fn event_to_csv_row(ev: &ObsEvent, shard: Option<u32>, seq: Option<u64>) -> Stri
                     projected_secs,
                     deadline_secs,
                 }) => {
-                    v[0] = jf(*projected_secs);
-                    v[1] = jf(*deadline_secs);
+                    v0 = jf(*projected_secs);
+                    v1 = jf(*deadline_secs);
                     "not_promising".to_string()
                 }
                 Some(AdmissionVerdict::EndangersSystem {
                     endangered_cost,
                     rejection_cost,
                 }) => {
-                    v[0] = jf(*endangered_cost);
-                    v[1] = jf(*rejection_cost);
+                    v0 = jf(*endangered_cost);
+                    v1 = jf(*rejection_cost);
                     "endangers_system".to_string()
                 }
                 None => if decision.is_admit() {
@@ -240,7 +275,7 @@ fn event_to_csv_row(ev: &ObsEvent, shard: Option<u32>, seq: Option<u64>) -> Stri
                 .to_string(),
             };
             if let Some(c) = c_flex {
-                v[2] = jf(*c);
+                v2 = jf(*c);
             }
         }
         ObsEvent::QueryOutcome {
@@ -257,11 +292,11 @@ fn event_to_csv_row(ev: &ObsEvent, shard: Option<u32>, seq: Option<u64>) -> Stri
             usm,
             ..
         } => {
-            v[0] = ready_queries.to_string();
-            v[1] = jf(*query_backlog_secs);
-            v[2] = jf(*update_backlog_secs);
-            v[3] = jf(*utilization);
-            v[4] = jf(*usm);
+            v0 = ready_queries.to_string();
+            v1 = jf(*query_backlog_secs);
+            v2 = jf(*update_backlog_secs);
+            v3 = jf(*utilization);
+            v4 = jf(*usm);
         }
         ObsEvent::ControlStep {
             c_flex,
@@ -274,12 +309,12 @@ fn event_to_csv_row(ev: &ObsEvent, shard: Option<u32>, seq: Option<u64>) -> Stri
             ..
         } => {
             detail = degraded_items.to_string();
-            v[0] = jf(*c_flex);
-            v[1] = tac.to_string();
-            v[2] = lac.to_string();
-            v[3] = degrade.to_string();
-            v[4] = upgrade.to_string();
-            v[5] = jf(*ticket_sum);
+            v0 = jf(*c_flex);
+            v1 = tac.to_string();
+            v2 = lac.to_string();
+            v3 = degrade.to_string();
+            v4 = upgrade.to_string();
+            v5 = jf(*ticket_sum);
         }
         ObsEvent::TicketMass {
             item: d,
@@ -289,14 +324,14 @@ fn event_to_csv_row(ev: &ObsEvent, shard: Option<u32>, seq: Option<u64>) -> Stri
             ..
         } => {
             item = d.0.to_string();
-            v[0] = jf(*ticket);
-            v[1] = old_period.0.to_string();
-            v[2] = new_period.0.to_string();
+            v0 = jf(*ticket);
+            v1 = old_period.0.to_string();
+            v2 = new_period.0.to_string();
         }
         ObsEvent::FaultWindow { phase, until, .. } => {
             detail = phase.name().to_string();
             if let Some(u) = until {
-                v[0] = u.0.to_string();
+                v0 = u.0.to_string();
             }
         }
         ObsEvent::ShardHealth {
@@ -308,7 +343,7 @@ fn event_to_csv_row(ev: &ObsEvent, shard: Option<u32>, seq: Option<u64>) -> Stri
             shard_col = s.to_string();
             detail = phase.name().to_string();
             if let Some(u) = until {
-                v[0] = u.0.to_string();
+                v0 = u.0.to_string();
             }
         }
         ObsEvent::DispatcherRoute {
@@ -320,14 +355,50 @@ fn event_to_csv_row(ev: &ObsEvent, shard: Option<u32>, seq: Option<u64>) -> Stri
             query = q.0.to_string();
             shard_col = s.to_string();
             detail = "routed".to_string();
-            v[0] = retries.to_string();
+            v0 = retries.to_string();
         }
         ObsEvent::DispatcherReject {
             query: q, retries, ..
         } => {
             query = q.0.to_string();
             detail = "rejected".to_string();
-            v[0] = retries.to_string();
+            v0 = retries.to_string();
+        }
+        ObsEvent::ReplicaPropagate {
+            item: d,
+            leader,
+            follower,
+            version,
+            emitted,
+            ..
+        } => {
+            item = d.0.to_string();
+            shard_col = follower.to_string();
+            detail = "propagated".to_string();
+            v0 = leader.to_string();
+            v1 = version.to_string();
+            v2 = emitted.0.to_string();
+        }
+        ObsEvent::ReplicaRoute {
+            query: q,
+            shard: s,
+            follower_items,
+            claimed_transit,
+            ..
+        } => {
+            query = q.0.to_string();
+            shard_col = s.to_string();
+            detail = "follower_read".to_string();
+            v0 = follower_items.to_string();
+            v1 = claimed_transit.to_string();
+        }
+        ObsEvent::ReplicaPromote {
+            item: d, from, to, ..
+        } => {
+            item = d.0.to_string();
+            shard_col = to.to_string();
+            detail = "promoted".to_string();
+            v0 = from.to_string();
         }
         ObsEvent::Shard {
             shard: s,
@@ -342,12 +413,12 @@ fn event_to_csv_row(ev: &ObsEvent, shard: Option<u32>, seq: Option<u64>) -> Stri
         "{},{},{shard_col},{seq_col},{query},{item},{detail},{},{},{},{},{},{}",
         ev.kind(),
         ev.time().0,
-        v[0],
-        v[1],
-        v[2],
-        v[3],
-        v[4],
-        v[5]
+        v0,
+        v1,
+        v2,
+        v3,
+        v4,
+        v5
     )
 }
 
@@ -471,6 +542,60 @@ mod tests {
             "shard_health,4000000,0,,,,down,9000000,,,,,\n",
         );
         assert_eq!(to_csv(&sample_events()), expected);
+    }
+
+    fn replication_events() -> Vec<ObsEvent> {
+        vec![
+            ObsEvent::ReplicaRoute {
+                time: SimTime::from_secs(5),
+                query: QueryId(2),
+                shard: 3,
+                follower_items: 2,
+                claimed_transit: 4,
+            },
+            ObsEvent::ReplicaPromote {
+                time: SimTime::from_secs(5),
+                item: DataId(1),
+                from: 0,
+                to: 2,
+            },
+            ObsEvent::Shard {
+                shard: 6,
+                seq: 0,
+                event: Box::new(ObsEvent::ReplicaPropagate {
+                    time: SimTime::from_secs(6),
+                    item: DataId(1),
+                    leader: 0,
+                    follower: 2,
+                    version: 3,
+                    emitted: SimTime::from_secs(4),
+                }),
+            },
+        ]
+    }
+
+    #[test]
+    fn replication_jsonl_golden() {
+        let expected = concat!(
+            r#"{"kind":"replica_route","t":5000000,"query":2,"shard":3,"follower_items":2,"claimed_transit":4}"#,
+            "\n",
+            r#"{"kind":"replica_promote","t":5000000,"item":1,"from":0,"to":2}"#,
+            "\n",
+            r#"{"kind":"shard","shard":6,"seq":0,"event":{"kind":"replica_propagate","t":6000000,"item":1,"leader":0,"follower":2,"version":3,"emitted":4000000}}"#,
+            "\n",
+        );
+        assert_eq!(to_jsonl(&replication_events()), expected);
+    }
+
+    #[test]
+    fn replication_csv_golden() {
+        let expected = concat!(
+            "kind,time,shard,seq,query,item,detail,v0,v1,v2,v3,v4,v5\n",
+            "replica_route,5000000,3,,2,,follower_read,2,4,,,,\n",
+            "replica_promote,5000000,2,,,1,promoted,0,,,,,\n",
+            "replica_propagate,6000000,2,0,,1,propagated,0,3,4000000,,,\n",
+        );
+        assert_eq!(to_csv(&replication_events()), expected);
     }
 
     #[test]

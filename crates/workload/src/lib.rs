@@ -57,7 +57,8 @@ pub use builder::TraceBuilder;
 pub use cello::{generate_queries, QueryTrace, QueryTraceConfig};
 pub use correlate::{apportion_counts, correlated_weights, CorrelatedWeights, UpdateDistribution};
 pub use partition::{
-    slice_trace, slice_trace_filtered, ItemPartition, PartitionError, UpdateFanout,
+    slice_trace, slice_trace_filtered, slice_trace_replicated, ItemPartition, PartitionError,
+    ReplicaMap, UpdateFanout,
 };
 pub use stats::TraceStats;
 pub use stream::{

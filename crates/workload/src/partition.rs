@@ -51,12 +51,137 @@ impl ItemPartition {
     pub fn eligible_shards(&self, items: &[DataId]) -> Vec<usize> {
         let mut seen = vec![false; self.n_shards];
         for &d in items {
+            // lint: allow(D6) — owner() is a modulo by n_shards
             seen[self.owner(d)] = true;
         }
         seen.iter()
             .enumerate()
             .filter_map(|(s, &hit)| hit.then_some(s))
             .collect()
+    }
+}
+
+/// Strided-ring leader/follower placement of data items over shards.
+///
+/// Item `d`'s **leader** is its modulo owner (`d mod n_shards`, matching
+/// [`ItemPartition`]); its `factor - 1` **followers** sit at
+/// `(leader + k·stride) mod n_shards` for `k = 1..factor`. `stride = 1` is
+/// the classic ring placement; larger strides spread an item's replica set
+/// across the ring so correlated shard failures hit fewer replicas of the
+/// same item. With `factor = 1` the map degenerates to plain ownership and
+/// every function below agrees with [`ItemPartition`] exactly — the anchor
+/// for the replication differential suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaMap {
+    n_shards: usize,
+    factor: usize,
+    stride: usize,
+}
+
+impl ReplicaMap {
+    /// Build a placement of `factor` replicas per item over `n_shards`
+    /// shards with the given follower stride.
+    ///
+    /// # Panics
+    /// Panics if the placement is invalid: zero shards, zero factor,
+    /// `factor > n_shards`, or a slot collision (two replicas of one item
+    /// on the same shard — see [`ReplicaMap::collision_slot`]). Callers
+    /// with untrusted parameters should validate via `collision_slot`
+    /// first; the cluster layer surfaces these as typed config errors.
+    pub fn new(n_shards: usize, factor: usize, stride: usize) -> ReplicaMap {
+        assert!(n_shards > 0, "a cluster needs at least one shard");
+        assert!(
+            factor > 0,
+            "an item needs at least one replica (its leader)"
+        );
+        assert!(
+            factor <= n_shards,
+            "replication factor {factor} exceeds {n_shards} shards"
+        );
+        assert!(
+            ReplicaMap::collision_slot(n_shards, factor, stride).is_none(),
+            "replica placement collides: stride {stride} revisits a shard \
+             within {factor} slots on a {n_shards}-shard ring"
+        );
+        ReplicaMap {
+            n_shards,
+            factor,
+            stride,
+        }
+    }
+
+    /// The degenerate factor-1 map: leaders only, no followers. Equivalent
+    /// to [`ItemPartition::new`] for every query below.
+    pub fn solo(n_shards: usize) -> ReplicaMap {
+        ReplicaMap::new(n_shards, 1, 1)
+    }
+
+    /// First follower slot `k` in `1..factor` whose shard coincides with an
+    /// earlier replica of the same item, or `None` if the placement is
+    /// collision-free. Placement is translation-invariant (every leader
+    /// sees the same slot offsets), so checking leader 0 covers all items.
+    /// O(factor).
+    pub fn collision_slot(n_shards: usize, factor: usize, stride: usize) -> Option<usize> {
+        if n_shards == 0 || factor == 0 {
+            return None;
+        }
+        let mut seen = vec![false; n_shards];
+        seen[0] = true; // lint: allow(D6) — n_shards > 0 was just checked
+        for k in 1..factor {
+            let slot = (k * stride) % n_shards;
+            // lint: allow(D6) — slot is a modulo by n_shards
+            if seen[slot] {
+                return Some(k);
+            }
+            seen[slot] = true; // lint: allow(D6) — slot < n_shards as above
+        }
+        None
+    }
+
+    /// Number of shards the replicas are spread over.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Replicas per item (leader included).
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+
+    /// Ring distance between consecutive replicas of one item.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The shard leading item `d` — identical to [`ItemPartition::owner`].
+    /// O(1).
+    pub fn leader(&self, d: DataId) -> usize {
+        d.index() % self.n_shards
+    }
+
+    /// The shard holding follower slot `k` (`1 <= k < factor`) of item `d`.
+    /// O(1).
+    pub fn follower(&self, d: DataId, k: usize) -> usize {
+        debug_assert!(k >= 1 && k < self.factor);
+        (self.leader(d) + k * self.stride) % self.n_shards
+    }
+
+    /// All shards hosting item `d`, leader first then followers in slot
+    /// order. O(factor).
+    pub fn replicas(&self, d: DataId) -> impl Iterator<Item = usize> + '_ {
+        let leader = self.leader(d);
+        (0..self.factor).map(move |k| (leader + k * self.stride) % self.n_shards)
+    }
+
+    /// True when shard `s` hosts item `d` as a *follower* (not its
+    /// leader). O(factor).
+    pub fn follows(&self, s: usize, d: DataId) -> bool {
+        (1..self.factor).any(|k| self.follower(d, k) == s)
+    }
+
+    /// True when shard `s` hosts any replica of item `d`. O(factor).
+    pub fn hosts(&self, s: usize, d: DataId) -> bool {
+        self.leader(d) == s || self.follows(s, d)
     }
 }
 
@@ -118,9 +243,11 @@ pub fn slice_trace(
     check_assignment(trace, assignment, partition.n_shards())?;
     let mut shards = empty_slices(trace, partition.n_shards());
     for (q, &s) in trace.queries.iter().zip(assignment) {
+        // lint: allow(D6) — check_assignment bounds every entry by n_shards
         shards[s].queries.push(q.clone());
     }
     for u in &trace.updates {
+        // lint: allow(D6) — owner() is a modulo by n_shards
         shards[partition.owner(u.item)].updates.push(u.clone());
     }
     Ok(shards)
@@ -158,19 +285,60 @@ impl UpdateFanout {
 /// and `cpu_busy`, so per-shard `report_digest`s differ from the unfiltered
 /// slicing even at one shard. Use it for throughput experiments
 /// (`ClusterConfig::filter_updates`), never for differential pinning.
+///
+/// Demand is judged **per hosting shard**, not per owner: this function is
+/// the factor-1 special case of [`slice_trace_replicated`], which keeps a
+/// stream copy wherever *some replica* of the item serves a reader. An
+/// earlier owner-only implementation would silently starve follower
+/// placements (the copy a follower needed was dropped because the *leader*
+/// had no co-located reader) — pinned by
+/// `filtered_slicing_must_not_starve_followers` below.
 /// O(N_q·r + N_u + n_shards·S) where `r` is the mean read-set size.
 pub fn slice_trace_filtered(
     trace: &Trace,
     assignment: &[usize],
     partition: &ItemPartition,
 ) -> Result<(Vec<Trace>, UpdateFanout), PartitionError> {
-    check_assignment(trace, assignment, partition.n_shards())?;
-    let n = partition.n_shards();
-    // Which items each shard actually reads.
-    let mut read = vec![false; n * trace.n_items];
-    for (q, &s) in trace.queries.iter().zip(assignment) {
-        for &d in &q.items {
-            read[s * trace.n_items + d.index()] = true;
+    slice_trace_replicated(
+        trace,
+        assignment,
+        &ReplicaMap::solo(partition.n_shards()),
+        true,
+    )
+}
+
+/// Replication-aware trace slicing: every update stream is fanned out to
+/// **all** shards hosting its item under `map` (leader first, then
+/// followers in slot order), each copy keeping the global stream id; query
+/// `i` still goes to shard `assignment[i]`. With `filter` set, a copy is
+/// kept on a hosting shard only if some query assigned *to that shard*
+/// reads the item — the per-replica generalization of demand filtering, so
+/// a stream a follower placement needs survives even when the leader has
+/// no co-located reader.
+///
+/// Within each slice the global update order is preserved (each shard gets
+/// at most one copy per stream — the placement is collision-free), so a
+/// factor-1 map reproduces [`slice_trace`] (unfiltered) or
+/// [`slice_trace_filtered`] (filtered) byte for byte.
+///
+/// [`UpdateFanout`] counts *copies*: `kept() + dropped_streams` equals
+/// `total_streams × factor`. O(N_q·r + N_u·factor + n_shards·S).
+pub fn slice_trace_replicated(
+    trace: &Trace,
+    assignment: &[usize],
+    map: &ReplicaMap,
+    filter: bool,
+) -> Result<(Vec<Trace>, UpdateFanout), PartitionError> {
+    check_assignment(trace, assignment, map.n_shards())?;
+    let n = map.n_shards();
+    // Which items each shard actually reads (only consulted when filtering).
+    let mut read = vec![false; if filter { n * trace.n_items } else { 0 }];
+    if filter {
+        for (q, &s) in trace.queries.iter().zip(assignment) {
+            for &d in &q.items {
+                // lint: allow(D6) — s < n_shards (check_assignment), d.index() < n_items (trace invariant)
+                read[s * trace.n_items + d.index()] = true;
+            }
         }
     }
     let mut shards = empty_slices(trace, n);
@@ -180,15 +348,19 @@ pub fn slice_trace_filtered(
         dropped_streams: 0,
     };
     for (q, &s) in trace.queries.iter().zip(assignment) {
+        // lint: allow(D6) — check_assignment bounds every entry by n_shards
         shards[s].queries.push(q.clone());
     }
     for u in &trace.updates {
-        let s = partition.owner(u.item);
-        if read[s * trace.n_items + u.item.index()] {
-            shards[s].updates.push(u.clone());
-            fanout.kept_per_shard[s] += 1;
-        } else {
-            fanout.dropped_streams += 1;
+        for s in map.replicas(u.item) {
+            // lint: allow(D6) — replicas() yields shard ids < n_shards
+            if !filter || read[s * trace.n_items + u.item.index()] {
+                // lint: allow(D6) — s < n_shards as above
+                shards[s].updates.push(u.clone());
+                fanout.kept_per_shard[s] += 1; // lint: allow(D6) — s < n_shards
+            } else {
+                fanout.dropped_streams += 1;
+            }
         }
     }
     Ok((shards, fanout))
@@ -372,6 +544,130 @@ mod tests {
         ));
         assert!(matches!(
             slice_trace_filtered(&t, &[0, 1, 2, 0], &p),
+            Err(PartitionError::ShardOutOfRange { shard: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn replica_map_places_leader_then_strided_followers() {
+        let m = ReplicaMap::new(4, 3, 1);
+        // Item 5: leader 1, followers 2, 3.
+        let d = DataId(5);
+        assert_eq!(m.leader(d), 1);
+        assert_eq!(m.replicas(d).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(m.hosts(1, d) && m.hosts(2, d) && m.hosts(3, d));
+        assert!(!m.hosts(0, d));
+        assert!(m.follows(2, d) && m.follows(3, d));
+        assert!(!m.follows(1, d), "the leader is not a follower of itself");
+        // Strided placement wraps around the ring.
+        let s = ReplicaMap::new(5, 3, 2);
+        assert_eq!(s.replicas(DataId(4)).collect::<Vec<_>>(), vec![4, 1, 3]);
+    }
+
+    #[test]
+    fn replica_map_factor_one_agrees_with_item_partition() {
+        let m = ReplicaMap::solo(3);
+        let p = ItemPartition::new(3);
+        for i in 0..32 {
+            let d = DataId(i);
+            assert_eq!(m.leader(d), p.owner(d));
+            assert_eq!(m.replicas(d).collect::<Vec<_>>(), vec![p.owner(d)]);
+            assert!(!m.follows(p.owner(d), d));
+        }
+    }
+
+    #[test]
+    fn replica_collisions_are_detected() {
+        // 4 shards, stride 2: slots 0, 2, 0 -> slot 2 collides with leader.
+        assert_eq!(ReplicaMap::collision_slot(4, 3, 2), Some(2));
+        // stride 0 collides immediately.
+        assert_eq!(ReplicaMap::collision_slot(4, 2, 0), Some(1));
+        // Ring placement never collides while factor <= n_shards.
+        assert_eq!(ReplicaMap::collision_slot(4, 4, 1), None);
+        assert_eq!(ReplicaMap::collision_slot(5, 3, 2), None);
+        // factor 1 has nothing to collide with.
+        assert_eq!(ReplicaMap::collision_slot(1, 1, 7), None);
+    }
+
+    #[test]
+    fn replicated_slices_fan_out_updates_to_followers() {
+        let t = trace();
+        let m = ReplicaMap::new(2, 2, 1);
+        let (shards, fanout) = slice_trace_replicated(&t, &[0, 1, 0, 1], &m, false).unwrap();
+        // Every stream lands on both shards (factor 2 over 2 shards), in
+        // global order, with ids untouched.
+        for s in &shards {
+            let items: Vec<u32> = s.updates.iter().map(|u| u.item.0).collect();
+            assert_eq!(items, vec![0, 1, 5, 6]);
+            s.validate().unwrap();
+        }
+        assert_eq!(fanout.total_streams, 4);
+        assert_eq!(fanout.kept_per_shard, vec![4, 4]);
+        assert_eq!(fanout.dropped_streams, 0);
+        assert_eq!(fanout.kept(), fanout.total_streams * m.factor());
+    }
+
+    #[test]
+    fn replicated_factor_one_is_plain_slicing_bit_for_bit() {
+        let t = trace();
+        let assignment = [0, 1, 0, 1];
+        let p = ItemPartition::new(2);
+        let m = ReplicaMap::solo(2);
+        let plain = slice_trace(&t, &assignment, &p).unwrap();
+        let (unfiltered, _) = slice_trace_replicated(&t, &assignment, &m, false).unwrap();
+        assert_eq!(unfiltered, plain);
+        let (filtered_old, fan_old) = slice_trace_filtered(&t, &assignment, &p).unwrap();
+        let (filtered_new, fan_new) = slice_trace_replicated(&t, &assignment, &m, true).unwrap();
+        assert_eq!(filtered_new, filtered_old);
+        assert_eq!(fan_new, fan_old);
+    }
+
+    /// Satellite regression (written first, against the owner-only demand
+    /// filter): item 5's leader is shard 1, but its only reader (query 2)
+    /// runs on shard 0 — which *follows* item 5 under a factor-2 ring.
+    /// Owner-only filtering dropped the stream everywhere, starving the
+    /// follower; replica-aware filtering must keep the follower's copy.
+    #[test]
+    fn filtered_slicing_must_not_starve_followers() {
+        let t = trace();
+        let assignment = [0, 1, 0, 1];
+        let m = ReplicaMap::new(2, 2, 1);
+        let (shards, fanout) = slice_trace_replicated(&t, &assignment, &m, true).unwrap();
+        // Shard 0 reads {0,1,3,5}; it leads {0,6} and follows {1,5}.
+        // Kept on shard 0: 0 (led + read), 1 and 5 (followed + read).
+        let u0: Vec<u32> = shards[0].updates.iter().map(|u| u.item.0).collect();
+        assert_eq!(u0, vec![0, 1, 5]);
+        assert!(
+            u0.contains(&5),
+            "follower copy of item 5 must survive demand filtering"
+        );
+        // Shard 1 reads {2,6}; it leads {1,5} and follows {0,6}: only the
+        // followed copy of 6 is read there.
+        let u1: Vec<u32> = shards[1].updates.iter().map(|u| u.item.0).collect();
+        assert_eq!(u1, vec![6]);
+        // 8 copies total (4 streams x factor 2), 4 kept.
+        assert_eq!(fanout.kept_per_shard, vec![3, 1]);
+        assert_eq!(fanout.dropped_streams, 4);
+        // The owner-only factor-1 filter (correct for plain clusters) keeps
+        // only item 0 — the behaviour the replicated path must not inherit.
+        let (old, _) = slice_trace_filtered(&t, &assignment, &ItemPartition::new(2)).unwrap();
+        assert_eq!(
+            old[0].updates.iter().map(|u| u.item.0).collect::<Vec<_>>(),
+            vec![0]
+        );
+        assert!(old[1].updates.is_empty());
+    }
+
+    #[test]
+    fn replicated_rejects_malformed_assignments_like_plain() {
+        let t = trace();
+        let m = ReplicaMap::new(2, 2, 1);
+        assert!(matches!(
+            slice_trace_replicated(&t, &[0, 1], &m, true),
+            Err(PartitionError::AssignmentLength { .. })
+        ));
+        assert!(matches!(
+            slice_trace_replicated(&t, &[0, 1, 2, 0], &m, false),
             Err(PartitionError::ShardOutOfRange { shard: 2, .. })
         ));
     }
