@@ -161,6 +161,37 @@ impl Policy for DeferrablePolicy {
             .filter(|&d| udrop(d) > tolerable)
             .collect()
     }
+
+    fn checkpoint_state(&self, enc: &mut unit_core::checkpoint::Enc) {
+        enc.put_usize(self.last_access.len());
+        for t in &self.last_access {
+            enc.put_opt_u64(t.map(|t| t.0));
+        }
+        for e in &self.interval_ewma {
+            enc.put_opt_f64(*e);
+        }
+        enc.put_u64(self.refreshes_scheduled);
+    }
+
+    fn restore_state(
+        &mut self,
+        dec: &mut unit_core::checkpoint::Dec<'_>,
+    ) -> Result<(), unit_core::checkpoint::CheckpointError> {
+        let n = dec.take_usize()?;
+        if n != self.last_access.len() {
+            return Err(unit_core::checkpoint::CheckpointError::Mismatch {
+                what: "DEF table size",
+            });
+        }
+        for t in &mut self.last_access {
+            *t = dec.take_opt_u64()?.map(SimTime);
+        }
+        for e in &mut self.interval_ewma {
+            *e = dec.take_opt_f64()?;
+        }
+        self.refreshes_scheduled = dec.take_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

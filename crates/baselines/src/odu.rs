@@ -78,6 +78,18 @@ impl Policy for OduPolicy {
     fn tick_idle_until(&self) -> SimTime {
         SimTime::MAX
     }
+
+    fn checkpoint_state(&self, enc: &mut unit_core::checkpoint::Enc) {
+        enc.put_u64(self.refreshes_requested);
+    }
+
+    fn restore_state(
+        &mut self,
+        dec: &mut unit_core::checkpoint::Dec<'_>,
+    ) -> Result<(), unit_core::checkpoint::CheckpointError> {
+        self.refreshes_requested = dec.take_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -294,6 +294,59 @@ impl Policy for QmfPolicy {
         }
         Vec::new()
     }
+
+    fn checkpoint_state(&self, enc: &mut unit_core::checkpoint::Enc) {
+        enc.put_u64(self.window_admitted_done);
+        enc.put_u64(self.window_misses);
+        enc.put_u64(self.window_dispatches);
+        enc.put_u64(self.window_fresh_dispatches);
+        enc.put_u64_slice(&self.access_counts);
+        enc.put_u64_slice(&self.update_counts);
+        enc.put_usize(self.dropped.len());
+        for &d in &self.dropped {
+            enc.put_bool(d);
+        }
+        enc.put_usize(self.qod_level);
+        enc.put_f64(self.backlog_cap_secs);
+        enc.put_f64(self.integral);
+        enc.put_u64(self.last_adaptation.0);
+        enc.put_u64(self.adaptations);
+        enc.put_u64(self.rejected);
+    }
+
+    fn restore_state(
+        &mut self,
+        dec: &mut unit_core::checkpoint::Dec<'_>,
+    ) -> Result<(), unit_core::checkpoint::CheckpointError> {
+        use unit_core::checkpoint::CheckpointError;
+        self.window_admitted_done = dec.take_u64()?;
+        self.window_misses = dec.take_u64()?;
+        self.window_dispatches = dec.take_u64()?;
+        self.window_fresh_dispatches = dec.take_u64()?;
+        let access = dec.take_u64_vec()?;
+        let update = dec.take_u64_vec()?;
+        let n_dropped = dec.take_usize()?;
+        if access.len() != self.access_counts.len()
+            || update.len() != self.update_counts.len()
+            || n_dropped != self.dropped.len()
+        {
+            return Err(CheckpointError::Mismatch {
+                what: "QMF table size",
+            });
+        }
+        self.access_counts = access;
+        self.update_counts = update;
+        for d in &mut self.dropped {
+            *d = dec.take_bool()?;
+        }
+        self.qod_level = dec.take_usize()?;
+        self.backlog_cap_secs = dec.take_f64()?;
+        self.integral = dec.take_f64()?;
+        self.last_adaptation = SimTime(dec.take_u64()?);
+        self.adaptations = dec.take_u64()?;
+        self.rejected = dec.take_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,204 @@
+//! Seeded chaos sweep: random fault plans vs the invariant oracles, with
+//! greedy shrinking of every failure to a minimal JSON reproducer.
+//!
+//! Each plan is drawn from `split_seed(seed, index)`, so any failure line
+//! printed by a sweep reproduces from the sweep seed and the plan index
+//! alone. Failures are shrunk (empty shards → drop components → bisect
+//! windows) and written as [`ChaosFixture`] JSON under the output
+//! directory; commit one to `crates/bench/tests/fixtures/chaos/` to turn
+//! it into a permanent regression test.
+//!
+//! `--fixture-broken` plants a deliberately false oracle (no shard ever
+//! recovers) and exits 0 only if the harness finds and shrinks the
+//! planted violation — an end-to-end self test of the find+shrink
+//! machinery.
+//!
+//! Usage: `chaos [--plans N] [--seed S] [--scale N] [--shards N]
+//! [--fixture-broken] [--out DIR | --no-out]`.
+
+use unit_bench::chaos::{sweep, ChaosFixture, ChaosWorkload, Oracle};
+
+struct Args {
+    plans: u64,
+    seed: u64,
+    scale: u64,
+    shards: usize,
+    fixture_broken: bool,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        plans: 50,
+        seed: 0xC4A0_5EED,
+        scale: 24,
+        shards: 4,
+        fixture_broken: false,
+        out: Some("results/chaos".to_string()),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--plans" => {
+                let v = it.next().expect("--plans requires a value");
+                args.plans = v.parse().expect("bad --plans");
+            }
+            "--seed" => {
+                let v = it.next().expect("--seed requires a value");
+                args.seed = v.parse().expect("bad --seed");
+            }
+            "--scale" => {
+                let v = it.next().expect("--scale requires a value");
+                args.scale = v.parse().expect("bad --scale");
+                assert!(args.scale >= 1, "--scale must be >= 1");
+            }
+            "--shards" => {
+                let v = it.next().expect("--shards requires a value");
+                args.shards = v.parse().expect("bad --shards");
+                assert!(args.shards >= 1, "--shards must be >= 1");
+            }
+            "--fixture-broken" => args.fixture_broken = true,
+            "--out" => args.out = Some(it.next().expect("--out requires a directory")),
+            "--no-out" => args.out = None,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: chaos [--plans N] [--seed S] [--scale N] [--shards N] \
+                     [--fixture-broken] [--out DIR | --no-out]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn write_fixture(dir: &str, fixture: &ChaosFixture, index: u64) -> Option<String> {
+    if std::fs::create_dir_all(dir).is_err() {
+        eprintln!("warning: cannot create output directory {dir}");
+        return None;
+    }
+    let path = format!("{dir}/{}-plan{index}.json", fixture.oracle);
+    match std::fs::write(&path, fixture.to_json()) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: cannot write {path}: {e}");
+            None
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let w = ChaosWorkload::new(args.scale, args.shards, args.seed);
+    let oracles: Vec<Oracle> = if args.fixture_broken {
+        let mut o = Oracle::REAL.to_vec();
+        o.push(Oracle::PlantedNoRecoveries);
+        o
+    } else {
+        Oracle::REAL.to_vec()
+    };
+
+    println!(
+        "chaos: {} plans, seed {:#x}, scale 1/{}, {} shards, {} queries, horizon {}s{}",
+        args.plans,
+        args.seed,
+        args.scale,
+        args.shards,
+        w.n_queries(),
+        w.horizon().0 / 1_000,
+        if args.fixture_broken {
+            " [planted broken oracle]"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "  oracles: {}\n",
+        oracles
+            .iter()
+            .map(|o| o.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let report = sweep(&w, args.seed, args.plans, &oracles, true);
+
+    println!(
+        "\n  {} plans, {} oracle evaluations, {} failure(s)",
+        report.plans,
+        report.oracle_runs,
+        report.failures.len()
+    );
+    for f in &report.failures {
+        println!(
+            "\n  FAIL plan {} (seed {:#018x}) oracle {}:",
+            f.plan_index,
+            f.plan_seed,
+            f.oracle.name()
+        );
+        println!("    original: {}", f.message);
+        println!(
+            "    shrunk to {:?} components in {} runs: {}",
+            unit_bench::chaos::plan_components(&f.shrunk.plan),
+            f.shrunk.oracle_runs,
+            f.shrunk.message
+        );
+        let fixture = ChaosFixture {
+            description: format!(
+                "shrunk reproducer: oracle '{}' on sweep seed {:#x} plan {}",
+                f.oracle.name(),
+                args.seed,
+                f.plan_index
+            ),
+            seed: args.seed,
+            scale: args.scale,
+            n_shards: args.shards,
+            oracle: f.oracle.name().to_string(),
+            plan: f.shrunk.plan.clone(),
+        };
+        if let Some(dir) = &args.out {
+            if let Some(path) = write_fixture(dir, &fixture, f.plan_index) {
+                println!("    fixture written to {path}");
+            }
+        }
+    }
+
+    if args.fixture_broken {
+        // Success means the harness *found* the planted violation — and
+        // nothing else broke.
+        let planted: Vec<_> = report
+            .failures
+            .iter()
+            .filter(|f| f.oracle == Oracle::PlantedNoRecoveries)
+            .collect();
+        let real_failures = report.failures.len() - planted.len();
+        if real_failures > 0 {
+            eprintln!("\n  {real_failures} REAL failure(s) alongside the planted oracle");
+            std::process::exit(1);
+        }
+        match planted.first() {
+            Some(f) => {
+                let (crashes, lose_state, streams, bursts) =
+                    unit_bench::chaos::plan_components(&f.shrunk.plan);
+                println!(
+                    "\n  planted oracle found and shrunk: {crashes} crash ({lose_state} \
+                     lose-state), {streams} stream, {bursts} burst"
+                );
+                if crashes + streams + bursts != 1 || lose_state != 1 {
+                    eprintln!("  shrink did not reach a single lose-state window");
+                    std::process::exit(1);
+                }
+                println!("  ok: find+shrink machinery verified");
+            }
+            None => {
+                eprintln!("\n  planted broken oracle was NOT found — harness is blind");
+                std::process::exit(1);
+            }
+        }
+    } else if !report.failures.is_empty() {
+        std::process::exit(1);
+    } else {
+        println!("  ok: every oracle held on every plan");
+    }
+}

@@ -1,0 +1,73 @@
+//! Replays every committed chaos fixture (`tests/fixtures/chaos/*.json`).
+//!
+//! A fixture is a shrunk minimal fault plan the chaos harness once
+//! reported. Replaying one asserts two things:
+//!
+//! * every **real** oracle holds on the plan — once the underlying issue
+//!   is fixed, the fixture pins it fixed forever;
+//! * a fixture recorded against the **planted** oracle must still *fail*
+//!   that oracle — the planted claim is false by design, so a pass would
+//!   mean the harness has gone blind to firing crashes.
+
+use unit_bench::chaos::{ChaosFixture, ChaosWorkload, Oracle};
+
+fn fixtures_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("chaos")
+}
+
+fn load_fixtures() -> Vec<(String, ChaosFixture)> {
+    let dir = fixtures_dir();
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("fixtures directory exists") {
+        let path = entry.expect("readable directory entry").path();
+        if path.extension().map_or(true, |e| e != "json") {
+            continue;
+        }
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let fixture = ChaosFixture::from_json(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        out.push((name, fixture));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+#[test]
+fn committed_fixtures_replay_green() {
+    let fixtures = load_fixtures();
+    assert!(!fixtures.is_empty(), "no committed chaos fixtures found");
+    for (name, fixture) in fixtures {
+        fixture
+            .plan
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}: invalid plan: {e}"));
+        assert_eq!(
+            fixture.plan.shards.len(),
+            fixture.n_shards,
+            "{name}: plan width disagrees with n_shards"
+        );
+        let recorded = Oracle::from_name(&fixture.oracle)
+            .unwrap_or_else(|| panic!("{name}: unknown oracle '{}'", fixture.oracle));
+        let w = ChaosWorkload::new(fixture.scale, fixture.n_shards, fixture.seed);
+        if recorded == Oracle::PlantedNoRecoveries {
+            // The planted claim is false by design: the harness must
+            // still be able to see the crash fire.
+            assert!(
+                recorded.check(&w, &fixture.plan).is_err(),
+                "{name}: the planted oracle passed — the harness is blind"
+            );
+        }
+        for oracle in Oracle::REAL {
+            if let Err(e) = oracle.check(&w, &fixture.plan) {
+                panic!("{name}: oracle {} regressed: {e}", oracle.name());
+            }
+        }
+    }
+}

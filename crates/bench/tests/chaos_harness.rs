@@ -1,0 +1,105 @@
+//! End-to-end tests of the chaos harness itself: the sweep holds on
+//! seeded plans, and the find+shrink machinery provably detects a
+//! planted-broken oracle and reduces it to a single fault component.
+
+use unit_bench::chaos::{plan_components, shrink, strip_lose_state, sweep, ChaosWorkload, Oracle};
+use unit_core::time::{SimDuration, SimTime};
+use unit_faults::{
+    Burst, CrashWindow, FaultMode, FaultPlan, FaultSchedule, StreamFault, StreamFaultKind,
+};
+
+const SCALE: u64 = 64;
+const SEED: u64 = 0xC4A0_5EED;
+
+fn secs(s: u64) -> SimTime {
+    SimTime(SimDuration::from_secs(s).0)
+}
+
+#[test]
+fn seeded_sweep_holds_every_real_oracle() {
+    let w = ChaosWorkload::new(SCALE, 4, SEED);
+    let report = sweep(&w, SEED, 3, &Oracle::REAL, false);
+    assert_eq!(report.plans, 3);
+    assert!(
+        report.failures.is_empty(),
+        "real oracle failed: {}",
+        report
+            .failures
+            .iter()
+            .map(|f| f.message.as_str())
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+}
+
+#[test]
+fn planted_oracle_is_found_and_shrunk_to_one_component() {
+    let w = ChaosWorkload::new(SCALE, 4, SEED);
+    // A hand-built plan with fault noise across shards: two lose-state
+    // crashes, a pause window, a stream fault, and a burst. Only the
+    // lose-state windows matter to the planted oracle; the shrinker has
+    // to discover that.
+    let mut plan = FaultPlan::quiet(4);
+    plan.shards[0] = FaultSchedule {
+        crashes: vec![
+            CrashWindow {
+                start: secs(200),
+                end: secs(260),
+                mode: FaultMode::CrashLoseState,
+            },
+            CrashWindow {
+                start: secs(700),
+                end: secs(730),
+                mode: FaultMode::Pause,
+            },
+        ],
+        bursts: vec![Burst {
+            at: secs(400),
+            loads: 3,
+            exec: SimDuration::from_secs(2),
+        }],
+        ..FaultSchedule::default()
+    };
+    plan.shards[2] = FaultSchedule {
+        crashes: vec![CrashWindow {
+            start: secs(900),
+            end: secs(960),
+            mode: FaultMode::CrashLoseState,
+        }],
+        stream_faults: vec![StreamFault {
+            item: unit_core::types::DataId(0),
+            start: secs(100),
+            end: secs(500),
+            kind: StreamFaultKind::Drop,
+        }],
+        ..FaultSchedule::default()
+    };
+    plan.validate().expect("hand-built plan is valid");
+
+    let message = Oracle::PlantedNoRecoveries
+        .check(&w, &plan)
+        .expect_err("the planted claim must fail on a firing crash");
+    let shrunk = shrink(&w, Oracle::PlantedNoRecoveries, &plan, message);
+
+    // The minimal reproducer is exactly one lose-state window; all the
+    // noise (pause window, burst, stream fault, second crash) is gone.
+    assert_eq!(
+        plan_components(&shrunk.plan),
+        (1, 1, 0, 0),
+        "shrink must reduce to a single lose-state window"
+    );
+    assert!(shrunk.oracle_runs > 0, "shrinking evaluates candidates");
+    assert!(
+        Oracle::PlantedNoRecoveries.check(&w, &shrunk.plan).is_err(),
+        "the minimal plan still fails the planted oracle"
+    );
+    // And the minimal plan is clean by every real invariant — the
+    // planted failure is the oracle's fault, not the engine's.
+    for oracle in Oracle::REAL {
+        oracle
+            .check(&w, &shrunk.plan)
+            .unwrap_or_else(|e| panic!("real oracle {} failed: {e}", oracle.name()));
+    }
+    // Stripping the one lose-state window empties the plan entirely.
+    assert!(strip_lose_state(&shrunk.plan).is_empty());
+}

@@ -31,6 +31,23 @@
 //! deadline. [`FailoverPolicy::NoRetry`] is the naive baseline: route by
 //! the underlying policy as if every shard were healthy, letting queries
 //! stall into crash windows — the thing the fault bench compares against.
+//!
+//! ## Virtual-time arithmetic at the ceiling
+//!
+//! Every sum in this module is overflow-hardened, and the regression tests
+//! pin the behaviour with `u64::MAX`-adjacent inputs:
+//!
+//! * backoff delays saturate ([`BackoffConfig::delay`] uses
+//!   `saturating_pow`/`saturating_mul`),
+//! * retry instants use `checked_add`: a step that would pass
+//!   [`SimTime::MAX`] rejects the query instead of wrapping to the far
+//!   past (the aborted step still counts against the budget, so the loop
+//!   stays bounded even at the ceiling),
+//! * absolute deadlines saturate (`arrival + relative_deadline` clamps to
+//!   [`SimTime::MAX`], meaning "infinitely patient" — the retry budget is
+//!   then the only bound), and
+//! * delayed re-dispatch shrinks the relative deadline with
+//!   `saturating_since`, never underflowing past zero.
 
 use crate::merge::{ClusterReport, MergedOutcome, PromotionRecord, ReplicaRouteRecord};
 use crate::replication::ReplicaSets;
@@ -724,5 +741,163 @@ mod tests {
         assert_eq!(cfg.delay(1), SimDuration::from_secs(6));
         assert_eq!(cfg.delay(2), SimDuration::from_secs(18));
         assert_eq!(cfg.delay(u32::MAX), SimDuration(u64::MAX));
+        // A saturated multiplier chain saturates the product too — no wrap
+        // back to a tiny delay.
+        let huge = BackoffConfig {
+            base: SimDuration(u64::MAX / 2),
+            multiplier: u64::MAX,
+            max_retries: 3,
+        };
+        assert_eq!(huge.delay(1), SimDuration(u64::MAX));
+    }
+
+    /// A query arriving 2 ticks shy of `SimTime::MAX` with every shard
+    /// paused: the first retry instant would overflow, so the dispatcher
+    /// must reject at the *current* instant instead of wrapping into the
+    /// far past (where the shards would look healthy again).
+    #[test]
+    fn backoff_at_the_time_ceiling_rejects_instead_of_wrapping() {
+        let near_max = SimTime(u64::MAX - 2);
+        let t = Trace {
+            n_items: 4,
+            queries: vec![QuerySpec {
+                id: QueryId(0),
+                arrival: near_max,
+                items: vec![DataId(0)],
+                exec_time: SimDuration::from_secs(1),
+                relative_deadline: SimDuration::from_secs(20),
+                freshness_req: 0.9,
+                pref_class: 0,
+            }],
+            updates: vec![],
+        };
+        // The absolute deadline saturates: "infinitely patient".
+        assert_eq!(t.queries[0].deadline(), SimTime::MAX);
+        let p = ItemPartition::new(2);
+        let window_start = SimTime(u64::MAX - 1_000_000_000);
+        let window_end = SimTime(u64::MAX - 1); // MAX itself fails validation
+        let paused = FaultSchedule {
+            crashes: vec![CrashWindow {
+                start: window_start,
+                end: window_end,
+                mode: FaultMode::Pause,
+            }],
+            ..FaultSchedule::default()
+        };
+        assert!(paused.validate().is_ok());
+        let plan = FaultPlan {
+            shards: vec![paused.clone(), paused],
+        };
+        let cfg = BackoffConfig::default();
+        let decisions = route_with_faults(
+            &t,
+            &p,
+            RoutingPolicy::RoundRobin,
+            &plan,
+            &FailoverPolicy::Backoff(cfg),
+        );
+        // The overflowing step is charged against the budget (keeping the
+        // loop bounded at the ceiling) but time never moves: the rejection
+        // is stamped at the arrival instant.
+        assert_eq!(
+            decisions[0],
+            RouteDecision::Rejected {
+                at: near_max,
+                retries: 1
+            }
+        );
+    }
+
+    /// Backoff instants that stay *just* under the ceiling keep stepping
+    /// normally — `u64::MAX`-adjacency alone must not reject.
+    #[test]
+    fn backoff_just_under_the_ceiling_still_routes() {
+        let base = SimDuration::from_secs(1);
+        let arrival = SimTime(u64::MAX - 10 * base.0);
+        let t = Trace {
+            n_items: 4,
+            queries: vec![QuerySpec {
+                id: QueryId(0),
+                arrival,
+                items: vec![DataId(0)],
+                exec_time: SimDuration::from_secs(1),
+                relative_deadline: SimDuration::from_secs(40),
+                freshness_req: 0.9,
+                pref_class: 0,
+            }],
+            updates: vec![],
+        };
+        let p = ItemPartition::new(2);
+        // Both shards paused until one base-delay after arrival; the first
+        // retry (arrival + base) lands exactly at the recovery instant.
+        let recover = SimTime(arrival.0 + base.0);
+        let paused = FaultSchedule {
+            crashes: vec![CrashWindow {
+                start: SimTime(arrival.0 - 5),
+                end: recover,
+                mode: FaultMode::Pause,
+            }],
+            ..FaultSchedule::default()
+        };
+        assert!(paused.validate().is_ok());
+        let plan = FaultPlan {
+            shards: vec![paused.clone(), paused],
+        };
+        let decisions = route_with_faults(
+            &t,
+            &p,
+            RoutingPolicy::RoundRobin,
+            &plan,
+            &FailoverPolicy::Backoff(BackoffConfig {
+                base,
+                multiplier: 2,
+                max_retries: 5,
+            }),
+        );
+        assert_eq!(
+            decisions[0],
+            RouteDecision::Routed {
+                shard: 0,
+                at: recover,
+                retries: 1
+            }
+        );
+        // The delayed re-dispatch keeps the (saturated) absolute deadline
+        // without underflowing the relative one.
+        let (routed, _) = routed_trace(&t, &decisions);
+        assert_eq!(routed.queries[0].arrival, recover);
+        assert_eq!(routed.queries[0].deadline(), t.queries[0].deadline());
+    }
+
+    /// `routed_trace` at the ceiling: a saturated absolute deadline stays
+    /// saturated after a delayed re-dispatch (the relative deadline shrinks
+    /// to `MAX - at`, never wrapping).
+    #[test]
+    fn routed_trace_preserves_a_saturated_deadline() {
+        let arrival = SimTime(u64::MAX - 100);
+        let at = SimTime(u64::MAX - 40);
+        let t = Trace {
+            n_items: 1,
+            queries: vec![QuerySpec {
+                id: QueryId(0),
+                arrival,
+                items: vec![DataId(0)],
+                exec_time: SimDuration::from_secs(1),
+                relative_deadline: SimDuration(200), // saturates past MAX
+                freshness_req: 0.9,
+                pref_class: 0,
+            }],
+            updates: vec![],
+        };
+        let decisions = vec![RouteDecision::Routed {
+            shard: 0,
+            at,
+            retries: 2,
+        }];
+        let (routed, assignment) = routed_trace(&t, &decisions);
+        assert_eq!(assignment, vec![0]);
+        assert_eq!(routed.queries[0].arrival, at);
+        assert_eq!(routed.queries[0].relative_deadline, SimDuration(40));
+        assert_eq!(routed.queries[0].deadline(), SimTime::MAX);
     }
 }

@@ -195,6 +195,27 @@ impl AdmissionControl {
         AdmissionVerdict::Admitted
     }
 
+    /// Serialize the full control state (knob plus static bounds) into a
+    /// checkpoint stream. See [`crate::checkpoint`].
+    pub fn checkpoint_into(&self, enc: &mut crate::checkpoint::Enc) {
+        enc.put_f64(self.c_flex);
+        enc.put_f64(self.step);
+        enc.put_f64(self.min_c_flex);
+        enc.put_f64(self.max_c_flex);
+    }
+
+    /// Restore state captured by [`AdmissionControl::checkpoint_into`].
+    pub fn restore_from(
+        &mut self,
+        dec: &mut crate::checkpoint::Dec<'_>,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        self.c_flex = dec.take_f64()?;
+        self.step = dec.take_f64()?;
+        self.min_c_flex = dec.take_f64()?;
+        self.max_c_flex = dec.take_f64()?;
+        Ok(())
+    }
+
     /// Summed DMF penalty of the admitted queries that `q` would push past
     /// their deadlines: a query is *endangered* when it completes in time
     /// without `q` but not with `q`'s `qe` inserted ahead of it. Each

@@ -211,6 +211,37 @@ impl Lbc {
         self.allocate(&counts, costs, utilization)
     }
 
+    /// Serialize the controller's dynamic state (window, timers, drop
+    /// reference, tie-break RNG, activation count) into a checkpoint stream.
+    /// The preference set and config are construction-time inputs and are
+    /// not written. See [`crate::checkpoint`].
+    pub fn checkpoint_into(&self, enc: &mut crate::checkpoint::Enc) {
+        self.window.checkpoint_into(enc);
+        enc.put_u64(self.last_activation.0);
+        enc.put_opt_f64(self.prev_window_usm);
+        for w in self.rng.state() {
+            enc.put_u64(w);
+        }
+        enc.put_u64(self.activations);
+    }
+
+    /// Restore state captured by [`Lbc::checkpoint_into`].
+    pub fn restore_from(
+        &mut self,
+        dec: &mut crate::checkpoint::Dec<'_>,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        self.window.restore_from(dec)?;
+        self.last_activation = SimTime(dec.take_u64()?);
+        self.prev_window_usm = dec.take_opt_f64()?;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = dec.take_u64()?;
+        }
+        self.rng = StdRng::from_state(s);
+        self.activations = dec.take_u64()?;
+        Ok(())
+    }
+
     /// Figure 2's decision body, on a window of outcome counts.
     fn allocate(
         &mut self,

@@ -83,6 +83,7 @@ impl<T: FenwickValue> Fenwick<T> {
         );
         let mut i = index + 1;
         while i < self.tree.len() {
+            // lint: allow(D6) — the loop condition is the bounds check
             self.tree[i] = self.tree[i].add(delta);
             i += i & i.wrapping_neg();
         }
@@ -102,6 +103,7 @@ impl<T: FenwickValue> Fenwick<T> {
         );
         let mut i = index + 1;
         while i < self.tree.len() {
+            // lint: allow(D6) — the loop condition is the bounds check
             self.tree[i] = self.tree[i].sub(delta);
             i += i & i.wrapping_neg();
         }
@@ -112,6 +114,7 @@ impl<T: FenwickValue> Fenwick<T> {
         let mut sum = T::ZERO;
         let mut i = count.min(self.len);
         while i > 0 {
+            // lint: allow(D6) — i <= len < tree.len() by the clamp above
             sum = sum.add(self.tree[i]);
             i -= i & i.wrapping_neg();
         }
@@ -137,7 +140,9 @@ impl<T: FenwickValue> Fenwick<T> {
         let mut jump = 1usize << (usize::BITS - 1 - n.leading_zeros());
         while jump > 0 {
             let next = pos + jump;
+            // lint: allow(D6) — next <= n and tree.len() == n + 1
             if next <= n && self.tree[next] < target {
+                // lint: allow(D6) — same guard as the line above
                 target = target.sub(self.tree[next]);
                 pos = next;
             }

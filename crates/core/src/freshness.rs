@@ -173,6 +173,58 @@ impl FreshnessTable {
         applied as f64 / arrived as f64
     }
 
+    /// Serialize every per-item counter and timestamp into a checkpoint
+    /// stream. See [`crate::checkpoint`].
+    pub fn checkpoint_into(&self, enc: &mut crate::checkpoint::Enc) {
+        enc.put_u64_slice(&self.pending);
+        enc.put_usize(self.last_applied.len());
+        for t in &self.last_applied {
+            enc.put_u64(t.0);
+        }
+        enc.put_usize(self.last_arrival.len());
+        for t in &self.last_arrival {
+            enc.put_u64(t.0);
+        }
+        enc.put_u64_slice(&self.arrived);
+        enc.put_u64_slice(&self.applied);
+    }
+
+    /// Restore state captured by [`FreshnessTable::checkpoint_into`].
+    pub fn restore_from(
+        &mut self,
+        dec: &mut crate::checkpoint::Dec<'_>,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        let n = self.pending.len();
+        let pending = dec.take_u64_vec()?;
+        if pending.len() != n {
+            return Err(crate::checkpoint::CheckpointError::Mismatch {
+                what: "freshness table size",
+            });
+        }
+        self.pending = pending;
+        for vec in [&mut self.last_applied, &mut self.last_arrival] {
+            let m = dec.take_usize()?;
+            if m != n {
+                return Err(crate::checkpoint::CheckpointError::Mismatch {
+                    what: "freshness table size",
+                });
+            }
+            for t in vec.iter_mut() {
+                *t = SimTime(dec.take_u64()?);
+            }
+        }
+        let arrived = dec.take_u64_vec()?;
+        let applied = dec.take_u64_vec()?;
+        if arrived.len() != n || applied.len() != n {
+            return Err(crate::checkpoint::CheckpointError::Mismatch {
+                what: "freshness table size",
+            });
+        }
+        self.arrived = arrived;
+        self.applied = applied;
+        Ok(())
+    }
+
     /// **Time-based** freshness variant (documented extension): age of the
     /// item relative to a validity interval, `max(0, 1 - age/validity)`.
     pub fn time_freshness(&self, item: DataId, now: SimTime, validity: SimDuration) -> f64 {

@@ -57,6 +57,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod admission;
+pub mod checkpoint;
 pub mod config;
 pub mod controller;
 pub mod fenwick;
@@ -76,6 +77,7 @@ pub mod usm;
 pub mod validate;
 
 pub use admission::{AdmissionControl, AdmissionVerdict};
+pub use checkpoint::{CheckpointError, Dec, Enc};
 pub use config::UnitConfig;
 pub use controller::{Lbc, LbcConfig};
 pub use fenwick::{Fenwick, FenwickValue};

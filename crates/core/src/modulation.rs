@@ -273,6 +273,60 @@ impl UpdateModulation {
         1.0 / self.degradation_factor(item)
     }
 
+    /// Serialize periods, credit bank, and parameters into a checkpoint
+    /// stream. See [`crate::checkpoint`].
+    pub fn checkpoint_into(&self, enc: &mut crate::checkpoint::Enc) {
+        enc.put_usize(self.ideal.len());
+        for ((ideal, current), credit) in self.ideal.iter().zip(&self.current).zip(&self.credit) {
+            enc.put_u64(ideal.0);
+            enc.put_u64(current.0);
+            enc.put_f64(*credit);
+        }
+        enc.put_f64(self.c_du);
+        enc.put_f64(self.c_uu);
+        enc.put_f64(self.max_factor);
+        enc.put_u8(match self.rule {
+            UpgradeRule::LinearIdealStep => 0,
+            UpgradeRule::Geometric => 1,
+        });
+    }
+
+    /// Restore state captured by [`UpdateModulation::checkpoint_into`].
+    pub fn restore_from(
+        &mut self,
+        dec: &mut crate::checkpoint::Dec<'_>,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        let n = dec.take_usize()?;
+        if n != self.ideal.len() {
+            return Err(crate::checkpoint::CheckpointError::Mismatch {
+                what: "modulation table size",
+            });
+        }
+        for (ideal, (current, credit)) in self
+            .ideal
+            .iter_mut()
+            .zip(self.current.iter_mut().zip(self.credit.iter_mut()))
+        {
+            *ideal = SimDuration(dec.take_u64()?);
+            *current = SimDuration(dec.take_u64()?);
+            *credit = dec.take_f64()?;
+        }
+        self.c_du = dec.take_f64()?;
+        self.c_uu = dec.take_f64()?;
+        self.max_factor = dec.take_f64()?;
+        self.rule = match dec.take_u8()? {
+            0 => UpgradeRule::LinearIdealStep,
+            1 => UpgradeRule::Geometric,
+            v => {
+                return Err(crate::checkpoint::CheckpointError::BadTag {
+                    value: v as u64,
+                    what: "upgrade rule",
+                })
+            }
+        };
+        Ok(())
+    }
+
     /// Check `pi_j ≤ pc_j ≤ cap·pi_j` for every item; streamless items
     /// (`pi = MAX`) must remain untouched. The naive shadow of the clamps
     /// in [`Self::degrade`]/[`Self::upgrade_one`]; always compiled, invoked

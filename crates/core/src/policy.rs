@@ -190,6 +190,33 @@ pub trait Policy {
         None
     }
 
+    // ---- Checkpoint hooks (see `crate::checkpoint`) ----------------------
+
+    /// Serialize every decision-affecting mutable field into the checkpoint
+    /// stream, in a fixed order mirrored by [`Policy::restore_state`].
+    /// O(state size) — linear in the fields written, at most O(n_items).
+    /// Stateless policies keep the empty default. Construction-time
+    /// configuration and purely observational buffers must not be written —
+    /// a snapshot captures exactly what a restored policy needs to make the
+    /// same decisions the uncrashed one would have made. Called only at
+    /// control-tick boundaries, off the event hot path.
+    fn checkpoint_state(&self, enc: &mut crate::checkpoint::Enc) {
+        let _ = enc;
+    }
+
+    /// Restore the fields written by [`Policy::checkpoint_state`] from the
+    /// stream. O(state size) — mirrors [`Policy::checkpoint_state`] exactly.
+    /// Called on a policy that has already gone through
+    /// [`Policy::init`] for the same workload, so statically-derived state
+    /// is in place and only the dynamic fields need overwriting.
+    fn restore_state(
+        &mut self,
+        dec: &mut crate::checkpoint::Dec<'_>,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        let _ = dec;
+        Ok(())
+    }
+
     // ---- Observation hooks (all optional; see `crate::observe`) ---------
     //
     // The engine is the sole event emitter; these hooks let it pull derived

@@ -165,10 +165,11 @@ impl QuerySpec {
             if idx >= n_items {
                 return Err(SpecError::ItemOutOfRange(d, n_items));
             }
+            // lint: allow(D6) — idx >= n_items returned ItemOutOfRange just above
             if seen[idx] {
                 return Err(SpecError::DuplicateItem(self.id, d));
             }
-            seen[idx] = true;
+            seen[idx] = true; // lint: allow(D6) — same range check as the read above
         }
         if self.exec_time.is_zero() {
             return Err(SpecError::ZeroExecTime(self.id));
@@ -320,6 +321,7 @@ impl Trace {
         let mut h = vec![0u64; self.n_items];
         for q in &self.queries {
             for d in &q.items {
+                // lint: allow(D6) — Trace::validate bounds every access below n_items
                 h[d.index()] += 1;
             }
         }
@@ -332,6 +334,7 @@ impl Trace {
         for u in &self.updates {
             if u.first_arrival.0 <= horizon.0 {
                 let remaining = horizon.0 - u.first_arrival.0;
+                // lint: allow(D6) — Trace::validate bounds every update item below n_items
                 h[u.item.index()] += 1 + remaining / u.period.0.max(1);
             }
         }
@@ -340,6 +343,7 @@ impl Trace {
 }
 
 fn windows2<T>(slice: &[T]) -> impl Iterator<Item = (&T, &T)> {
+    // lint: allow(D6) — windows(2) yields exactly-2-element slices
     slice.windows(2).map(|w| (&w[0], &w[1]))
 }
 

@@ -519,6 +519,53 @@ impl Policy for UnitPolicy {
         signals
     }
 
+    /// Serialize every decision-affecting mutable field: admission knob,
+    /// tickets, modulation periods/credit, LBC window + RNG, lottery RNG,
+    /// stats, and the access-share normalizer. Observation buffers
+    /// (`last_admission`, `modulation_obs`) are transient and skipped;
+    /// `util_share` is rebuilt by [`Policy::init`] before restore.
+    fn checkpoint_state(&self, enc: &mut crate::checkpoint::Enc) {
+        self.ac.checkpoint_into(enc);
+        self.tickets.checkpoint_into(enc);
+        self.modulation.checkpoint_into(enc);
+        self.lbc.checkpoint_into(enc);
+        for w in self.rng.state() {
+            enc.put_u64(w);
+        }
+        enc.put_u64(self.stats.rejected_not_promising);
+        enc.put_u64(self.stats.rejected_endangering);
+        enc.put_u64(self.stats.versions_skipped);
+        enc.put_u64(self.stats.versions_applied);
+        enc.put_u64(self.stats.degrade_draws);
+        enc.put_u64(self.stats.upgrade_signals);
+        enc.put_f64(self.cpu_share_sum);
+        enc.put_u64(self.cpu_share_count);
+    }
+
+    fn restore_state(
+        &mut self,
+        dec: &mut crate::checkpoint::Dec<'_>,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        self.ac.restore_from(dec)?;
+        self.tickets.restore_from(dec)?;
+        self.modulation.restore_from(dec)?;
+        self.lbc.restore_from(dec)?;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = dec.take_u64()?;
+        }
+        self.rng = StdRng::from_state(s);
+        self.stats.rejected_not_promising = dec.take_u64()?;
+        self.stats.rejected_endangering = dec.take_u64()?;
+        self.stats.versions_skipped = dec.take_u64()?;
+        self.stats.versions_applied = dec.take_u64()?;
+        self.stats.degrade_draws = dec.take_u64()?;
+        self.stats.upgrade_signals = dec.take_u64()?;
+        self.cpu_share_sum = dec.take_f64()?;
+        self.cpu_share_count = dec.take_u64()?;
+        Ok(())
+    }
+
     /// O(1): a tick is a no-op exactly when the LBC will not activate, and
     /// until an outcome lands only the grace timer can change that — so the
     /// LBC's [`Lbc::idle_until`] bound is exact. UNIT schedules no

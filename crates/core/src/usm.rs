@@ -397,6 +397,35 @@ impl UsmWindow {
         counts
     }
 
+    /// Serialize the window (counts plus priced accumulators) into a
+    /// checkpoint stream. See [`crate::checkpoint`].
+    pub fn checkpoint_into(&self, enc: &mut crate::checkpoint::Enc) {
+        enc.put_u64(self.counts.success);
+        enc.put_u64(self.counts.rejected);
+        enc.put_u64(self.counts.deadline_miss);
+        enc.put_u64(self.counts.data_stale);
+        enc.put_f64(self.gain);
+        for c in self.costs {
+            enc.put_f64(c);
+        }
+    }
+
+    /// Restore state captured by [`UsmWindow::checkpoint_into`].
+    pub fn restore_from(
+        &mut self,
+        dec: &mut crate::checkpoint::Dec<'_>,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        self.counts.success = dec.take_u64()?;
+        self.counts.rejected = dec.take_u64()?;
+        self.counts.deadline_miss = dec.take_u64()?;
+        self.counts.data_stale = dec.take_u64()?;
+        self.gain = dec.take_f64()?;
+        for c in &mut self.costs {
+            *c = dec.take_f64()?;
+        }
+        Ok(())
+    }
+
     /// Drain the window, returning counts plus the priced USM average and
     /// cost components.
     pub fn take_priced(&mut self) -> (OutcomeCounts, f64, [f64; 3]) {

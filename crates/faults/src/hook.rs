@@ -1,7 +1,7 @@
 //! The [`FaultHook`] adapter: plugs a validated [`FaultSchedule`] into a
 //! [`unit_sim::Simulator`] via `Simulator::with_faults`.
 
-use crate::schedule::{FaultSchedule, ScheduleError};
+use crate::schedule::{FaultMode, FaultSchedule, ScheduleError};
 use unit_core::time::SimTime;
 use unit_core::types::DataId;
 use unit_sim::faults::{BackgroundLoad, FaultHook, HealthState, UpdateFault};
@@ -47,6 +47,19 @@ impl FaultHook for ShardFaults {
     fn load_at(&self, now: SimTime) -> Vec<BackgroundLoad> {
         self.schedule.loads_at(now)
     }
+
+    /// O(W): the starts of every [`FaultMode::CrashLoseState`] window.
+    /// Already sorted — validation orders the windows — and each start is
+    /// in [`FaultHook::transition_times`] via
+    /// [`FaultSchedule::transition_instants`].
+    fn lose_state_crashes(&self) -> Vec<SimTime> {
+        self.schedule
+            .crashes
+            .iter()
+            .filter(|w| w.mode == FaultMode::CrashLoseState)
+            .map(|w| w.start)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -91,5 +104,48 @@ mod tests {
             UpdateFault::Apply
         );
         assert!(hook.load_at(SimTime::from_secs(15)).is_empty());
+        assert!(hook.lose_state_crashes().is_empty(), "pause windows only");
+    }
+
+    #[test]
+    fn lose_state_crashes_are_the_crash_mode_starts() {
+        let s = FaultSchedule {
+            crashes: vec![
+                CrashWindow {
+                    start: SimTime::from_secs(10),
+                    end: SimTime::from_secs(11),
+                    mode: FaultMode::CrashLoseState,
+                },
+                CrashWindow {
+                    start: SimTime::from_secs(20),
+                    end: SimTime::from_secs(30),
+                    mode: FaultMode::Pause,
+                },
+                CrashWindow {
+                    start: SimTime::from_secs(40),
+                    end: SimTime::from_secs(41),
+                    mode: FaultMode::CrashLoseState,
+                },
+            ],
+            ..FaultSchedule::default()
+        };
+        let hook = ShardFaults::new(s).expect("valid schedule");
+        assert_eq!(
+            hook.lose_state_crashes(),
+            vec![SimTime::from_secs(10), SimTime::from_secs(40)]
+        );
+        // Every crash instant must also be a transition instant, or the
+        // engine would never wake to perform the recovery.
+        let transitions = hook.transition_times();
+        for t in hook.lose_state_crashes() {
+            assert!(transitions.contains(&t), "crash at {t} not scheduled");
+        }
+        // A lose-state window never reads as unhealthy: recovery is
+        // instantaneous in virtual time.
+        assert_eq!(
+            hook.health(SimTime::from_secs(10)),
+            HealthState::Up,
+            "lose-state crash instant stays Up"
+        );
     }
 }

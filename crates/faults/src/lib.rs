@@ -42,7 +42,7 @@ use unit_core::seed::split_seed;
 /// seed: shard `i` gets `FaultSchedule::generate(split_seed(seed, i), cfg)`,
 /// the same stream-splitting construction the cluster uses for policy
 /// seeds.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FaultPlan {
     /// One schedule per shard, indexed by shard id.
     pub shards: Vec<FaultSchedule>,
@@ -74,6 +74,20 @@ impl FaultPlan {
     pub fn validate(&self) -> Result<(), ScheduleError> {
         for s in &self.shards {
             s.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Validate every shard schedule against a workload horizon (the
+    /// opt-in audit of [`FaultSchedule::validate_against_horizon`]):
+    /// faults that start at or past the horizon never fire and are
+    /// rejected as configuration mistakes.
+    pub fn validate_against_horizon(
+        &self,
+        horizon: unit_core::time::SimTime,
+    ) -> Result<(), ScheduleError> {
+        for s in &self.shards {
+            s.validate_against_horizon(horizon)?;
         }
         Ok(())
     }

@@ -22,6 +22,14 @@ pub enum FaultMode {
     /// Graceful degradation: the read path stays up serving last-applied
     /// versions (honest DSF through `Udrop`), update applications drop.
     DegradedReads,
+    /// Lose-state crash (DESIGN.md §4b): at `start` the shard discards all
+    /// volatile state, restores its last control-boundary checkpoint, and
+    /// replays the lost window in virtual time. The shard is never
+    /// *observably* down — recovery is instantaneous in virtual time — so
+    /// [`FaultSchedule::health_at`] reports `Up` throughout; the window's
+    /// `end` exists only to satisfy the shared window invariants and its
+    /// transition is a no-op.
+    CrashLoseState,
 }
 
 /// One crash/recovery window: `[start, end)` in virtual time.
@@ -116,6 +124,26 @@ pub enum ScheduleError {
     },
     /// Bursts not sorted by instant.
     BurstsUnsorted,
+    /// A crash window starting at or beyond the declared horizon: it can
+    /// never fire within the workload, so it is almost certainly a unit
+    /// mistake (seconds vs. micros) rather than intent. Only reported by
+    /// the opt-in [`FaultSchedule::validate_against_horizon`].
+    CrashWindowPastHorizon {
+        /// The unreachable window's start.
+        start: SimTime,
+    },
+    /// A stream-fault interval starting at or beyond the declared horizon
+    /// (opt-in horizon check only).
+    StreamFaultPastHorizon {
+        /// The item whose interval is unreachable.
+        item: DataId,
+    },
+    /// A load burst at or beyond the declared horizon (opt-in horizon
+    /// check only).
+    BurstPastHorizon {
+        /// The unreachable burst's instant.
+        at: SimTime,
+    },
 }
 
 impl std::fmt::Display for ScheduleError {
@@ -149,6 +177,19 @@ impl std::fmt::Display for ScheduleError {
                 write!(f, "burst at {at} has zero transactions or zero demand")
             }
             ScheduleError::BurstsUnsorted => write!(f, "bursts must be sorted by instant"),
+            ScheduleError::CrashWindowPastHorizon { start } => {
+                write!(f, "crash window at {start} starts at or past the horizon")
+            }
+            ScheduleError::StreamFaultPastHorizon { item } => {
+                write!(
+                    f,
+                    "stream fault for item {} starts at or past the horizon",
+                    item.0
+                )
+            }
+            ScheduleError::BurstPastHorizon { at } => {
+                write!(f, "burst at {at} lies at or past the horizon")
+            }
         }
     }
 }
@@ -343,6 +384,32 @@ impl FaultSchedule {
         Ok(())
     }
 
+    /// [`FaultSchedule::validate`] plus the opt-in horizon audit: every
+    /// crash window, stream-fault interval, and burst must *start* before
+    /// `horizon` (ends may spill past it — "never recovers within the
+    /// workload" is legitimate). A fault placed entirely past the horizon
+    /// silently never fires, which in practice is a unit mistake; callers
+    /// that know their workload horizon should prefer this check. O(F).
+    pub fn validate_against_horizon(&self, horizon: SimTime) -> Result<(), ScheduleError> {
+        self.validate()?;
+        for w in &self.crashes {
+            if w.start >= horizon {
+                return Err(ScheduleError::CrashWindowPastHorizon { start: w.start });
+            }
+        }
+        for s in &self.stream_faults {
+            if s.start >= horizon {
+                return Err(ScheduleError::StreamFaultPastHorizon { item: s.item });
+            }
+        }
+        for b in &self.bursts {
+            if b.at >= horizon {
+                return Err(ScheduleError::BurstPastHorizon { at: b.at });
+            }
+        }
+        Ok(())
+    }
+
     /// Generate a schedule from a seed: crash windows covering roughly
     /// `crash_rate` of the horizon, `stream_faults` drop/delay intervals on
     /// random items, and `bursts` load bursts — all placed by counter-mode
@@ -455,6 +522,10 @@ impl FaultSchedule {
             match w.mode {
                 FaultMode::Pause => HealthState::Down { until: w.end },
                 FaultMode::DegradedReads => HealthState::Degraded { until: w.end },
+                // Recovery is instantaneous in virtual time: the crash and
+                // its checkpoint replay happen *at* `start`, so no instant
+                // ever observes the shard unhealthy.
+                FaultMode::CrashLoseState => HealthState::Up,
             }
         } else {
             HealthState::Up
@@ -498,11 +569,19 @@ impl FaultSchedule {
 
     /// Every instant the engine must wake at: window boundaries and burst
     /// instants. O(W + B).
+    ///
+    /// A [`FaultMode::CrashLoseState`] window contributes only its start
+    /// (the crash instant): recovery is instantaneous in virtual time, so
+    /// waking the engine at the end would be a pure no-op — and a no-op
+    /// event still perturbs `end_time` when it lands past the last real
+    /// event of the run.
     pub fn transition_instants(&self) -> Vec<SimTime> {
         let mut times = Vec::with_capacity(2 * self.crashes.len() + self.bursts.len());
         for w in &self.crashes {
             times.push(w.start);
-            times.push(w.end);
+            if w.mode != FaultMode::CrashLoseState {
+                times.push(w.end);
+            }
         }
         for b in &self.bursts {
             times.push(b.at);
@@ -714,6 +793,84 @@ mod tests {
             unsorted_bursts.validate(),
             Err(ScheduleError::BurstsUnsorted)
         );
+    }
+
+    #[test]
+    fn horizon_audit_rejects_unreachable_faults_exactly() {
+        let horizon = t(100);
+
+        // Starting before the horizon is fine even when the end spills past
+        // it ("never recovers within the workload" is legitimate).
+        let spilling = FaultSchedule {
+            crashes: vec![window(90, 500, FaultMode::Pause)],
+            ..FaultSchedule::default()
+        };
+        assert_eq!(spilling.validate_against_horizon(horizon), Ok(()));
+
+        // Starting exactly at the horizon never fires: exact error.
+        let at_edge = FaultSchedule {
+            crashes: vec![window(100, 110, FaultMode::CrashLoseState)],
+            ..FaultSchedule::default()
+        };
+        assert_eq!(
+            at_edge.validate_against_horizon(horizon),
+            Err(ScheduleError::CrashWindowPastHorizon { start: t(100) })
+        );
+
+        let late_stream = FaultSchedule {
+            stream_faults: vec![StreamFault {
+                item: DataId(7),
+                start: t(120),
+                end: t(130),
+                kind: StreamFaultKind::Drop,
+            }],
+            ..FaultSchedule::default()
+        };
+        assert_eq!(
+            late_stream.validate_against_horizon(horizon),
+            Err(ScheduleError::StreamFaultPastHorizon { item: DataId(7) })
+        );
+
+        let late_burst = FaultSchedule {
+            bursts: vec![Burst {
+                at: t(250),
+                loads: 1,
+                exec: dur(1),
+            }],
+            ..FaultSchedule::default()
+        };
+        assert_eq!(
+            late_burst.validate_against_horizon(horizon),
+            Err(ScheduleError::BurstPastHorizon { at: t(250) })
+        );
+
+        // The horizon audit still runs the structural checks first: a
+        // zero-length window is reported as empty, not as past-horizon.
+        let empty_late = FaultSchedule {
+            crashes: vec![window(150, 150, FaultMode::Pause)],
+            ..FaultSchedule::default()
+        };
+        assert_eq!(
+            empty_late.validate_against_horizon(horizon),
+            Err(ScheduleError::EmptyCrashWindow { start: t(150) })
+        );
+    }
+
+    #[test]
+    fn lose_state_windows_read_as_up() {
+        let s = FaultSchedule {
+            crashes: vec![window(10, 20, FaultMode::CrashLoseState)],
+            ..FaultSchedule::default()
+        };
+        assert!(s.validate().is_ok());
+        // Recovery is instantaneous in virtual time: no instant inside the
+        // window observes the shard unhealthy.
+        for secs in [9, 10, 15, 19, 20] {
+            assert_eq!(s.health_at(t(secs)), HealthState::Up, "at {secs}s");
+        }
+        // Only the start schedules a wakeup (the crash fires there); the
+        // end would be a pure no-op and is not scheduled.
+        assert_eq!(s.transition_instants(), vec![t(10)]);
     }
 
     #[test]

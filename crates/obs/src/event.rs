@@ -205,6 +205,32 @@ pub enum ObsEvent {
         /// The promoted follower shard.
         to: u32,
     },
+    /// A deterministic crash-recovery checkpoint of the full engine state
+    /// was taken at a control boundary (engine-level; only emitted while a
+    /// lose-state crash schedule is armed).
+    CheckpointTaken {
+        /// Checkpoint instant (a control-tick boundary or run start).
+        time: SimTime,
+        /// Size of the serialized snapshot in bytes.
+        bytes: u64,
+    },
+    /// A lose-state crash fired: the engine is discarding all volatile
+    /// state and restoring from its last checkpoint, then replaying the
+    /// lost window in virtual time.
+    RestoreBegin {
+        /// Crash instant (replay will catch back up to here).
+        time: SimTime,
+        /// Virtual instant of the checkpoint being restored.
+        checkpoint: SimTime,
+    },
+    /// Replay of a crash-lost window completed: the engine's state has
+    /// caught back up to the crash instant.
+    ReplayComplete {
+        /// The crash instant replay caught up to.
+        time: SimTime,
+        /// Virtual instant of the checkpoint the replay started from.
+        checkpoint: SimTime,
+    },
     /// A shard engine's event, replayed at cluster level: `seq` is the
     /// event's position in that shard's own stream, making the cluster
     /// merge key `(time, shard, seq)` unique and deterministic.
@@ -234,7 +260,10 @@ impl ObsEvent {
             | ObsEvent::DispatcherReject { time, .. }
             | ObsEvent::ReplicaPropagate { time, .. }
             | ObsEvent::ReplicaRoute { time, .. }
-            | ObsEvent::ReplicaPromote { time, .. } => *time,
+            | ObsEvent::ReplicaPromote { time, .. }
+            | ObsEvent::CheckpointTaken { time, .. }
+            | ObsEvent::RestoreBegin { time, .. }
+            | ObsEvent::ReplayComplete { time, .. } => *time,
             ObsEvent::Shard { event, .. } => event.time(),
         }
     }
@@ -254,6 +283,9 @@ impl ObsEvent {
             ObsEvent::ReplicaPropagate { .. } => "replica_propagate",
             ObsEvent::ReplicaRoute { .. } => "replica_route",
             ObsEvent::ReplicaPromote { .. } => "replica_promote",
+            ObsEvent::CheckpointTaken { .. } => "checkpoint_taken",
+            ObsEvent::RestoreBegin { .. } => "restore_begin",
+            ObsEvent::ReplayComplete { .. } => "replay_complete",
             ObsEvent::Shard { .. } => "shard",
         }
     }

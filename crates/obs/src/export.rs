@@ -204,6 +204,18 @@ pub fn event_to_json(ev: &ObsEvent) -> String {
             r#"{{"kind":"replica_promote","t":{},"item":{},"from":{from},"to":{to}}}"#,
             time.0, item.0
         ),
+        ObsEvent::CheckpointTaken { time, bytes } => format!(
+            r#"{{"kind":"checkpoint_taken","t":{},"bytes":{bytes}}}"#,
+            time.0
+        ),
+        ObsEvent::RestoreBegin { time, checkpoint } => format!(
+            r#"{{"kind":"restore_begin","t":{},"checkpoint":{}}}"#,
+            time.0, checkpoint.0
+        ),
+        ObsEvent::ReplayComplete { time, checkpoint } => format!(
+            r#"{{"kind":"replay_complete","t":{},"checkpoint":{}}}"#,
+            time.0, checkpoint.0
+        ),
         ObsEvent::Shard { shard, seq, event } => format!(
             r#"{{"kind":"shard","shard":{shard},"seq":{seq},"event":{}}}"#,
             event_to_json(event)
@@ -399,6 +411,18 @@ fn event_to_csv_row(ev: &ObsEvent, shard: Option<u32>, seq: Option<u64>) -> Stri
             shard_col = to.to_string();
             detail = "promoted".to_string();
             v0 = from.to_string();
+        }
+        ObsEvent::CheckpointTaken { bytes, .. } => {
+            detail = "checkpoint".to_string();
+            v0 = bytes.to_string();
+        }
+        ObsEvent::RestoreBegin { checkpoint, .. } => {
+            detail = "restore".to_string();
+            v0 = checkpoint.0.to_string();
+        }
+        ObsEvent::ReplayComplete { checkpoint, .. } => {
+            detail = "replayed".to_string();
+            v0 = checkpoint.0.to_string();
         }
         ObsEvent::Shard {
             shard: s,

@@ -24,6 +24,9 @@
 
 use crate::events::{Event, EventQueue};
 use crate::faults::{FaultHook, HealthState, UpdateFault};
+
+#[path = "engine_checkpoint.rs"]
+mod checkpoint;
 use crate::locks::{LockManager, ReadAcquire, WriteAcquire};
 use crate::stats::{FaultCounts, SignalCounts, SimReport, TimelineSample};
 use crate::txn::{Txn, TxnId, TxnKind, TxnState};
@@ -523,6 +526,26 @@ pub struct Simulator<'a, P: Policy> {
     /// derived data; the differential suite pins both properties).
     obs: Option<&'a mut dyn Observer>,
 
+    // --- crash recovery (lose-state) -------------------------------------
+    // Everything in this block is deliberately *outside* the checkpointed
+    // state: a restore must not rewind recovery progress, or the crash
+    // that triggered it would re-fire during its own replay, forever.
+    /// Sorted, deduplicated lose-state crash instants
+    /// ([`FaultHook::lose_state_crashes`]), fixed at run start.
+    crash_points: Vec<SimTime>,
+    /// Crash points before this index have fired and been recovered from.
+    next_crash_idx: usize,
+    /// Deterministic snapshot taken at the most recent control boundary
+    /// while a future crash point exists (see `take_checkpoint` in the
+    /// checkpoint module).
+    last_checkpoint: Option<Vec<u8>>,
+    /// Streamed specs fed since the last checkpoint: their arrival events
+    /// are not in the snapshot's heap, so a restore must re-feed them.
+    input_log: Vec<QuerySpec>,
+    /// While replaying a crash-lost window: `(crash instant, checkpoint
+    /// instant)`; cleared when the clock catches back up to the crash.
+    replay: Option<(SimTime, SimTime)>,
+
     // --- accounting -----------------------------------------------------
     counts: OutcomeCounts,
     class_counts: Vec<OutcomeCounts>,
@@ -671,6 +694,11 @@ impl<'a, P: Policy> Simulator<'a, P> {
             view_scratch: RefCell::new(Vec::new()),
             faults: None,
             obs: None,
+            crash_points: Vec::new(),
+            next_crash_idx: 0,
+            last_checkpoint: None,
+            input_log: Vec::new(),
+            replay: None,
             counts: OutcomeCounts::default(),
             class_counts: Vec::new(),
             cpu_busy: SimDuration::ZERO,
@@ -790,7 +818,15 @@ impl<'a, P: Policy> Simulator<'a, P> {
             for t in times {
                 self.events.push(t, Event::FaultTransition);
             }
+            let mut crashes = hook.lose_state_crashes();
+            crashes.sort_unstable();
+            crashes.dedup();
+            self.crash_points = crashes;
         }
+        // Arm crash recovery: the run-start snapshot is the fallback for a
+        // crash that fires before the first control boundary. A no-op
+        // unless a future lose-state crash point exists.
+        self.take_checkpoint();
     }
 
     /// Process the next pending event, advancing the virtual clock. Returns
@@ -927,6 +963,11 @@ impl<'a, P: Policy> Simulator<'a, P> {
         self.last_fed_arrival = spec.arrival;
         for d in &spec.items {
             self.streamed_accesses[d.index()] += 1;
+        }
+        if self.checkpoint_armed() {
+            // Crash replay must re-feed arrivals the snapshot's heap does
+            // not hold; the log is pruned at every checkpoint.
+            self.input_log.push(spec.clone());
         }
         let seq = self.submitted;
         self.submitted += 1;
@@ -1413,6 +1454,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
             self.window_busy = SimDuration::ZERO;
             self.window_start = self.clock;
             self.rearm_tick();
+            self.take_checkpoint();
             return;
         }
         // One view serves both the policy tick and the timeline sample, so
@@ -1509,6 +1551,7 @@ impl<'a, P: Policy> Simulator<'a, P> {
         self.validate_invariants();
 
         self.rearm_tick();
+        self.take_checkpoint();
     }
 
     /// Idle-tick fast-forward: when the policy certifies a run of pending
@@ -1586,6 +1629,11 @@ impl<'a, P: Policy> Simulator<'a, P> {
         self.window_busy = SimDuration::ZERO;
         self.window_start = t_last;
         self.rearm_tick();
+        // One snapshot at the collapsed boundary stands in for the skipped
+        // per-tick snapshots: recovery only needs *a* checkpoint at or
+        // before the crash instant plus the input log since it, and the
+        // skip stops strictly before the crash's heap transition.
+        self.take_checkpoint();
     }
 
     /// Claim the next tick's runtime sequence slot at exactly the point the
@@ -1606,6 +1654,26 @@ impl<'a, P: Policy> Simulator<'a, P> {
     /// re-fill the CPUs. O(n_cpus · log N_rq + B_now) plus the trailing
     /// [`Simulator::reschedule`].
     fn on_fault_transition(&mut self) {
+        // Lose-state crashes come first: the restore rewinds the clock, and
+        // the replayed run re-pops this very transition (with the crash
+        // point consumed) to apply its ordinary semantics below.
+        if self.crash_due() {
+            self.perform_crash_recovery();
+            return;
+        }
+        if let Some((until, from)) = self.replay {
+            if until == self.clock {
+                // The replay caught back up to the crash instant; from here
+                // on the run breaks new ground again.
+                self.replay = None;
+                if self.obs.is_some() {
+                    self.emit(ObsEvent::ReplayComplete {
+                        time: until,
+                        checkpoint: from,
+                    });
+                }
+            }
+        }
         let Some(health) = self.faults.as_deref().map(|h| h.health(self.clock)) else {
             debug_assert!(false, "FaultTransition scheduled without a hook");
             return;

@@ -184,6 +184,48 @@ impl EventQueue {
     pub fn peek_key(&self) -> Option<(SimTime, u64)> {
         self.heap.peek().map(|Reverse((t, s, _))| (*t, *s))
     }
+
+    /// All pending events as `(time, seq, payload)`, sorted by `(time, seq)`
+    /// — pop order. Used by checkpointing: the slab may hold placeholder
+    /// payloads in freed slots, so the heap (live keys only) is the source
+    /// of truth and a snapshot never exposes recycled garbage.
+    pub(crate) fn snapshot(&self) -> Vec<(SimTime, u64, Event)> {
+        let mut entries: Vec<(SimTime, u64, Event)> = self
+            .heap
+            .iter()
+            // lint: allow(D6) — heap keys index live slab slots by construction; a freed slot's key is popped before the slot is recycled
+            .map(|Reverse((t, s, slot))| (*t, *s, self.slab[*slot as usize].clone()))
+            .collect();
+        entries.sort_by_key(|&(t, s, _)| (t, s));
+        entries
+    }
+
+    /// Re-insert snapshotted entries with their original sequence numbers.
+    /// The caller is responsible for clearing the queue first and for
+    /// restoring [`EventQueue::next_seq`] afterwards.
+    pub(crate) fn restore_entries(&mut self, entries: Vec<(SimTime, u64, Event)>) {
+        for (t, s, e) in entries {
+            self.push_with_seq(t, e, s);
+        }
+    }
+
+    /// Current runtime sequence counter (checkpoint support).
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Overwrite the runtime sequence counter (restore support).
+    pub(crate) fn set_next_seq(&mut self, seq: u64) {
+        self.next_seq = seq;
+    }
+
+    /// Drop every pending event and recycled slot, keeping allocations.
+    /// Restore support: the queue is refilled from a snapshot afterwards.
+    pub(crate) fn clear(&mut self) {
+        self.heap.clear();
+        self.slab.clear();
+        self.free.clear();
+    }
 }
 
 #[cfg(test)]
@@ -257,6 +299,34 @@ mod tests {
         assert_eq!(q.peek_key(), Some((t, ARRIVAL_SEQ_BASE)));
         assert_eq!(q.pop().unwrap().1, Event::QueryArrival { spec_idx: 0 });
         assert_eq!(q.pop().unwrap().1, Event::QueryArrival { spec_idx: 2 });
+    }
+
+    #[test]
+    fn snapshot_and_restore_preserve_pop_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(3);
+        q.push(t, Event::ControlTick);
+        q.push_arrival(t, Event::QueryArrival { spec_idx: 7 }, 7);
+        q.push(
+            SimTime::from_secs(1),
+            Event::VersionArrival { stream_idx: 4 },
+        );
+        // Pop one so the slab contains a recycled placeholder slot.
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, Event::VersionArrival { stream_idx: 4 });
+
+        let entries = q.snapshot();
+        assert_eq!(entries.len(), 2);
+        let next = q.next_seq();
+
+        let mut r = EventQueue::new();
+        r.clear();
+        r.restore_entries(entries);
+        r.set_next_seq(next);
+        assert_eq!(r.next_seq(), next);
+        assert_eq!(r.pop().unwrap().1, Event::QueryArrival { spec_idx: 7 });
+        assert_eq!(r.pop().unwrap().1, Event::ControlTick);
+        assert!(r.pop().is_none());
     }
 
     #[test]

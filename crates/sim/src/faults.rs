@@ -116,6 +116,17 @@ pub trait FaultHook {
     /// the transition is a crash boundary). O(B_now) in the number of
     /// bursts at exactly `now`.
     fn load_at(&self, now: SimTime) -> Vec<BackgroundLoad>;
+
+    /// Virtual instants at which the server crashes **losing all volatile
+    /// state** (DESIGN.md §4b): at each instant the engine discards its
+    /// state, restores its last checkpoint, and replays the lost window.
+    /// Must be sorted ascending; duplicates are fine. These instants must
+    /// also appear in [`FaultHook::transition_times`]. The default — no
+    /// lose-state crashes — keeps existing hooks (pause/degrade semantics)
+    /// unchanged. O(F).
+    fn lose_state_crashes(&self) -> Vec<SimTime> {
+        Vec::new() // lint: allow(P2) — called once at simulator start to arm the crash cursor, never per event
+    }
 }
 
 /// The trivial hook: always healthy, never faults. Installing it is

@@ -87,6 +87,11 @@ pub struct FaultCounts {
     /// Events (arrivals, deadlines, control ticks) deferred to the end of a
     /// crash window.
     pub deferred_events: u64,
+    /// Lose-state crash recoveries performed (checkpoint restore + replay).
+    /// Monotone across restores: survives the rollback of every other
+    /// counter.
+    #[serde(default)]
+    pub recoveries: u64,
 }
 
 impl FaultCounts {
@@ -427,6 +432,7 @@ mod tests {
             update_delays: 2,
             background_spawned: 1,
             deferred_events: 4,
+            recoveries: 1,
         };
         assert!(!instrumented.faults.is_zero());
         assert_eq!(report_digest(&base), report_digest(&instrumented));
