@@ -17,6 +17,7 @@
 //! [--fixture-broken] [--out DIR | --no-out]`.
 
 use unit_bench::chaos::{sweep, ChaosFixture, ChaosWorkload, Oracle};
+use unit_bench::cli::Flags;
 
 struct Args {
     plans: u64,
@@ -36,39 +37,27 @@ fn parse_args() -> Args {
         fixture_broken: false,
         out: Some("results/chaos".to_string()),
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
+    let mut fl = Flags::from_env(
+        "usage: chaos [--plans N] [--seed S] [--scale N] [--shards N] \
+         [--fixture-broken] [--out DIR | --no-out]",
+    );
+    while let Some(arg) = fl.next_flag() {
         match arg.as_str() {
-            "--plans" => {
-                let v = it.next().expect("--plans requires a value");
-                args.plans = v.parse().expect("bad --plans");
-            }
-            "--seed" => {
-                let v = it.next().expect("--seed requires a value");
-                args.seed = v.parse().expect("bad --seed");
-            }
-            "--scale" => {
-                let v = it.next().expect("--scale requires a value");
-                args.scale = v.parse().expect("bad --scale");
-                assert!(args.scale >= 1, "--scale must be >= 1");
-            }
-            "--shards" => {
-                let v = it.next().expect("--shards requires a value");
-                args.shards = v.parse().expect("bad --shards");
-                assert!(args.shards >= 1, "--shards must be >= 1");
-            }
+            "--plans" => args.plans = fl.parse(&arg),
+            "--seed" => args.seed = fl.parse(&arg),
+            "--scale" => args.scale = fl.parse(&arg),
+            "--shards" => args.shards = fl.parse(&arg),
             "--fixture-broken" => args.fixture_broken = true,
-            "--out" => args.out = Some(it.next().expect("--out requires a directory")),
+            "--out" => args.out = Some(fl.value(&arg)),
             "--no-out" => args.out = None,
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!(
-                    "usage: chaos [--plans N] [--seed S] [--scale N] [--shards N] \
-                     [--fixture-broken] [--out DIR | --no-out]"
-                );
-                std::process::exit(2);
-            }
+            other => fl.unknown(other),
         }
+    }
+    if args.scale == 0 {
+        fl.fail("--scale must be >= 1");
+    }
+    if args.shards == 0 {
+        fl.fail("--shards must be >= 1");
     }
     args
 }

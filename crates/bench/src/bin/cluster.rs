@@ -36,6 +36,7 @@
 //! [`EpochParallel`]: unit_cluster::ExecutionMode::EpochParallel
 
 use std::time::Instant;
+use unit_bench::cli::Flags;
 use unit_bench::render::render_event_timeline;
 use unit_bench::{default_workload_plan, ExperimentPlan};
 use unit_cluster::{ClusterConfig, ClusterReport, RoutingPolicy};
@@ -72,44 +73,23 @@ fn parse_args() -> Args {
         trace_out: None,
         assert_scaling: false,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
+    let mut fl = Flags::from_env(
+        "usage: cluster [--scale N] [--seed S] [--runs R] [--epoch-secs E] \
+         [--workers W] [--out FILE | --no-out] [--trace-out FILE] \
+         [--assert-scaling]",
+    );
+    while let Some(arg) = fl.next_flag() {
         match arg.as_str() {
-            "--scale" => {
-                let v = it.next().expect("--scale requires a value");
-                args.scale = v.parse().expect("bad --scale");
-            }
-            "--seed" => {
-                let v = it.next().expect("--seed requires a value");
-                args.seed = v.parse().expect("bad --seed");
-            }
-            "--runs" => {
-                let v = it.next().expect("--runs requires a value");
-                args.runs = v.parse().expect("bad --runs");
-            }
-            "--epoch-secs" => {
-                let v = it.next().expect("--epoch-secs requires a value");
-                args.epoch_secs = v.parse().expect("bad --epoch-secs");
-            }
-            "--workers" => {
-                let v = it.next().expect("--workers requires a value");
-                args.workers = v.parse().expect("bad --workers");
-            }
-            "--out" => args.out = Some(it.next().expect("--out requires a path")),
+            "--scale" => args.scale = fl.parse(&arg),
+            "--seed" => args.seed = fl.parse(&arg),
+            "--runs" => args.runs = fl.parse(&arg),
+            "--epoch-secs" => args.epoch_secs = fl.parse(&arg),
+            "--workers" => args.workers = fl.parse(&arg),
+            "--out" => args.out = Some(fl.value(&arg)),
             "--no-out" => args.out = None,
-            "--trace-out" => {
-                args.trace_out = Some(it.next().expect("--trace-out requires a path"));
-            }
+            "--trace-out" => args.trace_out = Some(fl.value(&arg)),
             "--assert-scaling" => args.assert_scaling = true,
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!(
-                    "usage: cluster [--scale N] [--seed S] [--runs R] [--epoch-secs E] \
-                     [--workers W] [--out FILE | --no-out] [--trace-out FILE] \
-                     [--assert-scaling]"
-                );
-                std::process::exit(2);
-            }
+            other => fl.unknown(other),
         }
     }
     args

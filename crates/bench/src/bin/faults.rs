@@ -19,6 +19,7 @@
 //! [--trace-out FILE]`.
 
 use std::time::Instant;
+use unit_bench::cli::Flags;
 use unit_bench::default_workload_plan;
 use unit_bench::render::render_event_timeline;
 use unit_cluster::{BackoffConfig, ClusterConfig, FailoverPolicy, RoutingPolicy};
@@ -45,30 +46,18 @@ fn parse_args() -> Args {
         out: Some("BENCH_faults.json".to_string()),
         trace_out: None,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
+    let mut fl = Flags::from_env(
+        "usage: faults [--scale N] [--seed S] [--out FILE | --no-out] \
+         [--trace-out FILE]",
+    );
+    while let Some(arg) = fl.next_flag() {
         match arg.as_str() {
-            "--scale" => {
-                let v = it.next().expect("--scale requires a value");
-                args.scale = v.parse().expect("bad --scale");
-            }
-            "--seed" => {
-                let v = it.next().expect("--seed requires a value");
-                args.seed = v.parse().expect("bad --seed");
-            }
-            "--out" => args.out = Some(it.next().expect("--out requires a path")),
+            "--scale" => args.scale = fl.parse(&arg),
+            "--seed" => args.seed = fl.parse(&arg),
+            "--out" => args.out = Some(fl.value(&arg)),
             "--no-out" => args.out = None,
-            "--trace-out" => {
-                args.trace_out = Some(it.next().expect("--trace-out requires a path"));
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!(
-                    "usage: faults [--scale N] [--seed S] [--out FILE | --no-out] \
-                     [--trace-out FILE]"
-                );
-                std::process::exit(2);
-            }
+            "--trace-out" => args.trace_out = Some(fl.value(&arg)),
+            other => fl.unknown(other),
         }
     }
     args

@@ -23,6 +23,7 @@
 //! trade-off the UNIT paper's freshness machinery quantifies.
 
 use std::time::Instant;
+use unit_bench::cli::Flags;
 use unit_bench::default_workload_plan;
 use unit_cluster::{
     ClusterConfig, ClusterReport, PropagationLag, ReplicationConfig, RoutingPolicy,
@@ -48,35 +49,19 @@ fn parse_args() -> Args {
         runs: 1,
         out: Some("BENCH_replication.json".to_string()),
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
+    let mut fl = Flags::from_env(
+        "usage: replication [--scale N] [--seed S] [--shards N] [--runs R] \
+         [--out FILE | --no-out]",
+    );
+    while let Some(arg) = fl.next_flag() {
         match arg.as_str() {
-            "--scale" => {
-                let v = it.next().expect("--scale requires a value");
-                args.scale = v.parse().expect("bad --scale");
-            }
-            "--seed" => {
-                let v = it.next().expect("--seed requires a value");
-                args.seed = v.parse().expect("bad --seed");
-            }
-            "--shards" => {
-                let v = it.next().expect("--shards requires a value");
-                args.shards = v.parse().expect("bad --shards");
-            }
-            "--runs" => {
-                let v = it.next().expect("--runs requires a value");
-                args.runs = v.parse().expect("bad --runs");
-            }
-            "--out" => args.out = Some(it.next().expect("--out requires a path")),
+            "--scale" => args.scale = fl.parse(&arg),
+            "--seed" => args.seed = fl.parse(&arg),
+            "--shards" => args.shards = fl.parse(&arg),
+            "--runs" => args.runs = fl.parse(&arg),
+            "--out" => args.out = Some(fl.value(&arg)),
             "--no-out" => args.out = None,
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!(
-                    "usage: replication [--scale N] [--seed S] [--shards N] [--runs R] \
-                     [--out FILE | --no-out]"
-                );
-                std::process::exit(2);
-            }
+            other => fl.unknown(other),
         }
     }
     args

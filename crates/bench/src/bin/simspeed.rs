@@ -23,6 +23,7 @@
 //! full spec `Vec`. This is the scale-1000 "no materialization" receipt.
 
 use std::time::Instant;
+use unit_bench::cli::Flags;
 use unit_bench::{default_workload_plan, run_policy, ExperimentPlan, PolicyKind};
 use unit_core::unit_policy::UnitPolicy;
 use unit_core::usm::UsmWeights;
@@ -51,53 +52,27 @@ fn parse_args() -> Args {
         stream_demo: None,
         chunk: 1024,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
+    let mut fl = Flags::from_env(
+        "usage: simspeed [--scale N] [--runs K] [--baseline SECS] \
+         [--max-regression R] [--scale-up M] [--stream-demo M] \
+         [--chunk C] [--out FILE | --no-out]",
+    );
+    while let Some(arg) = fl.next_flag() {
         match arg.as_str() {
-            "--scale" => {
-                let v = it.next().expect("--scale requires a value");
-                args.scale = v.parse().expect("bad --scale");
-            }
-            "--runs" => {
-                let v = it.next().expect("--runs requires a value");
-                args.runs = v.parse().expect("bad --runs");
-            }
-            "--baseline" => {
-                let v = it.next().expect("--baseline requires seconds");
-                args.baseline_secs = Some(v.parse().expect("bad --baseline"));
-            }
-            "--max-regression" => {
-                let v = it.next().expect("--max-regression requires a ratio");
-                args.max_regression = Some(v.parse().expect("bad --max-regression"));
-            }
-            "--scale-up" => {
-                let v = it.next().expect("--scale-up requires a multiplier");
-                args.scale_up = Some(v.parse().expect("bad --scale-up"));
-            }
-            "--stream-demo" => {
-                let v = it.next().expect("--stream-demo requires a multiplier");
-                args.stream_demo = Some(v.parse().expect("bad --stream-demo"));
-            }
-            "--chunk" => {
-                let v = it.next().expect("--chunk requires a value");
-                args.chunk = v.parse().expect("bad --chunk");
-            }
-            "--out" => args.out = Some(it.next().expect("--out requires a path")),
+            "--scale" => args.scale = fl.parse(&arg),
+            "--runs" => args.runs = fl.parse(&arg),
+            "--baseline" => args.baseline_secs = Some(fl.parse(&arg)),
+            "--max-regression" => args.max_regression = Some(fl.parse(&arg)),
+            "--scale-up" => args.scale_up = Some(fl.parse(&arg)),
+            "--stream-demo" => args.stream_demo = Some(fl.parse(&arg)),
+            "--chunk" => args.chunk = fl.parse(&arg),
+            "--out" => args.out = Some(fl.value(&arg)),
             "--no-out" => args.out = None,
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!(
-                    "usage: simspeed [--scale N] [--runs K] [--baseline SECS] \
-                     [--max-regression R] [--scale-up M] [--stream-demo M] \
-                     [--chunk C] [--out FILE | --no-out]"
-                );
-                std::process::exit(2);
-            }
+            other => fl.unknown(other),
         }
     }
     if args.max_regression.is_some() && args.baseline_secs.is_none() {
-        eprintln!("--max-regression needs --baseline to compare against");
-        std::process::exit(2);
+        fl.fail("--max-regression needs --baseline to compare against");
     }
     args
 }

@@ -10,7 +10,7 @@ use unit_bench::{default_workload_plan, PolicyKind};
 use unit_core::unit_policy::UnitPolicy;
 use unit_core::usm::UsmWeights;
 use unit_obs::{Observer, RingRecorder};
-use unit_sim::{run_simulation, SimConfig, SimReport, Simulator, TimelineSample};
+use unit_sim::{run_simulation, SimConfig, SimReport, SimRun, TimelineSample};
 use unit_workload::{UpdateDistribution, UpdateVolume};
 
 fn downsample(timeline: &[TimelineSample], points: usize) -> Vec<&TimelineSample> {
@@ -40,16 +40,16 @@ fn run(
             UnitPolicy::new(plan.unit_config(UsmWeights::naive())),
             cfg,
         ),
-        (PolicyKind::Imu, Some(o)) => Simulator::new(&bundle.trace, ImuPolicy::new(), cfg)
+        (PolicyKind::Imu, Some(o)) => SimRun::trace(&bundle.trace, ImuPolicy::new(), cfg)
             .with_observer(o)
             .run(),
-        (PolicyKind::Odu, Some(o)) => Simulator::new(&bundle.trace, OduPolicy::new(), cfg)
+        (PolicyKind::Odu, Some(o)) => SimRun::trace(&bundle.trace, OduPolicy::new(), cfg)
             .with_observer(o)
             .run(),
-        (PolicyKind::Qmf, Some(o)) => Simulator::new(&bundle.trace, QmfPolicy::default(), cfg)
+        (PolicyKind::Qmf, Some(o)) => SimRun::trace(&bundle.trace, QmfPolicy::default(), cfg)
             .with_observer(o)
             .run(),
-        (PolicyKind::Unit, Some(o)) => Simulator::new(
+        (PolicyKind::Unit, Some(o)) => SimRun::trace(
             &bundle.trace,
             UnitPolicy::new(plan.unit_config(UsmWeights::naive())),
             cfg,

@@ -11,6 +11,7 @@
 //! ```
 
 use std::path::Path;
+use unit_bench::cli::Flags;
 use unit_bench::default_workload_plan;
 use unit_bench::render::{bucketize, spark};
 use unit_workload::{TraceBundle, TraceStats, UpdateDistribution, UpdateVolume};
@@ -23,19 +24,14 @@ struct Args {
     inspect: Option<String>,
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: tracegen [--scale N | --full] [--volume low|med|high]\n\
-         \x20               [--dist unif|pos|neg] [--out-file PATH]\n\
-         \x20               [--inspect PATH]\n\
-         \n\
-         Without --inspect, generates the selected Table 1 workload (default\n\
-         med-unif at 1/4 scale), prints its statistics, and optionally saves\n\
-         it as JSON. With --inspect, loads a saved workload and prints its\n\
-         statistics instead."
-    );
-    std::process::exit(2);
-}
+const USAGE: &str = "usage: tracegen [--scale N | --full] [--volume low|med|high]\n\
+    \x20               [--dist unif|pos|neg] [--out-file PATH]\n\
+    \x20               [--inspect PATH]\n\
+    \n\
+    Without --inspect, generates the selected Table 1 workload (default\n\
+    med-unif at 1/4 scale), prints its statistics, and optionally saves\n\
+    it as JSON. With --inspect, loads a saved workload and prints its\n\
+    statistics instead.";
 
 fn parse_args() -> Args {
     let mut out = Args {
@@ -45,37 +41,36 @@ fn parse_args() -> Args {
         out_file: None,
         inspect: None,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
+    let mut fl = Flags::from_env(USAGE);
+    while let Some(arg) = fl.next_flag() {
         match arg.as_str() {
-            "--scale" => {
-                out.scale = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n| n >= 1)
-                    .unwrap_or_else(|| usage());
-            }
+            "--scale" => out.scale = fl.parse(&arg),
             "--full" => out.scale = 1,
             "--volume" => {
-                out.volume = match it.next().as_deref() {
-                    Some("low") => UpdateVolume::Low,
-                    Some("med") => UpdateVolume::Med,
-                    Some("high") => UpdateVolume::High,
-                    _ => usage(),
+                let v = fl.value(&arg);
+                out.volume = match v.as_str() {
+                    "low" => UpdateVolume::Low,
+                    "med" => UpdateVolume::Med,
+                    "high" => UpdateVolume::High,
+                    _ => fl.fail(&format!("bad --volume value: {v}")),
                 }
             }
             "--dist" => {
-                out.dist = match it.next().as_deref() {
-                    Some("unif") => UpdateDistribution::Uniform,
-                    Some("pos") => UpdateDistribution::PositiveCorrelation,
-                    Some("neg") => UpdateDistribution::NegativeCorrelation,
-                    _ => usage(),
+                let v = fl.value(&arg);
+                out.dist = match v.as_str() {
+                    "unif" => UpdateDistribution::Uniform,
+                    "pos" => UpdateDistribution::PositiveCorrelation,
+                    "neg" => UpdateDistribution::NegativeCorrelation,
+                    _ => fl.fail(&format!("bad --dist value: {v}")),
                 }
             }
-            "--out-file" => out.out_file = Some(it.next().unwrap_or_else(|| usage())),
-            "--inspect" => out.inspect = Some(it.next().unwrap_or_else(|| usage())),
-            _ => usage(),
+            "--out-file" => out.out_file = Some(fl.value(&arg)),
+            "--inspect" => out.inspect = Some(fl.value(&arg)),
+            other => fl.unknown(other),
         }
+    }
+    if out.scale == 0 {
+        fl.fail("--scale must be >= 1");
     }
     out
 }

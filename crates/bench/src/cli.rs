@@ -1,5 +1,17 @@
 //! Minimal argument parsing shared by the harness binaries (no external
 //! dependency needed for two flags).
+//!
+//! Two layers:
+//!
+//! * [`HarnessArgs`] — the fixed flag set of the figure/table binaries
+//!   (`--scale`, `--out`, `--trace-out`).
+//! * [`Flags`] — the shared skeleton of the knob-heavy binaries (`chaos`,
+//!   `cluster`, `faults`, `replication`, `simspeed`, `tracegen`, `serve`),
+//!   each of which used to carry a private copy of the same
+//!   `while let Some(arg)` / `it.next().expect(..)` loop. The binary keeps
+//!   its own `Args` struct and match arms; `Flags` owns the cursor, the
+//!   value/parse error paths, and the usage-and-exit convention (exit
+//!   code 2, usage on stderr).
 
 /// Options common to all figure/table binaries.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,12 +137,138 @@ impl HarnessArgs {
     }
 }
 
+/// Cursor over command-line flags for binaries with bespoke knobs.
+///
+/// The binary drives the loop and keeps its own `Args` struct; `Flags`
+/// supplies the shared plumbing: pulling flag values, parsing them with a
+/// uniform error message, and the exit-2-with-usage convention for unknown
+/// flags and bad values.
+///
+/// ```no_run
+/// use unit_bench::cli::Flags;
+/// let mut fl = Flags::from_env("usage: demo [--runs N] [--out FILE]");
+/// let (mut runs, mut out) = (3usize, None);
+/// while let Some(arg) = fl.next_flag() {
+///     match arg.as_str() {
+///         "--runs" => runs = fl.parse(&arg),
+///         "--out" => out = Some(fl.value(&arg)),
+///         other => fl.unknown(other),
+///     }
+/// }
+/// ```
+pub struct Flags {
+    args: std::vec::IntoIter<String>,
+    usage: String,
+}
+
+impl Flags {
+    /// A cursor over the process arguments (program name excluded).
+    #[must_use]
+    pub fn from_env(usage: &str) -> Flags {
+        Self::from_args(std::env::args().skip(1).collect(), usage)
+    }
+
+    /// A cursor over an explicit argument list (for tests).
+    #[must_use]
+    pub fn from_args(args: Vec<String>, usage: &str) -> Flags {
+        Flags {
+            args: args.into_iter(),
+            usage: usage.to_string(),
+        }
+    }
+
+    /// Pull the next flag, or `None` when the arguments are exhausted.
+    pub fn next_flag(&mut self) -> Option<String> {
+        self.args.next()
+    }
+
+    /// Pull `flag`'s value argument.
+    ///
+    /// # Errors
+    /// Fails when the argument list is exhausted.
+    pub fn try_value(&mut self, flag: &str) -> Result<String, String> {
+        self.args.next().ok_or(format!("{flag} requires a value"))
+    }
+
+    /// Pull and parse `flag`'s value argument.
+    ///
+    /// # Errors
+    /// Fails when the value is missing or does not parse as `T`.
+    pub fn try_parse<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, String> {
+        let v = self.try_value(flag)?;
+        v.parse().map_err(|_| format!("bad {flag} value: {v}"))
+    }
+
+    /// Pull `flag`'s value argument, exiting with usage when missing.
+    pub fn value(&mut self, flag: &str) -> String {
+        match self.try_value(flag) {
+            Ok(v) => v,
+            Err(msg) => self.fail(&msg),
+        }
+    }
+
+    /// Pull and parse `flag`'s value argument, exiting with usage on a
+    /// missing or malformed value.
+    pub fn parse<T: std::str::FromStr>(&mut self, flag: &str) -> T {
+        match self.try_parse(flag) {
+            Ok(v) => v,
+            Err(msg) => self.fail(&msg),
+        }
+    }
+
+    /// Report an unknown flag and exit with usage.
+    pub fn unknown(&self, arg: &str) -> ! {
+        self.fail(&format!("unknown argument: {arg}"))
+    }
+
+    /// Report `msg` (a bad value or a cross-flag constraint violation),
+    /// print the usage text, and exit 2.
+    pub fn fail(&self, msg: &str) -> ! {
+        eprintln!("{msg}");
+        eprintln!("{}", self.usage);
+        std::process::exit(2);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> Result<HarnessArgs, String> {
         HarnessArgs::parse(args.iter().map(|&s| s.to_string()))
+    }
+
+    fn flags(args: &[&str]) -> Flags {
+        Flags::from_args(args.iter().map(|&s| s.to_string()).collect(), "usage: t")
+    }
+
+    #[test]
+    fn flags_cursor_walks_values_and_parses() {
+        let mut fl = flags(&["--runs", "7", "--out", "x.json", "--fast"]);
+        assert_eq!(fl.next_flag().as_deref(), Some("--runs"));
+        assert_eq!(fl.try_parse::<usize>("--runs"), Ok(7));
+        assert_eq!(fl.next_flag().as_deref(), Some("--out"));
+        assert_eq!(fl.try_value("--out").as_deref(), Ok("x.json"));
+        assert_eq!(fl.next_flag().as_deref(), Some("--fast"));
+        assert_eq!(fl.next_flag(), None);
+    }
+
+    #[test]
+    fn flags_errors_name_the_flag_and_value() {
+        let mut fl = flags(&["--runs", "seven"]);
+        fl.next_flag();
+        assert_eq!(
+            fl.try_parse::<usize>("--runs").unwrap_err(),
+            "bad --runs value: seven"
+        );
+        assert_eq!(
+            fl.try_value("--runs").unwrap_err(),
+            "--runs requires a value"
+        );
+        assert_eq!(
+            flags(&[]).try_parse::<u64>("--seed").unwrap_err(),
+            "--seed requires a value"
+        );
     }
 
     #[test]

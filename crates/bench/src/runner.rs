@@ -196,19 +196,19 @@ pub fn run_policy_observed(
     weights: UsmWeights,
     observer: &mut dyn unit_obs::Observer,
 ) -> RunOutcome {
-    use unit_sim::Simulator;
+    use unit_sim::SimRun;
     let cfg = plan.sim_config(weights);
     let report = match policy {
-        PolicyKind::Imu => Simulator::new(&bundle.trace, ImuPolicy::new(), cfg)
+        PolicyKind::Imu => SimRun::trace(&bundle.trace, ImuPolicy::new(), cfg)
             .with_observer(observer)
             .run(),
-        PolicyKind::Odu => Simulator::new(&bundle.trace, OduPolicy::new(), cfg)
+        PolicyKind::Odu => SimRun::trace(&bundle.trace, OduPolicy::new(), cfg)
             .with_observer(observer)
             .run(),
-        PolicyKind::Qmf => Simulator::new(&bundle.trace, QmfPolicy::default(), cfg)
+        PolicyKind::Qmf => SimRun::trace(&bundle.trace, QmfPolicy::default(), cfg)
             .with_observer(observer)
             .run(),
-        PolicyKind::Unit => Simulator::new(
+        PolicyKind::Unit => SimRun::trace(
             &bundle.trace,
             UnitPolicy::new(plan.unit_config(weights)),
             cfg,

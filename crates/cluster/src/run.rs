@@ -36,7 +36,7 @@ use unit_core::unit_policy::UnitPolicy;
 use unit_core::UnitConfig;
 use unit_faults::{FaultPlan, FaultSchedule, ShardFaults};
 use unit_obs::{FaultPhase, ObsEvent, Observer, RingRecorder};
-use unit_sim::{HealthState, SimConfig, SimReport, Simulator};
+use unit_sim::{HealthState, SimConfig, SimReport, SimRun, Simulator};
 use unit_workload::{slice_trace, slice_trace_filtered, slice_trace_replicated, ItemPartition};
 
 /// A configured cluster run: faults and observation are layered onto the
@@ -450,15 +450,15 @@ where
                 let policy = make_policy(i, seeds[i]);
                 let mut rec = record.then(RingRecorder::unbounded);
                 let report = {
-                    let mut sim = Simulator::new(shard_trace, policy, shard_cfg);
+                    let mut run = SimRun::trace(shard_trace, policy, shard_cfg);
                     if let Some(hooks) = hooks {
                         // lint: allow(D6) — hooks, when present, has n entries
-                        sim = sim.with_faults(Box::new(hooks[i].clone()));
+                        run = run.with_faults(Box::new(hooks[i].clone()));
                     }
                     if let Some(r) = rec.as_mut() {
-                        sim = sim.with_observer(r);
+                        run = run.with_observer(r);
                     }
-                    sim.run()
+                    run.run()
                 };
                 (report, rec, started.elapsed().as_secs_f64())
             })
@@ -498,15 +498,15 @@ where
                         let mut rec = record.then(RingRecorder::unbounded);
                         let report = {
                             // lint: allow(D6) — i < n == shard_traces.len()
-                            let mut sim = Simulator::new(&shard_traces[i], policy, shard_cfg);
+                            let mut run = SimRun::trace(&shard_traces[i], policy, shard_cfg);
                             if let Some(hooks) = hooks {
                                 // lint: allow(D6) — hooks, when present, has n entries
-                                sim = sim.with_faults(Box::new(hooks[i].clone()));
+                                run = run.with_faults(Box::new(hooks[i].clone()));
                             }
                             if let Some(r) = rec.as_mut() {
-                                sim = sim.with_observer(r);
+                                run = run.with_observer(r);
                             }
-                            sim.run()
+                            run.run()
                         };
                         finished.push((i, report, rec, started.elapsed().as_secs_f64()));
                     }
@@ -592,7 +592,7 @@ where
                         .map(|(&i, rec)| {
                             // lint: allow(D2) — diagnostic shard-wall timing, never enters sim state or digests
                             let started = std::time::Instant::now();
-                            let mut sim = Simulator::new(
+                            let mut run = SimRun::trace(
                                 &shard_traces[i],         // lint: allow(D6) — i < n == shard_traces.len()
                                 make_policy(i, seeds[i]), // lint: allow(D6) — i < n
                                 shard_cfg,
@@ -600,12 +600,12 @@ where
                             if let Some(hooks) = hooks {
                                 // Setup, not stepping: one clone per shard per run.
                                 // lint: allow(D6,P2) — hooks has n entries; runs once per shard
-                                sim = sim.with_faults(Box::new(hooks[i].clone()));
+                                run = run.with_faults(Box::new(hooks[i].clone()));
                             }
                             if let Some(r) = rec.as_mut() {
-                                sim = sim.with_observer(r);
+                                run = run.with_observer(r);
                             }
-                            (Some(sim), started.elapsed().as_secs_f64())
+                            (Some(run.build()), started.elapsed().as_secs_f64())
                         })
                         .unzip();
                     let mut reports: Vec<Option<SimReport>> = owned.iter().map(|_| None).collect();

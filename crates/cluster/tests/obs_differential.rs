@@ -20,7 +20,7 @@ use unit_core::unit_policy::UnitPolicy;
 use unit_core::usm::UsmWeights;
 use unit_faults::{FaultConfig, FaultMode, FaultPlan};
 use unit_obs::{ObsEvent, RingRecorder};
-use unit_sim::{report_digest, SchedulingDiscipline, SimConfig, Simulator};
+use unit_sim::{report_digest, SchedulingDiscipline, SimConfig, SimRun, Simulator};
 use unit_workload::{
     QueryTraceConfig, TraceBundle, UpdateDistribution, UpdateTraceConfig, UpdateVolume,
 };
@@ -58,7 +58,7 @@ fn single_server_neutrality<P: Policy>(policy_name: &str, make: impl Fn(u64) -> 
         let seed = split_seed(SEED, 0);
         let quiet = Simulator::new(&bundle.trace, make(seed), cfg).run();
         let mut rec = RingRecorder::unbounded();
-        let observed = Simulator::new(&bundle.trace, make(seed), cfg)
+        let observed = SimRun::trace(&bundle.trace, make(seed), cfg)
             .with_observer(&mut rec)
             .run();
         assert_eq!(

@@ -58,6 +58,7 @@
 
 pub mod admission;
 pub mod checkpoint;
+pub mod clock;
 pub mod config;
 pub mod controller;
 pub mod fenwick;
@@ -71,6 +72,7 @@ pub mod seed;
 pub mod snapshot;
 pub mod tickets;
 pub mod time;
+pub mod txn;
 pub mod types;
 pub mod unit_policy;
 pub mod usm;
@@ -78,6 +80,7 @@ pub mod validate;
 
 pub use admission::{AdmissionControl, AdmissionVerdict};
 pub use checkpoint::{CheckpointError, Dec, Enc};
+pub use clock::{Clock, VirtualClock};
 pub use config::UnitConfig;
 pub use controller::{Lbc, LbcConfig};
 pub use fenwick::{Fenwick, FenwickValue};
@@ -91,6 +94,7 @@ pub use seed::split_seed;
 pub use snapshot::{QueueEntryView, QueueSource, SnapshotView, SystemSnapshot};
 pub use tickets::TicketTable;
 pub use time::{SimDuration, SimTime};
+pub use txn::{CommitSummary, ReadVersion, TransactionManager, TxnError, TxnToken};
 pub use types::{
     DataId, Outcome, QueryId, QuerySpec, SpecError, Trace, TxnClass, UpdateSpec, UpdateStreamId,
 };
@@ -100,6 +104,7 @@ pub use usm::{OutcomeCounts, UsmWeights, UsmWindow};
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
     pub use crate::admission::{AdmissionControl, AdmissionVerdict};
+    pub use crate::clock::{Clock, VirtualClock};
     pub use crate::config::UnitConfig;
     pub use crate::controller::{Lbc, LbcConfig};
     pub use crate::freshness::FreshnessTable;
@@ -109,6 +114,7 @@ pub mod prelude {
     pub use crate::policy::{AdmissionDecision, ControlSignal, Policy, UpdateAction};
     pub use crate::snapshot::{QueueEntryView, QueueSource, SnapshotView, SystemSnapshot};
     pub use crate::time::{SimDuration, SimTime};
+    pub use crate::txn::{CommitSummary, ReadVersion, TransactionManager, TxnError, TxnToken};
     pub use crate::types::{
         DataId, Outcome, QueryId, QuerySpec, Trace, TxnClass, UpdateSpec, UpdateStreamId,
     };

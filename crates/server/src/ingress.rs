@@ -1,0 +1,22 @@
+//! # Ingress requests
+//!
+//! The unit of work flowing through the server's MPSC channel: a query
+//! spec whose timing fields have been re-stamped onto the serving
+//! clock's timeline (see `crate::server` module docs), plus the two
+//! instants the runtime decided from them.
+
+use unit_core::time::SimTime;
+use unit_core::types::QuerySpec;
+
+/// One in-flight query request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The query, with `arrival`, `relative_deadline`, and `exec_time`
+    /// re-stamped onto the serving clock's timeline.
+    pub spec: QuerySpec,
+    /// Clock tick at which the request entered the ingress channel.
+    pub enqueue: SimTime,
+    /// Absolute firm deadline on the serving clock
+    /// (`enqueue + scaled relative deadline`).
+    pub deadline: SimTime,
+}

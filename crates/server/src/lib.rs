@@ -1,0 +1,61 @@
+//! # unit-server — the live serving runtime
+//!
+//! Everything before this crate runs UNIT on a *virtual* timeline: the
+//! deterministic engine replays traces tick by tick. This crate runs the
+//! same policy layer against a real clock: thread-per-core workers drain
+//! an in-process MPSC ingress channel, admission and update-frequency
+//! modulation fire against wall-clock deadlines, and every state
+//! mutation goes through the storage-agnostic
+//! [`unit_core::txn::TransactionManager`] — here backed by
+//! [`MemBackend`], a sharded in-memory versioned KV (the oracle path
+//! uses `unit_sim::SimBackend` over the engine's freshness table).
+//!
+//! The deterministic engine stays in the loop as the **differential
+//! oracle** ([`mod@replay`]): the same trace is fed through the same
+//! bounded channel into the engine under a
+//! [`VirtualClock`](unit_core::clock::VirtualClock), which must be
+//! *bit-identical* to a direct simulation ([`unit_sim::report_digest`]),
+//! while a wall-clock serve must agree with the oracle's outcome
+//! distribution within a stated tolerance ([`outcome_agreement`]).
+//!
+//! Clock discipline: this crate is the only place in the workspace
+//! allowed to read the machine clock (`cargo xtask analyze` rule D2
+//! enforces the boundary); everything else consumes time through the
+//! [`unit_core::clock::Clock`] trait.
+//!
+//! An optional TCP line-protocol frontend (the `socket` module) lives
+//! behind the `socket` feature; the bench and tests inject requests
+//! directly.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clock;
+pub mod ingress;
+pub mod mem;
+pub mod replay;
+pub mod server;
+#[cfg(feature = "socket")]
+pub mod socket;
+
+pub use clock::WallClock;
+pub use ingress::Request;
+pub use mem::MemBackend;
+pub use replay::{outcome_agreement, replay, Agreement};
+pub use server::{serve, ServeConfig, ServeReport};
+
+/// Convenient glob-import: the serving entry points plus the core
+/// transaction/clock vocabulary they are used with.
+///
+/// ```
+/// use unit_server::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::clock::WallClock;
+    pub use crate::ingress::Request;
+    pub use crate::mem::MemBackend;
+    pub use crate::replay::{outcome_agreement, replay, Agreement};
+    pub use crate::server::{serve, ServeConfig, ServeReport};
+    pub use unit_core::clock::{Clock, VirtualClock};
+    pub use unit_core::txn::{CommitSummary, ReadVersion, TransactionManager, TxnError, TxnToken};
+}

@@ -1,0 +1,144 @@
+//! # Optional TCP frontend (feature `socket`)
+//!
+//! A deliberately minimal line-protocol listener that turns network
+//! requests into ingress [`Request`]s. The serving runtime itself is
+//! socket-agnostic — the bench and the tests inject requests directly
+//! into the channel — so this stays a thin, optional shim.
+//!
+//! Protocol: one query per line,
+//!
+//! ```text
+//! q <id> <item[,item...]> <exec_us> <deadline_us> <freshness>
+//! ```
+//!
+//! e.g. `q 7 0,3,12 5000 250000 0.9`. Malformed lines are answered with
+//! `err <reason>` and dropped; accepted lines are answered with `ok`.
+
+use crate::ingress::Request;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::SyncSender;
+use unit_core::clock::Clock;
+use unit_core::time::SimDuration;
+use unit_core::types::{DataId, QueryId, QuerySpec};
+
+/// Parse one protocol line into a spec (timing fields in clock ticks).
+fn parse_line(line: &str) -> Result<(QueryId, Vec<DataId>, u64, u64, f64), String> {
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some("q") {
+        return Err("expected 'q' verb".to_string());
+    }
+    let id = parts
+        .next()
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or("bad query id")?;
+    let items = parts
+        .next()
+        .ok_or("missing item list")?
+        .split(',')
+        .map(|s| s.parse::<u32>().map(DataId))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("bad item id: {e}"))?;
+    let exec = parts
+        .next()
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or("bad exec_us")?;
+    let deadline = parts
+        .next()
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or("bad deadline_us")?;
+    let freshness = parts
+        .next()
+        .and_then(|s| s.parse::<f64>().ok())
+        .ok_or("bad freshness")?;
+    Ok((QueryId(id), items, exec, deadline, freshness))
+}
+
+fn handle_conn(
+    stream: TcpStream,
+    clock: &dyn Clock,
+    tx: &SyncSender<Request>,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(&line) {
+            Ok((id, items, exec, deadline, freshness)) => {
+                let enqueue = clock.now();
+                let spec = QuerySpec {
+                    id,
+                    arrival: enqueue,
+                    items,
+                    exec_time: SimDuration(exec.max(1)),
+                    relative_deadline: SimDuration(deadline.max(1)),
+                    freshness_req: freshness,
+                    pref_class: 0,
+                };
+                let abs_deadline = enqueue + spec.relative_deadline;
+                let accepted = tx
+                    .send(Request {
+                        spec,
+                        enqueue,
+                        deadline: abs_deadline,
+                    })
+                    .is_ok();
+                writer.write_all(if accepted { b"ok\n" } else { b"err closed\n" })?;
+            }
+            Err(reason) => {
+                writer.write_all(format!("err {reason}\n").as_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Accept connections on `addr` and forward parsed requests into the
+/// ingress channel until the channel's receiver hangs up. Each
+/// connection is served on its own thread.
+///
+/// # Errors
+/// Returns the bind error if the listener cannot be created; per-
+/// connection I/O errors terminate only that connection.
+pub fn listen<A: ToSocketAddrs>(
+    addr: A,
+    clock: &dyn Clock,
+    tx: &SyncSender<Request>,
+) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let _ = handle_conn(stream, clock, &tx);
+            });
+        }
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_well_formed_lines() {
+        let (id, items, exec, dl, f) = parse_line("q 7 0,3,12 5000 250000 0.9").unwrap();
+        assert_eq!(id, QueryId(7));
+        assert_eq!(items, vec![DataId(0), DataId(3), DataId(12)]);
+        assert_eq!((exec, dl), (5000, 250000));
+        assert!((f - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_line("nope").is_err());
+        assert!(parse_line("q x 0 1 1 0.5").is_err());
+        assert!(parse_line("q 1 a,b 1 1 0.5").is_err());
+        assert!(parse_line("q 1 0 1 1").is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! The replay differential: the serving pipeline with the deterministic
+//! engine as oracle.
+//!
+//! **Exact side** — `unit_server::replay` pushes the golden trace through
+//! a real bounded MPSC channel (producer thread → engine consumer) under
+//! a `VirtualClock`, and must be `report_digest`-**bit-identical** to a
+//! direct `run_simulation` of the same trace/policy/config — across all
+//! 4 policies × 3 scheduling disciplines. This pins that the channelled
+//! ingress adds *nothing* to behaviour: the live server's pipeline shape
+//! is behaviour-free, so any wall-clock divergence is attributable to
+//! wall time alone.
+//!
+//! **Statistical side** — a `WallClock` serve of a compressed trace must
+//! conserve queries (every submitted query reaches exactly one outcome),
+//! emit a well-formed per-worker observability stream (monotone times,
+//! dense sequence numbers within each worker lane), and land its outcome
+//! *distribution* within a stated tolerance of the oracle's.
+
+use unit_baselines::{ImuPolicy, OduPolicy, QmfPolicy};
+use unit_core::clock::{Clock, VirtualClock};
+use unit_core::config::UnitConfig;
+use unit_core::policy::Policy;
+use unit_core::time::SimDuration;
+use unit_core::time::SimTime;
+use unit_core::unit_policy::UnitPolicy;
+use unit_core::usm::UsmWeights;
+use unit_obs::ObsEvent;
+use unit_server::{outcome_agreement, replay, serve, MemBackend, ServeConfig, WallClock};
+use unit_sim::{report_digest, run_simulation, SchedulingDiscipline, SimConfig};
+use unit_workload::{
+    QueryTraceConfig, TraceBundle, UpdateDistribution, UpdateTraceConfig, UpdateVolume,
+};
+
+const SCALE: u64 = 8;
+const SEED: u64 = 0x5EED_0011;
+/// Ingress channel bound for the replay pipeline (arrivals in flight).
+const CHUNK: usize = 64;
+
+/// The golden workload at scale=8: fig3's med-unif bundle (the same
+/// bundle the cluster differential pins against).
+fn golden_bundle() -> TraceBundle {
+    let qcfg = QueryTraceConfig::default().scaled_down(SCALE);
+    let ucfg = UpdateTraceConfig::table1(UpdateVolume::Med, UpdateDistribution::Uniform)
+        .with_total((UpdateVolume::Med.total_updates() / SCALE).max(1));
+    TraceBundle::generate(&qcfg, &ucfg)
+}
+
+fn sim_config(horizon: SimDuration, discipline: SchedulingDiscipline) -> SimConfig {
+    SimConfig::new(horizon)
+        .with_weights(UsmWeights::low_high_cfm())
+        .with_tick_period(SimDuration::from_secs(10))
+        .with_discipline(discipline)
+}
+
+const DISCIPLINES: [(SchedulingDiscipline, &str); 3] = [
+    (SchedulingDiscipline::DualPriorityEdf, "dual"),
+    (SchedulingDiscipline::GlobalEdf, "global"),
+    (SchedulingDiscipline::QueryFirst, "qfirst"),
+];
+
+/// For every discipline: digest(channelled replay under VirtualClock) ==
+/// digest(direct simulation), and the virtual clock ends at the horizon.
+fn differential<P: Policy + Send>(policy_name: &str, make: impl Fn() -> P) {
+    let bundle = golden_bundle();
+    for (discipline, dname) in DISCIPLINES {
+        let cfg = sim_config(bundle.horizon, discipline);
+        let direct = run_simulation(&bundle.trace, make(), cfg);
+        let clock = VirtualClock::new();
+        let replayed = replay(&bundle.trace, make(), cfg, CHUNK, &clock);
+        assert_eq!(
+            report_digest(&replayed),
+            report_digest(&direct),
+            "{policy_name}/{dname}: channelled replay diverged from the engine \
+             (usm {} vs {})",
+            replayed.average_usm(),
+            direct.average_usm(),
+        );
+        assert_eq!(
+            clock.now(),
+            SimTime::ZERO + cfg.horizon,
+            "{policy_name}/{dname}: replay clock did not reach the horizon"
+        );
+    }
+}
+
+#[test]
+fn replay_is_bit_identical_unit() {
+    differential("UNIT", || {
+        UnitPolicy::new(UnitConfig::with_weights(UsmWeights::low_high_cfm()).with_seed(SEED))
+    });
+}
+
+#[test]
+fn replay_is_bit_identical_imu() {
+    differential("IMU", ImuPolicy::new);
+}
+
+#[test]
+fn replay_is_bit_identical_odu() {
+    differential("ODU", OduPolicy::new);
+}
+
+#[test]
+fn replay_is_bit_identical_qmf() {
+    differential("QMF", QmfPolicy::default);
+}
+
+#[test]
+fn wall_clock_smoke_conserves_and_streams_monotone_obs() {
+    // A heavily scaled-down bundle compressed ~60,000x: the wall serve
+    // takes ~0.5 s while keeping scaled deadlines (16 µs – 1.6 ms) wide
+    // enough that the run exercises all outcome classes without being
+    // degenerate.
+    let qcfg = QueryTraceConfig::default().scaled_down(128);
+    let ucfg = UpdateTraceConfig::table1(UpdateVolume::Med, UpdateDistribution::Uniform)
+        .with_total((UpdateVolume::Med.total_updates() / 128).max(1));
+    let bundle = TraceBundle::generate(&qcfg, &ucfg);
+    let time_scale = (bundle.horizon.0 / 500_000).max(1); // ≈0.5 s wall
+
+    let cfg = ServeConfig::new(4, time_scale)
+        .with_weights(UsmWeights::low_high_cfm())
+        .with_observation();
+    let clock = WallClock::new();
+    let backend = MemBackend::new(bundle.trace.n_items, 8);
+    let report = serve(&cfg, &clock, &backend, &bundle.trace, bundle.horizon, |i| {
+        UnitPolicy::new(
+            UnitConfig::with_weights(UsmWeights::low_high_cfm()).with_seed(SEED + i as u64),
+        )
+    });
+
+    // Conservation: every submitted query reached exactly one outcome.
+    assert_eq!(report.submitted, bundle.trace.queries.len() as u64);
+    assert!(
+        report.conserves(),
+        "outcome tally {} != submitted {}",
+        report.counts.total(),
+        report.submitted
+    );
+    assert!(report.ops_per_sec() > 0.0);
+    assert_eq!(report.policy, "UNIT");
+
+    // The obs stream is shard-wrapped per worker, with dense per-lane
+    // sequence numbers and monotone event times within each lane.
+    assert!(!report.events.is_empty(), "observation was on");
+    let mut lane_seq = vec![0u64; report.workers];
+    let mut lane_time = vec![SimTime::ZERO; report.workers];
+    for event in &report.events {
+        match event {
+            ObsEvent::Shard { shard, seq, event } => {
+                let lane = *shard as usize;
+                assert!(lane < report.workers, "unknown worker lane {lane}");
+                assert_eq!(*seq, lane_seq[lane], "lane {lane} skipped a seq");
+                lane_seq[lane] += 1;
+                let t = event.time();
+                assert!(
+                    t >= lane_time[lane],
+                    "lane {lane} went backwards: {t:?} after {:?}",
+                    lane_time[lane]
+                );
+                lane_time[lane] = t;
+            }
+            other => panic!("unwrapped event in live stream: {other:?}"),
+        }
+    }
+
+    // Statistical oracle: the live outcome mix agrees with the engine's
+    // within a stated tolerance. The bound is deliberately loose — the
+    // live server's worker-local admission and completion-time deadline
+    // detection shift individual outcomes — but it catches wholesale
+    // divergence (e.g. everything rejected, or conservation by
+    // double-counting).
+    let oracle = run_simulation(
+        &bundle.trace,
+        UnitPolicy::new(UnitConfig::with_weights(UsmWeights::low_high_cfm()).with_seed(SEED)),
+        SimConfig::new(bundle.horizon).with_weights(UsmWeights::low_high_cfm()),
+    );
+    let agreement = outcome_agreement(&report.counts, &oracle.counts);
+    assert!(
+        agreement.within(0.75),
+        "live outcome distribution diverged wholesale from the oracle: \
+         distance {:.3} (live {:?} vs oracle {:?})",
+        agreement.distance,
+        report.counts,
+        oracle.counts
+    );
+}

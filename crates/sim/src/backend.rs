@@ -1,0 +1,222 @@
+//! # `SimBackend` — the engine's state behind the transaction API
+//!
+//! Adapts the deterministic engine's data-state (a
+//! [`FreshnessTable`]: per-item applied-version and lag counters) to
+//! [`unit_core::txn::TransactionManager`], so oracle-side code and the
+//! live server's `MemBackend` are driven through the same five calls.
+//!
+//! Single-threaded by design — interior mutability is a [`RefCell`],
+//! matching the engine's one-event-at-a-time execution model. The
+//! backend is deterministic: token allocation is sequential, and every
+//! observable number (versions, lag, freshness) is a pure function of
+//! the call sequence.
+
+use std::cell::RefCell;
+use unit_core::freshness::FreshnessTable;
+use unit_core::time::SimTime;
+use unit_core::txn::{CommitSummary, ReadVersion, TransactionManager, TxnError, TxnToken};
+use unit_core::types::{DataId, TxnClass};
+
+/// One open transaction's scratch state.
+struct OpenTxn {
+    token: TxnToken,
+    reads: u32,
+    /// Items this transaction has staged an apply for (installed at
+    /// commit, discarded at abort).
+    staged_applies: Vec<DataId>,
+    min_freshness: f64,
+}
+
+/// Engine-state adapter: a [`FreshnessTable`] plus per-item applied
+/// version counters, behind the storage-agnostic transaction trait.
+pub struct SimBackend {
+    inner: RefCell<Inner>,
+}
+
+struct Inner {
+    freshness: FreshnessTable,
+    /// Applied-version counter per item (commits of staged applies).
+    versions: Vec<u64>,
+    open: Vec<OpenTxn>,
+    next_token: u64,
+}
+
+impl SimBackend {
+    /// A backend over `n_items` fully-fresh items.
+    #[must_use]
+    pub fn new(n_items: usize) -> Self {
+        SimBackend {
+            inner: RefCell::new(Inner {
+                freshness: FreshnessTable::new(n_items),
+                versions: vec![0; n_items],
+                open: Vec::new(),
+                next_token: 0,
+            }),
+        }
+    }
+
+    fn check_item(inner: &Inner, item: DataId) -> Result<(), TxnError> {
+        if item.index() >= inner.versions.len() {
+            return Err(TxnError::UnknownItem(item));
+        }
+        Ok(())
+    }
+
+    fn open_idx(inner: &Inner, txn: TxnToken) -> Result<usize, TxnError> {
+        inner
+            .open
+            .iter()
+            .position(|t| t.token == txn)
+            .ok_or(TxnError::UnknownTxn(txn))
+    }
+}
+
+impl TransactionManager for SimBackend {
+    fn begin(&self, _class: TxnClass, _now: SimTime) -> Result<TxnToken, TxnError> {
+        let mut inner = self.inner.borrow_mut();
+        let token = TxnToken::from_raw(inner.next_token);
+        inner.next_token += 1;
+        inner.open.push(OpenTxn {
+            token,
+            reads: 0,
+            staged_applies: Vec::new(),
+            min_freshness: 1.0,
+        });
+        Ok(token)
+    }
+
+    fn read(&self, txn: TxnToken, item: DataId, _now: SimTime) -> Result<ReadVersion, TxnError> {
+        let mut inner = self.inner.borrow_mut();
+        Self::check_item(&inner, item)?;
+        let idx = Self::open_idx(&inner, txn)?;
+        let udrop = inner.freshness.udrop(item);
+        // lint: allow(D6) — check_item() range-checked the item above
+        let version = inner.versions[item.index()];
+        let rv = ReadVersion {
+            item,
+            version,
+            udrop,
+        };
+        // lint: allow(D6) — open_idx() returned a live position above
+        let open = &mut inner.open[idx];
+        open.reads += 1;
+        open.min_freshness = open.min_freshness.min(rv.freshness());
+        Ok(rv)
+    }
+
+    fn apply(&self, txn: TxnToken, item: DataId, _now: SimTime) -> Result<(), TxnError> {
+        let mut inner = self.inner.borrow_mut();
+        Self::check_item(&inner, item)?;
+        let idx = Self::open_idx(&inner, txn)?;
+        // lint: allow(D6) — open_idx() returned a live position above
+        inner.open[idx].staged_applies.push(item);
+        Ok(())
+    }
+
+    fn commit(&self, txn: TxnToken, now: SimTime) -> Result<CommitSummary, TxnError> {
+        let mut inner = self.inner.borrow_mut();
+        let idx = Self::open_idx(&inner, txn)?;
+        let open = inner.open.swap_remove(idx);
+        for item in &open.staged_applies {
+            // Installing the latest version clears the item's whole
+            // accumulated lag — the engine's (and the paper's) semantics.
+            inner.freshness.record_applied(*item, now);
+            // lint: allow(D6) — apply() range-checked the item before staging it
+            inner.versions[item.index()] += 1;
+        }
+        Ok(CommitSummary {
+            txn: open.token,
+            commit_time: now,
+            reads: open.reads,
+            writes: open.staged_applies.len() as u32,
+            min_freshness: open.min_freshness,
+        })
+    }
+
+    fn abort(&self, txn: TxnToken) -> Result<(), TxnError> {
+        let mut inner = self.inner.borrow_mut();
+        let idx = Self::open_idx(&inner, txn)?;
+        inner.open.swap_remove(idx);
+        Ok(())
+    }
+
+    fn observe_version(&self, item: DataId, now: SimTime) -> Result<(), TxnError> {
+        let mut inner = self.inner.borrow_mut();
+        Self::check_item(&inner, item)?;
+        inner.freshness.record_arrival(item, now);
+        Ok(())
+    }
+
+    fn udrop(&self, item: DataId) -> Result<u64, TxnError> {
+        let inner = self.inner.borrow();
+        Self::check_item(&inner, item)?;
+        Ok(inner.freshness.udrop(item))
+    }
+
+    fn n_items(&self) -> usize {
+        self.inner.borrow().versions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: SimTime = SimTime(0);
+
+    #[test]
+    fn read_sees_lag_and_commit_clears_it() {
+        let be = SimBackend::new(2);
+        let item = DataId(0);
+        be.observe_version(item, T0).unwrap();
+        be.observe_version(item, T0).unwrap();
+        assert_eq!(be.udrop(item).unwrap(), 2);
+
+        // A query transaction reads the lagging item: freshness 1/(1+2).
+        let q = be.begin(TxnClass::Query, T0).unwrap();
+        let rv = be.read(q, item, T0).unwrap();
+        assert_eq!(rv.udrop, 2);
+        assert_eq!(rv.version, 0);
+        let summary = be.commit(q, T0).unwrap();
+        assert_eq!(summary.reads, 1);
+        assert!((summary.min_freshness - 1.0 / 3.0).abs() < 1e-12);
+
+        // An update transaction installs one version: lag drops, version
+        // counter rises.
+        let u = be.begin(TxnClass::Update, T0).unwrap();
+        be.apply(u, item, T0).unwrap();
+        let summary = be.commit(u, T0).unwrap();
+        assert_eq!(summary.writes, 1);
+        assert_eq!(be.udrop(item).unwrap(), 0, "install clears the whole lag");
+        let q2 = be.begin(TxnClass::Query, T0).unwrap();
+        assert_eq!(be.read(q2, item, T0).unwrap().version, 1);
+        be.abort(q2).unwrap();
+    }
+
+    #[test]
+    fn abort_discards_staged_applies() {
+        let be = SimBackend::new(1);
+        let item = DataId(0);
+        be.observe_version(item, T0).unwrap();
+        let u = be.begin(TxnClass::Update, T0).unwrap();
+        be.apply(u, item, T0).unwrap();
+        be.abort(u).unwrap();
+        assert_eq!(be.udrop(item).unwrap(), 1, "abort must not install");
+        assert_eq!(be.commit(u, T0).unwrap_err(), TxnError::UnknownTxn(u));
+    }
+
+    #[test]
+    fn bad_ids_are_typed_errors() {
+        let be = SimBackend::new(1);
+        let q = be.begin(TxnClass::Query, T0).unwrap();
+        assert_eq!(
+            be.read(q, DataId(7), T0).unwrap_err(),
+            TxnError::UnknownItem(DataId(7))
+        );
+        let stale = TxnToken::from_raw(999);
+        assert_eq!(
+            be.read(stale, DataId(0), T0).unwrap_err(),
+            TxnError::UnknownTxn(stale)
+        );
+    }
+}

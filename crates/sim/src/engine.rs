@@ -725,10 +725,13 @@ impl<'a, P: Policy> Simulator<'a, P> {
     ///
     /// # Panics
     /// Debug-panics when called after the run has started.
+    #[deprecated(
+        since = "0.1.0",
+        note = "assemble runs through `SimRun::trace(..).with_faults(..)` instead"
+    )]
     #[must_use]
     pub fn with_faults(mut self, hook: Box<dyn FaultHook>) -> Self {
-        debug_assert!(!self.started, "install the fault hook before stepping");
-        self.faults = Some(hook);
+        self.set_faults(hook);
         self
     }
 
@@ -741,11 +744,28 @@ impl<'a, P: Policy> Simulator<'a, P> {
     ///
     /// # Panics
     /// Debug-panics when called after the run has started.
+    #[deprecated(
+        since = "0.1.0",
+        note = "assemble runs through `SimRun::trace(..).with_observer(..)` instead"
+    )]
     #[must_use]
     pub fn with_observer(mut self, observer: &'a mut dyn Observer) -> Self {
+        self.set_observer(observer);
+        self
+    }
+
+    /// Install a fault hook in place (the `SimRun` builder's back door;
+    /// same pre-start contract as the deprecated `with_faults`).
+    pub(crate) fn set_faults(&mut self, hook: Box<dyn FaultHook>) {
+        debug_assert!(!self.started, "install the fault hook before stepping");
+        self.faults = Some(hook);
+    }
+
+    /// Install an observer in place (the `SimRun` builder's back door;
+    /// same pre-start contract as the deprecated `with_observer`).
+    pub(crate) fn set_observer(&mut self, observer: &'a mut dyn Observer) {
         debug_assert!(!self.started, "install the observer before stepping");
         self.obs = Some(observer);
-        self
     }
 
     /// Forward one event to the installed observer, if any. O(1) plus the

@@ -42,18 +42,22 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod engine;
 pub mod events;
 pub mod faults;
 pub mod locks;
+pub mod run;
 pub mod stats;
 pub mod txn;
 #[cfg(feature = "validate")]
 pub mod validate;
 pub mod worktreap;
 
+pub use backend::SimBackend;
 pub use engine::{run_simulation, SchedulingDiscipline, SimConfig, Simulator};
 pub use faults::{BackgroundLoad, FaultHook, HealthState, NoFaults, UpdateFault};
+pub use run::SimRun;
 pub use stats::{
     report_digest, FaultCounts, OutcomeRecord, SignalCounts, SimReport, TimelineSample,
 };
@@ -67,8 +71,10 @@ pub use stats::{
 /// use unit_sim::prelude::*;
 /// ```
 pub mod prelude {
+    pub use crate::backend::SimBackend;
     pub use crate::engine::{run_simulation, SchedulingDiscipline, SimConfig, Simulator};
     pub use crate::faults::{BackgroundLoad, FaultHook, HealthState, NoFaults, UpdateFault};
+    pub use crate::run::SimRun;
     pub use crate::stats::{report_digest, OutcomeRecord, SimReport, TimelineSample};
     pub use unit_core::prelude::*;
     pub use unit_obs::{NullObserver, ObsEvent, Observer, RingRecorder};

@@ -1,0 +1,170 @@
+//! The [`unit_sim::SimRun`] builder is a pure re-plumbing of the older
+//! `Simulator::new(..).with_faults(..).with_observer(..)` combinator
+//! chain: every assembly path — plain, fault-hooked, observed, and
+//! streaming — must produce reports bit-identical to what the deprecated
+//! wrappers build. This is the witness that lets the wrappers be deleted
+//! after their deprecation cycle without any digest moving.
+
+#![allow(deprecated)] // the whole point: builder vs deprecated wrappers
+
+use unit_core::config::UnitConfig;
+use unit_core::time::SimDuration;
+use unit_core::time::SimTime;
+use unit_core::unit_policy::UnitPolicy;
+use unit_core::usm::UsmWeights;
+use unit_obs::RingRecorder;
+use unit_sim::faults::{BackgroundLoad, FaultHook, HealthState, UpdateFault};
+use unit_sim::{report_digest, SimConfig, SimRun, Simulator};
+use unit_workload::{
+    QueryTraceConfig, TraceBundle, UpdateDistribution, UpdateTraceConfig, UpdateVolume,
+};
+
+const SCALE: u64 = 16;
+const SEED: u64 = 0x5EED_0010;
+
+fn bundle() -> TraceBundle {
+    let qcfg = QueryTraceConfig::default().scaled_down(SCALE);
+    let ucfg = UpdateTraceConfig::table1(UpdateVolume::Med, UpdateDistribution::Uniform)
+        .with_total((UpdateVolume::Med.total_updates() / SCALE).max(1));
+    TraceBundle::generate(&qcfg, &ucfg)
+}
+
+fn sim_cfg(horizon: SimDuration) -> SimConfig {
+    SimConfig::new(horizon)
+        .with_weights(UsmWeights::low_high_cfm())
+        .with_tick_period(SimDuration::from_secs(10))
+}
+
+fn make_policy() -> UnitPolicy {
+    UnitPolicy::new(UnitConfig::with_weights(UsmWeights::low_high_cfm()).with_seed(SEED))
+}
+
+/// A deterministic fault hook: one mid-run degraded window plus a load
+/// burst at its start.
+#[derive(Clone)]
+struct SlowWindow {
+    from: SimTime,
+    until: SimTime,
+}
+
+impl FaultHook for SlowWindow {
+    fn transition_times(&self) -> Vec<SimTime> {
+        vec![self.from, self.until]
+    }
+
+    fn health(&self, now: SimTime) -> HealthState {
+        if now >= self.from && now < self.until {
+            HealthState::Degraded { until: self.until }
+        } else {
+            HealthState::Up
+        }
+    }
+
+    fn update_fault(&self, _item: unit_core::types::DataId, _now: SimTime) -> UpdateFault {
+        UpdateFault::Apply
+    }
+
+    fn load_at(&self, now: SimTime) -> Vec<BackgroundLoad> {
+        if now == self.from {
+            vec![BackgroundLoad {
+                exec: SimDuration::from_secs(2),
+            }]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+fn hook(horizon: SimDuration) -> Box<SlowWindow> {
+    Box::new(SlowWindow {
+        from: SimTime(horizon.0 / 4),
+        until: SimTime(horizon.0 / 2),
+    })
+}
+
+#[test]
+fn plain_builder_matches_wrapper_chain() {
+    let bundle = bundle();
+    let cfg = sim_cfg(bundle.horizon);
+    let built = SimRun::trace(&bundle.trace, make_policy(), cfg).run();
+    let wrapped = Simulator::new(&bundle.trace, make_policy(), cfg).run();
+    assert_eq!(report_digest(&built), report_digest(&wrapped));
+}
+
+#[test]
+fn faulty_builder_matches_wrapper_chain() {
+    let bundle = bundle();
+    let cfg = sim_cfg(bundle.horizon);
+    let built = SimRun::trace(&bundle.trace, make_policy(), cfg)
+        .with_faults(hook(bundle.horizon))
+        .run();
+    let wrapped = Simulator::new(&bundle.trace, make_policy(), cfg)
+        .with_faults(hook(bundle.horizon))
+        .run();
+    assert_eq!(report_digest(&built), report_digest(&wrapped));
+}
+
+#[test]
+fn observed_builder_matches_wrapper_chain_and_streams() {
+    let bundle = bundle();
+    let cfg = sim_cfg(bundle.horizon);
+
+    let mut rec_built = RingRecorder::unbounded();
+    let built = SimRun::trace(&bundle.trace, make_policy(), cfg)
+        .with_faults(hook(bundle.horizon))
+        .with_observer(&mut rec_built)
+        .run();
+    let mut rec_wrapped = RingRecorder::unbounded();
+    let wrapped = Simulator::new(&bundle.trace, make_policy(), cfg)
+        .with_faults(hook(bundle.horizon))
+        .with_observer(&mut rec_wrapped)
+        .run();
+
+    assert_eq!(report_digest(&built), report_digest(&wrapped));
+    assert_eq!(rec_built.into_events(), rec_wrapped.into_events());
+}
+
+#[test]
+fn streaming_builder_matches_wrapper_chain() {
+    let bundle = bundle();
+    let cfg = sim_cfg(bundle.horizon);
+    for chunk in [1usize, 64] {
+        let built = SimRun::streaming(
+            bundle.trace.n_items,
+            &bundle.trace.updates,
+            make_policy(),
+            cfg,
+        )
+        .run_streamed(bundle.trace.queries.iter().cloned(), chunk);
+        let wrapped = Simulator::new_streaming(
+            bundle.trace.n_items,
+            &bundle.trace.updates,
+            make_policy(),
+            cfg,
+        )
+        .run_streamed(bundle.trace.queries.iter().cloned(), chunk);
+        assert_eq!(
+            report_digest(&built),
+            report_digest(&wrapped),
+            "chunk {chunk}"
+        );
+        // And the streamed pipeline still equals the materialized one.
+        let materialized = SimRun::trace(&bundle.trace, make_policy(), cfg).run();
+        assert_eq!(report_digest(&built), report_digest(&materialized));
+    }
+}
+
+#[test]
+fn build_then_manual_stepping_matches_run() {
+    let bundle = bundle();
+    let cfg = sim_cfg(bundle.horizon);
+    let mut sim = SimRun::trace(&bundle.trace, make_policy(), cfg)
+        .with_faults(hook(bundle.horizon))
+        .build();
+    while sim.step() {}
+    let (stepped, _) = sim.finish();
+    let ran = SimRun::trace(&bundle.trace, make_policy(), cfg)
+        .with_faults(hook(bundle.horizon))
+        .run();
+    assert_eq!(report_digest(&stepped), report_digest(&ran));
+}

@@ -10,7 +10,7 @@ use unit_core::time::{SimDuration, SimTime};
 use unit_core::types::{DataId, Outcome, QueryId, QuerySpec, Trace, UpdateSpec, UpdateStreamId};
 use unit_sim::{
     report_digest, run_simulation, BackgroundLoad, FaultHook, HealthState, NoFaults, SimConfig,
-    Simulator, UpdateFault,
+    SimRun, UpdateFault,
 };
 
 /// Admit every query, apply every version.
@@ -132,14 +132,14 @@ fn busy_trace() -> Trace {
 fn inert_hook_is_bit_identical_to_no_hook() {
     let trace = busy_trace();
     let plain = run_simulation(&trace, ApplyAll, cfg(40));
-    let hooked = Simulator::new(&trace, ApplyAll, cfg(40))
+    let hooked = SimRun::trace(&trace, ApplyAll, cfg(40))
         .with_faults(Box::new(NoFaults))
         .run();
     assert_eq!(report_digest(&plain), report_digest(&hooked));
     assert_eq!(plain.outcome_records, hooked.outcome_records);
     assert!(hooked.faults.is_zero());
     // An installed-but-empty declarative hook is just as inert.
-    let empty = Simulator::new(&trace, ApplyAll, cfg(40))
+    let empty = SimRun::trace(&trace, ApplyAll, cfg(40))
         .with_faults(Box::new(TestFaults::default()))
         .run();
     assert_eq!(report_digest(&plain), report_digest(&empty));
@@ -163,7 +163,7 @@ fn pause_window_records_no_interior_outcome() {
         windows: vec![(SimTime::from_secs(5), SimTime::from_secs(10), false)],
         ..TestFaults::default()
     };
-    let report = Simulator::new(&trace, ApplyAll, cfg(30))
+    let report = SimRun::trace(&trace, ApplyAll, cfg(30))
         .with_faults(Box::new(hook))
         .run();
     assert_eq!(report.counts.total(), 3);
@@ -215,7 +215,7 @@ fn degraded_window_serves_reads_and_drops_applications() {
         windows: vec![window],
         ..TestFaults::default()
     };
-    let faulty = Simulator::new(&trace, ApplyAll, cfg(20))
+    let faulty = SimRun::trace(&trace, ApplyAll, cfg(20))
         .with_faults(Box::new(hook))
         .run();
     let clean = run_simulation(&trace, ApplyAll, cfg(20));
@@ -248,7 +248,7 @@ fn stream_faults_drop_and_delay_applications() {
         delay_items: vec![(1, SimDuration::from_secs_f64(0.5))],
         ..TestFaults::default()
     };
-    let report = Simulator::new(&trace, ApplyAll, cfg(30))
+    let report = SimRun::trace(&trace, ApplyAll, cfg(30))
         .with_faults(Box::new(hook))
         .run();
     assert!(report.faults.update_drops > 0, "item 0 versions dropped");
@@ -274,7 +274,7 @@ fn bursts_inject_background_cpu_demand() {
         bursts: vec![(SimTime::from_secs_f64(4.9), 3, SimDuration::from_secs(1))],
         ..TestFaults::default()
     };
-    let burst = Simulator::new(&trace, ApplyAll, cfg(20))
+    let burst = SimRun::trace(&trace, ApplyAll, cfg(20))
         .with_faults(Box::new(hook))
         .run();
     assert_eq!(burst.faults.background_spawned, 3);
@@ -297,10 +297,10 @@ fn faulty_runs_are_bit_reproducible() {
         delay_items: vec![(0, SimDuration::from_secs_f64(0.25))],
         bursts: vec![(SimTime::from_secs(9), 2, SimDuration::from_secs_f64(0.5))],
     };
-    let a = Simulator::new(&trace, ApplyAll, cfg(40))
+    let a = SimRun::trace(&trace, ApplyAll, cfg(40))
         .with_faults(Box::new(make_hook()))
         .run();
-    let b = Simulator::new(&trace, ApplyAll, cfg(40))
+    let b = SimRun::trace(&trace, ApplyAll, cfg(40))
         .with_faults(Box::new(make_hook()))
         .run();
     assert_eq!(report_digest(&a), report_digest(&b));

@@ -21,7 +21,7 @@ use unit_core::unit_policy::UnitPolicy;
 use unit_core::usm::UsmWeights;
 use unit_obs::{ObsEvent, RingRecorder};
 use unit_sim::{
-    report_digest, BackgroundLoad, FaultHook, HealthState, SchedulingDiscipline, SimConfig,
+    report_digest, BackgroundLoad, FaultHook, HealthState, SchedulingDiscipline, SimConfig, SimRun,
     Simulator, UpdateFault,
 };
 use unit_workload::{
@@ -104,13 +104,13 @@ fn recovery_differential<P: Policy>(policy_name: &str, make: impl Fn() -> P) {
     let crashes = crash_times(bundle.horizon);
     for (discipline, dname) in DISCIPLINES {
         let cfg = sim_config(bundle.horizon, discipline);
-        let reference = Simulator::new(&bundle.trace, make(), cfg)
+        let reference = SimRun::trace(&bundle.trace, make(), cfg)
             .with_faults(Box::new(CrashFaults {
                 crashes: crashes.clone(),
                 armed: false,
             }))
             .run();
-        let crashed = Simulator::new(&bundle.trace, make(), cfg)
+        let crashed = SimRun::trace(&bundle.trace, make(), cfg)
             .with_faults(Box::new(CrashFaults {
                 crashes: crashes.clone(),
                 armed: true,
@@ -165,7 +165,7 @@ fn recovery_emits_the_checkpoint_event_arc() {
     let crashes = crash_times(bundle.horizon);
     let cfg = sim_config(bundle.horizon, SchedulingDiscipline::DualPriorityEdf);
     let mut rec = RingRecorder::unbounded();
-    let report = Simulator::new(
+    let report = SimRun::trace(
         &bundle.trace,
         UnitPolicy::new(UnitConfig::with_weights(UsmWeights::low_high_cfm()).with_seed(SEED)),
         cfg,
@@ -304,20 +304,19 @@ fn streamed_feed_recovers_identically() {
     let make =
         || UnitPolicy::new(UnitConfig::with_weights(UsmWeights::low_high_cfm()).with_seed(SEED));
 
-    let reference = Simulator::new(&bundle.trace, make(), cfg)
+    let reference = SimRun::trace(&bundle.trace, make(), cfg)
         .with_faults(Box::new(CrashFaults {
             crashes: crashes.clone(),
             armed: false,
         }))
         .run();
     for chunk in [1usize, 4, 64] {
-        let crashed =
-            Simulator::new_streaming(bundle.trace.n_items, &bundle.trace.updates, make(), cfg)
-                .with_faults(Box::new(CrashFaults {
-                    crashes: crashes.clone(),
-                    armed: true,
-                }))
-                .run_streamed(bundle.trace.queries.iter().cloned(), chunk);
+        let crashed = SimRun::streaming(bundle.trace.n_items, &bundle.trace.updates, make(), cfg)
+            .with_faults(Box::new(CrashFaults {
+                crashes: crashes.clone(),
+                armed: true,
+            }))
+            .run_streamed(bundle.trace.queries.iter().cloned(), chunk);
         assert_eq!(
             crashed.faults.recoveries,
             crashes.len() as u64,

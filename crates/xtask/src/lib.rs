@@ -121,6 +121,7 @@ pub const GRAPH_CRATES: &[&str] = &[
     "cluster",
     "faults",
     "obs",
+    "server",
 ];
 
 /// Run the full analysis — per-file rules plus the D5/D6/P2 graph passes —

@@ -3,9 +3,9 @@
 //!
 //! | Rule | What it forbids | Where |
 //! |------|-----------------|-------|
-//! | `D1` | `HashMap`/`HashSet` (iteration-order nondeterminism) | `core`, `sim`, `workload`, `baselines`, `cluster`, `faults`, `obs` |
-//! | `D2` | wall clocks & unseeded RNGs (`Instant::now`, `SystemTime::now`, `thread_rng`, `rand::random`) | everywhere but `bench` |
-//! | `D3` | `unwrap()`/`expect()`/`panic!`-family in non-test library code | `core`, `sim`, `workload`, `baselines`, `cluster`, `faults`, `obs` |
+//! | `D1` | `HashMap`/`HashSet` (iteration-order nondeterminism) | `core`, `sim`, `workload`, `baselines`, `cluster`, `faults`, `obs`, `server` |
+//! | `D2` | wall clocks (`Instant::now`, `SystemTime::now`, `WallClock`) everywhere but `bench`/`server`; unseeded RNGs (`thread_rng`, `rand::random`) everywhere but `bench` | two-tier, see below |
+//! | `D3` | `unwrap()`/`expect()`/`panic!`-family in non-test library code | `core`, `sim`, `workload`, `baselines`, `cluster`, `faults`, `obs`, `server` |
 //! | `D4` | direct `f64` `==`/`!=` against float literals; `as`-cast truncation of simulated-time values | library crates, except `core/src/time.rs` |
 //! | `P1` | `Policy`/`FaultHook`/`Observer`-surface / event-loop functions without a `/// O(...)` complexity doc | `core/src/policy.rs`, `sim/src/engine.rs`, `sim/src/faults.rs`, `obs/src/recorder.rs` |
 //! | `A1` | malformed `lint: allow` annotations (unknown rule id, or no reason clause) | everywhere |
@@ -38,9 +38,19 @@ const D1_CRATES: &[&str] = &[
     "cluster",
     "faults",
     "obs",
+    "server",
 ];
-/// Crates that must stay wall-clock- and entropy-free (all but `bench`).
-const D2_EXEMPT_CRATES: &[&str] = &["bench"];
+/// D2 is two-tier since the live serving runtime landed:
+///
+/// * **wall-clock tier** — `Instant::now` / `SystemTime::now` / the
+///   `WallClock` type are allowed only in `server` (reading the machine
+///   clock is the serving runtime's job; everything else consumes time
+///   through the `Clock` trait) and `bench` (harness timing);
+/// * **entropy tier** — `thread_rng` / `rand::random` are allowed only in
+///   `bench`; the server must stay entropy-free like the rest.
+const D2_WALL_EXEMPT_CRATES: &[&str] = &["bench", "server"];
+/// Crates allowed to draw OS entropy (see [`D2_WALL_EXEMPT_CRATES`]).
+const D2_ENTROPY_EXEMPT_CRATES: &[&str] = &["bench"];
 /// Library crates where panics must be annotated.
 const D3_CRATES: &[&str] = &[
     "core",
@@ -50,6 +60,7 @@ const D3_CRATES: &[&str] = &[
     "cluster",
     "faults",
     "obs",
+    "server",
 ];
 /// Library crates where float-equality / time-cast hygiene applies.
 const D4_CRATES: &[&str] = &[
@@ -60,6 +71,7 @@ const D4_CRATES: &[&str] = &[
     "cluster",
     "faults",
     "obs",
+    "server",
 ];
 /// The one file allowed to truncate simulated-time floats: the tick
 /// conversion boundary itself.
@@ -337,9 +349,12 @@ fn rule_d1(toks: &[Tok], ctx: &FileCtx, findings: &mut Vec<Finding>) {
     }
 }
 
-/// D2 — wall clocks and unseeded entropy outside `bench`.
+/// D2 — wall clocks outside `server`/`bench`, unseeded entropy outside
+/// `bench` (two tiers; see [`D2_WALL_EXEMPT_CRATES`]).
 fn rule_d2(toks: &[Tok], ctx: &FileCtx, findings: &mut Vec<Finding>) {
-    if in_crate(ctx, D2_EXEMPT_CRATES) {
+    let wall_exempt = in_crate(ctx, D2_WALL_EXEMPT_CRATES);
+    let entropy_exempt = in_crate(ctx, D2_ENTROPY_EXEMPT_CRATES);
+    if wall_exempt && entropy_exempt {
         return;
     }
     let live = |t: &Tok| !t.in_test;
@@ -352,26 +367,52 @@ fn rule_d2(toks: &[Tok], ctx: &FileCtx, findings: &mut Vec<Finding>) {
                 && toks.get(i + 1).is_some_and(|p| p.text == "::")
                 && toks.get(i + 2).is_some_and(|m| m.text == tail)
         };
-        let hit = if path_call("Instant", "now") {
+        // Wall-clock tier: reading (or naming a handle to) the machine
+        // clock. `WallClock` as a bare type token counts — holding the
+        // wall-clock handle outside the serving boundary is the leak this
+        // tier exists to catch, whether or not `.now()` appears in the
+        // same file.
+        let wall_hit = if path_call("Instant", "now") {
             Some("Instant::now")
         } else if path_call("SystemTime", "now") {
             Some("SystemTime::now")
-        } else if t.text == "thread_rng" {
+        } else if t.text == "WallClock" {
+            Some("WallClock")
+        } else {
+            None
+        };
+        if let Some(what) = wall_hit {
+            if !wall_exempt {
+                push(
+                    findings,
+                    ctx,
+                    t.line,
+                    "D2",
+                    format!("{what} reads the machine clock; only crates/server (the serving runtime) and bench may"),
+                    "consume time through the unit_core::clock::Clock trait (VirtualClock outside the server)".to_string(),
+                );
+            }
+            continue;
+        }
+        // Entropy tier: unseeded randomness.
+        let entropy_hit = if t.text == "thread_rng" {
             Some("thread_rng")
         } else if path_call("rand", "random") {
             Some("rand::random")
         } else {
             None
         };
-        if let Some(what) = hit {
-            push(
-                findings,
-                ctx,
-                t.line,
-                "D2",
-                format!("{what} is nondeterministic; simulation code must not read wall clocks or OS entropy"),
-                "derive times from SimTime/SimDuration and randomness from a seeded StdRng".to_string(),
-            );
+        if let Some(what) = entropy_hit {
+            if !entropy_exempt {
+                push(
+                    findings,
+                    ctx,
+                    t.line,
+                    "D2",
+                    format!("{what} is nondeterministic; simulation code must not read OS entropy"),
+                    "derive randomness from a seeded StdRng".to_string(),
+                );
+            }
         }
     }
 }

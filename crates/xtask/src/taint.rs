@@ -12,7 +12,9 @@
 //! sink (transitively) calls computes digest input — and reports any
 //! nondeterminism source found in that closure:
 //!
-//! * wall clocks: `Instant::now`, `SystemTime::now`;
+//! * wall clocks: `Instant::now`, `SystemTime::now`, `WallClock::now`
+//!   (the serving runtime's handle — D2-legal in `crates/server`, but its
+//!   ticks must never feed digest input);
 //! * OS entropy: `thread_rng`, `rand::random`;
 //! * machine shape: `available_parallelism`;
 //! * iteration-order / address hashing: `HashMap` / `HashSet` anywhere in
@@ -60,6 +62,9 @@ fn sources_in(file: &ParsedFile, d: &FnDef) -> Vec<Source> {
         let what = match (&c.kind, c.name.as_str()) {
             (CallKind::Qualified(q), "now") if q == "Instant" => Some("Instant::now"),
             (CallKind::Qualified(q), "now") if q == "SystemTime" => Some("SystemTime::now"),
+            // The serving runtime's clock handle: D2-legal inside
+            // crates/server, but its ticks must never feed digest input.
+            (CallKind::Qualified(q), "now") if q == "WallClock" => Some("WallClock::now"),
             (_, "thread_rng") => Some("thread_rng"),
             (CallKind::Qualified(q), "random") if q == "rand" => Some("rand::random"),
             (_, "available_parallelism") => Some("available_parallelism"),

@@ -1,0 +1,13 @@
+//! D2 clock-boundary fixture: one seeded violation of the serving-clock
+//! boundary — a non-server crate holding a `WallClock` handle — plus an
+//! entropy draw, which is forbidden even inside `server`.
+use unit_server::WallClock;
+
+pub fn leak_a_wall_clock() -> WallClock {
+    WallClock::new()
+}
+
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

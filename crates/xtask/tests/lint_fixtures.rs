@@ -84,6 +84,54 @@ fn d2_fixture_is_exempt_in_bench() {
 }
 
 #[test]
+fn d2_clock_boundary_fixture_flags_wallclock_outside_server() {
+    // The seeded boundary violation: a sim-crate file naming WallClock
+    // (lines 4, 6, 7) and drawing entropy (line 11).
+    let fs = check_source(
+        &fixture("d2_clock_boundary.rs"),
+        &ctx("sim", "crates/sim/src/fixture.rs"),
+    );
+    assert_eq!(
+        rule_lines(&fs),
+        vec![("D2", 4), ("D2", 6), ("D2", 7), ("D2", 11)]
+    );
+    assert!(fs[0].message.contains("WallClock"), "{}", fs[0].message);
+    assert!(fs[0].hint.contains("Clock trait"), "{}", fs[0].hint);
+}
+
+#[test]
+fn d2_clock_boundary_fixture_allows_wallclock_in_server_but_not_entropy() {
+    // Inside crates/server the wall-clock tier is exempt; the entropy
+    // tier still fires.
+    let fs = check_source(
+        &fixture("d2_clock_boundary.rs"),
+        &ctx("server", "crates/server/src/fixture.rs"),
+    );
+    assert_eq!(rule_lines(&fs), vec![("D2", 11)]);
+    assert!(fs[0].message.contains("thread_rng"), "{}", fs[0].message);
+}
+
+#[test]
+fn d2_clock_boundary_fixture_is_fully_exempt_in_bench() {
+    let fs = check_source(
+        &fixture("d2_clock_boundary.rs"),
+        &ctx("bench", "crates/bench/src/fixture.rs"),
+    );
+    assert!(fs.is_empty(), "{fs:?}");
+}
+
+#[test]
+fn d2_wall_clock_fixture_in_server_keeps_only_entropy_findings() {
+    // Instant::now (line 5) is the server's to use; thread_rng/random
+    // (lines 10, 11) are not.
+    let fs = check_source(
+        &fixture("d2_wall_clock.rs"),
+        &ctx("server", "crates/server/src/fixture.rs"),
+    );
+    assert_eq!(rule_lines(&fs), vec![("D2", 10), ("D2", 11)]);
+}
+
+#[test]
 fn d3_fixture_reports_unannotated_panics_only() {
     let fs = check_source(
         &fixture("d3_panics.rs"),
